@@ -1,0 +1,85 @@
+// Ablation: sensitivity to the exact analog injection time.
+//
+// Paper Section 4.1: "Specifying the injection times is more complex for
+// analog blocks than for digital ones, since the exact injection time (and
+// not only the injection cycle with respect to the system clock) may have a
+// noticeable impact on the fault effects."
+//
+// Two sweeps on the PLL demonstrate this:
+//  (a) macro sweep — inject the Figure 6 pulse at different loop states
+//      (during acquisition vs after lock);
+//  (b) micro sweep — inject at sub-reference-period offsets around a locked
+//      charge-pump activity window.
+
+#include "pll_bench_common.hpp"
+
+using namespace gfi;
+using namespace gfi::bench;
+
+int main()
+{
+    pll::PllConfig cfg;
+    cfg.duration = 170 * kMicrosecond;
+    auto runner = makePllRunner(cfg);
+    runner.runGolden();
+    const auto& goldFout = runner.golden().recorder().digitalTrace(pll::names::kFout);
+
+    auto pulse = std::make_shared<fault::TrapezoidPulse>(10e-3, 100e-12, 300e-12, 500e-12);
+    auto measure = [&](double tInject) {
+        fault::CurrentPulseFault f{pll::names::kSabFilter, tInject, pulse};
+        auto tb = runFaulty(runner, fault::FaultSpec{f});
+        const auto r = runner.classify(*tb, fault::FaultSpec{f});
+        const auto pert =
+            trace::compareClocks(goldFout, tb->recorder().digitalTrace(pll::names::kFout),
+                                 1e-3, fromSeconds(tInject - 1e-6));
+        return std::tuple{r, pert};
+    };
+
+    const SimTime nominal = cfg.nominalOutputPeriod();
+    const SimTime goldenLock = pll::lockTime(goldFout, nominal);
+
+    std::printf("=== Ablation (a): injection during acquisition vs locked ===\n\n");
+    std::printf("Golden lock time: %s\n\n", formatTime(goldenLock).c_str());
+    TextTable a;
+    a.setHeader({"t_inject", "loop state", "outcome", "peak dV_ctrl", "perturbed cycles",
+                 "lock time"});
+    for (double t : {10e-6, 40e-6, 70e-6, 100e-6, 130e-6, 150e-6}) {
+        fault::CurrentPulseFault f{pll::names::kSabFilter, t, pulse};
+        auto tb = runFaulty(runner, fault::FaultSpec{f});
+        const auto r = runner.classify(*tb, fault::FaultSpec{f});
+        const auto& fout = tb->recorder().digitalTrace(pll::names::kFout);
+        const auto pert = trace::compareClocks(goldFout, fout, 1e-3, fromSeconds(t - 1e-6));
+        a.addRow({formatSi(t, "s"), t < toSeconds(goldenLock) ? "acquiring" : "locked",
+                  campaign::toString(r.outcome), formatSi(r.maxAnalogDeviation, "V"),
+                  std::to_string(pert.perturbedCycles),
+                  formatTime(pll::lockTime(fout, nominal)).c_str()});
+    }
+    a.print();
+    std::printf(
+        "\nNote: for injections during acquisition the clock is away from nominal\n"
+        "regardless of the fault, so the perturbed-cycle count mostly measures the\n"
+        "remaining acquisition itself — the meaningful columns there are the lock\n"
+        "time (barely changed: the strike is absorbed into acquisition) and the\n"
+        "peak deviation (constant: it is set by the deposited charge over C2).\n"
+        "After lock, the same charge visibly disturbs ~100+ otherwise-perfect\n"
+        "cycles: WHEN the particle strikes changes the functional impact.\n");
+
+    std::printf("\n=== Ablation (b): sub-period injection-time sweep (locked) ===\n\n");
+    // The locked PFD emits narrow UP/DOWN pulses once per 2 us reference
+    // period; injecting inside vs outside the charge-pump activity window
+    // changes how the pulse charge interacts with the loop correction.
+    TextTable b;
+    b.setHeader({"t_inject", "offset in ref period", "peak dV_ctrl", "perturbed cycles"});
+    const double base = 130e-6;
+    for (double off : {0.0, 0.25e-6, 0.5e-6, 0.75e-6, 1.0e-6, 1.25e-6, 1.5e-6, 1.75e-6}) {
+        const auto [r, pert] = measure(base + off);
+        b.addRow({formatSi(base + off, "s"), formatSi(off, "s"),
+                  formatSi(r.maxAnalogDeviation, "V"),
+                  std::to_string(pert.perturbedCycles)});
+    }
+    b.print();
+    std::printf("\nThe peak deviation is stable (charge dominates) but the perturbed-cycle\n"
+                "count varies with the injection phase — digital-style 'cycle number'\n"
+                "injection timing would miss this.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: scrub interval vs uncorrectable-error accumulation in ECC RAM.
+//
+// SEC-DED corrects one upset per word; a second upset in the SAME word before
+// it is scrubbed defeats the code. This bench bombards a 16-word ECC RAM with
+// random single-bit upsets (deterministic seeded stream) and sweeps the
+// scrubber period, counting words that accumulate an uncorrectable double
+// error — the quantitative basis for choosing a scrub rate.
+
+#include "digital/sequential.hpp"
+#include "harden/scrubber.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+using namespace gfi::digital;
+
+namespace {
+
+struct Result {
+    int injected = 0;
+    int repaired = 0;
+    int uncorrectable = 0;
+};
+
+Result run(SimTime scrubPeriod, std::uint64_t seed, int upsets, SimTime window)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& we = c.logicSignal("we", Logic::Zero);
+    Bus addr = c.bus("addr", 4, Logic::Zero);
+    Bus wdata = c.bus("wdata", 8, Logic::Zero);
+    Bus rdata = c.bus("rdata", 8, Logic::U);
+    auto& ram = c.add<harden::EccRam>(c, "eram", clk, we, addr, wdata, rdata);
+    harden::Scrubber* scrubber = nullptr;
+    if (scrubPeriod > 0) {
+        scrubber = &c.add<harden::Scrubber>(c, "scrub", ram, scrubPeriod);
+    }
+
+    // Random upsets, uniform over (word, codeword bit, time).
+    Rng rng(seed);
+    const int codeBits = harden::hammingCodewordBits(8);
+    for (int i = 0; i < upsets; ++i) {
+        const int word = static_cast<int>(rng.below(16));
+        const int bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(codeBits)));
+        const SimTime t = rng.range(0, window);
+        const auto& hook = c.instrumentation().hook("eram/w" + std::to_string(word));
+        c.scheduler().scheduleAction(t, [&hook, bit] { hook.flipBit(bit); });
+    }
+    c.runUntil(window);
+
+    Result r;
+    r.injected = upsets;
+    r.repaired = scrubber != nullptr ? scrubber->repairs() : 0;
+    for (int w = 0; w < 16; ++w) {
+        const auto d = harden::hammingDecode(ram.codeword(w), 8);
+        r.uncorrectable += d.uncorrectable ? 1 : 0;
+    }
+    return r;
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("=== Ablation: ECC RAM scrub interval vs double-error accumulation ===\n\n");
+    std::printf("16-word x 8-bit SEC-DED RAM, 64 random upsets over 1 ms, 8 seeds per\n"
+                "point (deterministic). A word hit twice between scrubs is lost.\n\n");
+
+    const int upsets = 64;
+    const SimTime window = kMillisecond;
+    const std::vector<SimTime> periods{0, 200 * kMicrosecond, 50 * kMicrosecond,
+                                       10 * kMicrosecond, 2 * kMicrosecond};
+
+    TextTable t;
+    t.setHeader({"scrub period (per word)", "full-sweep time", "repairs (avg)",
+                 "uncorrectable words (avg of 8 seeds)"});
+    for (SimTime period : periods) {
+        double repairs = 0.0;
+        double bad = 0.0;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            const Result r = run(period, seed * 7919, upsets, window);
+            repairs += r.repaired;
+            bad += r.uncorrectable;
+        }
+        t.addRow({period == 0 ? "no scrubbing" : formatTime(period),
+                  period == 0 ? "-" : formatTime(16 * period),
+                  formatDouble(repairs / 8.0, 3), formatDouble(bad / 8.0, 3)});
+    }
+    t.print();
+
+    std::printf("\nExpected shape: without scrubbing, upsets accumulate and double hits\n"
+                "defeat SEC-DED; as the sweep time drops below the mean inter-upset\n"
+                "time per word, uncorrectable words approach zero.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: the analog comparison tolerance.
+//
+// Paper Section 4.1: "In case analog nodes are also monitored, it may be
+// necessary to define an additional tolerance on the values, in order to
+// avoid non significant error identifications."
+//
+// This bench runs three PLL faults ONCE each, then re-classifies the same
+// traces under a sweep of analog tolerances (and the digital edge-jitter
+// tolerance), showing how the verdict flips from "everything is an error"
+// (tolerance too tight -> false positives from numerical noise) to
+// "nothing is an error" (tolerance swallows the real disturbance).
+
+#include "pll_bench_common.hpp"
+
+using namespace gfi;
+using namespace gfi::bench;
+
+int main()
+{
+    pll::PllConfig cfg;
+    cfg.duration = 170 * kMicrosecond;
+    const double tInject = 130e-6;
+
+    auto runner = makePllRunner(cfg);
+    runner.runGolden();
+
+    // Three faults of very different magnitude.
+    auto big = std::make_shared<fault::TrapezoidPulse>(10e-3, 100e-12, 300e-12, 500e-12);
+    auto small = std::make_shared<fault::TrapezoidPulse>(0.5e-3, 100e-12, 100e-12, 300e-12);
+    std::vector<std::pair<const char*, fault::FaultSpec>> faults{
+        {"10 mA / 500 ps pulse",
+         fault::FaultSpec{fault::CurrentPulseFault{pll::names::kSabFilter, tInject, big}}},
+        {"0.5 mA / 300 ps pulse",
+         fault::FaultSpec{fault::CurrentPulseFault{pll::names::kSabFilter, tInject, small}}},
+        {"PFD UP-flag SEU",
+         fault::FaultSpec{fault::BitFlipFault{"pll/pfd", 0,
+                                              130 * kMicrosecond + 300 * kNanosecond}}},
+    };
+
+    // Simulate once per fault; classification is then re-run per tolerance.
+    std::vector<std::unique_ptr<fault::Testbench>> benches;
+    for (auto& [name, f] : faults) {
+        benches.push_back(runFaulty(runner, f));
+    }
+
+    std::printf("=== Ablation: analog tolerance in the result analysis ===\n\n");
+    TextTable t;
+    t.setHeader({"analog tolerance", "jitter tolerance", faults[0].first, faults[1].first,
+                 faults[2].first});
+    const std::vector<std::pair<double, SimTime>> tolerances{
+        {0.1e-3, 0}, {1e-3, 10 * kPicosecond}, {5e-3, 200 * kPicosecond},
+        {20e-3, 200 * kPicosecond}, {100e-3, kNanosecond}};
+    for (const auto& [analogTol, jitter] : tolerances) {
+        runner.setTolerance(campaign::Tolerance{analogTol, 0.0, jitter});
+        std::vector<std::string> row{formatSi(analogTol, "V"), formatTime(jitter)};
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            row.push_back(
+                campaign::toString(runner.classify(*benches[i], faults[i].second).outcome));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nReading the table:\n"
+                "  * with zero jitter tolerance the PFD SEU is misclassified as a hard\n"
+                "    FAILURE: the femtosecond-level residual phase offset of the relocking\n"
+                "    loop never compares exactly equal (a non-significant error, exactly\n"
+                "    what the paper warns about);\n"
+                "  * the 1 mV - 20 mV range classifies all three faults stably;\n"
+                "  * at 100 mV the 0.5 mA strike disappears entirely, while the 10 mA\n"
+                "    strike is still caught — but only through the digital clock trace,\n"
+                "    the analog evidence having been tolerated away.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Extension experiment: bit-flip injection in a processor-based architecture
+// (the paper's reference [2], Cardarilli et al., IOLTW 2002).
+//
+// The DUT is the tiny 8-bit accumulator CPU running a counter loop that
+// streams to an output port. Exhaustive SEU bit-flips are injected into the
+// architectural registers — PC (control flow), ACC (datapath), the loop
+// variable in RAM — and classified against the golden run, showing the very
+// different failure signatures of control-flow vs datapath upsets.
+
+#include "core/campaign.hpp"
+#include "core/stats.hpp"
+#include "duts/tiny_cpu.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+
+int main()
+{
+    std::printf("=== Extension: SEUs in a processor-based architecture (ref [2]) ===\n\n");
+    duts::TinyCpuConfig cfg;
+    campaign::CampaignRunner runner(
+        [cfg] { return std::make_unique<duts::TinyCpuTestbench>(cfg); });
+
+    // Mid-cycle injection times spread over the run.
+    std::vector<SimTime> times;
+    for (int k = 1; k <= 5; ++k) {
+        times.push_back(k * kMicrosecond + 7 * kNanosecond);
+    }
+
+    struct TargetRow {
+        const char* target;
+        const char* kind;
+        int bits;
+    };
+    const std::vector<TargetRow> targets{
+        {"cpu/core/pc", "control flow", 5},
+        {"cpu/core/acc", "datapath", 8},
+        {"cpu/ram/w16", "data memory (loop increment)", 8},
+    };
+
+    TextTable t;
+    t.setHeader({"register", "kind", "runs", "silent", "transient", "failure"});
+    for (const TargetRow& row : targets) {
+        std::vector<fault::FaultSpec> faults;
+        for (int bit = 0; bit < row.bits; ++bit) {
+            for (SimTime time : times) {
+                faults.emplace_back(fault::BitFlipFault{row.target, bit, time});
+            }
+        }
+        const auto report = runner.run(faults);
+        const auto h = report.histogram();
+        auto count = [&](campaign::Outcome o) {
+            const auto it = h.find(o);
+            return it == h.end() ? 0 : it->second;
+        };
+        t.addRow({row.target, row.kind, std::to_string(report.runs.size()),
+                  std::to_string(count(campaign::Outcome::Silent)),
+                  std::to_string(count(campaign::Outcome::TransientError)),
+                  std::to_string(count(campaign::Outcome::Failure))});
+    }
+    t.print();
+
+    std::printf(
+        "\nReading the table (the classic processor-injection signatures):\n"
+        "  * PC flips derail control flow: the loop may skip OUT instructions or\n"
+        "    re-enter the init code — mostly hard failures, some lucky re-syncs;\n"
+        "  * ACC flips offset the counter: since ACC feeds itself, the offset\n"
+        "    persists -> the output stream stays wrong (failure), though a flip\n"
+        "    just before LDI/overwrite is masked (silent);\n"
+        "  * RAM[16] (the increment) flips change the counting stride until the\n"
+        "    init code rewrites it — never rewritten here, so failures dominate;\n"
+        "    low bits flip the stride by 1, high bits by large steps.\n");
+    return 0;
+}

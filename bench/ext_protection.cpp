@@ -1,0 +1,115 @@
+// Extension experiment: validating protection mechanisms by fault injection —
+// the paper's second stated goal for early dependability analysis ("validate
+// the efficiency of the implemented mechanisms").
+//
+// The same SEU campaign (single-bit flips on the storage element's internal
+// state, plus adjacent double flips for the MBU trend) runs against four
+// variants of the same design: unprotected, TMR, DWC and SEC-DED ECC. The
+// table reports observable-error rates with Wilson 95 % intervals.
+
+#include "core/faultlist.hpp"
+#include "core/stats.hpp"
+#include "duts/protected_dut.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+
+namespace {
+
+struct VariantResult {
+    duts::Protection protection;
+    campaign::Proportion singleEffect;
+    campaign::Proportion doubleEffect;
+    int targets = 0;
+};
+
+VariantResult runVariant(duts::Protection protection)
+{
+    duts::ProtectedDutConfig cfg;
+    cfg.protection = protection;
+    campaign::CampaignRunner runner(
+        [cfg] { return std::make_unique<duts::ProtectedDutTestbench>(cfg); });
+
+    const duts::ProtectedDutTestbench probe(cfg);
+    const auto& registry = probe.sim().digital().instrumentation();
+
+    // Mid-cycle injection times (avoid the capture edge itself).
+    const std::vector<SimTime> times{
+        kMicrosecond + 7 * kNanosecond, 2 * kMicrosecond + 11 * kNanosecond,
+        3 * kMicrosecond + 13 * kNanosecond};
+
+    // Single-bit flips over the storage targets only (the counter is shared
+    // by all variants and would dilute the comparison).
+    std::vector<fault::FaultSpec> singles;
+    std::vector<fault::FaultSpec> doubles;
+    int targets = 0;
+    for (const std::string& name : probe.storageTargets()) {
+        const auto& hook = registry.hook(name);
+        targets += hook.width;
+        for (int bit = 0; bit < hook.width; ++bit) {
+            for (SimTime t : times) {
+                singles.emplace_back(fault::BitFlipFault{name, bit, t});
+            }
+        }
+        for (int bit = 0; bit + 1 < hook.width; ++bit) {
+            for (SimTime t : times) {
+                doubles.emplace_back(fault::DoubleBitFlipFault{name, bit, bit + 1, t});
+            }
+        }
+    }
+
+    const auto repSingle = runner.run(singles);
+    const auto repDouble = runner.run(doubles);
+
+    VariantResult result;
+    result.protection = protection;
+    result.targets = targets;
+    result.singleEffect = campaign::outcomeRates(repSingle).effective;
+    result.doubleEffect = campaign::outcomeRates(repDouble).effective;
+    return result;
+}
+
+std::string cell(const campaign::Proportion& p)
+{
+    return formatDouble(100.0 * p.estimate, 4) + " %  [" + formatDouble(100.0 * p.low, 3) +
+           ", " + formatDouble(100.0 * p.high, 3) + "]";
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("=== Extension: protection-mechanism validation by injection ===\n\n");
+    std::printf("Design: counter -> storage element -> output, 50 MHz, SEUs injected\n"
+                "into the storage element's INTERNAL state (copies / codeword).\n\n");
+
+    std::vector<VariantResult> results;
+    for (duts::Protection p : {duts::Protection::None, duts::Protection::Dwc,
+                               duts::Protection::Tmr, duts::Protection::Ecc}) {
+        results.push_back(runVariant(p));
+    }
+
+    TextTable t;
+    t.setHeader({"variant", "state bits", "single-bit upset effect (95 % CI)",
+                 "adjacent double-bit effect (95 % CI)"});
+    for (const VariantResult& r : results) {
+        t.addRow({duts::toString(r.protection), std::to_string(r.targets),
+                  cell(r.singleEffect), cell(r.doubleEffect)});
+    }
+    t.print();
+
+    std::printf(
+        "\nExpected shape (and what the flow verifies):\n"
+        "  * unprotected: every mid-cycle flip reaches the output -> ~100 %%;\n"
+        "  * DWC: only primary-copy flips corrupt the data -> ~50 %% (detected);\n"
+        "  * TMR: single flips fully masked -> ~0 %%; adjacent doubles land in ONE\n"
+        "    copy, so they are masked too — TMR's weakness is multi-COPY upsets;\n"
+        "  * SEC-DED: single flips corrected -> ~0 %%; adjacent doubles exceed the\n"
+        "    correction capability and corrupt the read data (flagged as\n"
+        "    uncorrectable) -> high double-bit effect.\n"
+        "The flow quantifies mechanism efficiency before any silicon exists.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Figure 1: (a) the proposed trapezoidal current-pulse
+// model with its parameters (injection time, PA, RT, FT, PW) and (b) its fit
+// against the classical double-exponential (Messenger) model.
+//
+// Prints both waveforms as a time series plus the fitted parameters and the
+// conserved quantities (peak current, total collected charge).
+
+#include "core/pulse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+
+int main()
+{
+    std::printf("=== Figure 1(a): proposed trapezoidal model (PA, RT, FT, PW) ===\n\n");
+    // The paper's Figure 6 parameter set as the reference instance.
+    fault::TrapezoidPulse trap(10e-3, 100e-12, 300e-12, 500e-12);
+    std::printf("Model: %s\n", trap.describe().c_str());
+    std::printf("Peak %s, charge %s\n\n", formatSi(trap.peak(), "A").c_str(),
+                formatSi(trap.charge(), "C").c_str());
+
+    std::printf("=== Figure 1(b): fit against the double-exponential model ===\n\n");
+    // Classical Messenger parameters for a heavy-ion strike.
+    fault::DoubleExpPulse dexp(14.6e-3, 50e-12, 500e-12);
+    std::printf("Double-exponential: %s\n", dexp.describe().c_str());
+    std::printf("  peak %s at t = %s, charge %s\n", formatSi(dexp.peak(), "A").c_str(),
+                formatSi(dexp.peakTime(), "s").c_str(), formatSi(dexp.charge(), "C").c_str());
+
+    const fault::TrapezoidPulse fitted = fault::fitTrapezoid(dexp);
+    std::printf("Fitted trapezoid:   %s\n", fitted.describe().c_str());
+    std::printf("  peak %s, charge %s (conserved)\n\n",
+                formatSi(fitted.peak(), "A").c_str(), formatSi(fitted.charge(), "C").c_str());
+
+    TextTable series;
+    series.setHeader({"time", "I double-exp", "I fitted trapezoid", "I Fig.6 trapezoid"});
+    for (int i = 0; i <= 24; ++i) {
+        const double t = i * 50e-12;
+        series.addRow({formatSi(t, "s"), formatSi(dexp.current(t), "A", 4),
+                       formatSi(fitted.current(t), "A", 4),
+                       formatSi(trap.current(t), "A", 4)});
+    }
+    series.print();
+
+    std::printf("\n=== Inverse fit: double-exponential from the Fig.6 trapezoid ===\n\n");
+    const fault::DoubleExpPulse inverse = fault::fitDoubleExp(trap);
+    std::printf("%s\n", inverse.describe().c_str());
+    std::printf("  peak %s (target %s), charge %s (target %s)\n",
+                formatSi(inverse.peak(), "A").c_str(), formatSi(trap.peak(), "A").c_str(),
+                formatSi(inverse.charge(), "C").c_str(),
+                formatSi(trap.charge(), "C").c_str());
+
+    std::printf("\nThe paper's Figure 8 parameter sets (PA, RT, FT, PW) and their charge:\n\n");
+    TextTable sets;
+    sets.setHeader({"PA", "RT", "FT", "PW", "charge"});
+    const double params[4][4] = {
+        {2e-3, 100e-12, 100e-12, 300e-12},
+        {8e-3, 100e-12, 100e-12, 300e-12},
+        {10e-3, 40e-12, 40e-12, 120e-12},
+        {10e-3, 180e-12, 180e-12, 540e-12},
+    };
+    for (const auto& p : params) {
+        fault::TrapezoidPulse pulse(p[0], p[1], p[2], p[3]);
+        sets.addRow({formatSi(p[0], "A"), formatSi(p[1], "s"), formatSi(p[2], "s"),
+                     formatSi(p[3], "s"), formatSi(pulse.charge(), "C")});
+    }
+    sets.print();
+    return 0;
+}

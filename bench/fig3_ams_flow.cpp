@@ -1,0 +1,59 @@
+// Reproduces paper Figure 3: the proposed AMS analysis flow — ONE unified
+// campaign over a mixed-signal circuit in which digital blocks are
+// instrumented with mutants, analog blocks with (current) saboteurs, the
+// simulation is mixed-mode, and the result analysis applies a tolerance on
+// analog values.
+//
+// The circuit is the paper's PLL. The campaign mixes:
+//   * digital faults: SEU bit-flips in the PFD flags and the divider state;
+//   * analog faults : current pulses on the filter input and the VCO output;
+//   * parametric    : loop-filter component deviations (ref [10] style).
+
+#include "pll_bench_common.hpp"
+
+using namespace gfi;
+using namespace gfi::bench;
+
+int main()
+{
+    pll::PllConfig cfg;
+    cfg.duration = 170 * kMicrosecond;
+    const SimTime tDig = 130 * kMicrosecond + 300 * kNanosecond;
+    const double tAna = 130e-6;
+
+    std::printf("=== Figure 3: unified AMS fault-injection flow on the PLL ===\n\n");
+    auto runner = makePllRunner(cfg);
+
+    auto probe = runner.makeTestbench();
+    std::printf("Instrumentation: %zu digital mutant hooks, %zu analog saboteurs\n\n",
+                probe->sim().digital().instrumentation().names().size(),
+                probe->currentSaboteurNames().size());
+
+    auto pulse = std::make_shared<fault::TrapezoidPulse>(10e-3, 100e-12, 300e-12, 500e-12);
+
+    std::vector<fault::FaultSpec> faults;
+    // Digital part (mutants).
+    faults.emplace_back(fault::BitFlipFault{"pll/pfd", 0, tDig});     // UP flag
+    faults.emplace_back(fault::BitFlipFault{"pll/pfd", 1, tDig});     // DOWN flag
+    faults.emplace_back(fault::BitFlipFault{"pll/divider", 2, tDig}); // count bit
+    faults.emplace_back(fault::BitFlipFault{"pll/divider", 5, tDig}); // count bit
+    // Analog part (saboteurs).
+    faults.emplace_back(fault::CurrentPulseFault{pll::names::kSabFilter, tAna, pulse});
+    faults.emplace_back(fault::CurrentPulseFault{pll::names::kSabVcoOut, tAna, pulse});
+    // Parametric (behavioral-description faults, still supported by the flow).
+    faults.emplace_back(fault::ParametricFault{"pll/c2", 1.5, 0});
+    faults.emplace_back(fault::ParametricFault{"pll/kvco", 0.8, 0});
+
+    const auto report = runner.run(faults, [](std::size_t i, const campaign::RunResult& r) {
+        std::printf("run %zu: %-70s -> %s\n", i + 1, fault::describe(r.fault).c_str(),
+                    campaign::toString(r.outcome));
+    });
+
+    std::printf("\nUnified classification (digital + analog + parametric faults, one flow):\n%s\n",
+                report.summaryTable().c_str());
+    std::printf("%s\n", report.detailTable().c_str());
+
+    std::printf("The same campaign engine, trace comparison (with analog tolerance) and\n"
+                "classification served every fault class — the paper's Figure 3 flow.\n");
+    return 0;
+}

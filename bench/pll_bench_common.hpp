@@ -1,0 +1,56 @@
+#pragma once
+// Shared helpers for the PLL figure-reproduction benches.
+
+#include "core/campaign.hpp"
+#include "pll/pll.hpp"
+#include "trace/metrics.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace gfi::bench {
+
+/// Standard experiment tolerances for the PLL benches: 5 mV on the VCO
+/// control node, 1 % of the output period (200 ps) of clock-edge jitter.
+inline campaign::Tolerance pllTolerance()
+{
+    return campaign::Tolerance{5e-3, 0.0, 200 * kPicosecond};
+}
+
+/// Campaign runner over PllTestbench with the given config.
+inline campaign::CampaignRunner makePllRunner(const pll::PllConfig& cfg)
+{
+    return campaign::CampaignRunner(
+        [cfg] { return std::make_unique<pll::PllTestbench>(cfg); }, pllTolerance());
+}
+
+/// Runs one armed faulty testbench to completion and returns it.
+inline std::unique_ptr<fault::Testbench> runFaulty(campaign::CampaignRunner& runner,
+                                                   const fault::FaultSpec& f)
+{
+    auto tb = runner.makeTestbench();
+    fault::armFault(*tb, f);
+    tb->run();
+    return tb;
+}
+
+/// Prints a compact waveform series: golden vs faulty VCO-control voltage at
+/// offsets (in seconds) relative to the injection instant.
+inline void printVctrlSeries(const trace::AnalogTrace& golden, const trace::AnalogTrace& faulty,
+                             double tInject, const std::vector<double>& offsets)
+{
+    TextTable t;
+    t.setHeader({"t - t_inj", "V_ctrl golden", "V_ctrl faulty", "deviation"});
+    for (double dt : offsets) {
+        const double time = tInject + dt;
+        const double g = golden.valueAt(time);
+        const double f = faulty.valueAt(time);
+        t.addRow({formatSi(dt, "s"), formatSi(g, "V", 5), formatSi(f, "V", 5),
+                  formatSi(f - g, "V")});
+    }
+    t.print();
+}
+
+} // namespace gfi::bench

@@ -1,0 +1,125 @@
+// ADC sensitivity campaign — the paper's stated future work ("analog to
+// digital converters") and the experiment style of its reference [9]
+// (Singh & Koren): compare the SEU sensitivity of the analog part (ladder
+// taps, DAC settling node) against the digital part (registers, SAR logic)
+// of two converter architectures under the same particle charge.
+
+#include "adc/flash.hpp"
+#include "adc/sar.hpp"
+#include "core/campaign.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+
+namespace {
+
+struct Row {
+    std::string part;
+    std::string target;
+    int runs = 0;
+    int nonSilent = 0;
+};
+
+void printRows(const char* title, const std::vector<Row>& rows)
+{
+    std::printf("%s\n", title);
+    TextTable t;
+    t.setHeader({"part", "target", "runs", "non-silent", "sensitivity"});
+    for (const Row& r : rows) {
+        t.addRow({r.part, r.target, std::to_string(r.runs), std::to_string(r.nonSilent),
+                  formatDouble(100.0 * r.nonSilent / std::max(r.runs, 1), 3) + " %"});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int main()
+{
+    // The same deposited charge everywhere: a 5 mA / 1 ns triangle (~2.5 pC).
+    auto charge = std::make_shared<fault::TrapezoidPulse>(5e-3, 500e-12, 500e-12, 1e-9);
+
+    // ---------------- flash ADC ------------------------------------------------
+    {
+        adc::FlashConfig cfg;
+        campaign::CampaignRunner runner(
+            [cfg] { return std::make_unique<adc::FlashAdcTestbench>(cfg); },
+            campaign::Tolerance{20e-3});
+        const adc::FlashAdcTestbench probe(cfg); // target enumeration only
+
+        std::vector<Row> rows;
+        // Analog part: every ladder tap. A disturbance on a tap only matters
+        // if it is still present when the 5 MHz sample clock captures the
+        // thermometer code (the paper's Section 4.1 point that the *exact*
+        // analog injection time matters) — inject just before sample edges.
+        const std::vector<double> timesA{4e-6 - 0.5e-9, 8e-6 - 0.5e-9, 12e-6 - 0.5e-9};
+        for (const std::string& sab : probe.tapSaboteurs()) {
+            Row row{"analog", sab};
+            for (double t : timesA) {
+                const auto r = runner.runOne(
+                    fault::FaultSpec{fault::CurrentPulseFault{sab, t, charge}});
+                ++row.runs;
+                row.nonSilent += r.outcome != campaign::Outcome::Silent ? 1 : 0;
+            }
+            rows.push_back(row);
+        }
+        // Digital part: every output-register bit at the same times.
+        Row digRow{"digital", "adc/code_reg"};
+        for (int bit = 0; bit < cfg.bits; ++bit) {
+            for (double t : timesA) {
+                const auto r = runner.runOne(fault::FaultSpec{
+                    fault::BitFlipFault{"adc/code_reg", bit, fromSeconds(t)}});
+                ++digRow.runs;
+                digRow.nonSilent += r.outcome != campaign::Outcome::Silent ? 1 : 0;
+            }
+        }
+        rows.push_back(digRow);
+        printRows("Flash ADC sensitivity (2.5 pC on every target):", rows);
+    }
+
+    // ---------------- SAR ADC ----------------------------------------------------
+    {
+        adc::SarConfig cfg;
+        campaign::CampaignRunner runner(
+            [cfg] { return std::make_unique<adc::SarAdcTestbench>(cfg); },
+            campaign::Tolerance{20e-3});
+
+        std::vector<Row> rows;
+        const double conv1 = toSeconds(cfg.levelHold); // second conversion window
+        const std::vector<double> times{conv1 + 1.3e-6, conv1 + 2.6e-6, conv1 + 3.9e-6};
+
+        for (const char* sab : {"sab/vin", "sab/dac_out"}) {
+            Row row{"analog", sab};
+            for (double t : times) {
+                const auto r = runner.runOne(
+                    fault::FaultSpec{fault::CurrentPulseFault{sab, t, charge}});
+                ++row.runs;
+                row.nonSilent += r.outcome != campaign::Outcome::Silent ? 1 : 0;
+            }
+            rows.push_back(row);
+        }
+        for (const char* target : {"adc/sar/code", "adc/sar/bit"}) {
+            Row row{"digital", target};
+            const int width = target == std::string("adc/sar/code") ? cfg.bits : 4;
+            for (int bit = 0; bit < width; ++bit) {
+                for (double t : times) {
+                    const auto r = runner.runOne(fault::FaultSpec{
+                        fault::BitFlipFault{target, bit, fromSeconds(t)}});
+                    ++row.runs;
+                    row.nonSilent += r.outcome != campaign::Outcome::Silent ? 1 : 0;
+                }
+            }
+            rows.push_back(row);
+        }
+        printRows("SAR ADC sensitivity (2.5 pC / bit-flips mid-conversion):", rows);
+    }
+
+    std::printf("Reference [9]'s transistor-level finding — that the analog part of a\n"
+                "converter can be MORE sensitive than the digital part — can now be\n"
+                "checked at the behavioral level, early in the design flow.\n");
+    return 0;
+}

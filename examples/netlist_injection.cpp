@@ -1,0 +1,65 @@
+// SPICE-deck-driven fault injection: parse an analog netlist (with a saboteur
+// declared as an X card), run a transient with an SEU current pulse, and
+// print the disturbed waveform — the shortest path from an existing deck to
+// the paper's analog injection flow.
+
+#include "analog/netlist.hpp"
+#include "analog/solver.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+using namespace gfi;
+using namespace gfi::analog;
+
+int main()
+{
+    // A two-pole anti-aliasing filter driven by a 100 kHz sine, with a
+    // saboteur on the internal node.
+    const char* deck = R"(
+* Sallen-Key-ish RC chain with an injection point on the mid node
+VIN in  0   SIN(2.5 1.0 100k)
+R1  in  mid 10k
+C1  mid 0   1n
+R2  mid out 10k
+C2  out 0   1n
+XSAB mid
+.end
+)";
+
+    AnalogSystem sys;
+    const NetlistResult parsed = parseNetlist(deck, sys);
+    std::printf("Parsed %d components, %zu saboteur(s)\n", parsed.componentCount,
+                parsed.saboteurs.size());
+
+    // Arm the paper's Figure 6 pulse on the netlist-declared injection point.
+    fault::CurrentSaboteur* sab = parsed.saboteurs.at("XSAB");
+    const double tInject = 20e-6;
+    fault::TrapezoidPulse pulse(10e-3, 100e-12, 300e-12, 500e-12);
+    sab->arm(tInject, pulse);
+    std::printf("Armed %s at t = %s on node '%s'\n\n", pulse.describe().c_str(),
+                formatSi(tInject, "s").c_str(), "mid");
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+
+    // Sample the two filter nodes around the injection.
+    const NodeId mid = sys.node("mid");
+    const NodeId out = sys.node("out");
+    TextTable t;
+    t.setHeader({"time", "V(mid)", "V(out)"});
+    const std::vector<double> sampleTimes{19.5e-6, 20.0e-6 + 0.4e-9, 20.0e-6 + 0.1e-6,
+                                          20.5e-6, 21e-6, 22e-6, 24e-6, 28e-6};
+    for (double ts : sampleTimes) {
+        solver.advanceTo(ts);
+        t.addRow({formatSi(ts, "s"), formatSi(sys.voltage(mid), "V", 5),
+                  formatSi(sys.voltage(out), "V", 5)});
+    }
+    t.print();
+
+    std::printf("\nThe 3 pC strike bumps V(mid) by ~Q/C1 = 3 mV and the second pole\n"
+                "smooths it into V(out) over R2*C2 = 10 us — the netlist front-end\n"
+                "feeds the exact same solver and saboteur machinery as the C++ API.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+#pragma once
+// Analog <-> digital conversion bridges.
+//
+// AtoDBridge is the paper's "digitizer (comparator, threshold 2.5 V)": it
+// watches an analog node and drives a digital signal on threshold crossings,
+// with optional hysteresis. DtoABridge drives an analog source from a digital
+// signal with configurable levels and an optional linear slew, the behavioral
+// equivalent of VHDL-AMS 'ramp on a digitally controlled quantity.
+// DigitalCurrentDriver maps several digital signals to a current level — the
+// PLL charge pump is one of these.
+
+#include "ams/mixed_sim.hpp"
+#include "analog/sources.hpp"
+
+namespace gfi::ams {
+
+/// Comparator-style analog-to-digital bridge.
+class AtoDBridge {
+public:
+    /// @param threshold   switching threshold (volts).
+    /// @param hysteresis  full hysteresis band width (volts, 0 = none).
+    AtoDBridge(MixedSimulator& sim, std::string name, analog::NodeId node,
+               digital::LogicSignal& out, double threshold, double hysteresis = 0.0);
+
+    /// Switching threshold.
+    [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+    /// Bridge name.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    void fire(MixedSimulator& sim, double tCross, bool rising);
+
+    std::string name_;
+    analog::NodeId node_;
+    digital::LogicSignal* out_;
+    double threshold_;
+    double hysteresis_;
+    bool high_ = false;
+};
+
+/// Digital-to-analog bridge driving a voltage source between two levels.
+class DtoABridge {
+public:
+    /// @param lowVolts/highVolts  output levels for logic 0/1.
+    /// @param slewSeconds         0->instant; otherwise linear ramp duration.
+    DtoABridge(MixedSimulator& sim, std::string name, digital::LogicSignal& in,
+               analog::NodeId node, double lowVolts, double highVolts,
+               double slewSeconds = 0.0);
+
+    /// The underlying analog source (e.g. to probe its branch current).
+    [[nodiscard]] analog::VoltageSource& source() noexcept { return *source_; }
+
+private:
+    void drive(MixedSimulator& sim);
+
+    std::string name_;
+    digital::LogicSignal* in_;
+    analog::VoltageSource* source_;
+    double low_;
+    double high_;
+    double slew_;
+    double currentLevel_;
+};
+
+/// Maps a set of digital signals to a voltage level on an analog node — the
+/// behavioral model of a DAC or digitally-programmed reference.
+class DigitalVoltageDriver {
+public:
+    using LevelFn = std::function<double(const std::vector<digital::Logic>&)>;
+
+    /// @param inputs  digital control signals, passed to @p level on any event.
+    /// @param level   maps control values to the driven voltage.
+    DigitalVoltageDriver(MixedSimulator& sim, std::string name,
+                         std::vector<digital::LogicSignal*> inputs, analog::NodeId node,
+                         LevelFn level);
+
+    /// The underlying voltage source.
+    [[nodiscard]] analog::VoltageSource& source() noexcept { return *source_; }
+
+private:
+    void drive(MixedSimulator& sim);
+
+    std::string name_;
+    std::vector<digital::LogicSignal*> inputs_;
+    analog::VoltageSource* source_;
+    LevelFn level_;
+    double currentLevel_ = 0.0;
+};
+
+/// Maps a set of digital signals to a current injected into an analog node.
+/// The PLL charge pump is the canonical instance: I = Icp * (UP - DOWN).
+class DigitalCurrentDriver {
+public:
+    using LevelFn = std::function<double(const std::vector<digital::Logic>&)>;
+
+    /// @param inputs  digital control signals, passed to @p level on any event.
+    /// @param level   maps control values to the source current (amps into node).
+    DigitalCurrentDriver(MixedSimulator& sim, std::string name,
+                         std::vector<digital::LogicSignal*> inputs, analog::NodeId node,
+                         LevelFn level);
+
+    /// The underlying current source (fault campaigns may probe or usurp it).
+    [[nodiscard]] analog::CurrentSource& source() noexcept { return *source_; }
+
+private:
+    void drive(MixedSimulator& sim);
+
+    std::string name_;
+    std::vector<digital::LogicSignal*> inputs_;
+    analog::CurrentSource* source_;
+    LevelFn level_;
+    double currentLevel_ = 0.0;
+};
+
+} // namespace gfi::ams

@@ -1,0 +1,56 @@
+#include "ams/mixed_sim.hpp"
+
+namespace gfi::ams {
+
+void MixedSimulator::elaborate(analog::SolverOptions options)
+{
+    if (solver_) {
+        return;
+    }
+    solver_ = std::make_unique<analog::TransientSolver>(analog_, options);
+    solver_->solveDc();
+    for (auto& hook : elaborationHooks_) {
+        hook(*solver_);
+    }
+    // Bridges may have forced digital values from the DC solution; settle the
+    // resulting delta cycles before time moves.
+    digital_.scheduler().start();
+}
+
+void MixedSimulator::run(SimTime until)
+{
+    elaborate();
+    auto& sched = digital_.scheduler();
+
+    // If the design is purely digital, fall through to the event kernel.
+    const bool hasAnalog = analog_.unknownCount() > 0;
+
+    while (true) {
+        const SimTime nextDigital = sched.nextEventTime();
+        const SimTime target = nextDigital < until ? nextDigital : until;
+
+        if (hasAnalog) {
+            const double tGoal = toSeconds(target);
+            while (solver_->time() < tGoal - 1e-18) {
+                const double reached = solver_->advanceTo(tGoal);
+                if (reached < tGoal - 1e-18) {
+                    // A monitor fired: its bridge already advanced the digital
+                    // clock to the crossing and ran deltas. A new digital
+                    // event may now precede `target`; re-evaluate.
+                    break;
+                }
+            }
+            if (solver_->time() < tGoal - 1e-18) {
+                continue; // re-enter with updated digital horizon
+            }
+        }
+
+        if (target >= until) {
+            sched.runUntil(until);
+            break;
+        }
+        sched.runUntil(target);
+    }
+}
+
+} // namespace gfi::ams

@@ -1,0 +1,74 @@
+#pragma once
+// MixedSimulator: lockstep co-simulation of the digital event kernel and the
+// analog transient solver — the C++ counterpart of the mixed-mode simulator
+// (ADVance-MS) used in the paper.
+//
+// Synchronization protocol:
+//   * the analog solver never advances past the next scheduled digital event,
+//     so digital-driven analog levels are always current;
+//   * analog threshold crossings (A->D bridges) cut the analog step exactly
+//     at the crossing, advance the digital clock to that instant, force the
+//     digital signal and run delta cycles before the analog solver resumes;
+//   * digital events that change analog drives (D->A bridges) mark an analog
+//     discontinuity so companion models restart cleanly.
+
+#include "analog/solver.hpp"
+#include "digital/circuit.hpp"
+
+#include <functional>
+#include <memory>
+
+namespace gfi::ams {
+
+/// Owns one digital circuit, one analog system, and the glue between them.
+class MixedSimulator {
+public:
+    MixedSimulator() = default;
+    MixedSimulator(const MixedSimulator&) = delete;
+    MixedSimulator& operator=(const MixedSimulator&) = delete;
+
+    /// The digital half (build your logic here).
+    [[nodiscard]] digital::Circuit& digital() noexcept { return digital_; }
+    [[nodiscard]] const digital::Circuit& digital() const noexcept { return digital_; }
+
+    /// The analog half (build your circuit here).
+    [[nodiscard]] analog::AnalogSystem& analog() noexcept { return analog_; }
+    [[nodiscard]] const analog::AnalogSystem& analog() const noexcept { return analog_; }
+
+    /// Registers a callback run once at elaboration, when the transient
+    /// solver exists (bridges install their monitors here).
+    void onElaborate(std::function<void(analog::TransientSolver&)> cb)
+    {
+        elaborationHooks_.push_back(std::move(cb));
+    }
+
+    /// Creates the solver, computes the DC operating point and installs the
+    /// bridges. Called lazily by run(); call explicitly to pass options.
+    void elaborate(analog::SolverOptions options = {});
+
+    /// True once elaborate() has run.
+    [[nodiscard]] bool elaborated() const noexcept { return solver_ != nullptr; }
+
+    /// The transient solver; valid after elaborate().
+    [[nodiscard]] analog::TransientSolver& solver()
+    {
+        if (!solver_) {
+            throw std::logic_error("MixedSimulator: not elaborated yet");
+        }
+        return *solver_;
+    }
+
+    /// Runs the co-simulation until @p until (inclusive of events at @p until).
+    void run(SimTime until);
+
+    /// Current co-simulation time (the digital kernel's clock).
+    [[nodiscard]] SimTime now() const noexcept { return digital_.scheduler().now(); }
+
+private:
+    digital::Circuit digital_;
+    analog::AnalogSystem analog_;
+    std::unique_ptr<analog::TransientSolver> solver_;
+    std::vector<std::function<void(analog::TransientSolver&)>> elaborationHooks_;
+};
+
+} // namespace gfi::ams

@@ -1,0 +1,137 @@
+#include "analog/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gfi::analog {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Dense complex LU with partial pivoting (in place).
+bool complexLuSolve(std::vector<Complex>& A, std::vector<Complex>& b, int n)
+{
+    auto at = [&](int r, int c) -> Complex& {
+        return A[static_cast<std::size_t>(r) * n + static_cast<std::size_t>(c)];
+    };
+    for (int k = 0; k < n; ++k) {
+        int pivot = k;
+        double best = std::abs(at(k, k));
+        for (int r = k + 1; r < n; ++r) {
+            const double mag = std::abs(at(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) {
+            return false;
+        }
+        if (pivot != k) {
+            for (int c = 0; c < n; ++c) {
+                std::swap(at(k, c), at(pivot, c));
+            }
+            std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(pivot)]);
+        }
+        const Complex inv = 1.0 / at(k, k);
+        for (int r = k + 1; r < n; ++r) {
+            const Complex factor = at(r, k) * inv;
+            if (factor == Complex{}) {
+                continue;
+            }
+            at(r, k) = {};
+            for (int c = k + 1; c < n; ++c) {
+                at(r, c) -= factor * at(k, c);
+            }
+            b[static_cast<std::size_t>(r)] -= factor * b[static_cast<std::size_t>(k)];
+        }
+    }
+    for (int r = n - 1; r >= 0; --r) {
+        Complex acc = b[static_cast<std::size_t>(r)];
+        for (int c = r + 1; c < n; ++c) {
+            acc -= at(r, c) * b[static_cast<std::size_t>(c)];
+        }
+        b[static_cast<std::size_t>(r)] = acc / at(r, r);
+    }
+    return true;
+}
+
+} // namespace
+
+double AcSweep::magnitudeDb(std::size_t i, NodeId node) const
+{
+    const auto v = points_.at(i).voltage(node, nodeCount_);
+    return 20.0 * std::log10(std::max(std::abs(v), 1e-300));
+}
+
+double AcSweep::phaseDeg(std::size_t i, NodeId node) const
+{
+    const auto v = points_.at(i).voltage(node, nodeCount_);
+    return std::arg(v) * 180.0 / M_PI;
+}
+
+double AcSweep::crossingFrequency(NodeId node, double db) const
+{
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const double prev = magnitudeDb(i - 1, node);
+        const double now = magnitudeDb(i, node);
+        if (prev >= db && now < db) {
+            // Interpolate in log-frequency.
+            const double f0 = std::log10(points_[i - 1].hz);
+            const double f1 = std::log10(points_[i].hz);
+            const double frac = (prev - db) / (prev - now);
+            return std::pow(10.0, f0 + frac * (f1 - f0));
+        }
+    }
+    return -1.0;
+}
+
+AcSweep acSweep(const AnalogSystem& sys, const std::string& inputSource, double fStart,
+                double fStop, int pointsPerDecade)
+{
+    if (fStart <= 0.0 || fStop <= fStart) {
+        throw std::invalid_argument("acSweep: need 0 < fStart < fStop");
+    }
+    bool inputFound = false;
+    for (const auto& comp : sys.components()) {
+        if (comp->name() == inputSource) {
+            inputFound = true;
+        }
+    }
+    if (!inputFound) {
+        throw std::invalid_argument("acSweep: unknown input source '" + inputSource + "'");
+    }
+
+    const int n = sys.unknownCount();
+    const double decades = std::log10(fStop / fStart);
+    const int steps = std::max(1, static_cast<int>(std::ceil(decades * pointsPerDecade)));
+
+    std::vector<AcPoint> points;
+    points.reserve(static_cast<std::size_t>(steps) + 1);
+    for (int i = 0; i <= steps; ++i) {
+        const double hz = fStart * std::pow(10.0, decades * i / steps);
+        const double omega = 2.0 * M_PI * hz;
+
+        std::vector<Complex> A(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+        std::vector<Complex> b(static_cast<std::size_t>(n));
+        ComplexStamper stamper(A, b, sys.nodeCount(), inputSource);
+        for (const auto& comp : sys.components()) {
+            if (!comp->stampAc(stamper, omega)) {
+                throw std::invalid_argument("acSweep: component '" + comp->name() +
+                                            "' has no small-signal model");
+            }
+        }
+        // gmin keeps floating nodes solvable, as in the transient path.
+        for (int node = 1; node < sys.nodeCount(); ++node) {
+            stamper.admittance(node, kGround, {1e-12, 0.0});
+        }
+        if (!complexLuSolve(A, b, n)) {
+            throw std::runtime_error("acSweep: singular system at f=" + std::to_string(hz));
+        }
+        points.push_back(AcPoint{hz, std::move(b)});
+    }
+    return AcSweep{std::move(points), sys.nodeCount()};
+}
+
+} // namespace gfi::analog

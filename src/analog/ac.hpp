@@ -1,0 +1,71 @@
+#pragma once
+// Small-signal AC analysis over the linear subset of the MNA system.
+//
+// Complements the transient engine: frequency responses of the loop filter,
+// op-amp macro poles and ADC settling networks can be verified directly
+// instead of being inferred from step responses. Components stamp their
+// small-signal model into a complex MNA matrix at each frequency:
+//   * Resistor            G
+//   * Capacitor           j*w*C
+//   * Inductor            1 / (j*w*L)
+//   * VoltageSource       AC magnitude (the source selected as input gets 1 V)
+//   * CurrentSource       AC magnitude
+//   * Vccs / Vcvs         their linear gains
+// Nonlinear components are not supported and cause an error (linearize by
+// hand or measure transiently).
+
+#include "analog/system.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace gfi::analog {
+
+/// One AC solution point.
+struct AcPoint {
+    double hz = 0.0;
+    std::vector<std::complex<double>> solution; ///< node voltages then branches
+
+    /// Complex node voltage (0 for ground).
+    [[nodiscard]] std::complex<double> voltage(NodeId n, int nodeCount) const
+    {
+        (void)nodeCount; // node voltages precede branch currents in `solution`
+        return n == kGround ? std::complex<double>{0.0, 0.0}
+                            : solution[static_cast<std::size_t>(n - 1)];
+    }
+};
+
+/// Frequency-sweep result with dB/phase helpers.
+class AcSweep {
+public:
+    AcSweep(std::vector<AcPoint> points, int nodeCount)
+        : points_(std::move(points)), nodeCount_(nodeCount)
+    {
+    }
+
+    [[nodiscard]] const std::vector<AcPoint>& points() const noexcept { return points_; }
+
+    /// |V(node)| in dB at sweep index @p i.
+    [[nodiscard]] double magnitudeDb(std::size_t i, NodeId node) const;
+
+    /// Phase of V(node) in degrees at sweep index @p i.
+    [[nodiscard]] double phaseDeg(std::size_t i, NodeId node) const;
+
+    /// First frequency where |V(node)| falls below @p db (linear
+    /// interpolation in log-frequency), or -1 if it never does.
+    [[nodiscard]] double crossingFrequency(NodeId node, double db) const;
+
+private:
+    std::vector<AcPoint> points_;
+    int nodeCount_;
+};
+
+/// Runs an AC sweep: @p pointsPerDecade log-spaced points in [fStart, fStop].
+/// The named voltage source (by component name) is driven with 1 V AC and
+/// every other independent source is zeroed (shorted / opened respectively).
+/// Throws std::invalid_argument if the system contains nonlinear components
+/// or the named source does not exist.
+[[nodiscard]] AcSweep acSweep(const AnalogSystem& sys, const std::string& inputSource,
+                              double fStart, double fStop, int pointsPerDecade = 20);
+
+} // namespace gfi::analog

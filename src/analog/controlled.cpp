@@ -1,0 +1,211 @@
+#include "analog/controlled.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfi::analog {
+
+// ---------------------------------------------------------------------------
+// Vccs
+
+Vccs::Vccs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, NodeId ctrlP,
+           NodeId ctrlM, double gm)
+    : AnalogComponent(std::move(name)), outP_(outP), outM_(outM), ctrlP_(ctrlP), ctrlM_(ctrlM),
+      gm_(gm)
+{
+    (void)sys;
+}
+
+void Vccs::stamp(Stamper& s, const Solution&, double, double, bool)
+{
+    s.vccs(outP_, outM_, ctrlP_, ctrlM_, gm_);
+}
+
+// ---------------------------------------------------------------------------
+// Vcvs
+
+Vcvs::Vcvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, NodeId ctrlP,
+           NodeId ctrlM, double gain)
+    : AnalogComponent(std::move(name)), outP_(outP), outM_(outM), ctrlP_(ctrlP), ctrlM_(ctrlM),
+      branch_(sys.allocateBranch()), gain_(gain)
+{
+}
+
+void Vcvs::stamp(Stamper& s, const Solution&, double, double, bool)
+{
+    const int br = s.varOfBranch(branch_);
+    const int vp = s.varOfNode(outP_);
+    const int vm = s.varOfNode(outM_);
+    const int cp = s.varOfNode(ctrlP_);
+    const int cm = s.varOfNode(ctrlM_);
+    s.addA(vp, br, 1.0);
+    s.addA(vm, br, -1.0);
+    // Branch row: V(outP) - V(outM) - gain * (VcP - VcM) = 0.
+    s.addA(br, vp, 1.0);
+    s.addA(br, vm, -1.0);
+    s.addA(br, cp, -gain_);
+    s.addA(br, cm, gain_);
+}
+
+// ---------------------------------------------------------------------------
+// SaturatingVcvs
+
+SaturatingVcvs::SaturatingVcvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM,
+                               NodeId ctrlP, NodeId ctrlM, double gain, double mid, double swing)
+    : AnalogComponent(std::move(name)), outP_(outP), outM_(outM), ctrlP_(ctrlP), ctrlM_(ctrlM),
+      branch_(sys.allocateBranch()), gain_(gain), mid_(mid), swing_(swing)
+{
+}
+
+void SaturatingVcvs::stamp(Stamper& s, const Solution& x, double, double, bool)
+{
+    const int br = s.varOfBranch(branch_);
+    const int vp = s.varOfNode(outP_);
+    const int vm = s.varOfNode(outM_);
+    const int cp = s.varOfNode(ctrlP_);
+    const int cm = s.varOfNode(ctrlM_);
+
+    const double vc = x.voltage(ctrlP_) - x.voltage(ctrlM_);
+    const double u = gain_ * vc / swing_;
+    // Clamp the tanh argument to keep the derivative finite but nonzero.
+    const double uc = std::clamp(u, -40.0, 40.0);
+    const double g = mid_ + swing_ * std::tanh(uc);
+    const double sech2 = 1.0 - std::tanh(uc) * std::tanh(uc);
+    const double dgdvc = std::max(gain_ * sech2, gain_ * 1e-12);
+
+    s.addA(vp, br, 1.0);
+    s.addA(vm, br, -1.0);
+    // Linearized branch row: V(out) - dg/dvc * vc = g(vc*) - dg/dvc * vc*.
+    s.addA(br, vp, 1.0);
+    s.addA(br, vm, -1.0);
+    s.addA(br, cp, -dgdvc);
+    s.addA(br, cm, dgdvc);
+    s.addB(br, g - dgdvc * vc);
+}
+
+// ---------------------------------------------------------------------------
+// Cccs
+
+Cccs::Cccs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, int senseBranch,
+           double gain)
+    : AnalogComponent(std::move(name)), outP_(outP), outM_(outM), senseBranch_(senseBranch),
+      gain_(gain)
+{
+    (void)sys;
+}
+
+void Cccs::stamp(Stamper& s, const Solution&, double, double, bool)
+{
+    const int br = s.varOfBranch(senseBranch_);
+    // Current gain * i(sense) leaves outP and enters outM.
+    s.addA(s.varOfNode(outP_), br, gain_);
+    s.addA(s.varOfNode(outM_), br, -gain_);
+}
+
+// ---------------------------------------------------------------------------
+// Ccvs
+
+Ccvs::Ccvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, int senseBranch,
+           double gain)
+    : AnalogComponent(std::move(name)), outP_(outP), outM_(outM), senseBranch_(senseBranch),
+      branch_(sys.allocateBranch()), gain_(gain)
+{
+}
+
+void Ccvs::stamp(Stamper& s, const Solution&, double, double, bool)
+{
+    const int br = s.varOfBranch(branch_);
+    const int sense = s.varOfBranch(senseBranch_);
+    const int vp = s.varOfNode(outP_);
+    const int vm = s.varOfNode(outM_);
+    s.addA(vp, br, 1.0);
+    s.addA(vm, br, -1.0);
+    // Branch row: V(outP) - V(outM) - gain * i(sense) = 0.
+    s.addA(br, vp, 1.0);
+    s.addA(br, vm, -1.0);
+    s.addA(br, sense, -gain_);
+}
+
+// ---------------------------------------------------------------------------
+// Diode
+
+Diode::Diode(AnalogSystem& sys, std::string name, NodeId anode, NodeId cathode, double isat,
+             double vt)
+    : AnalogComponent(std::move(name)), a_(anode), k_(cathode), isat_(isat), vt_(vt)
+{
+    (void)sys;
+}
+
+void Diode::stamp(Stamper& s, const Solution& x, double, double, bool)
+{
+    // Newton companion: i = Is(exp(v/vt) - 1) linearized at the candidate v,
+    // with the exponent clamped for robustness far from convergence.
+    const double v = x.voltage(a_) - x.voltage(k_);
+    const double vcrit = 40.0 * vt_;
+    const double ve = std::min(v, vcrit);
+    const double ex = std::exp(ve / vt_);
+    double g = isat_ * ex / vt_;
+    double i = isat_ * (ex - 1.0);
+    if (v > vcrit) {
+        // Linear extension beyond the clamp keeps Newton stable.
+        i += g * (v - vcrit);
+    }
+    g = std::max(g, 1e-12);
+    s.conductance(a_, k_, g);
+    const double irhs = i - g * v; // residual current source a -> k
+    s.currentInto(a_, -irhs);
+    s.currentInto(k_, irhs);
+}
+
+} // namespace gfi::analog
+
+// ---------------------------------------------------------------------------
+// Small-signal (AC) stamps
+
+namespace gfi::analog {
+
+bool Vccs::stampAc(ComplexStamper& s, double) const
+{
+    s.vccs(outP_, outM_, ctrlP_, ctrlM_, gm_);
+    return true;
+}
+
+bool Cccs::stampAc(ComplexStamper& s, double) const
+{
+    const int br = s.varOfBranch(senseBranch_);
+    s.addA(s.varOfNode(outP_), br, {gain_, 0.0});
+    s.addA(s.varOfNode(outM_), br, {-gain_, 0.0});
+    return true;
+}
+
+bool Ccvs::stampAc(ComplexStamper& s, double) const
+{
+    const int br = s.varOfBranch(branch_);
+    const int sense = s.varOfBranch(senseBranch_);
+    const int vp = s.varOfNode(outP_);
+    const int vm = s.varOfNode(outM_);
+    s.addA(vp, br, {1.0, 0.0});
+    s.addA(vm, br, {-1.0, 0.0});
+    s.addA(br, vp, {1.0, 0.0});
+    s.addA(br, vm, {-1.0, 0.0});
+    s.addA(br, sense, {-gain_, 0.0});
+    return true;
+}
+
+bool Vcvs::stampAc(ComplexStamper& s, double) const
+{
+    const int br = s.varOfBranch(branch_);
+    const int vp = s.varOfNode(outP_);
+    const int vm = s.varOfNode(outM_);
+    const int cp = s.varOfNode(ctrlP_);
+    const int cm = s.varOfNode(ctrlM_);
+    s.addA(vp, br, {1.0, 0.0});
+    s.addA(vm, br, {-1.0, 0.0});
+    s.addA(br, vp, {1.0, 0.0});
+    s.addA(br, vm, {-1.0, 0.0});
+    s.addA(br, cp, {-gain_, 0.0});
+    s.addA(br, cm, {gain_, 0.0});
+    return true;
+}
+
+} // namespace gfi::analog

@@ -1,0 +1,135 @@
+#pragma once
+// Controlled sources and the diode: the building blocks for behavioral analog
+// macro-models (op-amps, comparators, buffer stages).
+
+#include "analog/system.hpp"
+
+namespace gfi::analog {
+
+/// Linear voltage-controlled current source:
+/// current gm * (Vc+ - Vc-) flows from out+ to out-.
+class Vccs : public AnalogComponent {
+public:
+    Vccs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, NodeId ctrlP,
+         NodeId ctrlM, double gm);
+
+    /// Transconductance accessor/mutator (parametric fault target).
+    [[nodiscard]] double gm() const noexcept { return gm_; }
+    void setGm(double gm) { gm_ = gm; }
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    bool stampAc(ComplexStamper& s, double omega) const override;
+
+private:
+    NodeId outP_;
+    NodeId outM_;
+    NodeId ctrlP_;
+    NodeId ctrlM_;
+    double gm_;
+};
+
+/// Linear voltage-controlled voltage source (adds one MNA branch):
+/// V(out+) - V(out-) = gain * (Vc+ - Vc-).
+class Vcvs : public AnalogComponent {
+public:
+    Vcvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, NodeId ctrlP,
+         NodeId ctrlM, double gain);
+
+    /// Gain accessor/mutator (parametric fault target).
+    [[nodiscard]] double gain() const noexcept { return gain_; }
+    void setGain(double gain) { gain_ = gain; }
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    bool stampAc(ComplexStamper& s, double omega) const override;
+
+private:
+    NodeId outP_;
+    NodeId outM_;
+    NodeId ctrlP_;
+    NodeId ctrlM_;
+    int branch_;
+    double gain_;
+};
+
+/// Saturating VCVS: V(out) = mid + swing * tanh(gain * (Vc+ - Vc-) / swing).
+/// The smooth tanh clamp models rail saturation of behavioral op-amp and
+/// comparator output stages while staying Newton-friendly.
+class SaturatingVcvs : public AnalogComponent {
+public:
+    /// @param mid    output value at zero differential input.
+    /// @param swing  maximum excursion from @p mid (output spans mid +/- swing).
+    SaturatingVcvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, NodeId ctrlP,
+                   NodeId ctrlM, double gain, double mid, double swing);
+
+    /// Gain accessor/mutator (parametric fault target).
+    [[nodiscard]] double gain() const noexcept { return gain_; }
+    void setGain(double gain) { gain_ = gain; }
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    [[nodiscard]] bool isNonlinear() const override { return true; }
+
+private:
+    NodeId outP_;
+    NodeId outM_;
+    NodeId ctrlP_;
+    NodeId ctrlM_;
+    int branch_;
+    double gain_;
+    double mid_;
+    double swing_;
+};
+
+/// Current-controlled current source (SPICE F card):
+/// current gain * I(sense) flows from out+ to out-, where I(sense) is the
+/// branch current of a voltage source (SPICE current-sensing convention).
+class Cccs : public AnalogComponent {
+public:
+    Cccs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, int senseBranch,
+         double gain);
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    bool stampAc(ComplexStamper& s, double omega) const override;
+
+private:
+    NodeId outP_;
+    NodeId outM_;
+    int senseBranch_;
+    double gain_;
+};
+
+/// Current-controlled voltage source (SPICE H card):
+/// V(out+) - V(out-) = gain * I(sense). Adds one MNA branch.
+class Ccvs : public AnalogComponent {
+public:
+    Ccvs(AnalogSystem& sys, std::string name, NodeId outP, NodeId outM, int senseBranch,
+         double gain);
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    bool stampAc(ComplexStamper& s, double omega) const override;
+
+private:
+    NodeId outP_;
+    NodeId outM_;
+    int senseBranch_;
+    int branch_;
+    double gain_;
+};
+
+/// Shockley diode with series conductance limiting (Newton-stamped).
+class Diode : public AnalogComponent {
+public:
+    /// @param isat  saturation current, @param vt thermal voltage (nVt really).
+    Diode(AnalogSystem& sys, std::string name, NodeId anode, NodeId cathode,
+          double isat = 1e-14, double vt = 0.02585);
+
+    void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
+    [[nodiscard]] bool isNonlinear() const override { return true; }
+
+private:
+    NodeId a_;
+    NodeId k_;
+    double isat_;
+    double vt_;
+};
+
+} // namespace gfi::analog

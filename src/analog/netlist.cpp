@@ -1,0 +1,219 @@
+#include "analog/netlist.hpp"
+
+#include "analog/controlled.hpp"
+#include "analog/passive.hpp"
+#include "analog/sources.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace gfi::analog {
+
+namespace {
+
+std::string lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& message)
+{
+    throw std::runtime_error("netlist line " + std::to_string(line) + ": " + message);
+}
+
+/// Splits "SIN(2.5 2.5 1meg)" style argument lists.
+std::vector<double> parseArgs(const std::string& token, int line)
+{
+    const auto open = token.find('(');
+    const auto close = token.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(line, "malformed function call '" + token + "'");
+    }
+    std::vector<double> args;
+    std::istringstream in(token.substr(open + 1, close - open - 1));
+    std::string word;
+    while (in >> word) {
+        args.push_back(parseSpiceNumber(word));
+    }
+    return args;
+}
+
+} // namespace
+
+double parseSpiceNumber(const std::string& token)
+{
+    if (token.empty()) {
+        throw std::runtime_error("empty number");
+    }
+    std::size_t idx = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(token, &idx);
+    } catch (const std::exception&) {
+        throw std::runtime_error("not a number: '" + token + "'");
+    }
+    const std::string suffix = lower(token.substr(idx));
+    if (suffix.empty()) {
+        return value;
+    }
+    if (suffix.rfind("meg", 0) == 0) {
+        return value * 1e6;
+    }
+    switch (suffix[0]) {
+    case 'f':
+        return value * 1e-15;
+    case 'p':
+        return value * 1e-12;
+    case 'n':
+        return value * 1e-9;
+    case 'u':
+        return value * 1e-6;
+    case 'm':
+        return value * 1e-3;
+    case 'k':
+        return value * 1e3;
+    case 'g':
+        return value * 1e9;
+    case 't':
+        return value * 1e12;
+    default:
+        throw std::runtime_error("unknown suffix on '" + token + "'");
+    }
+}
+
+NetlistResult parseNetlist(const std::string& deck, AnalogSystem& sys)
+{
+    NetlistResult result;
+    std::istringstream lines(deck);
+    std::string rawLine;
+    int lineNo = 0;
+
+    while (std::getline(lines, rawLine)) {
+        ++lineNo;
+        // Strip ';' comments.
+        const auto semi = rawLine.find(';');
+        std::string text = semi == std::string::npos ? rawLine : rawLine.substr(0, semi);
+        std::istringstream in(text);
+        std::vector<std::string> tokens;
+        std::string tok;
+        while (in >> tok) {
+            tokens.push_back(tok);
+        }
+        if (tokens.empty() || tokens[0][0] == '*') {
+            continue;
+        }
+        const std::string card = tokens[0];
+        const std::string kind = lower(card.substr(0, 1));
+        if (kind == ".") {
+            if (lower(card) == ".end") {
+                break;
+            }
+            continue; // other dot-cards ignored
+        }
+
+        auto node = [&](std::size_t i) -> NodeId {
+            if (i >= tokens.size()) {
+                fail(lineNo, "missing node on '" + card + "'");
+            }
+            return sys.node(tokens[i]);
+        };
+        auto number = [&](std::size_t i) -> double {
+            if (i >= tokens.size()) {
+                fail(lineNo, "missing value on '" + card + "'");
+            }
+            try {
+                return parseSpiceNumber(tokens[i]);
+            } catch (const std::exception& e) {
+                fail(lineNo, e.what());
+            }
+        };
+
+        if (kind == "r") {
+            sys.add<Resistor>(sys, card, node(1), node(2), number(3));
+        } else if (kind == "c") {
+            sys.add<Capacitor>(sys, card, node(1), node(2), number(3));
+        } else if (kind == "l") {
+            sys.add<Inductor>(sys, card, node(1), node(2), number(3));
+        } else if (kind == "v") {
+            if (tokens.size() < 4) {
+                fail(lineNo, "voltage source needs a value");
+            }
+            const std::string spec = lower(tokens[3]);
+            if (spec.rfind("sin", 0) == 0) {
+                // Re-join the remaining tokens so "SIN(1 2 3)" split by
+                // whitespace still parses.
+                std::string joined;
+                for (std::size_t i = 3; i < tokens.size(); ++i) {
+                    joined += tokens[i] + " ";
+                }
+                const auto args = parseArgs(joined, lineNo);
+                if (args.size() < 3) {
+                    fail(lineNo, "SIN needs (offset amplitude freq [delay])");
+                }
+                sys.add<SineVoltage>(sys, card, node(1), node(2), args[0], args[1], args[2],
+                                     args.size() > 3 ? args[3] : 0.0);
+            } else if (spec.rfind("pulse", 0) == 0) {
+                std::string joined;
+                for (std::size_t i = 3; i < tokens.size(); ++i) {
+                    joined += tokens[i] + " ";
+                }
+                const auto args = parseArgs(joined, lineNo);
+                if (args.size() < 6) {
+                    fail(lineNo, "PULSE needs (v0 v1 delay rise width fall [period])");
+                }
+                sys.add<PulseVoltage>(sys, card, node(1), node(2), args[0], args[1], args[2],
+                                      args[3], args[4], args[5],
+                                      args.size() > 6 ? args[6] : 0.0);
+            } else {
+                std::size_t valueIdx = 3;
+                if (spec == "dc") {
+                    valueIdx = 4;
+                }
+                sys.add<VoltageSource>(sys, card, node(1), node(2), number(valueIdx));
+            }
+        } else if (kind == "i") {
+            std::size_t valueIdx = 3;
+            if (tokens.size() > 3 && lower(tokens[3]) == "dc") {
+                valueIdx = 4;
+            }
+            // SPICE convention: positive current flows from n+ through the
+            // source into n-, i.e. it is delivered INTO node n-. Our
+            // CurrentSource pushes into its first node, so swap.
+            sys.add<CurrentSource>(sys, card, node(2), node(1), number(valueIdx));
+        } else if (kind == "g") {
+            sys.add<Vccs>(sys, card, node(1), node(2), node(3), node(4), number(5));
+        } else if (kind == "e") {
+            sys.add<Vcvs>(sys, card, node(1), node(2), node(3), node(4), number(5));
+        } else if (kind == "f" || kind == "h") {
+            // F/H: current-controlled sources sensing a previously-declared
+            // voltage source's branch current.
+            if (tokens.size() < 5) {
+                fail(lineNo, "current-controlled source needs out+ out- Vsense gain");
+            }
+            auto* sense = dynamic_cast<VoltageSource*>(sys.findComponent(tokens[3]));
+            if (sense == nullptr) {
+                fail(lineNo, "sense source '" + tokens[3] + "' not declared (yet)");
+            }
+            if (kind == "f") {
+                sys.add<Cccs>(sys, card, node(1), node(2), sense->branchIndex(), number(4));
+            } else {
+                sys.add<Ccvs>(sys, card, node(1), node(2), sense->branchIndex(), number(4));
+            }
+        } else if (kind == "d") {
+            sys.add<Diode>(sys, card, node(1), node(2));
+        } else if (kind == "x") {
+            auto& sab = sys.add<fault::CurrentSaboteur>(sys, card, node(1));
+            result.saboteurs[card] = &sab;
+        } else {
+            fail(lineNo, "unknown card '" + card + "'");
+        }
+        ++result.componentCount;
+    }
+    return result;
+}
+
+} // namespace gfi::analog

@@ -1,0 +1,51 @@
+#pragma once
+// SPICE-like netlist front-end for the analog system.
+//
+// The paper's flow assumes the analog blocks arrive as structural netlists of
+// behavioral primitives. This parser accepts a familiar SPICE-flavoured deck
+// so existing small decks can be dropped into the fault-injection flow, and
+// so saboteur insertion points ("X" cards) can be declared in the netlist
+// itself:
+//
+//   * comment
+//   R1   in  out 1k        ; resistor
+//   C1   out 0   100p      ; capacitor
+//   L1   a   b   10u       ; inductor
+//   V1   in  0   5         ; DC voltage source
+//   V2   in  0   SIN(2.5 2.5 1meg)          ; offset amplitude freq [delay]
+//   V3   in  0   PULSE(0 5 1u 1n 10n 1n)    ; v0 v1 delay rise width fall [period]
+//   I1   0   n   2m        ; DC current source (SPICE: delivered into n-)
+//   G1   0 out  in 0  1m   ; VCCS: gm * (V(ctrl+) - V(ctrl-)) into out+/out-
+//   E1   out 0  in 0  10   ; VCVS
+//   F1   0 out  V1 2       ; CCCS: 2 * I(V1) (V1 must be declared earlier)
+//   H1   out 0  V1 50      ; CCVS: 50 * I(V1)
+//   D1   a   0             ; diode (default parameters)
+//   XSAB node               ; current saboteur attached to `node`
+//   .end
+//
+// Numbers accept SPICE suffixes: f p n u m k meg g t (case-insensitive).
+
+#include "analog/system.hpp"
+#include "core/saboteur.hpp"
+
+#include <map>
+#include <string>
+
+namespace gfi::analog {
+
+/// Result of parsing a deck into an AnalogSystem.
+struct NetlistResult {
+    int componentCount = 0;
+    /// Saboteurs declared with X cards, by card name (e.g. "XSAB").
+    std::map<std::string, fault::CurrentSaboteur*> saboteurs;
+};
+
+/// Parses @p deck into @p sys; throws std::runtime_error with a line-numbered
+/// message on syntax errors.
+NetlistResult parseNetlist(const std::string& deck, AnalogSystem& sys);
+
+/// Parses one SPICE-style number ("4.7k", "100p", "2meg"); throws
+/// std::runtime_error if the token is not a number.
+[[nodiscard]] double parseSpiceNumber(const std::string& token);
+
+} // namespace gfi::analog

@@ -1,0 +1,33 @@
+#include "analog/opamp.hpp"
+
+#include <cmath>
+
+namespace gfi::analog {
+
+OpAmp::OpAmp(AnalogSystem& sys, const std::string& name, NodeId inP, NodeId inM, NodeId out,
+             OpAmpConfig config)
+    : config_(config)
+{
+    pole_ = sys.node(name + "/pole");
+    const NodeId outInt = sys.node(name + "/out_int");
+
+    // Differential input resistance.
+    sys.add<Resistor>(sys, name + "/rin", inP, inM, config.rin);
+
+    // Transconductance stage into the dominant pole: choose Rp = 1 MOhm and
+    // gm = dcGain / Rp so the pole-node DC gain equals dcGain; Cp places the
+    // pole at poleHz.
+    const double rp = 1e6;
+    const double gmVal = config.dcGain / rp;
+    const double cp = 1.0 / (2.0 * M_PI * config.poleHz * rp);
+    gm_ = &sys.add<Vccs>(sys, name + "/gm", kGround, pole_, inP, inM, gmVal);
+    sys.add<Resistor>(sys, name + "/rp", pole_, kGround, rp);
+    sys.add<Capacitor>(sys, name + "/cp", pole_, kGround, cp);
+
+    // Saturating unity buffer plus output resistance.
+    sys.add<SaturatingVcvs>(sys, name + "/buf", outInt, kGround, pole_, kGround, 1.0,
+                            config.outMid, config.outSwing);
+    sys.add<Resistor>(sys, name + "/rout", outInt, out, config.rout);
+}
+
+} // namespace gfi::analog

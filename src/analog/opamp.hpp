@@ -1,0 +1,49 @@
+#pragma once
+// Behavioral operational amplifier macro-model.
+//
+// Reference [10] of the paper (Wilson et al., DATE 2002) models op-amp faults
+// on VHDL-AMS behavioral descriptions. This macro is the standard two-stage
+// behavioral structure those descriptions encode: a differential input
+// resistance, a transconductance stage driving a single dominant pole
+// (Rp || Cp), and a saturating unity buffer to the output rail range.
+// The internal pole node is a high-impedance structural node — precisely the
+// kind of node the paper's analog saboteur targets.
+
+#include "analog/controlled.hpp"
+#include "analog/passive.hpp"
+
+namespace gfi::analog {
+
+/// Behavioral op-amp parameters.
+struct OpAmpConfig {
+    double rin = 1e6;       ///< differential input resistance (ohm)
+    double dcGain = 1e5;    ///< open-loop DC gain (V/V)
+    double poleHz = 100.0;  ///< dominant pole frequency (Hz)
+    double rout = 100.0;    ///< output resistance (ohm)
+    double outMid = 0.0;    ///< output midpoint (V)
+    double outSwing = 2.5;  ///< output excursion from midpoint (V)
+};
+
+/// Instantiates the macro-model components into an AnalogSystem.
+class OpAmp {
+public:
+    /// Builds the op-amp between @p inP / @p inM and @p out.
+    OpAmp(AnalogSystem& sys, const std::string& name, NodeId inP, NodeId inM, NodeId out,
+          OpAmpConfig config = {});
+
+    /// The internal dominant-pole node (the natural SET injection target).
+    [[nodiscard]] NodeId poleNode() const noexcept { return pole_; }
+
+    /// Gain-stage transconductance element (parametric fault target).
+    [[nodiscard]] Vccs& gmStage() noexcept { return *gm_; }
+
+    /// Configuration used.
+    [[nodiscard]] const OpAmpConfig& config() const noexcept { return config_; }
+
+private:
+    OpAmpConfig config_;
+    NodeId pole_;
+    Vccs* gm_ = nullptr;
+};
+
+} // namespace gfi::analog

@@ -1,0 +1,285 @@
+#include "analog/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gfi::analog {
+
+TransientSolver::TransientSolver(AnalogSystem& sys, SolverOptions options)
+    : sys_(&sys), options_(options), dtNext_(options.dtInitial)
+{
+    const int n = sys.unknownCount();
+    A_.resize(n);
+    rhs_.assign(static_cast<std::size_t>(n), 0.0);
+    if (sys.state().size() != static_cast<std::size_t>(n)) {
+        sys.state().assign(static_cast<std::size_t>(n), 0.0);
+    }
+}
+
+bool TransientSolver::trySolveStep(double dt, std::vector<double>& xOut, bool dcMode,
+                                   double tEvalOverride)
+{
+    const int n = sys_->unknownCount();
+    const double t1 = tEvalOverride >= 0.0 ? tEvalOverride : time_ + dt;
+
+    bool anyNonlinear = false;
+    for (const auto& comp : sys_->components()) {
+        anyNonlinear = anyNonlinear || comp->isNonlinear();
+    }
+
+    xOut = sys_->state();
+    const int iterCap = anyNonlinear ? options_.maxNewtonIter : 1;
+    for (int iter = 0; iter < iterCap; ++iter) {
+        ++stats_.newtonIterations;
+        A_.clear();
+        std::fill(rhs_.begin(), rhs_.end(), 0.0);
+        Stamper stamper(A_, rhs_, sys_->nodeCount());
+        const Solution candidate(xOut, sys_->nodeCount());
+        for (const auto& comp : sys_->components()) {
+            comp->stamp(stamper, candidate, t1, dt, dcMode);
+        }
+        // gmin from every node to ground keeps floating nodes solvable.
+        for (int node = 1; node < sys_->nodeCount(); ++node) {
+            stamper.conductance(node, kGround, options_.gmin);
+        }
+
+        std::vector<double> x = rhs_;
+        ++stats_.linearSolves;
+        if (!luSolveInPlace(A_, x)) {
+            return false; // singular matrix
+        }
+
+        double maxDelta = 0.0;
+        for (int i = 0; i < n; ++i) {
+            maxDelta = std::max(maxDelta,
+                                std::fabs(x[static_cast<std::size_t>(i)] -
+                                          xOut[static_cast<std::size_t>(i)]));
+        }
+        xOut = std::move(x);
+        if (!anyNonlinear || maxDelta < options_.newtonTol) {
+            return true;
+        }
+    }
+    return false; // Newton did not converge
+}
+
+void TransientSolver::solveDc()
+{
+    std::vector<double> x;
+    if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
+        throw std::runtime_error("TransientSolver: DC operating point did not converge");
+    }
+    // A second pass lets dynamic components observe the converged operating
+    // point in their dcMode stamp (capacitors prime their initial voltage).
+    sys_->state() = x;
+    if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
+        throw std::runtime_error("TransientSolver: DC operating point did not converge");
+    }
+    sys_->state() = x;
+    dcDone_ = true;
+    havePrev_ = false;
+    dtNext_ = options_.dtInitial;
+}
+
+double TransientSolver::nextBreakpoint(double tMax)
+{
+    // Slight epsilon so a breakpoint we just landed on is not re-proposed.
+    const double eps = std::max(1e-18, std::fabs(time_) * 1e-15);
+    double best = tMax;
+
+    std::vector<double> scratch;
+    for (const auto& comp : sys_->components()) {
+        scratch.clear();
+        comp->collectBreakpoints(time_ + eps, tMax, scratch);
+        for (double bp : scratch) {
+            if (bp > time_ + eps && bp < best) {
+                best = bp;
+            }
+        }
+    }
+    // External breakpoints: drop stale ones as we pass them.
+    while (!breakpoints_.empty() && *breakpoints_.begin() <= time_ + eps) {
+        breakpoints_.erase(breakpoints_.begin());
+    }
+    if (!breakpoints_.empty()) {
+        best = std::min(best, *breakpoints_.begin());
+    }
+    return best;
+}
+
+double TransientSolver::maxStepHint() const
+{
+    double hint = 1e30;
+    for (const auto& comp : sys_->components()) {
+        hint = std::min(hint, comp->maxStep(time_));
+    }
+    return hint;
+}
+
+void TransientSolver::acceptStep(const std::vector<double>& x, double dt)
+{
+    const Solution sol(x, sys_->nodeCount());
+    for (const auto& comp : sys_->components()) {
+        comp->acceptStep(sol, time_ + dt, dt);
+    }
+    xPrev_ = sys_->state();
+    dtPrev_ = dt;
+    havePrev_ = true;
+    sys_->state() = x;
+    time_ += dt;
+    ++stats_.acceptedSteps;
+    for (const auto& probe : probes_) {
+        probe(time_);
+    }
+}
+
+void TransientSolver::markDiscontinuity()
+{
+    for (const auto& comp : sys_->components()) {
+        comp->notifyDiscontinuity();
+    }
+    havePrev_ = false;
+    dtNext_ = options_.dtInitial;
+}
+
+CrossingMonitor& TransientSolver::addMonitor(NodeId node, double threshold,
+                                             CrossingMonitor::Edge edge,
+                                             std::function<void(double, bool)> cb)
+{
+    monitors_.push_back(
+        std::make_unique<CrossingMonitor>(node, threshold, edge, std::move(cb)));
+    return *monitors_.back();
+}
+
+double TransientSolver::advanceTo(double tStop)
+{
+    if (!dcDone_) {
+        solveDc();
+    }
+    std::vector<double> xCand;
+
+    while (time_ < tStop) {
+        const double bp = nextBreakpoint(tStop);
+        const double hardLimit = std::min(bp, tStop);
+
+        double dt = std::min({dtNext_, options_.dtMax, maxStepHint(), hardLimit - time_});
+        dt = std::max(dt, options_.dtMin);
+        bool landsOnBreakpoint = time_ + dt >= bp - 1e-18 && bp < tStop;
+        if (landsOnBreakpoint) {
+            dt = bp - time_;
+        }
+
+        // --- solve, shrinking on Newton failure -------------------------
+        // A step landing exactly on a breakpoint is evaluated just left of
+        // it: jump discontinuities take effect only after the corner, so the
+        // landing step integrates with the pre-jump source values.
+        const double leftOfBp =
+            landsOnBreakpoint ? bp - std::max(1e-20, bp * 1e-13) : -1.0;
+        bool solved = trySolveStep(dt, xCand, false, leftOfBp);
+        while (!solved && dt > options_.dtMin * 2.0) {
+            ++stats_.rejectedSteps;
+            dt *= 0.25;
+            landsOnBreakpoint = false;
+            solved = trySolveStep(dt, xCand, false);
+        }
+        if (!solved) {
+            throw std::runtime_error("TransientSolver: step failed at t=" +
+                                     std::to_string(time_));
+        }
+
+        // --- local truncation error control ------------------------------
+        if (havePrev_ && !landsOnBreakpoint) {
+            const std::vector<double>& x0 = sys_->state();
+            const double ratio = dtPrev_ > 0.0 ? dt / dtPrev_ : 0.0;
+            double err = 0.0;
+            for (std::size_t i = 0; i < xCand.size(); ++i) {
+                const double pred = x0[i] + (x0[i] - xPrev_[i]) * ratio;
+                const double scale =
+                    options_.lteAbsTol +
+                    options_.lteRelTol * std::max(std::fabs(xCand[i]), std::fabs(x0[i]));
+                err = std::max(err, std::fabs(xCand[i] - pred) / scale);
+            }
+            if (err > 4.0 && dt > options_.dtMin * 2.0) {
+                ++stats_.rejectedSteps;
+                dtNext_ = std::max(dt * std::max(0.9 / std::sqrt(err), 0.1),
+                                   options_.dtMin);
+                continue; // reject and retry smaller
+            }
+            const double grow =
+                std::clamp(err > 1e-12 ? 0.9 / std::sqrt(err) : options_.growthLimit, 0.3,
+                           options_.growthLimit);
+            dtNext_ = std::clamp(dt * grow, options_.dtMin, options_.dtMax);
+        } else {
+            dtNext_ = std::clamp(dt * options_.growthLimit, options_.dtMin, options_.dtMax);
+        }
+
+        // --- crossing monitors -------------------------------------------
+        {
+            const Solution before(sys_->state(), sys_->nodeCount());
+            Solution after(xCand, sys_->nodeCount());
+            bool anyCrossed = false;
+            for (const auto& mon : monitors_) {
+                anyCrossed = anyCrossed ||
+                             mon->crossed(before.voltage(mon->node()), after.voltage(mon->node()));
+            }
+            if (anyCrossed && dt > options_.crossingTol) {
+                // Bisect on "earliest crossing inside [0, mid]" by re-solving
+                // the step from the committed state with shrinking dt.
+                double lo = 0.0;
+                double hi = dt;
+                std::vector<double> xHi = xCand;
+                while (hi - lo > options_.crossingTol) {
+                    const double mid = 0.5 * (lo + hi);
+                    std::vector<double> xMid;
+                    if (!trySolveStep(mid, xMid, false)) {
+                        break; // give up refining; use hi
+                    }
+                    const Solution solMid(xMid, sys_->nodeCount());
+                    bool crossedByMid = false;
+                    for (const auto& mon : monitors_) {
+                        crossedByMid =
+                            crossedByMid || mon->crossed(before.voltage(mon->node()),
+                                                         solMid.voltage(mon->node()));
+                    }
+                    if (crossedByMid) {
+                        hi = mid;
+                        xHi = std::move(xMid);
+                    } else {
+                        lo = mid;
+                    }
+                }
+                dt = hi;
+                xCand = std::move(xHi);
+                ++stats_.crossingsLocated;
+
+                // Determine which monitors fire at this cut.
+                Solution cut(xCand, sys_->nodeCount());
+                std::vector<std::pair<CrossingMonitor*, bool>> fired;
+                for (const auto& mon : monitors_) {
+                    const double v0 = before.voltage(mon->node());
+                    const double v1 = cut.voltage(mon->node());
+                    if (mon->crossed(v0, v1)) {
+                        fired.emplace_back(mon.get(), v1 >= v0);
+                    }
+                }
+                acceptStep(xCand, dt);
+                for (auto& [mon, rising] : fired) {
+                    if (mon->cb_) {
+                        mon->cb_(time_, rising);
+                    }
+                }
+                return time_; // yield to the mixed-mode synchronizer
+            }
+        }
+
+        acceptStep(xCand, dt);
+        if (landsOnBreakpoint) {
+            // Source corner: restart conservatively on the far side.
+            markDiscontinuity();
+        }
+    }
+    return time_;
+}
+
+} // namespace gfi::analog

@@ -1,0 +1,136 @@
+#include "analog/system.hpp"
+
+#include "analog/linear.hpp"
+
+namespace gfi::analog {
+
+Stamper::Stamper(DenseMatrix& A, std::vector<double>& b, int nodeCount)
+    : A_(&A), b_(&b), nodeCount_(nodeCount)
+{
+}
+
+void Stamper::conductance(NodeId a, NodeId b, double g)
+{
+    const int va = varOfNode(a);
+    const int vb = varOfNode(b);
+    if (va >= 0) {
+        A_->at(va, va) += g;
+    }
+    if (vb >= 0) {
+        A_->at(vb, vb) += g;
+    }
+    if (va >= 0 && vb >= 0) {
+        A_->at(va, vb) -= g;
+        A_->at(vb, va) -= g;
+    }
+}
+
+void Stamper::currentInto(NodeId n, double i)
+{
+    const int v = varOfNode(n);
+    if (v >= 0) {
+        (*b_)[static_cast<std::size_t>(v)] += i;
+    }
+}
+
+void Stamper::vccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double g)
+{
+    const int p = varOfNode(outP);
+    const int m = varOfNode(outM);
+    const int cp = varOfNode(ctrlP);
+    const int cm = varOfNode(ctrlM);
+    // Current g*(VcP - VcM) leaves outP and enters outM.
+    if (p >= 0 && cp >= 0) {
+        A_->at(p, cp) += g;
+    }
+    if (p >= 0 && cm >= 0) {
+        A_->at(p, cm) -= g;
+    }
+    if (m >= 0 && cp >= 0) {
+        A_->at(m, cp) -= g;
+    }
+    if (m >= 0 && cm >= 0) {
+        A_->at(m, cm) += g;
+    }
+}
+
+void Stamper::addA(int row, int col, double v)
+{
+    if (row >= 0 && col >= 0) {
+        A_->at(row, col) += v;
+    }
+}
+
+void Stamper::addB(int row, double v)
+{
+    if (row >= 0) {
+        (*b_)[static_cast<std::size_t>(row)] += v;
+    }
+}
+
+void ComplexStamper::admittance(NodeId a, NodeId b, Complex y)
+{
+    const int va = varOfNode(a);
+    const int vb = varOfNode(b);
+    if (va >= 0) {
+        addA(va, va, y);
+    }
+    if (vb >= 0) {
+        addA(vb, vb, y);
+    }
+    if (va >= 0 && vb >= 0) {
+        addA(va, vb, -y);
+        addA(vb, va, -y);
+    }
+}
+
+void ComplexStamper::vccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double g)
+{
+    const int p = varOfNode(outP);
+    const int m = varOfNode(outM);
+    const int cp = varOfNode(ctrlP);
+    const int cm = varOfNode(ctrlM);
+    if (p >= 0 && cp >= 0) {
+        addA(p, cp, g);
+    }
+    if (p >= 0 && cm >= 0) {
+        addA(p, cm, -g);
+    }
+    if (m >= 0 && cp >= 0) {
+        addA(m, cp, -g);
+    }
+    if (m >= 0 && cm >= 0) {
+        addA(m, cm, g);
+    }
+}
+
+void ComplexStamper::addA(int row, int col, Complex v)
+{
+    if (row >= 0 && col >= 0) {
+        (*A_)[static_cast<std::size_t>(row) * n_ + static_cast<std::size_t>(col)] += v;
+    }
+}
+
+void ComplexStamper::addB(int row, Complex v)
+{
+    if (row >= 0) {
+        (*b_)[static_cast<std::size_t>(row)] += v;
+    }
+}
+
+NodeId AnalogSystem::node(const std::string& name)
+{
+    if (name == "0" || name == "gnd" || name == "GND") {
+        return kGround;
+    }
+    const auto it = nodeIndex_.find(name);
+    if (it != nodeIndex_.end()) {
+        return it->second;
+    }
+    const NodeId id = static_cast<NodeId>(nodeNames_.size());
+    nodeNames_.push_back(name);
+    nodeIndex_.emplace(name, id);
+    return id;
+}
+
+} // namespace gfi::analog

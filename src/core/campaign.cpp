@@ -1,0 +1,264 @@
+#include "core/campaign.hpp"
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gfi::campaign {
+
+const char* toString(Outcome o)
+{
+    switch (o) {
+    case Outcome::Silent:
+        return "silent";
+    case Outcome::Latent:
+        return "latent";
+    case Outcome::TransientError:
+        return "transient";
+    case Outcome::Failure:
+        return "failure";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// CampaignReport
+
+std::map<Outcome, int> CampaignReport::histogram() const
+{
+    std::map<Outcome, int> h;
+    for (const RunResult& r : runs) {
+        ++h[r.outcome];
+    }
+    return h;
+}
+
+std::string CampaignReport::summaryTable() const
+{
+    const auto h = histogram();
+    TextTable t;
+    t.setHeader({"outcome", "count", "fraction"});
+    const int total = static_cast<int>(runs.size());
+    for (Outcome o :
+         {Outcome::Silent, Outcome::Latent, Outcome::TransientError, Outcome::Failure}) {
+        const int n = h.count(o) != 0 ? h.at(o) : 0;
+        t.addRow({toString(o), std::to_string(n),
+                  total > 0 ? formatDouble(100.0 * n / total, 4) + " %" : "-"});
+    }
+    t.addSeparator();
+    t.addRow({"total", std::to_string(total), "100 %"});
+    return t.str();
+}
+
+std::string CampaignReport::detailTable() const
+{
+    TextTable t;
+    t.setHeader({"fault", "outcome", "first err", "err time", "max analog dev"});
+    for (const RunResult& r : runs) {
+        t.addRow({fault::describe(r.fault), toString(r.outcome),
+                  r.firstOutputError >= 0 ? formatTime(r.firstOutputError) : "-",
+                  r.totalOutputErrorTime > 0 ? formatTime(r.totalOutputErrorTime) : "-",
+                  r.maxAnalogDeviation > 0 ? formatSi(r.maxAnalogDeviation, "V") : "-"});
+    }
+    return t.str();
+}
+
+// ---------------------------------------------------------------------------
+// PropagationModel
+
+void PropagationModel::record(const std::string& target,
+                              const std::vector<std::string>& erredSignals)
+{
+    ++totals_[target];
+    for (const std::string& sig : erredSignals) {
+        ++counts_[target][sig];
+    }
+}
+
+int PropagationModel::runsFor(const std::string& target) const
+{
+    const auto it = totals_.find(target);
+    return it == totals_.end() ? 0 : it->second;
+}
+
+int PropagationModel::reaches(const std::string& target, const std::string& signal) const
+{
+    const auto it = counts_.find(target);
+    if (it == counts_.end()) {
+        return 0;
+    }
+    const auto jt = it->second.find(signal);
+    return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::string PropagationModel::table() const
+{
+    // Collect the union of affected signals for the column set.
+    std::vector<std::string> signals;
+    for (const auto& [target, row] : counts_) {
+        for (const auto& [sig, n] : row) {
+            if (std::find(signals.begin(), signals.end(), sig) == signals.end()) {
+                signals.push_back(sig);
+            }
+        }
+    }
+    TextTable t;
+    std::vector<std::string> header{"target \\ reaches", "runs"};
+    header.insert(header.end(), signals.begin(), signals.end());
+    t.setHeader(header);
+    for (const auto& [target, total] : totals_) {
+        std::vector<std::string> row{target, std::to_string(total)};
+        for (const std::string& sig : signals) {
+            row.push_back(std::to_string(reaches(target, sig)));
+        }
+        t.addRow(row);
+    }
+    return t.str();
+}
+
+std::string targetOf(const fault::FaultSpec& fault)
+{
+    return std::visit(
+        [](const auto& f) -> std::string {
+            using T = std::decay_t<decltype(f)>;
+            if constexpr (std::is_same_v<T, std::monostate>) {
+                return "golden";
+            } else if constexpr (std::is_same_v<T, fault::BitFlipFault> ||
+                                 std::is_same_v<T, fault::DoubleBitFlipFault> ||
+                                 std::is_same_v<T, fault::StateWriteFault> ||
+                                 std::is_same_v<T, fault::FsmTransitionFault>) {
+                return f.target;
+            } else if constexpr (std::is_same_v<T, fault::DigitalPulseFault> ||
+                                 std::is_same_v<T, fault::StuckAtFault> ||
+                                 std::is_same_v<T, fault::CurrentPulseFault>) {
+                return f.saboteur;
+            } else {
+                return f.parameter;
+            }
+        },
+        fault);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner
+
+CampaignRunner::CampaignRunner(fault::TestbenchFactory factory, Tolerance tolerance)
+    : factory_(std::move(factory)), tolerance_(tolerance)
+{
+}
+
+void CampaignRunner::runGolden()
+{
+    if (golden_) {
+        return;
+    }
+    golden_ = factory_();
+    golden_->run();
+    for (const std::string& name : golden_->observedState()) {
+        goldenState_[name] = golden_->sim().digital().instrumentation().hook(name).get();
+    }
+}
+
+const fault::Testbench& CampaignRunner::golden() const
+{
+    if (!golden_) {
+        throw std::logic_error("CampaignRunner: golden run not executed yet");
+    }
+    return *golden_;
+}
+
+RunResult CampaignRunner::classify(fault::Testbench& tb, const fault::FaultSpec& fault) const
+{
+    RunResult result;
+    result.fault = fault;
+
+    const SimTime tEnd = tb.duration();
+    bool anyOutputError = false;
+    bool recoveredEverywhere = true;
+
+    // Digital outputs: exact comparison.
+    for (const std::string& name : tb.observedDigital()) {
+        const auto diff =
+            trace::compareDigital(golden_->recorder().digitalTrace(name),
+                                  tb.recorder().digitalTrace(name), tEnd,
+                                  tolerance_.digitalJitter);
+        if (!diff.identical()) {
+            anyOutputError = true;
+            result.erredSignals.push_back(name);
+            if (result.firstOutputError < 0 || diff.firstMismatch < result.firstOutputError) {
+                result.firstOutputError = diff.firstMismatch;
+            }
+            if (diff.lastMismatchEnd > result.lastOutputErrorEnd) {
+                result.lastOutputErrorEnd = diff.lastMismatchEnd;
+            }
+            result.totalOutputErrorTime += diff.totalMismatch;
+            recoveredEverywhere = recoveredEverywhere && diff.matchesAt(tEnd);
+        }
+    }
+
+    // Analog outputs: tolerance-based comparison.
+    for (const std::string& name : tb.observedAnalog()) {
+        const auto diff =
+            trace::compareAnalog(golden_->recorder().analogTrace(name),
+                                 tb.recorder().analogTrace(name), tolerance_.analogAbs,
+                                 tolerance_.analogRel);
+        result.maxAnalogDeviation = std::max(result.maxAnalogDeviation, diff.maxDeviation);
+        if (!diff.withinTolerance()) {
+            anyOutputError = true;
+            result.erredSignals.push_back(name);
+            result.analogTimeOutsideTol += diff.timeOutsideTol;
+            recoveredEverywhere = recoveredEverywhere && diff.withinTolAtEnd;
+            const SimTime first = fromSeconds(diff.firstExceed);
+            if (result.firstOutputError < 0 || first < result.firstOutputError) {
+                result.firstOutputError = first;
+            }
+        }
+    }
+
+    // Final-state comparison (latent faults).
+    for (const std::string& name : tb.observedState()) {
+        const std::uint64_t now = tb.sim().digital().instrumentation().hook(name).get();
+        const auto it = goldenState_.find(name);
+        if (it != goldenState_.end() && it->second != now) {
+            result.corruptedState.push_back(name);
+        }
+    }
+
+    if (anyOutputError) {
+        result.outcome = recoveredEverywhere ? Outcome::TransientError : Outcome::Failure;
+    } else if (!result.corruptedState.empty()) {
+        result.outcome = Outcome::Latent;
+    } else {
+        result.outcome = Outcome::Silent;
+    }
+    return result;
+}
+
+RunResult CampaignRunner::runOne(const fault::FaultSpec& fault)
+{
+    runGolden();
+    auto tb = factory_();
+    fault::armFault(*tb, fault);
+    tb->run();
+    return classify(*tb, fault);
+}
+
+CampaignReport CampaignRunner::run(
+    const std::vector<fault::FaultSpec>& faults,
+    const std::function<void(std::size_t, const RunResult&)>& progress)
+{
+    runGolden();
+    CampaignReport report;
+    report.runs.reserve(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        report.runs.push_back(runOne(faults[i]));
+        if (progress) {
+            progress(i, report.runs.back());
+        }
+    }
+    return report;
+}
+
+} // namespace gfi::campaign

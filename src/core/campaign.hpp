@@ -1,0 +1,132 @@
+#pragma once
+// Campaign engine: runs a golden reference plus one simulation per fault,
+// compares traces and classifies each fault's effect — the "fault injection
+// set-up -> simulation -> results analysis -> failure report/classification"
+// pipeline of the paper's Figures 2 and 3.
+
+#include "core/testbench.hpp"
+#include "trace/compare.hpp"
+
+#include <map>
+
+namespace gfi::campaign {
+
+/// Effect classification of one injected fault.
+enum class Outcome {
+    Silent,         ///< no observable difference at all
+    Latent,         ///< outputs clean, but stored state differs at the end
+    TransientError, ///< outputs diverged, then re-converged before the end
+    Failure,        ///< outputs still wrong at the end of the observation
+};
+
+/// Short name for reports.
+[[nodiscard]] const char* toString(Outcome o);
+
+/// Analog comparison tolerance (paper Section 4.1: analog monitoring needs a
+/// tolerance to avoid flagging non-significant deviations).
+struct Tolerance {
+    double analogAbs = 1e-3;      ///< volts
+    double analogRel = 0.0;       ///< fraction of the golden value
+    SimTime digitalJitter = 0;    ///< digital mismatch windows shorter than
+                                  ///< this are ignored (clock-edge jitter)
+};
+
+/// Result of one injection run.
+struct RunResult {
+    fault::FaultSpec fault;
+    Outcome outcome = Outcome::Silent;
+
+    // Digital output divergence (across all observed digital signals).
+    SimTime firstOutputError = -1;
+    SimTime lastOutputErrorEnd = -1;
+    SimTime totalOutputErrorTime = 0;
+
+    // Analog divergence (worst observed node).
+    double maxAnalogDeviation = 0.0;
+    double analogTimeOutsideTol = 0.0;
+
+    /// Observed signals/nodes that diverged in this run.
+    std::vector<std::string> erredSignals;
+
+    /// State elements that differed at the end of the run.
+    std::vector<std::string> corruptedState;
+};
+
+/// Aggregate of a whole campaign.
+struct CampaignReport {
+    std::vector<RunResult> runs;
+
+    /// Count of runs per outcome.
+    [[nodiscard]] std::map<Outcome, int> histogram() const;
+
+    /// Paper-style classification table as printable text.
+    [[nodiscard]] std::string summaryTable() const;
+
+    /// Full per-run listing as printable text.
+    [[nodiscard]] std::string detailTable() const;
+};
+
+/// Error-propagation model: which injection targets affect which outputs
+/// (the "behavioural model generation" box in the paper's flow).
+class PropagationModel {
+public:
+    /// Accumulates one run's observation.
+    void record(const std::string& target, const std::vector<std::string>& erredSignals);
+
+    /// Number of runs recorded for @p target.
+    [[nodiscard]] int runsFor(const std::string& target) const;
+
+    /// Number of runs in which @p target's fault reached @p signal.
+    [[nodiscard]] int reaches(const std::string& target, const std::string& signal) const;
+
+    /// Printable target x signal propagation matrix.
+    [[nodiscard]] std::string table() const;
+
+private:
+    std::map<std::string, std::map<std::string, int>> counts_;
+    std::map<std::string, int> totals_;
+};
+
+/// The injection target a fault addresses (for propagation bookkeeping).
+[[nodiscard]] std::string targetOf(const fault::FaultSpec& fault);
+
+/// Runs campaigns: one golden run, then one run per fault.
+class CampaignRunner {
+public:
+    /// @param factory  builds a fresh instrumented testbench per run.
+    explicit CampaignRunner(fault::TestbenchFactory factory, Tolerance tolerance = {});
+
+    /// Runs the golden reference (idempotent; run() calls it automatically).
+    void runGolden();
+
+    /// Runs one fault against the golden reference and classifies it.
+    RunResult runOne(const fault::FaultSpec& fault);
+
+    /// Runs a whole fault list; @p progress (optional) is called per run.
+    CampaignReport run(const std::vector<fault::FaultSpec>& faults,
+                       const std::function<void(std::size_t, const RunResult&)>& progress = {});
+
+    /// The golden testbench (valid after runGolden); exposes golden traces.
+    [[nodiscard]] const fault::Testbench& golden() const;
+
+    /// Builds a throwaway testbench (target enumeration for fault lists).
+    [[nodiscard]] std::unique_ptr<fault::Testbench> makeTestbench() const { return factory_(); }
+
+    /// The tolerance in use.
+    [[nodiscard]] const Tolerance& tolerance() const noexcept { return tolerance_; }
+
+    /// Adjusts the analog tolerance (ablation sweeps re-classify with this).
+    void setTolerance(Tolerance t) { tolerance_ = t; }
+
+    /// Re-classifies a finished faulty testbench against the golden traces
+    /// (used by tolerance-sweep ablations without re-simulating).
+    [[nodiscard]] RunResult classify(fault::Testbench& tb, const fault::FaultSpec& fault) const;
+
+private:
+    fault::TestbenchFactory factory_;
+    Tolerance tolerance_;
+    std::unique_ptr<fault::Testbench> golden_;
+    std::map<std::string, std::uint64_t> goldenState_;
+};
+
+} // namespace gfi::campaign

@@ -1,0 +1,79 @@
+#include "core/fault.hpp"
+
+#include "util/units.hpp"
+
+namespace gfi::fault {
+
+namespace {
+
+struct Describer {
+    std::string operator()(const std::monostate&) const { return "golden (no fault)"; }
+    std::string operator()(const BitFlipFault& f) const
+    {
+        return "bit-flip " + f.target + "[" + std::to_string(f.bit) + "] @ " +
+               formatTime(f.time);
+    }
+    std::string operator()(const DoubleBitFlipFault& f) const
+    {
+        return "double-flip " + f.target + "[" + std::to_string(f.bitA) + "," +
+               std::to_string(f.bitB) + "] @ " + formatTime(f.time);
+    }
+    std::string operator()(const StateWriteFault& f) const
+    {
+        return "state-write " + f.target + "=" + std::to_string(f.value) + " @ " +
+               formatTime(f.time);
+    }
+    std::string operator()(const FsmTransitionFault& f) const
+    {
+        return "fsm-transition " + f.target + "->S" + std::to_string(f.forcedState) + " @ " +
+               formatTime(f.time);
+    }
+    std::string operator()(const DigitalPulseFault& f) const
+    {
+        return "set-pulse " + f.saboteur + " width " + formatTime(f.width) + " @ " +
+               formatTime(f.time);
+    }
+    std::string operator()(const StuckAtFault& f) const
+    {
+        return "stuck-at-" + std::string(1, digital::toChar(f.value)) + " " + f.saboteur +
+               " @ " + formatTime(f.time) +
+               (f.duration > 0 ? " for " + formatTime(f.duration) : std::string(" permanent"));
+    }
+    std::string operator()(const CurrentPulseFault& f) const
+    {
+        return "current-pulse " + f.saboteur + " " +
+               (f.shape ? f.shape->describe() : std::string("<none>")) + " @ " +
+               formatSi(f.timeSeconds, "s");
+    }
+    std::string operator()(const ParametricFault& f) const
+    {
+        return "parametric " + f.parameter + " x" + formatDouble(f.factor) + " @ " +
+               formatTime(f.time);
+    }
+};
+
+struct TimeGetter {
+    SimTime operator()(const std::monostate&) const { return 0; }
+    SimTime operator()(const BitFlipFault& f) const { return f.time; }
+    SimTime operator()(const DoubleBitFlipFault& f) const { return f.time; }
+    SimTime operator()(const StateWriteFault& f) const { return f.time; }
+    SimTime operator()(const FsmTransitionFault& f) const { return f.time; }
+    SimTime operator()(const DigitalPulseFault& f) const { return f.time; }
+    SimTime operator()(const StuckAtFault& f) const { return f.time; }
+    SimTime operator()(const CurrentPulseFault& f) const { return fromSeconds(f.timeSeconds); }
+    SimTime operator()(const ParametricFault& f) const { return f.time; }
+};
+
+} // namespace
+
+std::string describe(const FaultSpec& fault)
+{
+    return std::visit(Describer{}, fault);
+}
+
+SimTime injectionTime(const FaultSpec& fault)
+{
+    return std::visit(TimeGetter{}, fault);
+}
+
+} // namespace gfi::fault

@@ -1,0 +1,100 @@
+#pragma once
+// Fault descriptors: the campaign-level vocabulary of injectable faults.
+//
+// Digital faults (paper Section 3): bit-flips and state writes in sequential
+// elements (mutants), erroneous FSM transitions (reference [11]), SET pulses
+// and stuck-ats on interconnects (saboteurs).
+// Analog faults (paper Section 4): current pulses on structural nodes
+// (saboteurs) and parametric deviations in behavioral blocks (reference [10]).
+
+#include "core/pulse.hpp"
+#include "digital/logic.hpp"
+#include "sim/time.hpp"
+
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace gfi::fault {
+
+/// SEU: flips one stored bit of a named sequential element at a given time.
+struct BitFlipFault {
+    std::string target; ///< instrumentation hook name
+    int bit = 0;        ///< which state bit to flip
+    SimTime time = 0;   ///< injection instant
+};
+
+/// MBU: flips two bits of the same element in the same instant (adjacent
+/// multi-cell upsets dominate the multi-bit rate in dense technologies).
+struct DoubleBitFlipFault {
+    std::string target;
+    int bitA = 0;
+    int bitB = 1;
+    SimTime time = 0;
+};
+
+/// Overwrites the whole stored value of a named sequential element (models a
+/// multiple-bit upset or a deliberate state corruption).
+struct StateWriteFault {
+    std::string target;
+    std::uint64_t value = 0;
+    SimTime time = 0;
+};
+
+/// High-level FSM fault (reference [11]): forces an erroneous transition at
+/// the first active clock edge after the injection instant.
+struct FsmTransitionFault {
+    std::string target; ///< FSM registry name
+    int forcedState = 0;
+    SimTime time = 0;
+};
+
+/// SET on a digital interconnect: the named digital saboteur inverts the
+/// signal for @p width.
+struct DigitalPulseFault {
+    std::string saboteur;
+    SimTime time = 0;
+    SimTime width = kNanosecond;
+};
+
+/// Stuck-at on a digital interconnect via saboteur; duration 0 = permanent.
+struct StuckAtFault {
+    std::string saboteur;
+    digital::Logic value = digital::Logic::Zero;
+    SimTime time = 0;
+    SimTime duration = 0;
+};
+
+/// SEU-like current pulse injected on an analog node via a current saboteur.
+struct CurrentPulseFault {
+    std::string saboteur;
+    double timeSeconds = 0.0;
+    std::shared_ptr<const PulseShape> shape;
+};
+
+/// Parametric fault: scales a registered component parameter by @p factor at
+/// @p time (process variation / aging model; paper Section 1 and ref [10]).
+struct ParametricFault {
+    std::string parameter;
+    double factor = 1.0;
+    SimTime time = 0;
+};
+
+/// Any injectable fault; std::monostate denotes the golden (fault-free) run.
+using FaultSpec = std::variant<std::monostate, BitFlipFault, DoubleBitFlipFault,
+                               StateWriteFault, FsmTransitionFault, DigitalPulseFault,
+                               StuckAtFault, CurrentPulseFault, ParametricFault>;
+
+/// One-line human-readable description of a fault.
+[[nodiscard]] std::string describe(const FaultSpec& fault);
+
+/// The injection instant of a fault (0 for the golden run).
+[[nodiscard]] SimTime injectionTime(const FaultSpec& fault);
+
+/// True for the golden (no-fault) spec.
+[[nodiscard]] inline bool isGolden(const FaultSpec& fault)
+{
+    return std::holds_alternative<std::monostate>(fault);
+}
+
+} // namespace gfi::fault

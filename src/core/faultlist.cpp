@@ -1,0 +1,104 @@
+#include "core/faultlist.hpp"
+
+#include <cmath>
+
+namespace gfi::fault {
+
+std::vector<FaultSpec> allBitFlips(const Testbench& tb, const std::vector<SimTime>& times)
+{
+    std::vector<FaultSpec> out;
+    for (const auto& [name, hook] : tb.sim().digital().instrumentation().all()) {
+        for (int bit = 0; bit < hook.width; ++bit) {
+            for (SimTime t : times) {
+                out.emplace_back(BitFlipFault{name, bit, t});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSpec> randomBitFlips(const Testbench& tb, int count,
+                                      std::pair<SimTime, SimTime> window, Rng& rng)
+{
+    // Flatten (element, bit) pairs so each BIT is equally likely — larger
+    // registers are proportionally bigger targets, like real silicon area.
+    std::vector<std::pair<std::string, int>> bits;
+    for (const auto& [name, hook] : tb.sim().digital().instrumentation().all()) {
+        for (int bit = 0; bit < hook.width; ++bit) {
+            bits.emplace_back(name, bit);
+        }
+    }
+    std::vector<FaultSpec> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count && !bits.empty(); ++i) {
+        const auto& [name, bit] = bits[rng.below(bits.size())];
+        const SimTime t = rng.range(window.first, window.second);
+        out.emplace_back(BitFlipFault{name, bit, t});
+    }
+    return out;
+}
+
+std::vector<FaultSpec> adjacentDoubleFlips(const Testbench& tb,
+                                           const std::vector<SimTime>& times)
+{
+    std::vector<FaultSpec> out;
+    for (const auto& [name, hook] : tb.sim().digital().instrumentation().all()) {
+        for (int bit = 0; bit + 1 < hook.width; ++bit) {
+            for (SimTime t : times) {
+                out.emplace_back(DoubleBitFlipFault{name, bit, bit + 1, t});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSpec> allSetPulses(const Testbench& tb, const std::vector<SimTime>& times,
+                                    const std::vector<SimTime>& widths)
+{
+    std::vector<FaultSpec> out;
+    for (const std::string& sab : tb.digitalSaboteurNames()) {
+        for (SimTime t : times) {
+            for (SimTime w : widths) {
+                out.emplace_back(DigitalPulseFault{sab, t, w});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSpec> currentPulseSweep(
+    const std::vector<std::string>& saboteurs, const std::vector<double>& timesSeconds,
+    const std::vector<std::shared_ptr<const PulseShape>>& shapes)
+{
+    std::vector<FaultSpec> out;
+    for (const std::string& sab : saboteurs) {
+        for (double t : timesSeconds) {
+            for (const auto& shape : shapes) {
+                out.emplace_back(CurrentPulseFault{sab, t, shape});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSpec> randomCurrentPulses(const std::vector<std::string>& saboteurs,
+                                           int count, std::pair<double, double> windowSeconds,
+                                           std::pair<double, double> paRange,
+                                           std::pair<double, double> pwRange, Rng& rng)
+{
+    std::vector<FaultSpec> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count && !saboteurs.empty(); ++i) {
+        const std::string& sab = saboteurs[rng.below(saboteurs.size())];
+        const double t = rng.uniform(windowSeconds.first, windowSeconds.second);
+        // Log-uniform sampling spans the decades of particle LET spectra.
+        const double pa = std::exp(rng.uniform(std::log(paRange.first), std::log(paRange.second)));
+        const double pw = std::exp(rng.uniform(std::log(pwRange.first), std::log(pwRange.second)));
+        const double edge = pw / 3.0;
+        out.emplace_back(CurrentPulseFault{
+            sab, t, std::make_shared<TrapezoidPulse>(pa, edge, edge, pw)});
+    }
+    return out;
+}
+
+} // namespace gfi::fault

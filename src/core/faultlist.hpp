@@ -1,0 +1,52 @@
+#pragma once
+// Fault-list generation: turns an instrumented testbench into the campaign's
+// fault population — exhaustively, by sweep, or by reproducible random
+// sampling (statistical fault injection).
+//
+// The paper's "campaign definition" step is exactly this: "the designer
+// provides all the information required for the fault injection". These
+// helpers enumerate the instrumentation registry (mutant targets), the
+// saboteur registries (interconnect and analog node targets) and combine
+// them with injection-time and pulse-parameter ranges.
+
+#include "core/testbench.hpp"
+#include "util/rng.hpp"
+
+namespace gfi::fault {
+
+/// All single-bit SEU flips of every registered state element, at each time.
+[[nodiscard]] std::vector<FaultSpec> allBitFlips(const Testbench& tb,
+                                                 const std::vector<SimTime>& times);
+
+/// @p count random single-bit flips uniformly over (element, bit, time) with
+/// time uniform in [window.first, window.second]. Deterministic under @p rng.
+[[nodiscard]] std::vector<FaultSpec> randomBitFlips(const Testbench& tb, int count,
+                                                    std::pair<SimTime, SimTime> window,
+                                                    Rng& rng);
+
+/// Adjacent double-bit upsets (MBU model): flips bits (i, i+1) of every
+/// multi-bit element, at each time. Models the growing multi-cell upset rate
+/// of dense technologies (the trend the paper's introduction describes).
+[[nodiscard]] std::vector<FaultSpec> adjacentDoubleFlips(const Testbench& tb,
+                                                         const std::vector<SimTime>& times);
+
+/// SET pulses through every digital saboteur: times x widths.
+[[nodiscard]] std::vector<FaultSpec> allSetPulses(const Testbench& tb,
+                                                  const std::vector<SimTime>& times,
+                                                  const std::vector<SimTime>& widths);
+
+/// Current pulses through every (or the named subset of) analog saboteurs:
+/// targets x times x shapes.
+[[nodiscard]] std::vector<FaultSpec> currentPulseSweep(
+    const std::vector<std::string>& saboteurs, const std::vector<double>& timesSeconds,
+    const std::vector<std::shared_ptr<const PulseShape>>& shapes);
+
+/// @p count random current pulses: uniform target, uniform time in the
+/// window, trapezoid with log-uniform amplitude in [paMin, paMax] and
+/// width in [pwMin, pwMax] (RT = FT = PW/3, the paper's Figure 8 style).
+[[nodiscard]] std::vector<FaultSpec> randomCurrentPulses(
+    const std::vector<std::string>& saboteurs, int count,
+    std::pair<double, double> windowSeconds, std::pair<double, double> paRange,
+    std::pair<double, double> pwRange, Rng& rng);
+
+} // namespace gfi::fault

@@ -1,0 +1,123 @@
+#pragma once
+// SEU/SET current-pulse models (paper Section 2, Figure 1).
+//
+// The paper proposes replacing the classical double-exponential (Messenger)
+// current model with a simpler trapezoidal pulse parameterized by amplitude
+// (PA), rising time (RT), falling time (FT) and total width (PW), arguing the
+// simpler shape cuts simulation cost while producing very similar circuit
+// responses (its Figure 7). Both models are implemented here, together with
+// the parameter fits of Figure 1(b) that translate between them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gfi::fault {
+
+/// A transient current waveform, time-referenced to the injection instant.
+class PulseShape {
+public:
+    virtual ~PulseShape() = default;
+
+    /// Current (amps) at @p t seconds after the injection instant.
+    [[nodiscard]] virtual double current(double t) const = 0;
+
+    /// Time after which the pulse is (numerically) over.
+    [[nodiscard]] virtual double duration() const = 0;
+
+    /// Total injected charge (coulombs).
+    [[nodiscard]] virtual double charge() const = 0;
+
+    /// Peak current (amps).
+    [[nodiscard]] virtual double peak() const = 0;
+
+    /// Discontinuity/corner times relative to injection that the integrator
+    /// should land on.
+    [[nodiscard]] virtual std::vector<double> corners() const = 0;
+
+    /// Human-readable parameter summary.
+    [[nodiscard]] virtual std::string describe() const = 0;
+
+    /// Deep copy.
+    [[nodiscard]] virtual std::unique_ptr<PulseShape> clone() const = 0;
+};
+
+/// The paper's proposed model (Figure 1a): linear rise over RT to amplitude
+/// PA, plateau, then linear fall over FT; PW is the *total* width (the
+/// parameter sets of Figure 8 satisfy PW = RT + plateau + FT).
+class TrapezoidPulse final : public PulseShape {
+public:
+    /// @param amplitude  PA (amps)
+    /// @param riseTime   RT (seconds)
+    /// @param fallTime   FT (seconds)
+    /// @param width      PW, total duration including RT and FT (seconds)
+    TrapezoidPulse(double amplitude, double riseTime, double fallTime, double width);
+
+    [[nodiscard]] double current(double t) const override;
+    [[nodiscard]] double duration() const override { return width_; }
+    [[nodiscard]] double charge() const override;
+    [[nodiscard]] double peak() const override { return amplitude_; }
+    [[nodiscard]] std::vector<double> corners() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<PulseShape> clone() const override
+    {
+        return std::make_unique<TrapezoidPulse>(*this);
+    }
+
+    [[nodiscard]] double amplitude() const noexcept { return amplitude_; }
+    [[nodiscard]] double riseTime() const noexcept { return rise_; }
+    [[nodiscard]] double fallTime() const noexcept { return fall_; }
+    [[nodiscard]] double width() const noexcept { return width_; }
+
+private:
+    double amplitude_;
+    double rise_;
+    double fall_;
+    double width_;
+};
+
+/// The classical double-exponential charge-collection model
+/// (Messenger 1982, reference [12]): I(t) = I0 * (exp(-t/tauFall) - exp(-t/tauRise)).
+class DoubleExpPulse final : public PulseShape {
+public:
+    /// @param i0       scale current (amps); the peak is lower than I0.
+    /// @param tauRise  fast time constant (seconds), tauRise < tauFall.
+    /// @param tauFall  slow time constant (seconds).
+    DoubleExpPulse(double i0, double tauRise, double tauFall);
+
+    [[nodiscard]] double current(double t) const override;
+    [[nodiscard]] double duration() const override;
+    [[nodiscard]] double charge() const override { return i0_ * (tauFall_ - tauRise_); }
+    [[nodiscard]] double peak() const override;
+    [[nodiscard]] std::vector<double> corners() const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<PulseShape> clone() const override
+    {
+        return std::make_unique<DoubleExpPulse>(*this);
+    }
+
+    [[nodiscard]] double i0() const noexcept { return i0_; }
+    [[nodiscard]] double tauRise() const noexcept { return tauRise_; }
+    [[nodiscard]] double tauFall() const noexcept { return tauFall_; }
+
+    /// Time of the current peak.
+    [[nodiscard]] double peakTime() const;
+
+private:
+    double i0_;
+    double tauRise_;
+    double tauFall_;
+};
+
+/// Figure 1(b) forward fit: derives trapezoid parameters from a
+/// double-exponential pulse, matching the peak amplitude, placing the rise
+/// corner at the double-exponential's peak time, and conserving total charge
+/// (the fall time absorbs the exponential tail).
+[[nodiscard]] TrapezoidPulse fitTrapezoid(const DoubleExpPulse& p);
+
+/// Inverse fit: derives a double-exponential with the same peak current and
+/// total charge as the trapezoid (tauRise tied to RT, tauFall solved
+/// numerically).
+[[nodiscard]] DoubleExpPulse fitDoubleExp(const TrapezoidPulse& p);
+
+} // namespace gfi::fault

@@ -1,0 +1,102 @@
+#include "core/report.hpp"
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gfi::campaign {
+
+namespace {
+
+std::string jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void writeReportCsv(const CampaignReport& report, const std::string& path)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"fault", "target", "outcome", "first_output_error_fs",
+                  "total_output_error_fs", "max_analog_deviation_v",
+                  "analog_time_outside_tol_s", "erred_signals", "corrupted_state"});
+    for (const RunResult& r : report.runs) {
+        std::string erred;
+        for (const std::string& s : r.erredSignals) {
+            erred += (erred.empty() ? "" : ";") + s;
+        }
+        std::string corrupted;
+        for (const std::string& s : r.corruptedState) {
+            corrupted += (corrupted.empty() ? "" : ";") + s;
+        }
+        csv.writeRow({fault::describe(r.fault), targetOf(r.fault), toString(r.outcome),
+                      std::to_string(r.firstOutputError),
+                      std::to_string(r.totalOutputErrorTime),
+                      formatDouble(r.maxAnalogDeviation, 9),
+                      formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted});
+    }
+}
+
+std::string reportToJson(const CampaignReport& report)
+{
+    const auto hist = report.histogram();
+    auto count = [&](Outcome o) {
+        const auto it = hist.find(o);
+        return it == hist.end() ? 0 : it->second;
+    };
+
+    std::string json = "{\n  \"summary\": {\n";
+    json += "    \"total\": " + std::to_string(report.runs.size()) + ",\n";
+    json += "    \"silent\": " + std::to_string(count(Outcome::Silent)) + ",\n";
+    json += "    \"latent\": " + std::to_string(count(Outcome::Latent)) + ",\n";
+    json += "    \"transient\": " + std::to_string(count(Outcome::TransientError)) + ",\n";
+    json += "    \"failure\": " + std::to_string(count(Outcome::Failure)) + "\n  },\n";
+    json += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        const RunResult& r = report.runs[i];
+        json += "    {";
+        json += "\"fault\": \"" + jsonEscape(fault::describe(r.fault)) + "\", ";
+        json += "\"target\": \"" + jsonEscape(targetOf(r.fault)) + "\", ";
+        json += "\"outcome\": \"" + std::string(toString(r.outcome)) + "\", ";
+        json += "\"first_output_error_fs\": " + std::to_string(r.firstOutputError) + ", ";
+        json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
+        json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9);
+        json += "}";
+        json += i + 1 < report.runs.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    return json;
+}
+
+void writeReportJson(const CampaignReport& report, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        throw std::runtime_error("writeReportJson: cannot open " + path);
+    }
+    const std::string json = reportToJson(report);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+} // namespace gfi::campaign

@@ -1,0 +1,115 @@
+#include "core/saboteur.hpp"
+
+namespace gfi::fault {
+
+// ---------------------------------------------------------------------------
+// CurrentSaboteur
+
+CurrentSaboteur::CurrentSaboteur(analog::AnalogSystem& sys, std::string name,
+                                 analog::NodeId node)
+    : analog::AnalogComponent(std::move(name)), node_(node)
+{
+    (void)sys;
+}
+
+void CurrentSaboteur::arm(double tInject, const PulseShape& shape)
+{
+    tInject_ = tInject;
+    shape_ = shape.clone();
+}
+
+void CurrentSaboteur::disarm()
+{
+    shape_.reset();
+}
+
+void CurrentSaboteur::stamp(analog::Stamper& s, const analog::Solution&, double t, double,
+                            bool dcMode)
+{
+    if (!shape_ || dcMode) {
+        return;
+    }
+    const double i = shape_->current(t - tInject_);
+    if (i != 0.0) {
+        // Superposition of the spike with the normal node current: the whole
+        // mechanism of the paper's analog fault injection.
+        s.currentInto(node_, i);
+    }
+}
+
+void CurrentSaboteur::collectBreakpoints(double tNow, double tMax, std::vector<double>& out)
+{
+    if (!shape_) {
+        return;
+    }
+    for (double corner : shape_->corners()) {
+        const double t = tInject_ + corner;
+        if (t > tNow && t <= tMax) {
+            out.push_back(t);
+        }
+    }
+}
+
+double CurrentSaboteur::maxStep(double t) const
+{
+    if (!shape_) {
+        return 1e30;
+    }
+    // Resolve the pulse with at least ~25 points while it is active.
+    const double rel = t - tInject_;
+    if (rel >= 0.0 && rel <= shape_->duration()) {
+        return shape_->duration() / 25.0;
+    }
+    return 1e30;
+}
+
+// ---------------------------------------------------------------------------
+// DigitalSaboteur
+
+DigitalSaboteur::DigitalSaboteur(digital::Circuit& c, std::string name,
+                                 digital::LogicSignal& in, digital::LogicSignal& out,
+                                 SimTime delay)
+    : digital::Component(std::move(name)), circuit_(&c), in_(&in), out_(&out), delay_(delay)
+{
+    c.process(this->name() + "/pass", [this] { drive(); }, {&in});
+}
+
+void DigitalSaboteur::drive()
+{
+    switch (mode_) {
+    case Mode::Transparent:
+        out_->scheduleInertial(in_->value(), delay_);
+        break;
+    case Mode::Stuck:
+        out_->scheduleInertial(stuck_, delay_);
+        break;
+    case Mode::Invert:
+        out_->scheduleInertial(digital::logicNot(in_->value()), delay_);
+        break;
+    }
+}
+
+void DigitalSaboteur::setMode(Mode mode, digital::Logic stuckValue)
+{
+    mode_ = mode;
+    stuck_ = stuckValue;
+    drive();
+}
+
+void DigitalSaboteur::injectPulse(SimTime start, SimTime width)
+{
+    auto& sched = circuit_->scheduler();
+    sched.scheduleAction(start, [this] { setMode(Mode::Invert); });
+    sched.scheduleAction(start + width, [this] { setMode(Mode::Transparent); });
+}
+
+void DigitalSaboteur::injectStuckAt(SimTime start, digital::Logic value, SimTime duration)
+{
+    auto& sched = circuit_->scheduler();
+    sched.scheduleAction(start, [this, value] { setMode(Mode::Stuck, value); });
+    if (duration > 0) {
+        sched.scheduleAction(start + duration, [this] { setMode(Mode::Transparent); });
+    }
+}
+
+} // namespace gfi::fault

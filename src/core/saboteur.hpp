@@ -1,0 +1,88 @@
+#pragma once
+// Saboteurs: the paper's instrumentation blocks inserted on interconnections.
+//
+// CurrentSaboteur is the C++ equivalent of the paper's VHDL-AMS GenCur entity
+// (its Figure 4): a component attached to an analog node that superposes a
+// current pulse on the node's normal current when armed. DigitalSaboteur is
+// the classic digital saboteur (MEFISTO-style, reference [6]): a pass-through
+// block on a digital interconnect that can invert, stick or pulse the signal.
+
+#include "analog/system.hpp"
+#include "core/pulse.hpp"
+#include "digital/circuit.hpp"
+
+namespace gfi::fault {
+
+/// Analog saboteur: injects a current pulse into one node.
+class CurrentSaboteur : public analog::AnalogComponent {
+public:
+    CurrentSaboteur(analog::AnalogSystem& sys, std::string name, analog::NodeId node);
+
+    /// Arms the saboteur: the pulse begins at @p tInject (seconds).
+    void arm(double tInject, const PulseShape& shape);
+
+    /// Removes any armed pulse.
+    void disarm();
+
+    /// True while a pulse is armed (it stays armed after it has elapsed so
+    /// repeated stamps remain consistent; the waveform is simply zero there).
+    [[nodiscard]] bool armed() const noexcept { return shape_ != nullptr; }
+
+    /// The injection instant (seconds); meaningful only when armed.
+    [[nodiscard]] double injectionTime() const noexcept { return tInject_; }
+
+    /// The target node.
+    [[nodiscard]] analog::NodeId node() const noexcept { return node_; }
+
+    void stamp(analog::Stamper& s, const analog::Solution& x, double t, double dt,
+               bool dcMode) override;
+    void collectBreakpoints(double tNow, double tMax, std::vector<double>& out) override;
+    [[nodiscard]] double maxStep(double t) const override;
+
+    /// A saboteur is an open circuit in small-signal analysis.
+    bool stampAc(analog::ComplexStamper&, double) const override { return true; }
+
+private:
+    analog::NodeId node_;
+    double tInject_ = 0.0;
+    std::unique_ptr<PulseShape> shape_;
+};
+
+/// Digital saboteur: a controllable pass-through inserted on a signal.
+class DigitalSaboteur : public digital::Component {
+public:
+    enum class Mode {
+        Transparent, ///< out follows in
+        Stuck,       ///< out forced to a constant value
+        Invert,      ///< out is the inverse of in (SET model on interconnect)
+    };
+
+    /// Inserts the saboteur between @p in and @p out (zero added delay by
+    /// default, like the paper's saboteurs which only modify interconnect).
+    DigitalSaboteur(digital::Circuit& c, std::string name, digital::LogicSignal& in,
+                    digital::LogicSignal& out, SimTime delay = 0);
+
+    /// Switches the mode immediately and re-drives the output.
+    void setMode(Mode mode, digital::Logic stuckValue = digital::Logic::X);
+
+    /// Schedules an invert window [start, start+width): the standard SET
+    /// (single event transient) injection on an interconnection.
+    void injectPulse(SimTime start, SimTime width);
+
+    /// Schedules a stuck-at window; @p duration 0 means permanent.
+    void injectStuckAt(SimTime start, digital::Logic value, SimTime duration = 0);
+
+    [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+private:
+    void drive();
+
+    digital::Circuit* circuit_;
+    digital::LogicSignal* in_;
+    digital::LogicSignal* out_;
+    SimTime delay_;
+    Mode mode_ = Mode::Transparent;
+    digital::Logic stuck_ = digital::Logic::X;
+};
+
+} // namespace gfi::fault

@@ -1,0 +1,49 @@
+#pragma once
+// Statistical support for sampled fault-injection campaigns.
+//
+// Exhaustive injection is only feasible for small blocks; realistic campaigns
+// sample the fault space and report outcome *rates* with confidence
+// intervals. These helpers implement the standard Wilson score interval for
+// binomial proportions plus the sample-size planning formula, so campaign
+// reports can state "failure rate 12.3 % +/- 2.1 % (95 %)" honestly.
+
+#include "core/campaign.hpp"
+
+namespace gfi::campaign {
+
+/// A binomial proportion with its Wilson score confidence interval.
+struct Proportion {
+    double estimate = 0.0; ///< successes / trials
+    double low = 0.0;      ///< interval lower bound
+    double high = 0.0;     ///< interval upper bound
+    int successes = 0;
+    int trials = 0;
+};
+
+/// Wilson score interval for @p successes out of @p trials at confidence
+/// z (default 1.96 = 95 %). Well-behaved at 0 and N (unlike the normal
+/// approximation), which matters for rare failure outcomes.
+[[nodiscard]] Proportion wilsonInterval(int successes, int trials, double z = 1.96);
+
+/// Number of samples needed so the half-width of the (worst-case p = 0.5)
+/// normal-approximation interval is at most @p halfWidth at confidence z.
+[[nodiscard]] int requiredSamples(double halfWidth, double z = 1.96);
+
+/// Outcome-rate statistics over a campaign report.
+struct OutcomeRates {
+    Proportion silent;
+    Proportion latent;
+    Proportion transient;
+    Proportion failure;
+
+    /// Any-observable-effect rate (non-silent).
+    Proportion effective;
+};
+
+/// Computes per-outcome Wilson intervals over @p report.
+[[nodiscard]] OutcomeRates outcomeRates(const CampaignReport& report, double z = 1.96);
+
+/// Renders the rates as a printable table.
+[[nodiscard]] std::string ratesTable(const OutcomeRates& rates);
+
+} // namespace gfi::campaign

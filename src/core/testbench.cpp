@@ -1,0 +1,128 @@
+#include "core/testbench.hpp"
+
+#include <stdexcept>
+
+namespace gfi::fault {
+
+namespace {
+
+[[noreturn]] void unknownTarget(const char* kind, const std::string& name)
+{
+    throw std::invalid_argument(std::string("armFault: unknown ") + kind + " '" + name + "'");
+}
+
+struct Armer {
+    Testbench& tb;
+
+    void operator()(const std::monostate&) const {} // golden run: nothing to arm
+
+    void operator()(const BitFlipFault& f) const
+    {
+        auto& reg = tb.sim().digital().instrumentation();
+        if (!reg.contains(f.target)) {
+            unknownTarget("state element", f.target);
+        }
+        const digital::StateHook& hook = reg.hook(f.target);
+        const int bit = f.bit;
+        tb.sim().digital().scheduler().scheduleAction(f.time,
+                                                      [&hook, bit] { hook.flipBit(bit); });
+    }
+
+    void operator()(const DoubleBitFlipFault& f) const
+    {
+        auto& reg = tb.sim().digital().instrumentation();
+        if (!reg.contains(f.target)) {
+            unknownTarget("state element", f.target);
+        }
+        const digital::StateHook& hook = reg.hook(f.target);
+        const int bitA = f.bitA;
+        const int bitB = f.bitB;
+        tb.sim().digital().scheduler().scheduleAction(f.time, [&hook, bitA, bitB] {
+            hook.flipBit(bitA);
+            hook.flipBit(bitB);
+        });
+    }
+
+    void operator()(const StateWriteFault& f) const
+    {
+        auto& reg = tb.sim().digital().instrumentation();
+        if (!reg.contains(f.target)) {
+            unknownTarget("state element", f.target);
+        }
+        const digital::StateHook& hook = reg.hook(f.target);
+        const std::uint64_t value = f.value;
+        tb.sim().digital().scheduler().scheduleAction(f.time,
+                                                      [&hook, value] { hook.set(value); });
+    }
+
+    void operator()(const FsmTransitionFault& f) const
+    {
+        digital::TableFsm* fsm = tb.findFsm(f.target);
+        if (fsm == nullptr) {
+            unknownTarget("FSM", f.target);
+        }
+        const int state = f.forcedState;
+        tb.sim().digital().scheduler().scheduleAction(
+            f.time, [fsm, state] { fsm->corruptNextTransition(state); });
+    }
+
+    void operator()(const DigitalPulseFault& f) const
+    {
+        DigitalSaboteur* sab = tb.findDigitalSaboteur(f.saboteur);
+        if (sab == nullptr) {
+            unknownTarget("digital saboteur", f.saboteur);
+        }
+        sab->injectPulse(f.time, f.width);
+    }
+
+    void operator()(const StuckAtFault& f) const
+    {
+        DigitalSaboteur* sab = tb.findDigitalSaboteur(f.saboteur);
+        if (sab == nullptr) {
+            unknownTarget("digital saboteur", f.saboteur);
+        }
+        sab->injectStuckAt(f.time, f.value, f.duration);
+    }
+
+    void operator()(const CurrentPulseFault& f) const
+    {
+        CurrentSaboteur* sab = tb.findCurrentSaboteur(f.saboteur);
+        if (sab == nullptr) {
+            unknownTarget("current saboteur", f.saboteur);
+        }
+        if (!f.shape) {
+            throw std::invalid_argument("armFault: current pulse without a shape");
+        }
+        sab->arm(f.timeSeconds, *f.shape);
+    }
+
+    void operator()(const ParametricFault& f) const
+    {
+        const auto* setter = tb.findParameter(f.parameter);
+        if (setter == nullptr) {
+            unknownTarget("parameter", f.parameter);
+        }
+        const double factor = f.factor;
+        auto& simRef = tb.sim();
+        auto apply = [setter, factor, &simRef] {
+            (*setter)(factor);
+            if (simRef.elaborated()) {
+                simRef.solver().markDiscontinuity();
+            }
+        };
+        if (f.time == 0) {
+            apply(); // present from elaboration (process-variation style)
+        } else {
+            simRef.digital().scheduler().scheduleAction(f.time, apply);
+        }
+    }
+};
+
+} // namespace
+
+void armFault(Testbench& tb, const FaultSpec& fault)
+{
+    std::visit(Armer{tb}, fault);
+}
+
+} // namespace gfi::fault

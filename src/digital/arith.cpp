@@ -1,0 +1,113 @@
+#include "digital/arith.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+namespace {
+
+std::vector<SignalBase*> busSensitivity(std::initializer_list<const Bus*> buses,
+                                        std::initializer_list<LogicSignal*> extra = {})
+{
+    std::vector<SignalBase*> sens;
+    for (const Bus* b : buses) {
+        for (LogicSignal* s : b->bits()) {
+            sens.push_back(s);
+        }
+    }
+    for (LogicSignal* s : extra) {
+        if (s != nullptr) {
+            sens.push_back(s);
+        }
+    }
+    return sens;
+}
+
+} // namespace
+
+Adder::Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus& sum,
+             LogicSignal* cin, LogicSignal* cout, SimTime delay)
+    : Component(std::move(name))
+{
+    if (a.width() != b.width() || a.width() != sum.width()) {
+        throw std::invalid_argument("Adder '" + this->name() + "': width mismatch");
+    }
+    const int width = a.width();
+    c.process(this->name() + "/eval",
+              [a, b, sum, cin, cout, width, delay] {
+                  bool knownA = true;
+                  bool knownB = true;
+                  const std::uint64_t va = a.toUint(&knownA);
+                  const std::uint64_t vb = b.toUint(&knownB);
+                  bool knownC = true;
+                  std::uint64_t vc = 0;
+                  if (cin != nullptr) {
+                      const Logic l = toX01(cin->value());
+                      knownC = l == Logic::Zero || l == Logic::One;
+                      vc = l == Logic::One ? 1 : 0;
+                  }
+                  if (!knownA || !knownB || !knownC) {
+                      for (LogicSignal* s : sum.bits()) {
+                          s->scheduleInertial(Logic::X, delay);
+                      }
+                      if (cout != nullptr) {
+                          cout->scheduleInertial(Logic::X, delay);
+                      }
+                      return;
+                  }
+                  const std::uint64_t full = va + vb + vc;
+                  sum.scheduleUint(full, delay);
+                  if (cout != nullptr) {
+                      const bool carry = width < 64 && (full >> width) != 0;
+                      cout->scheduleInertial(fromBool(carry), delay);
+                  }
+              },
+              busSensitivity({&a, &b}, {cin}));
+}
+
+EqComparator::EqComparator(Circuit& c, std::string name, const Bus& a, const Bus& b,
+                           LogicSignal& eq, SimTime delay)
+    : Component(std::move(name))
+{
+    if (a.width() != b.width()) {
+        throw std::invalid_argument("EqComparator '" + this->name() + "': width mismatch");
+    }
+    c.process(this->name() + "/eval",
+              [a, b, &eq, delay] {
+                  bool knownA = true;
+                  bool knownB = true;
+                  const std::uint64_t va = a.toUint(&knownA);
+                  const std::uint64_t vb = b.toUint(&knownB);
+                  if (!knownA || !knownB) {
+                      eq.scheduleInertial(Logic::X, delay);
+                  } else {
+                      eq.scheduleInertial(fromBool(va == vb), delay);
+                  }
+              },
+              busSensitivity({&a, &b}));
+}
+
+BusMux2::BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& sel,
+                 const Bus& y, SimTime delay)
+    : Component(std::move(name))
+{
+    if (a.width() != b.width() || a.width() != y.width()) {
+        throw std::invalid_argument("BusMux2 '" + this->name() + "': width mismatch");
+    }
+    c.process(this->name() + "/eval",
+              [a, b, &sel, y, delay] {
+                  const Logic s = toX01(sel.value());
+                  for (int i = 0; i < y.width(); ++i) {
+                      Logic out = Logic::X;
+                      if (s == Logic::Zero) {
+                          out = toX01(a.bit(i).value());
+                      } else if (s == Logic::One) {
+                          out = toX01(b.bit(i).value());
+                      }
+                      y.bit(i).scheduleInertial(out, delay);
+                  }
+              },
+              busSensitivity({&a, &b}, {&sel}));
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,30 @@
+#pragma once
+// Combinational bus-level datapath components: adder, comparator, bus mux.
+
+#include "digital/circuit.hpp"
+
+namespace gfi::digital {
+
+/// Combinational unsigned adder: sum = a + b (+ cin), with optional carry out.
+class Adder : public Component {
+public:
+    Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus& sum,
+          LogicSignal* cin = nullptr, LogicSignal* cout = nullptr,
+          SimTime delay = 300 * kPicosecond);
+};
+
+/// Combinational equality comparator: eq = (a == b), X if any input unknown.
+class EqComparator : public Component {
+public:
+    EqComparator(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& eq,
+                 SimTime delay = 200 * kPicosecond);
+};
+
+/// Two-to-one bus multiplexer: y = sel ? b : a.
+class BusMux2 : public Component {
+public:
+    BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& sel,
+            const Bus& y, SimTime delay = 150 * kPicosecond);
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,147 @@
+#pragma once
+// Circuit: the elaborated digital design — owns the scheduler, all signals,
+// all processes and all component instances, and exposes name-based lookup
+// plus the instrumentation registry used for fault injection.
+
+#include "digital/instrument.hpp"
+#include "digital/signal.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gfi::digital {
+
+/// Base class for structural component instances. Components register their
+/// processes and instrumentation hooks in the owning Circuit at construction.
+class Component {
+public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    /// Hierarchical instance name.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+};
+
+/// A group of single-bit signals addressed as one vector value (LSB first).
+class Bus {
+public:
+    Bus() = default;
+    explicit Bus(std::vector<LogicSignal*> bits) : bits_(std::move(bits)) {}
+
+    /// Number of bits.
+    [[nodiscard]] int width() const noexcept { return static_cast<int>(bits_.size()); }
+
+    /// Bit i (LSB = 0).
+    [[nodiscard]] LogicSignal& bit(int i) const { return *bits_.at(static_cast<std::size_t>(i)); }
+
+    /// Reads the bus as an unsigned integer; unknown bits read as 0 and set
+    /// the optional @p allKnown flag to false.
+    [[nodiscard]] std::uint64_t toUint(bool* allKnown = nullptr) const;
+
+    /// Schedules every bit (inertial) so the bus carries @p value after @p delay.
+    void scheduleUint(std::uint64_t value, SimTime delay = 0) const;
+
+    /// Forces every bit immediately (testbench/injector use).
+    void forceUint(std::uint64_t value) const;
+
+    /// Renders as a bit string, MSB first (e.g. "0101").
+    [[nodiscard]] std::string str() const;
+
+    /// Underlying signals, LSB first.
+    [[nodiscard]] const std::vector<LogicSignal*>& bits() const noexcept { return bits_; }
+
+private:
+    std::vector<LogicSignal*> bits_;
+};
+
+/// The elaborated design root.
+class Circuit {
+public:
+    Circuit() = default;
+
+    /// The event kernel driving this circuit.
+    [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+    [[nodiscard]] const Scheduler& scheduler() const noexcept { return sched_; }
+
+    /// Creates (and owns) a typed signal. Names must be unique.
+    template <typename T>
+    Signal<T>& signal(const std::string& name, T initial)
+    {
+        auto sig = std::make_unique<Signal<T>>(sched_, name, initial);
+        Signal<T>& ref = *sig;
+        registerSignal(name, std::move(sig));
+        return ref;
+    }
+
+    /// Creates a single-bit logic signal (default initial value 'U').
+    LogicSignal& logicSignal(const std::string& name, Logic initial = Logic::U)
+    {
+        return signal<Logic>(name, initial);
+    }
+
+    /// Creates @p width logic signals "<name>[i]" and returns them as a Bus.
+    Bus bus(const std::string& name, int width, Logic initial = Logic::U);
+
+    /// Looks up a previously created logic signal; throws std::out_of_range.
+    [[nodiscard]] LogicSignal& findLogic(const std::string& name) const;
+
+    /// True if a signal with this exact name exists.
+    [[nodiscard]] bool hasSignal(const std::string& name) const
+    {
+        return signals_.count(name) != 0;
+    }
+
+    /// Names of all signals, in creation order.
+    [[nodiscard]] const std::vector<std::string>& signalNames() const noexcept
+    {
+        return signalOrder_;
+    }
+
+    /// Creates (and owns) a process sensitive to @p sensitivity.
+    Process& process(const std::string& name, std::function<void()> fn,
+                     std::initializer_list<SignalBase*> sensitivity = {});
+
+    /// Creates (and owns) a process with a vector sensitivity list.
+    Process& process(const std::string& name, std::function<void()> fn,
+                     const std::vector<SignalBase*>& sensitivity);
+
+    /// Constructs a component in place; the circuit owns it.
+    template <typename C, typename... Args>
+    C& add(Args&&... args)
+    {
+        auto comp = std::make_unique<C>(std::forward<Args>(args)...);
+        C& ref = *comp;
+        components_.push_back(std::move(comp));
+        return ref;
+    }
+
+    /// The mutant/injection hook registry.
+    [[nodiscard]] InstrumentationRegistry& instrumentation() noexcept { return registry_; }
+    [[nodiscard]] const InstrumentationRegistry& instrumentation() const noexcept
+    {
+        return registry_;
+    }
+
+    /// Convenience: run the kernel until @p t.
+    void runUntil(SimTime t) { sched_.runUntil(t); }
+
+private:
+    void registerSignal(const std::string& name, std::unique_ptr<SignalBase> sig);
+
+    Scheduler sched_;
+    std::unordered_map<std::string, std::unique_ptr<SignalBase>> signals_;
+    std::vector<std::string> signalOrder_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<std::unique_ptr<Component>> components_;
+    InstrumentationRegistry registry_;
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,65 @@
+#include "digital/fsm.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+TableFsm::TableFsm(Circuit& c, std::string name, LogicSignal& clk, LogicSignal* rstn,
+                   const Bus& in, const Bus& out, int numStates, int resetState,
+                   TransitionFn nextState, OutputFn output, SimTime clkToQ)
+    : Component(std::move(name)), state_(resetState), numStates_(numStates),
+      nextState_(std::move(nextState)), output_(std::move(output)), in_(in), out_(out),
+      clkToQ_(clkToQ)
+{
+    if (numStates < 2 || resetState < 0 || resetState >= numStates) {
+        throw std::invalid_argument("TableFsm '" + this->name() + "': bad state config");
+    }
+    stateBits_ = 1;
+    while ((1 << stateBits_) < numStates_) {
+        ++stateBits_;
+    }
+
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, rstn, resetState] {
+                  if (rstn != nullptr && toX01(rstn->value()) == Logic::Zero) {
+                      state_ = resetState;
+                      hasForcedNext_ = false;
+                      drive();
+                  } else if (risingEdge(clk)) {
+                      if (hasForcedNext_) {
+                          state_ = forcedNext_;
+                          hasForcedNext_ = false;
+                      } else {
+                          state_ = nextState_(state_, in_.toUint());
+                      }
+                      drive();
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), stateBits_,
+        [this] { return static_cast<std::uint64_t>(state_); },
+        [this](std::uint64_t v) { forceState(static_cast<int>(v)); },
+        [this](int bit) { forceState(state_ ^ (1 << bit)); }});
+}
+
+void TableFsm::forceState(int s)
+{
+    // A bit-flip can land outside the valid state set; keep the raw value so
+    // the campaign can observe how the (possibly undefined) machine recovers,
+    // but clamp to the representable range.
+    state_ = s & ((1 << stateBits_) - 1);
+    drive();
+}
+
+void TableFsm::drive()
+{
+    out_.scheduleUint(output_(state_, in_.toUint()), clkToQ_);
+}
+
+} // namespace gfi::digital

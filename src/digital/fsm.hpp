@@ -1,0 +1,68 @@
+#pragma once
+// Table-driven finite state machine with high-level fault hooks.
+//
+// Reference [11] of the paper (Leveugle & Hadjiat, JETTA 2003) models SEU
+// effects at a level above bit-flips: *erroneous transitions* in a finite
+// state machine. TableFsm supports both models: its state register has a
+// bit-flip hook like any sequential element, and corruptNextTransition()
+// forces an arbitrary (possibly unreachable) next state at the next active
+// clock edge.
+
+#include "digital/circuit.hpp"
+
+#include <functional>
+
+namespace gfi::digital {
+
+/// Synchronous Moore/Mealy FSM described by callable next-state and output
+/// functions (a transition table is the usual special case).
+class TableFsm : public Component {
+public:
+    /// Computes the next state from (currentState, inputValue).
+    using TransitionFn = std::function<int(int, std::uint64_t)>;
+    /// Computes the output value from (currentState, inputValue).
+    using OutputFn = std::function<std::uint64_t(int, std::uint64_t)>;
+
+    /// @param in          input bus sampled at each rising clock edge.
+    /// @param out         output bus driven after each state update.
+    /// @param numStates   number of valid states (states are 0..numStates-1).
+    /// @param resetState  state entered on asynchronous reset.
+    TableFsm(Circuit& c, std::string name, LogicSignal& clk, LogicSignal* rstn, const Bus& in,
+             const Bus& out, int numStates, int resetState, TransitionFn nextState,
+             OutputFn output, SimTime clkToQ = 200 * kPicosecond);
+
+    /// Current state.
+    [[nodiscard]] int state() const noexcept { return state_; }
+
+    /// Overwrites the state immediately and re-drives outputs (SEU on the
+    /// state register).
+    void forceState(int s);
+
+    /// Arms an erroneous-transition fault: at the next rising clock edge the
+    /// FSM goes to @p s regardless of the transition function (reference [11]
+    /// style high-level fault).
+    void corruptNextTransition(int s)
+    {
+        forcedNext_ = s;
+        hasForcedNext_ = true;
+    }
+
+    /// Number of state bits (hook width).
+    [[nodiscard]] int stateBits() const noexcept { return stateBits_; }
+
+private:
+    void drive();
+
+    int state_;
+    int numStates_;
+    int stateBits_;
+    int forcedNext_ = 0;
+    bool hasForcedNext_ = false;
+    TransitionFn nextState_;
+    OutputFn output_;
+    Bus in_;
+    Bus out_;
+    SimTime clkToQ_;
+};
+
+} // namespace gfi::digital

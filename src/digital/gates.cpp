@@ -1,0 +1,90 @@
+#include "digital/gates.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+Gate::Gate(Circuit& c, std::string name, GateKind kind, std::vector<LogicSignal*> inputs,
+           LogicSignal& output, SimTime delay)
+    : Component(std::move(name)), kind_(kind), inputs_(std::move(inputs)), output_(&output),
+      delay_(delay)
+{
+    if (inputs_.empty()) {
+        throw std::invalid_argument("Gate '" + this->name() + "': needs at least one input");
+    }
+    if ((kind_ == GateKind::Buf || kind_ == GateKind::Not) && inputs_.size() != 1) {
+        throw std::invalid_argument("Gate '" + this->name() + "': Buf/Not take one input");
+    }
+    std::vector<SignalBase*> sens(inputs_.begin(), inputs_.end());
+    c.process(this->name() + "/eval",
+              [this] {
+                  std::vector<Logic> values;
+                  values.reserve(inputs_.size());
+                  for (const LogicSignal* in : inputs_) {
+                      values.push_back(in->value());
+                  }
+                  output_->scheduleInertial(evaluate(kind_, values), delay_);
+              },
+              sens);
+}
+
+Logic Gate::evaluate(GateKind kind, const std::vector<Logic>& values)
+{
+    switch (kind) {
+    case GateKind::Buf:
+        return toX01(values.front());
+    case GateKind::Not:
+        return logicNot(values.front());
+    default:
+        break;
+    }
+    Logic acc = values.front();
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        switch (kind) {
+        case GateKind::And:
+        case GateKind::Nand:
+            acc = logicAnd(acc, values[i]);
+            break;
+        case GateKind::Or:
+        case GateKind::Nor:
+            acc = logicOr(acc, values[i]);
+            break;
+        case GateKind::Xor:
+        case GateKind::Xnor:
+            acc = logicXor(acc, values[i]);
+            break;
+        default:
+            break;
+        }
+    }
+    switch (kind) {
+    case GateKind::Nand:
+    case GateKind::Nor:
+    case GateKind::Xnor:
+        return logicNot(acc);
+    default:
+        return toX01(acc);
+    }
+}
+
+Mux2::Mux2(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& sel,
+           LogicSignal& y, SimTime delay)
+    : Component(std::move(name))
+{
+    c.process(this->name() + "/eval",
+              [&a, &b, &sel, &y, delay] {
+                  const Logic s = toX01(sel.value());
+                  Logic out = Logic::X;
+                  if (s == Logic::Zero) {
+                      out = toX01(a.value());
+                  } else if (s == Logic::One) {
+                      out = toX01(b.value());
+                  } else if (toX01(a.value()) == toX01(b.value())) {
+                      out = toX01(a.value()); // both branches agree: sel unknown is harmless
+                  }
+                  y.scheduleInertial(out, delay);
+              },
+              {&a, &b, &sel});
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,84 @@
+#pragma once
+// Combinational component library: gates, buffers and multiplexers.
+//
+// Every gate is a Component that instantiates one process sensitive to its
+// inputs and drives its output with inertial delay — the standard behavioral
+// idiom the paper's digital flow instruments.
+
+#include "digital/circuit.hpp"
+
+#include <vector>
+
+namespace gfi::digital {
+
+/// Default combinational propagation delay.
+inline constexpr SimTime kDefaultGateDelay = 100 * kPicosecond;
+
+/// N-input gate kinds sharing one implementation.
+enum class GateKind { And, Or, Nand, Nor, Xor, Xnor, Buf, Not };
+
+/// Generic N-input logic gate (Buf/Not take exactly one input).
+class Gate : public Component {
+public:
+    /// Builds the gate and registers its evaluation process in @p c.
+    Gate(Circuit& c, std::string name, GateKind kind, std::vector<LogicSignal*> inputs,
+         LogicSignal& output, SimTime delay = kDefaultGateDelay);
+
+    /// Combinational function of this gate applied to explicit values.
+    [[nodiscard]] static Logic evaluate(GateKind kind, const std::vector<Logic>& values);
+
+private:
+    GateKind kind_;
+    std::vector<LogicSignal*> inputs_;
+    LogicSignal* output_;
+    SimTime delay_;
+};
+
+/// Two-input AND convenience wrapper.
+class AndGate : public Gate {
+public:
+    AndGate(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& y,
+            SimTime delay = kDefaultGateDelay)
+        : Gate(c, std::move(name), GateKind::And, {&a, &b}, y, delay)
+    {
+    }
+};
+
+/// Two-input OR convenience wrapper.
+class OrGate : public Gate {
+public:
+    OrGate(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& y,
+           SimTime delay = kDefaultGateDelay)
+        : Gate(c, std::move(name), GateKind::Or, {&a, &b}, y, delay)
+    {
+    }
+};
+
+/// Two-input XOR convenience wrapper.
+class XorGate : public Gate {
+public:
+    XorGate(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& y,
+            SimTime delay = kDefaultGateDelay)
+        : Gate(c, std::move(name), GateKind::Xor, {&a, &b}, y, delay)
+    {
+    }
+};
+
+/// Inverter convenience wrapper.
+class NotGate : public Gate {
+public:
+    NotGate(Circuit& c, std::string name, LogicSignal& a, LogicSignal& y,
+            SimTime delay = kDefaultGateDelay)
+        : Gate(c, std::move(name), GateKind::Not, {&a}, y, delay)
+    {
+    }
+};
+
+/// Two-to-one single-bit multiplexer: y = sel ? b : a.
+class Mux2 : public Component {
+public:
+    Mux2(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& sel,
+         LogicSignal& y, SimTime delay = kDefaultGateDelay);
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,43 @@
+#include "digital/instrument.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+void InstrumentationRegistry::add(StateHook hook)
+{
+    if (hooks_.count(hook.name) != 0) {
+        throw std::invalid_argument("InstrumentationRegistry: duplicate hook '" + hook.name + "'");
+    }
+    hooks_.emplace(hook.name, std::move(hook));
+}
+
+const StateHook& InstrumentationRegistry::hook(const std::string& name) const
+{
+    const auto it = hooks_.find(name);
+    if (it == hooks_.end()) {
+        throw std::out_of_range("InstrumentationRegistry: unknown hook '" + name + "'");
+    }
+    return it->second;
+}
+
+std::vector<std::string> InstrumentationRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(hooks_.size());
+    for (const auto& [name, hook] : hooks_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+int InstrumentationRegistry::totalBits() const
+{
+    int bits = 0;
+    for (const auto& [name, hook] : hooks_) {
+        bits += hook.width;
+    }
+    return bits;
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,61 @@
+#pragma once
+// Instrumentation registry: the "mutant" side of the paper's flow.
+//
+// In the paper, digital blocks are turned into *mutants* — modified
+// descriptions whose memorized values can be corrupted during simulation
+// (bit-flips modelling SEUs, erroneous FSM transitions, ...). Here every
+// sequential component self-registers a StateHook under its hierarchical
+// name; a fault injector addresses the hook by name to read, set or flip the
+// stored bits. This reproduces the separation the paper keeps between the
+// instrumented description and the campaign definition.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gfi::digital {
+
+/// Access hooks into one sequential element's stored state.
+struct StateHook {
+    std::string name;                       ///< hierarchical instance name
+    int width = 1;                          ///< number of state bits
+    std::function<std::uint64_t()> get;     ///< reads the stored bits
+    std::function<void(std::uint64_t)> set; ///< overwrites the stored bits and propagates
+    std::function<void(int)> flipBit;       ///< flips bit i (SEU) and propagates
+};
+
+/// Name-indexed collection of every injectable state element in a circuit.
+class InstrumentationRegistry {
+public:
+    /// Registers a hook; throws std::invalid_argument on duplicate names.
+    void add(StateHook hook);
+
+    /// Looks up a hook; throws std::out_of_range when @p name is unknown.
+    [[nodiscard]] const StateHook& hook(const std::string& name) const;
+
+    /// True if a hook with this name exists.
+    [[nodiscard]] bool contains(const std::string& name) const
+    {
+        return hooks_.count(name) != 0;
+    }
+
+    /// All registered hook names, sorted (map order): this is the fault-target
+    /// list a campaign enumerates.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Total number of injectable state bits across all hooks.
+    [[nodiscard]] int totalBits() const;
+
+    /// Iteration support.
+    [[nodiscard]] const std::map<std::string, StateHook>& all() const noexcept
+    {
+        return hooks_;
+    }
+
+private:
+    std::map<std::string, StateHook> hooks_;
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,103 @@
+#include "digital/memory.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+namespace {
+
+std::uint64_t widthMask(int width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Ram
+
+Ram::Ram(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& we, const Bus& addr,
+         const Bus& wdata, const Bus& rdata, SimTime readDelay)
+    : Component(std::move(name)), depth_(1 << addr.width()), width_(wdata.width()),
+      mask_(widthMask(wdata.width())), addr_(addr), rdata_(rdata), readDelay_(readDelay)
+{
+    if (wdata.width() != rdata.width()) {
+        throw std::invalid_argument("Ram '" + this->name() + "': wdata/rdata width mismatch");
+    }
+    if (addr.width() > 16) {
+        throw std::invalid_argument("Ram '" + this->name() + "': address bus too wide");
+    }
+    storage_.assign(static_cast<std::size_t>(depth_), 0);
+
+    // Write port.
+    c.process(this->name() + "/write",
+              [this, &clk, &we, wdata] {
+                  if (risingEdge(clk) && toX01(we.value()) == Logic::One) {
+                      bool known = true;
+                      const auto a = static_cast<int>(addr_.toUint(&known));
+                      if (known) {
+                          storage_[static_cast<std::size_t>(a)] = wdata.toUint() & mask_;
+                          refreshRead();
+                      }
+                  }
+              },
+              {&clk});
+
+    // Asynchronous read port.
+    std::vector<SignalBase*> sens(addr_.bits().begin(), addr_.bits().end());
+    c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+
+    // One SEU hook per word.
+    for (int w = 0; w < depth_; ++w) {
+        c.instrumentation().add(StateHook{
+            this->name() + "/w" + std::to_string(w), width_,
+            [this, w] { return storage_[static_cast<std::size_t>(w)]; },
+            [this, w](std::uint64_t v) { setWord(w, v); },
+            [this, w](int bit) { setWord(w, storage_[static_cast<std::size_t>(w)] ^ (1ull << bit)); }});
+    }
+}
+
+void Ram::setWord(int address, std::uint64_t value)
+{
+    storage_.at(static_cast<std::size_t>(address)) = value & mask_;
+    refreshRead();
+}
+
+void Ram::refreshRead()
+{
+    bool known = true;
+    const auto a = static_cast<int>(addr_.toUint(&known));
+    if (!known) {
+        for (LogicSignal* s : rdata_.bits()) {
+            s->scheduleInertial(Logic::X, readDelay_);
+        }
+        return;
+    }
+    rdata_.scheduleUint(storage_[static_cast<std::size_t>(a)], readDelay_);
+}
+
+// ---------------------------------------------------------------------------
+// Rom
+
+Rom::Rom(Circuit& c, std::string name, const Bus& addr, const Bus& rdata,
+         std::vector<std::uint64_t> contents, SimTime readDelay)
+    : Component(std::move(name)), contents_(std::move(contents))
+{
+    contents_.resize(1ull << addr.width(), 0);
+    std::vector<SignalBase*> sens(addr.bits().begin(), addr.bits().end());
+    c.process(this->name() + "/read",
+              [this, addr, rdata, readDelay] {
+                  bool known = true;
+                  const auto a = addr.toUint(&known);
+                  if (!known) {
+                      for (LogicSignal* s : rdata.bits()) {
+                          s->scheduleInertial(Logic::X, readDelay);
+                      }
+                      return;
+                  }
+                  rdata.scheduleUint(contents_[a], readDelay);
+              },
+              sens);
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,59 @@
+#pragma once
+// Memory components: synchronous RAM (per-word SEU hooks) and combinational
+// ROM. Memories are the canonical SEU target — every stored word registers
+// its own instrumentation hook so campaigns can flip any bit of any word.
+
+#include "digital/circuit.hpp"
+
+namespace gfi::digital {
+
+/// Synchronous-write RAM with asynchronous (combinational) read.
+class Ram : public Component {
+public:
+    /// @param clk    write clock (positive edge).
+    /// @param we     write enable (active high).
+    /// @param addr   address bus (depth = 2^addr.width()).
+    /// @param wdata  write-data bus.
+    /// @param rdata  read-data bus (follows addr combinationally).
+    Ram(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& we, const Bus& addr,
+        const Bus& wdata, const Bus& rdata, SimTime readDelay = 500 * kPicosecond);
+
+    /// Word count.
+    [[nodiscard]] int depth() const noexcept { return depth_; }
+
+    /// Data width in bits.
+    [[nodiscard]] int width() const noexcept { return width_; }
+
+    /// Direct word access (testbench preload / inspection).
+    [[nodiscard]] std::uint64_t word(int address) const
+    {
+        return storage_.at(static_cast<std::size_t>(address));
+    }
+
+    /// Overwrites a word and refreshes the read port (SEU injection uses the
+    /// per-word hooks registered as "<name>/w<addr>").
+    void setWord(int address, std::uint64_t value);
+
+private:
+    void refreshRead();
+
+    std::vector<std::uint64_t> storage_;
+    int depth_;
+    int width_;
+    std::uint64_t mask_;
+    Bus addr_;
+    Bus rdata_;
+    SimTime readDelay_;
+};
+
+/// Combinational ROM: rdata = contents[addr].
+class Rom : public Component {
+public:
+    Rom(Circuit& c, std::string name, const Bus& addr, const Bus& rdata,
+        std::vector<std::uint64_t> contents, SimTime readDelay = 500 * kPicosecond);
+
+private:
+    std::vector<std::uint64_t> contents_;
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,118 @@
+#include "digital/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+void Scheduler::scheduleTransaction(SimTime t, std::function<void()> apply)
+{
+    if (t < now_) {
+        t = now_; // defensive: never schedule in the past
+    }
+    queue_.push(Entry{t, seq_++, true, std::move(apply)});
+}
+
+void Scheduler::scheduleAction(SimTime t, std::function<void()> action)
+{
+    if (t < now_) {
+        t = now_;
+    }
+    queue_.push(Entry{t, seq_++, false, std::move(action)});
+}
+
+void Scheduler::wake(Process* p)
+{
+    if (p->queued_) {
+        return;
+    }
+    p->queued_ = true;
+    runnable_.push_back(p);
+}
+
+SimTime Scheduler::nextEventTime() const noexcept
+{
+    return queue_.empty() ? kTimeMax : queue_.top().time;
+}
+
+void Scheduler::start()
+{
+    if (started_) {
+        return;
+    }
+    started_ = true;
+    // VHDL elaboration: every process runs once at time zero.
+    for (Process* p : processes_) {
+        p->run();
+    }
+    runDeltasNow();
+}
+
+void Scheduler::runWave()
+{
+    // Phase 1: apply signal transactions due now; phase 2: actions; phase 3:
+    // woken processes. The wave id advances only after the processes ran, so
+    // events stamped in phases 1-2 are visible to them.
+    std::vector<std::function<void()>> transactions;
+    std::vector<std::function<void()>> actions;
+    while (!queue_.empty() && queue_.top().time <= now_) {
+        Entry e = queue_.top();
+        queue_.pop();
+        (e.isTransaction ? transactions : actions).push_back(std::move(e.fn));
+    }
+    for (auto& fn : transactions) {
+        fn();
+    }
+    for (auto& fn : actions) {
+        fn();
+    }
+    std::vector<Process*> toRun;
+    toRun.swap(runnable_);
+    for (Process* p : toRun) {
+        p->queued_ = false;
+        p->run();
+    }
+    ++waveId_;
+    ++deltasRun_;
+}
+
+void Scheduler::runUntil(SimTime tEnd)
+{
+    constexpr std::uint64_t kDeltaLimit = 1'000'000;
+    start();
+    // Values forced from outside the kernel (testbenches, bridges) may have
+    // woken processes without queuing any entry; drain them before advancing.
+    runDeltasNow();
+    while (!queue_.empty() && queue_.top().time <= tEnd) {
+        const SimTime t = queue_.top().time;
+        now_ = t < now_ ? now_ : t;
+        std::uint64_t deltasHere = 0;
+        while (workPendingNow()) {
+            if (++deltasHere > kDeltaLimit) {
+                throw std::runtime_error(
+                    "Scheduler: delta-cycle limit exceeded at t=" + formatTime(now_) +
+                    " (combinational loop or zero-delay oscillation)");
+            }
+            runWave();
+        }
+    }
+    if (tEnd > now_) {
+        now_ = tEnd;
+    }
+}
+
+void Scheduler::runDeltasNow()
+{
+    constexpr std::uint64_t kDeltaLimit = 1'000'000;
+    started_ = true;
+    std::uint64_t deltasHere = 0;
+    while (workPendingNow()) {
+        if (++deltasHere > kDeltaLimit) {
+            throw std::runtime_error(
+                "Scheduler: delta-cycle limit exceeded at t=" + formatTime(now_) +
+                " (combinational loop or zero-delay oscillation)");
+        }
+        runWave();
+    }
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,138 @@
+#pragma once
+// Event-driven digital simulation kernel with VHDL-style delta cycles.
+//
+// Execution model — one *wave* is:
+//   1. apply all signal transactions due at the current time (value updates;
+//      a changed value marks an event and wakes sensitive processes);
+//   2. run all scheduled actions (clock generators, fault injectors, ...);
+//   3. run every woken process.
+// Waves repeat at the same simulation time until no zero-delay work remains
+// (delta cycles), then time advances to the next pending entry.
+//
+// Event visibility: a signal event is visible (signal.event() == true) to the
+// processes that run in the same wave in which the value changed. This also
+// holds for values forced from outside the kernel (mixed-mode bridges, fault
+// injectors): the forcing call stamps the current wave, and the next wave run
+// by runDeltasNow() executes the woken processes before the wave id advances.
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace gfi::digital {
+
+class Scheduler;
+
+/// A concurrent process: a callback executed whenever one of the signals it is
+/// sensitive to has an event (VHDL process with a sensitivity list).
+class Process {
+public:
+    /// @param name  diagnostic name (hierarchical by convention, e.g. "pfd/ff1").
+    /// @param fn    body executed on wake-up.
+    Process(std::string name, std::function<void()> fn)
+        : name_(std::move(name)), fn_(std::move(fn))
+    {
+    }
+
+    /// Diagnostic name.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Executes the process body once.
+    void run() { fn_(); }
+
+private:
+    friend class Scheduler;
+    std::string name_;
+    std::function<void()> fn_;
+    bool queued_ = false; // already in the runnable set
+};
+
+/// The digital event queue / delta-cycle engine.
+class Scheduler {
+public:
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Current simulation time.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Identifier of the execution wave currently running (or about to run).
+    /// Signal events stamped with this id are "fresh" for edge detection.
+    [[nodiscard]] std::uint64_t waveId() const noexcept { return waveId_; }
+
+    /// Total number of waves (delta cycles) executed — diagnostic metric.
+    [[nodiscard]] std::uint64_t deltaCycles() const noexcept { return deltasRun_; }
+
+    /// Registers a process so the kernel can run it once at startup
+    /// (VHDL elaboration semantics). Called by Circuit.
+    void registerProcess(Process* p) { processes_.push_back(p); }
+
+    /// Queues a signal-value update at absolute time @p t (phase 1 of a wave).
+    void scheduleTransaction(SimTime t, std::function<void()> apply);
+
+    /// Queues a callback at absolute time @p t (phase 2 of a wave). Used for
+    /// clock generators, testbench stimuli and fault-injection triggers.
+    void scheduleAction(SimTime t, std::function<void()> action);
+
+    /// Marks @p p runnable in the current wave (called on signal events).
+    void wake(Process* p);
+
+    /// Earliest pending entry time, or kTimeMax if the queue is empty.
+    [[nodiscard]] SimTime nextEventTime() const noexcept;
+
+    /// Processes every entry with time <= @p tEnd, then sets now() = tEnd.
+    /// Runs all registered processes once first if the kernel has not started.
+    void runUntil(SimTime tEnd);
+
+    /// Runs pending work at the current time only (all deltas), without
+    /// advancing time. Used by the mixed-mode synchronizer after an analog
+    /// threshold crossing forces a digital signal.
+    void runDeltasNow();
+
+    /// True once the initial process execution pass has happened.
+    [[nodiscard]] bool started() const noexcept { return started_; }
+
+    /// Forces the startup pass (normally triggered lazily by runUntil).
+    void start();
+
+private:
+    struct Entry {
+        SimTime time;
+        std::uint64_t seq;
+        bool isTransaction;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept
+        {
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /// True while zero-delay work remains at the current time.
+    [[nodiscard]] bool workPendingNow() const noexcept
+    {
+        return !runnable_.empty() || (!queue_.empty() && queue_.top().time <= now_);
+    }
+
+    void runWave(); // one wave at the current time
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::vector<Process*> processes_;
+    std::vector<Process*> runnable_;
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t deltasRun_ = 0;
+    std::uint64_t waveId_ = 0;
+    bool started_ = false;
+};
+
+} // namespace gfi::digital

@@ -1,0 +1,334 @@
+#include "digital/sequential.hpp"
+
+#include <stdexcept>
+
+namespace gfi::digital {
+
+namespace {
+
+std::uint64_t widthMask(int width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+bool resetActive(const LogicSignal* rstn)
+{
+    return rstn != nullptr && toX01(rstn->value()) == Logic::Zero;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DFlipFlop
+
+DFlipFlop::DFlipFlop(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& d,
+                     LogicSignal& q, LogicSignal* rstn, LogicSignal* qn, SimTime clkToQ)
+    : Component(std::move(name)), q_(&q), qn_(qn), clkToQ_(clkToQ)
+{
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, &d, rstn] {
+                  if (resetActive(rstn)) {
+                      state_ = Logic::Zero;
+                      propagate();
+                  } else if (risingEdge(clk)) {
+                      state_ = toX01(d.value());
+                      propagate();
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), 1,
+        [this] { return static_cast<std::uint64_t>(state_ == Logic::One ? 1 : 0); },
+        [this](std::uint64_t v) { setState(fromBool((v & 1u) != 0)); },
+        [this](int) { setState(flipped(state_)); }});
+}
+
+void DFlipFlop::setState(Logic v)
+{
+    state_ = v;
+    propagate();
+}
+
+void DFlipFlop::propagate()
+{
+    q_->scheduleInertial(state_, clkToQ_);
+    if (qn_ != nullptr) {
+        qn_->scheduleInertial(logicNot(state_), clkToQ_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register
+
+Register::Register(Circuit& c, std::string name, LogicSignal& clk, const Bus& d, const Bus& q,
+                   LogicSignal* en, LogicSignal* rstn, std::uint64_t resetValue, SimTime clkToQ)
+    : Component(std::move(name)), mask_(widthMask(q.width())), q_(q), clkToQ_(clkToQ)
+{
+    if (d.width() != q.width()) {
+        throw std::invalid_argument("Register '" + this->name() + "': d/q width mismatch");
+    }
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, d, en, rstn, resetValue] {
+                  if (resetActive(rstn)) {
+                      state_ = resetValue & mask_;
+                      propagate();
+                  } else if (risingEdge(clk)) {
+                      if (en == nullptr || toX01(en->value()) == Logic::One) {
+                          state_ = d.toUint() & mask_;
+                          propagate();
+                      }
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), q.width(), [this] { return state_; },
+        [this](std::uint64_t v) { setState(v); },
+        [this](int bit) { setState(state_ ^ (1ull << bit)); }});
+}
+
+void Register::setState(std::uint64_t v)
+{
+    state_ = v & mask_;
+    propagate();
+}
+
+void Register::propagate()
+{
+    q_.scheduleUint(state_, clkToQ_);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+Counter::Counter(Circuit& c, std::string name, LogicSignal& clk, const Bus& q,
+                 LogicSignal* rstn, LogicSignal* en, std::uint64_t modulo, LogicSignal* tc,
+                 SimTime clkToQ)
+    : Component(std::move(name)), modulo_(modulo == 0 ? (widthMask(q.width()) + 1) : modulo),
+      mask_(widthMask(q.width())), q_(q), tc_(tc), clkToQ_(clkToQ)
+{
+    if (q.width() >= 64 && modulo == 0) {
+        throw std::invalid_argument("Counter '" + this->name() + "': width must be < 64");
+    }
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, rstn, en] {
+                  if (resetActive(rstn)) {
+                      count_ = 0;
+                      propagate();
+                  } else if (risingEdge(clk)) {
+                      if (en == nullptr || toX01(en->value()) == Logic::One) {
+                          count_ = (count_ + 1) % modulo_;
+                          propagate();
+                      }
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), q.width(), [this] { return count_; },
+        [this](std::uint64_t v) { setCount(v); },
+        [this](int bit) { setCount(count_ ^ (1ull << bit)); }});
+}
+
+void Counter::setCount(std::uint64_t v)
+{
+    count_ = (v & mask_) % modulo_;
+    propagate();
+}
+
+void Counter::propagate()
+{
+    q_.scheduleUint(count_, clkToQ_);
+    if (tc_ != nullptr) {
+        tc_->scheduleInertial(fromBool(count_ == modulo_ - 1), clkToQ_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ClockDivider
+
+ClockDivider::ClockDivider(Circuit& c, std::string name, LogicSignal& clkIn, LogicSignal& clkOut,
+                           int divideBy, LogicSignal* rstn, SimTime delay)
+    : Component(std::move(name)), half_(divideBy / 2), clkOut_(&clkOut), delay_(delay)
+{
+    if (divideBy < 2 || divideBy % 2 != 0) {
+        throw std::invalid_argument("ClockDivider '" + this->name() +
+                                    "': divideBy must be even and >= 2");
+    }
+    std::vector<SignalBase*> sens{&clkIn};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clkIn, rstn] {
+                  if (resetActive(rstn)) {
+                      count_ = 0;
+                      out_ = Logic::Zero;
+                      clkOut_->scheduleInertial(out_, delay_);
+                  } else if (risingEdge(clkIn)) {
+                      if (++count_ >= half_) {
+                          count_ = 0;
+                          out_ = logicNot(out_);
+                          clkOut_->scheduleInertial(out_, delay_);
+                      }
+                  }
+              },
+              sens);
+
+    // State = edge counter plus the output phase bit packed on top.
+    const int counterBits = [n = half_]() mutable {
+        int bits = 1;
+        while ((1 << bits) < n) {
+            ++bits;
+        }
+        return bits;
+    }();
+    c.instrumentation().add(StateHook{
+        this->name(), counterBits + 1,
+        [this] {
+            return static_cast<std::uint64_t>(count_) |
+                   (static_cast<std::uint64_t>(out_ == Logic::One ? 1 : 0) << 62);
+        },
+        [this](std::uint64_t v) {
+            out_ = fromBool(((v >> 62) & 1u) != 0);
+            setPhase(static_cast<int>(v & 0x3FFFFFFFull));
+        },
+        [this, counterBits](int bit) {
+            if (bit >= counterBits) {
+                out_ = logicNot(out_);
+                clkOut_->scheduleInertial(out_, delay_);
+            } else {
+                setPhase(count_ ^ (1 << bit));
+            }
+        }});
+}
+
+void ClockDivider::setPhase(int v)
+{
+    count_ = v % half_;
+}
+
+// ---------------------------------------------------------------------------
+// ShiftRegister
+
+ShiftRegister::ShiftRegister(Circuit& c, std::string name, LogicSignal& clk,
+                             LogicSignal& serialIn, const Bus& taps, LogicSignal* rstn,
+                             SimTime clkToQ)
+    : Component(std::move(name)), width_(taps.width()), taps_(taps), clkToQ_(clkToQ)
+{
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, &serialIn, rstn] {
+                  if (resetActive(rstn)) {
+                      state_ = 0;
+                      propagate();
+                  } else if (risingEdge(clk)) {
+                      const std::uint64_t in = toX01(serialIn.value()) == Logic::One ? 1u : 0u;
+                      state_ = ((state_ >> 1) | (in << (width_ - 1))) & widthMask(width_);
+                      propagate();
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), width_, [this] { return state_; },
+        [this](std::uint64_t v) { setState(v); },
+        [this](int bit) { setState(state_ ^ (1ull << bit)); }});
+}
+
+void ShiftRegister::setState(std::uint64_t v)
+{
+    state_ = v & widthMask(width_);
+    propagate();
+}
+
+void ShiftRegister::propagate()
+{
+    taps_.scheduleUint(state_, clkToQ_);
+}
+
+// ---------------------------------------------------------------------------
+// Lfsr
+
+Lfsr::Lfsr(Circuit& c, std::string name, LogicSignal& clk, const Bus& q, std::uint64_t taps,
+           std::uint64_t seed, LogicSignal* rstn, SimTime clkToQ)
+    : Component(std::move(name)), state_(seed), taps_(taps), seed_(seed),
+      mask_(widthMask(q.width())), width_(q.width()), q_(q), clkToQ_(clkToQ)
+{
+    state_ &= mask_;
+    std::vector<SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, rstn] {
+                  if (resetActive(rstn)) {
+                      state_ = seed_ & mask_;
+                      propagate();
+                  } else if (risingEdge(clk)) {
+                      const std::uint64_t fb =
+                          static_cast<std::uint64_t>(__builtin_parityll(state_ & taps_));
+                      state_ = ((state_ << 1) | fb) & mask_;
+                      propagate();
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name(), width_, [this] { return state_; },
+        [this](std::uint64_t v) { setState(v); },
+        [this](int bit) { setState(state_ ^ (1ull << bit)); }});
+}
+
+void Lfsr::setState(std::uint64_t v)
+{
+    state_ = v & mask_;
+    propagate();
+}
+
+void Lfsr::propagate()
+{
+    q_.scheduleUint(state_, clkToQ_);
+}
+
+// ---------------------------------------------------------------------------
+// ClockGen
+
+ClockGen::ClockGen(Circuit& c, std::string name, LogicSignal& clk, SimTime period,
+                   double dutyHigh, SimTime start)
+    : Component(std::move(name)), sched_(&c.scheduler()), clk_(&clk), period_(period),
+      highTime_(static_cast<SimTime>(static_cast<double>(period) * dutyHigh))
+{
+    if (period <= 0 || highTime_ <= 0 || highTime_ >= period) {
+        throw std::invalid_argument("ClockGen '" + this->name() + "': bad period/duty");
+    }
+    clk_->scheduleInertial(Logic::Zero, 0);
+    riseAt(start);
+}
+
+void ClockGen::riseAt(SimTime t)
+{
+    sched_->scheduleAction(t, [this, t] {
+        clk_->forceValue(Logic::One);
+        sched_->scheduleAction(t + highTime_, [this] { clk_->forceValue(Logic::Zero); });
+        riseAt(t + period_);
+    });
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,183 @@
+#pragma once
+// Sequential component library: flip-flops, registers, counters, dividers,
+// shift registers and LFSRs. Every component registers an instrumentation
+// hook so SEU bit-flips can be injected into its stored state by name — this
+// is the "mutant" instrumentation of the paper's digital flow.
+
+#include "digital/circuit.hpp"
+
+#include <optional>
+
+namespace gfi::digital {
+
+/// Default clock-to-output delay for sequential elements.
+inline constexpr SimTime kDefaultClkToQ = 200 * kPicosecond;
+
+/// Positive-edge D flip-flop with optional asynchronous active-low reset and
+/// optional inverted output.
+class DFlipFlop : public Component {
+public:
+    /// @param rstn  optional asynchronous active-low reset (clears to 0).
+    /// @param qn    optional inverted output.
+    DFlipFlop(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& d, LogicSignal& q,
+              LogicSignal* rstn = nullptr, LogicSignal* qn = nullptr,
+              SimTime clkToQ = kDefaultClkToQ);
+
+    /// Currently stored bit.
+    [[nodiscard]] Logic state() const noexcept { return state_; }
+
+    /// Overwrites the stored bit and propagates to the outputs (SEU injection).
+    void setState(Logic v);
+
+private:
+    void propagate();
+
+    Logic state_ = Logic::U;
+    LogicSignal* q_;
+    LogicSignal* qn_;
+    SimTime clkToQ_;
+};
+
+/// Multi-bit positive-edge register with optional enable and async reset.
+class Register : public Component {
+public:
+    /// @param en    optional active-high load enable (loads every edge if null).
+    /// @param rstn  optional asynchronous active-low reset (clears to resetValue).
+    Register(Circuit& c, std::string name, LogicSignal& clk, const Bus& d, const Bus& q,
+             LogicSignal* en = nullptr, LogicSignal* rstn = nullptr,
+             std::uint64_t resetValue = 0, SimTime clkToQ = kDefaultClkToQ);
+
+    /// Currently stored value.
+    [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
+    /// Overwrites the stored value and propagates (SEU injection).
+    void setState(std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::uint64_t state_ = 0;
+    std::uint64_t mask_;
+    Bus q_;
+    SimTime clkToQ_;
+};
+
+/// Up counter with synchronous enable, asynchronous reset, modulo wrap and a
+/// terminal-count output.
+class Counter : public Component {
+public:
+    /// @param modulo  wrap value (counts 0..modulo-1); 0 means natural 2^width wrap.
+    /// @param tc      optional terminal-count output, high while count == modulo-1.
+    Counter(Circuit& c, std::string name, LogicSignal& clk, const Bus& q,
+            LogicSignal* rstn = nullptr, LogicSignal* en = nullptr, std::uint64_t modulo = 0,
+            LogicSignal* tc = nullptr, SimTime clkToQ = kDefaultClkToQ);
+
+    /// Current count.
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+    /// Overwrites the count and propagates (SEU injection).
+    void setCount(std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::uint64_t count_ = 0;
+    std::uint64_t modulo_;
+    std::uint64_t mask_;
+    Bus q_;
+    LogicSignal* tc_;
+    SimTime clkToQ_;
+};
+
+/// Divide-by-N clock divider: output toggles every N/2 rising input edges,
+/// so the output period equals N input periods. N must be even and >= 2.
+/// This is the PLL feedback divider of the paper's case study (N = 100).
+class ClockDivider : public Component {
+public:
+    ClockDivider(Circuit& c, std::string name, LogicSignal& clkIn, LogicSignal& clkOut,
+                 int divideBy, LogicSignal* rstn = nullptr, SimTime delay = kDefaultClkToQ);
+
+    /// Current edge count within the half period.
+    [[nodiscard]] int phase() const noexcept { return count_; }
+
+    /// Injects into the divider state: corrupts the edge counter (SEU).
+    void setPhase(int v);
+
+private:
+    int count_ = 0;
+    int half_;
+    Logic out_ = Logic::Zero;
+    LogicSignal* clkOut_;
+    SimTime delay_;
+};
+
+/// Serial-in serial-out shift register (also exposes parallel taps).
+class ShiftRegister : public Component {
+public:
+    ShiftRegister(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& serialIn,
+                  const Bus& taps, LogicSignal* rstn = nullptr,
+                  SimTime clkToQ = kDefaultClkToQ);
+
+    /// Current contents (bit 0 = oldest / output end).
+    [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
+    /// Overwrites the contents and propagates (SEU injection).
+    void setState(std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::uint64_t state_ = 0;
+    int width_;
+    Bus taps_;
+    SimTime clkToQ_;
+};
+
+/// Fibonacci LFSR with a caller-supplied tap mask; a classic campaign target
+/// because one bit-flip changes the whole future sequence.
+class Lfsr : public Component {
+public:
+    /// @param taps  XOR feedback tap mask (bit i set = stage i feeds back).
+    Lfsr(Circuit& c, std::string name, LogicSignal& clk, const Bus& q, std::uint64_t taps,
+         std::uint64_t seed = 1, LogicSignal* rstn = nullptr, SimTime clkToQ = kDefaultClkToQ);
+
+    /// Current LFSR state.
+    [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
+    /// Overwrites the state and propagates (SEU injection).
+    void setState(std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::uint64_t state_;
+    std::uint64_t taps_;
+    std::uint64_t seed_;
+    std::uint64_t mask_;
+    int width_;
+    Bus q_;
+    SimTime clkToQ_;
+};
+
+/// Free-running clock generator (testbench stimulus, and the PLL reference).
+class ClockGen : public Component {
+public:
+    /// @param period    full clock period.
+    /// @param dutyHigh  fraction of the period spent high, default 50 %.
+    /// @param start     time of the first rising edge.
+    ClockGen(Circuit& c, std::string name, LogicSignal& clk, SimTime period,
+             double dutyHigh = 0.5, SimTime start = 0);
+
+    /// The configured period.
+    [[nodiscard]] SimTime period() const noexcept { return period_; }
+
+private:
+    void riseAt(SimTime t);
+
+    Scheduler* sched_;
+    LogicSignal* clk_;
+    SimTime period_;
+    SimTime highTime_;
+};
+
+} // namespace gfi::digital

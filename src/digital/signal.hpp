@@ -1,0 +1,199 @@
+#pragma once
+// Digital signals with VHDL-style projected waveforms.
+//
+// A Signal<T> carries a current value plus a list of pending transactions.
+// Scheduling uses either inertial semantics (a new write cancels every pending
+// transaction — the behaviour of a simple gate output) or transport semantics
+// (pending transactions earlier than the new one are preserved — the behaviour
+// of a pure delay line). Value changes mark an *event* and wake every process
+// on the signal's sensitivity list.
+
+#include "digital/logic.hpp"
+#include "digital/scheduler.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfi::digital {
+
+/// Non-template base so traces and saboteurs can handle signals generically.
+class SignalBase {
+public:
+    SignalBase(Scheduler& sched, std::string name)
+        : sched_(&sched), name_(std::move(name))
+    {
+    }
+    virtual ~SignalBase() = default;
+    SignalBase(const SignalBase&) = delete;
+    SignalBase& operator=(const SignalBase&) = delete;
+
+    /// Hierarchical signal name, e.g. "pll/pfd/up".
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Adds @p p to the sensitivity list: it wakes on every event of this signal.
+    void addListener(Process* p) { listeners_.push_back(p); }
+
+    /// Time of the most recent event, or -1 before the first one.
+    [[nodiscard]] SimTime lastEventTime() const noexcept { return lastEventTime_; }
+
+    /// True if this signal changed value in the current execution wave
+    /// (VHDL 'event): fresh enough that edge-triggered processes woken by the
+    /// change still see it as an edge.
+    [[nodiscard]] bool event() const noexcept
+    {
+        return lastEventTime_ == sched_->now() && lastEventStamp_ == sched_->waveId();
+    }
+
+    /// The scheduler this signal lives in.
+    [[nodiscard]] Scheduler& scheduler() const noexcept { return *sched_; }
+
+protected:
+    void noteEvent()
+    {
+        lastEventTime_ = sched_->now();
+        lastEventStamp_ = sched_->waveId();
+        for (Process* p : listeners_) {
+            sched_->wake(p);
+        }
+        for (auto& cb : watchers_) {
+            cb();
+        }
+    }
+
+    /// Registers a raw callback run on every event (used by trace recorders).
+    friend class SignalWatch;
+
+    Scheduler* sched_;
+    std::string name_;
+    std::vector<Process*> listeners_;
+    std::vector<std::function<void()>> watchers_;
+    SimTime lastEventTime_ = -1;
+    std::uint64_t lastEventStamp_ = 0;
+};
+
+/// Helper granting trace recorders access to the event callback list.
+class SignalWatch {
+public:
+    /// Invokes @p cb on every event of @p s (after the value update).
+    static void onEvent(SignalBase& s, std::function<void()> cb)
+    {
+        s.watchers_.push_back(std::move(cb));
+    }
+};
+
+/// A typed digital signal.
+template <typename T>
+class Signal : public SignalBase {
+public:
+    Signal(Scheduler& sched, std::string name, T initial)
+        : SignalBase(sched, std::move(name)), value_(initial), previous_(initial)
+    {
+    }
+
+    /// Current value.
+    [[nodiscard]] const T& value() const noexcept { return value_; }
+
+    /// Value before the most recent event (VHDL 'last_value).
+    [[nodiscard]] const T& lastValue() const noexcept { return previous_; }
+
+    /// Schedules @p v after @p delay with inertial semantics: every pending
+    /// transaction is cancelled first (last write wins).
+    void scheduleInertial(T v, SimTime delay = 0)
+    {
+        for (Txn& t : pending_) {
+            t.canceled = true;
+        }
+        push(v, delay);
+    }
+
+    /// Schedules @p v after @p delay with transport semantics: pending
+    /// transactions due earlier are preserved, later ones are cancelled.
+    void scheduleTransport(T v, SimTime delay = 0)
+    {
+        const SimTime due = sched_->now() + delay;
+        for (Txn& t : pending_) {
+            if (t.due >= due) {
+                t.canceled = true;
+            }
+        }
+        push(v, delay);
+    }
+
+    /// Immediately overwrites the value outside the normal two-phase update.
+    /// Only fault injectors and testbench setup should use this; it still
+    /// marks an event so downstream processes re-evaluate.
+    void forceValue(T v)
+    {
+        if (v == value_) {
+            return;
+        }
+        previous_ = value_;
+        value_ = v;
+        noteEvent();
+    }
+
+    /// Number of not-yet-applied transactions (diagnostic).
+    [[nodiscard]] std::size_t pendingCount() const noexcept
+    {
+        std::size_t n = 0;
+        for (const Txn& t : pending_) {
+            n += t.canceled ? 0 : 1;
+        }
+        return n;
+    }
+
+private:
+    struct Txn {
+        SimTime due;
+        std::uint64_t id;
+        T value;
+        bool canceled;
+    };
+
+    void push(T v, SimTime delay)
+    {
+        const std::uint64_t id = nextTxnId_++;
+        pending_.push_back(Txn{sched_->now() + delay, id, v, false});
+        sched_->scheduleTransaction(sched_->now() + delay, [this, id] { apply(id); });
+    }
+
+    void apply(std::uint64_t id)
+    {
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].id != id) {
+                continue;
+            }
+            const Txn txn = pending_[i];
+            pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+            if (!txn.canceled && !(txn.value == value_)) {
+                previous_ = value_;
+                value_ = txn.value;
+                noteEvent();
+            }
+            return;
+        }
+    }
+
+    T value_;
+    T previous_;
+    std::vector<Txn> pending_;
+    std::uint64_t nextTxnId_ = 0;
+};
+
+/// Convenience alias: the workhorse single-bit signal type.
+using LogicSignal = Signal<Logic>;
+
+/// True when @p s had an event this delta and now carries a rising edge (0->1).
+inline bool risingEdge(const LogicSignal& s) noexcept
+{
+    return s.event() && toX01(s.value()) == Logic::One && toX01(s.lastValue()) == Logic::Zero;
+}
+
+/// True when @p s had an event this delta and now carries a falling edge (1->0).
+inline bool fallingEdge(const LogicSignal& s) noexcept
+{
+    return s.event() && toX01(s.value()) == Logic::Zero && toX01(s.lastValue()) == Logic::One;
+}
+
+} // namespace gfi::digital

@@ -1,0 +1,95 @@
+#include "duts/digital_dut.hpp"
+
+#include "core/saboteur.hpp"
+
+namespace gfi::duts {
+
+using namespace digital;
+
+DigitalDutTestbench::DigitalDutTestbench(DigitalDutConfig config) : config_(config)
+{
+    auto& dig = sim().digital();
+    const SimTime period = fromSeconds(1.0 / config_.clockHz);
+
+    auto& clk = dig.logicSignal("dut/clk", Logic::Zero);
+    dig.add<ClockGen>(dig, "dut/clkgen", clk, period);
+
+    auto& rstn = dig.logicSignal("dut/rstn", Logic::Zero);
+    dig.scheduler().scheduleAction(3 * period / 2,
+                                   [&rstn] { rstn.forceValue(Logic::One); });
+
+    // --- stimulus: 8-bit LFSR -------------------------------------------------
+    Bus lfsrQ = dig.bus("dut/lfsr_q", 8, Logic::Zero);
+    dig.add<Lfsr>(dig, "dut/lfsr", clk, lfsrQ, /*taps=*/0xB8, config_.lfsrSeed, &rstn);
+
+    // --- protocol FSM: IDLE -> ARM -> RUN -> COOL ------------------------------
+    // Inputs: lfsr bit0 (req) and bit7 (abort). Output bit0: counter enable.
+    Bus fsmIn{std::vector<LogicSignal*>{&lfsrQ.bit(0), &lfsrQ.bit(7)}};
+    Bus fsmOut = dig.bus("dut/fsm_out", 2, Logic::Zero);
+    enum { kIdle, kArm, kRun, kCool };
+    fsm_ = &dig.add<TableFsm>(
+        dig, "dut/fsm", clk, &rstn, fsmIn, fsmOut, 4, kIdle,
+        [](int state, std::uint64_t in) {
+            const bool req = (in & 1u) != 0;
+            const bool abort = (in & 2u) != 0;
+            switch (state) {
+            case kIdle:
+                return req ? kArm : kIdle;
+            case kArm:
+                return abort ? kIdle : kRun;
+            case kRun:
+                return abort ? kCool : kRun;
+            case kCool:
+            default:
+                return kIdle;
+            }
+        },
+        [](int state, std::uint64_t) -> std::uint64_t {
+            // bit0 = counter enable (RUN), bit1 = busy (not IDLE).
+            return (state == kRun ? 1u : 0u) | (state != kIdle ? 2u : 0u);
+        });
+
+    // --- saboteur on the enable interconnect ------------------------------------
+    auto& enableRaw = fsmOut.bit(0);
+    auto& enable = dig.logicSignal("dut/enable", Logic::Zero);
+    auto& sabEnable =
+        dig.add<fault::DigitalSaboteur>(dig, "sab/enable", enableRaw, enable);
+    addDigitalSaboteur(sabEnable);
+
+    // --- datapath: gated counter + adder + output register ----------------------
+    Bus cntQ = dig.bus("dut/cnt_q", 8, Logic::Zero);
+    dig.add<Counter>(dig, "dut/cnt", clk, cntQ, &rstn, &enable);
+
+    // Saboteur on one adder operand line (a datapath interconnect).
+    auto& sabBitOut = dig.logicSignal("dut/lfsr_b3", Logic::Zero);
+    auto& sabData = dig.add<fault::DigitalSaboteur>(dig, "sab/data", lfsrQ.bit(3), sabBitOut);
+    addDigitalSaboteur(sabData);
+    Bus addB{std::vector<LogicSignal*>{&lfsrQ.bit(0), &lfsrQ.bit(1), &lfsrQ.bit(2),
+                                       &sabBitOut, &lfsrQ.bit(4), &lfsrQ.bit(5),
+                                       &lfsrQ.bit(6), &lfsrQ.bit(7)}};
+
+    Bus sum = dig.bus("dut/sum", 8, Logic::Zero);
+    dig.add<Adder>(dig, "dut/adder", cntQ, addB, sum);
+
+    Bus outQ = dig.bus("dut/out", 8, Logic::Zero);
+    dig.add<Register>(dig, "dut/out_reg", clk, sum, outQ, nullptr, &rstn);
+
+    // --- match comparator ----------------------------------------------------------
+    Bus matchConst = dig.bus("dut/match_const", 8, Logic::Zero);
+    matchConst.forceUint(0x5A);
+    auto& match = dig.logicSignal("dut/match", Logic::Zero);
+    dig.add<EqComparator>(dig, "dut/cmp", outQ, matchConst, match);
+
+    addFsm(*fsm_);
+
+    // --- observation ------------------------------------------------------------------
+    for (int b = 0; b < 8; ++b) {
+        observeDigital("dut/out[" + std::to_string(b) + "]");
+    }
+    observeDigital("dut/match");
+    observeDigital("dut/fsm_out[1]"); // busy flag
+    observeAllState();
+    setDuration(config_.duration);
+}
+
+} // namespace gfi::duts

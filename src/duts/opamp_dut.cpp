@@ -1,0 +1,45 @@
+#include "duts/opamp_dut.hpp"
+
+#include "analog/sources.hpp"
+#include "core/saboteur.hpp"
+
+namespace gfi::duts {
+
+OpAmpDutTestbench::OpAmpDutTestbench(OpAmpDutConfig config) : config_(config)
+{
+    auto& ana = sim().analog();
+
+    const analog::NodeId vin = ana.node("amp/vin");
+    const analog::NodeId vinv = ana.node("amp/vinv"); // inverting input
+    const analog::NodeId vout = ana.node("amp/vout");
+
+    ana.add<analog::SineVoltage>(ana, "amp/vin_src", vin, analog::kGround, 0.0,
+                                 config_.inputAmplitude, config_.inputHz);
+    ana.add<analog::Resistor>(ana, "amp/r1", vin, vinv, config_.r1);
+    ana.add<analog::Resistor>(ana, "amp/r2", vinv, vout, config_.r2);
+
+    // Non-inverting input grounded; output loaded lightly.
+    opamp_ = std::make_unique<analog::OpAmp>(ana, "amp/op", analog::kGround, vinv, vout,
+                                             config_.opamp);
+    ana.add<analog::Resistor>(ana, "amp/rload", vout, analog::kGround, 100e3);
+
+    // --- instrumentation ----------------------------------------------------
+    auto& sabPole = ana.add<fault::CurrentSaboteur>(ana, "sab/pole", opamp_->poleNode());
+    auto& sabInv = ana.add<fault::CurrentSaboteur>(ana, "sab/vinv", vinv);
+    auto& sabOut = ana.add<fault::CurrentSaboteur>(ana, "sab/vout", vout);
+    addCurrentSaboteur(sabPole);
+    addCurrentSaboteur(sabInv);
+    addCurrentSaboteur(sabOut);
+
+    // gm scales linearly with DC gain in the macro-model (gm = dcGain / Rp).
+    addParameter("amp/gain", [this, nominalGm = config_.opamp.dcGain / 1e6](double factor) {
+        opamp_->gmStage().setGm(nominalGm * factor);
+    });
+
+    // --- observation ---------------------------------------------------------
+    observeAnalog("amp/vout");
+    observeAnalog("amp/vinv");
+    setDuration(config_.duration);
+}
+
+} // namespace gfi::duts

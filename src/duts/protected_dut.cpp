@@ -1,0 +1,69 @@
+#include "duts/protected_dut.hpp"
+
+#include "harden/tmr.hpp"
+
+namespace gfi::duts {
+
+using namespace digital;
+
+const char* toString(Protection p)
+{
+    switch (p) {
+    case Protection::None:
+        return "unprotected";
+    case Protection::Tmr:
+        return "TMR";
+    case Protection::Dwc:
+        return "DWC";
+    case Protection::Ecc:
+        return "SEC-DED";
+    }
+    return "?";
+}
+
+ProtectedDutTestbench::ProtectedDutTestbench(ProtectedDutConfig config) : config_(config)
+{
+    auto& dig = sim().digital();
+    const SimTime period = fromSeconds(1.0 / config_.clockHz);
+
+    auto& clk = dig.logicSignal("dut/clk", Logic::Zero);
+    dig.add<ClockGen>(dig, "dut/clkgen", clk, period);
+
+    // Payload generator: a counter, so the protected value changes each cycle.
+    Bus cnt = dig.bus("dut/cnt_q", config_.width, Logic::Zero);
+    dig.add<Counter>(dig, "dut/cnt", clk, cnt);
+
+    Bus q = dig.bus("dut/q", config_.width, Logic::U);
+
+    switch (config_.protection) {
+    case Protection::None:
+        dig.add<Register>(dig, "dut/store", clk, cnt, q);
+        storageTargets_ = {"dut/store"};
+        break;
+    case Protection::Tmr:
+        dig.add<harden::TmrRegister>(dig, "dut/store", clk, cnt, q);
+        storageTargets_ = {"dut/store/copy0", "dut/store/copy1", "dut/store/copy2"};
+        break;
+    case Protection::Dwc: {
+        auto& err = dig.logicSignal("dut/err", Logic::U);
+        dig.add<harden::DwcRegister>(dig, "dut/store", clk, cnt, q, err);
+        storageTargets_ = {"dut/store/copy0", "dut/store/copy1"};
+        break;
+    }
+    case Protection::Ecc: {
+        auto& ue = dig.logicSignal("dut/ue", Logic::U);
+        dig.add<harden::EccRegister>(dig, "dut/store", clk, cnt, q, &ue);
+        storageTargets_ = {"dut/store/code"};
+        break;
+    }
+    }
+
+    // Observe the payload DATA only: the campaign's question is "did the
+    // protected value reach the output wrong?", not "did a flag rise?".
+    for (int b = 0; b < config_.width; ++b) {
+        observeDigital("dut/q[" + std::to_string(b) + "]");
+    }
+    setDuration(config_.duration);
+}
+
+} // namespace gfi::duts

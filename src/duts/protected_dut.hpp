@@ -1,0 +1,51 @@
+#pragma once
+// Protection-mechanism validation DUT (the paper's motivation (2): "validate
+// the efficiency of the implemented mechanisms").
+//
+// A free-running counter value flows through a storage element into an
+// output bus every clock. Four variants of the storage element can be built:
+// unprotected Register, TMR, DWC (duplication w/ comparison) and SEC-DED ECC.
+// The SEU targets are the storage element's *internal* hooks (copies /
+// codeword), so the same campaign measures how much of the raw upset rate
+// each mechanism masks.
+
+#include "core/testbench.hpp"
+#include "digital/sequential.hpp"
+
+namespace gfi::duts {
+
+/// Storage-element protection style.
+enum class Protection { None, Tmr, Dwc, Ecc };
+
+/// Short name for reports.
+[[nodiscard]] const char* toString(Protection p);
+
+/// Parameters of the protected DUT.
+struct ProtectedDutConfig {
+    Protection protection = Protection::None;
+    int width = 8;             ///< payload width
+    double clockHz = 50e6;     ///< system clock
+    SimTime duration = 4 * kMicrosecond;
+};
+
+/// The elaborated experiment: counter -> protected register -> output bus.
+class ProtectedDutTestbench : public fault::Testbench {
+public:
+    explicit ProtectedDutTestbench(ProtectedDutConfig config = {});
+
+    /// Configuration used.
+    [[nodiscard]] const ProtectedDutConfig& config() const noexcept { return config_; }
+
+    /// Names of the storage hooks that campaigns should target (the
+    /// protection-internal state: copies or codeword).
+    [[nodiscard]] const std::vector<std::string>& storageTargets() const noexcept
+    {
+        return storageTargets_;
+    }
+
+private:
+    ProtectedDutConfig config_;
+    std::vector<std::string> storageTargets_;
+};
+
+} // namespace gfi::duts

@@ -1,0 +1,138 @@
+#include "duts/tiny_cpu.hpp"
+
+namespace gfi::duts {
+
+using namespace digital;
+
+// ---------------------------------------------------------------------------
+// TinyCpu
+
+TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& instr,
+                 const Bus& romAddr, const Bus& ramAddr, const Bus& ramWData,
+                 const Bus& ramRData, LogicSignal& ramWe, const Bus& port,
+                 LogicSignal& halted)
+    : Component(std::move(name)), romAddr_(romAddr), ramAddr_(ramAddr), ramWData_(ramWData),
+      port_(port), ramWe_(&ramWe), haltedSig_(&halted), delay_(300 * kPicosecond)
+{
+    // Decode stage: combinationally drive the data-memory port from the
+    // current instruction and accumulator (settles well before the next
+    // clock edge at any sane clock rate).
+    std::vector<SignalBase*> decodeSens(instr.bits().begin(), instr.bits().end());
+    c.process(this->name() + "/decode",
+              [this, instr] {
+                  const std::uint64_t word = instr.toUint();
+                  const auto op = static_cast<Op>((word >> 5) & 0x7);
+                  const auto operand = word & 0x1F;
+                  ramAddr_.scheduleUint(operand, delay_);
+                  ramWData_.scheduleUint(acc_, delay_);
+                  ramWe_->scheduleInertial(fromBool(op == Op::Sta && !halted_), delay_);
+              },
+              decodeSens);
+
+    // Execute stage: one instruction per rising clock edge.
+    c.process(this->name() + "/exec",
+              [this, &clk, instr, ramRData] {
+                  if (!risingEdge(clk) || halted_) {
+                      return;
+                  }
+                  const std::uint64_t word = instr.toUint();
+                  const auto op = static_cast<Op>((word >> 5) & 0x7);
+                  const auto operand = static_cast<int>(word & 0x1F);
+                  int nextPc = (pc_ + 1) & 0x1F;
+                  switch (op) {
+                  case Op::Nop:
+                      break;
+                  case Op::Ldi:
+                      acc_ = static_cast<std::uint64_t>(operand);
+                      break;
+                  case Op::Add:
+                      acc_ = (acc_ + ramRData.toUint()) & 0xFF;
+                      break;
+                  case Op::Sta:
+                      break; // the RAM captures on this same edge via we
+                  case Op::Lda:
+                      acc_ = ramRData.toUint();
+                      break;
+                  case Op::Jnz:
+                      if (acc_ != 0) {
+                          nextPc = operand;
+                      }
+                      break;
+                  case Op::Out:
+                      portValue_ = acc_;
+                      port_.scheduleUint(portValue_, delay_);
+                      break;
+                  case Op::Hlt:
+                      halted_ = true;
+                      haltedSig_->scheduleInertial(Logic::One, delay_);
+                      break;
+                  }
+                  pc_ = nextPc;
+                  driveFetch();
+              },
+              {&clk});
+
+    // Architectural-register hooks: PC (control flow) and ACC (datapath).
+    c.instrumentation().add(StateHook{
+        this->name() + "/pc", 5, [this] { return static_cast<std::uint64_t>(pc_); },
+        [this](std::uint64_t v) {
+            pc_ = static_cast<int>(v & 0x1F);
+            driveFetch();
+        },
+        [this](int bit) {
+            pc_ ^= 1 << bit;
+            pc_ &= 0x1F;
+            driveFetch();
+        }});
+    c.instrumentation().add(StateHook{
+        this->name() + "/acc", 8, [this] { return acc_; },
+        [this](std::uint64_t v) { acc_ = v & 0xFF; },
+        [this](int bit) { acc_ ^= 1ull << bit; }});
+
+    haltedSig_->scheduleInertial(Logic::Zero, 0);
+    driveFetch();
+}
+
+void TinyCpu::driveFetch()
+{
+    romAddr_.scheduleUint(static_cast<std::uint64_t>(pc_), delay_);
+}
+
+// ---------------------------------------------------------------------------
+// TinyCpuTestbench
+
+TinyCpuTestbench::TinyCpuTestbench(TinyCpuConfig config) : config_(config)
+{
+    auto& dig = sim().digital();
+    const SimTime period = fromSeconds(1.0 / config_.clockHz);
+
+    auto& clk = dig.logicSignal("cpu/clk", Logic::Zero);
+    // Start the clock well after elaboration so the first fetch settles.
+    dig.add<ClockGen>(dig, "cpu/clkgen", clk, period, 0.5, period);
+
+    Bus romAddr = dig.bus("cpu/rom_addr", 5, Logic::Zero);
+    Bus instr = dig.bus("cpu/instr", 8, Logic::Zero);
+    dig.add<Rom>(dig, "cpu/rom", romAddr, instr, config_.program);
+
+    Bus ramAddr = dig.bus("cpu/ram_addr", 5, Logic::Zero);
+    Bus ramWData = dig.bus("cpu/ram_wdata", 8, Logic::Zero);
+    Bus ramRData = dig.bus("cpu/ram_rdata", 8, Logic::U);
+    auto& ramWe = dig.logicSignal("cpu/ram_we", Logic::Zero);
+    dig.add<Ram>(dig, "cpu/ram", clk, ramWe, ramAddr, ramWData, ramRData);
+
+    Bus port = dig.bus("cpu/port", 8, Logic::Zero);
+    auto& halted = dig.logicSignal("cpu/halted", Logic::U);
+    cpu_ = &dig.add<TinyCpu>(dig, "cpu/core", clk, instr, romAddr, ramAddr, ramWData,
+                             ramRData, ramWe, port, halted);
+
+    for (int b = 0; b < 8; ++b) {
+        observeDigital("cpu/port[" + std::to_string(b) + "]");
+    }
+    observeDigital("cpu/halted");
+    observeState("cpu/core/pc");
+    observeState("cpu/core/acc");
+    observeState("cpu/ram/w16");
+    setDuration(config_.duration);
+}
+
+} // namespace gfi::duts

@@ -1,0 +1,103 @@
+#pragma once
+// Processor-based design under test.
+//
+// Reference [2] of the paper (Cardarilli et al., IOLTW 2002) studies bit-flip
+// injection in processor-based architectures. This DUT is a complete
+// single-cycle 8-bit accumulator machine: program ROM, data RAM (per-word SEU
+// hooks), program counter, accumulator and an output port — every
+// architectural register instrumented, so campaigns can distinguish datapath
+// upsets (ACC, RAM) from control-flow upsets (PC).
+//
+// ISA (8-bit instructions, 3-bit opcode | 5-bit operand):
+//   NOP            0 --
+//   LDI imm5       1 ACC = imm
+//   ADD a          2 ACC += RAM[a]
+//   STA a          3 RAM[a] = ACC
+//   LDA a          4 ACC = RAM[a]
+//   JNZ a          5 if ACC != 0: PC = a
+//   OUT            6 PORT = ACC
+//   HLT            7 stop
+
+#include "core/testbench.hpp"
+#include "digital/memory.hpp"
+#include "digital/sequential.hpp"
+
+namespace gfi::duts {
+
+/// Instruction encoding helpers.
+enum class Op : std::uint8_t { Nop = 0, Ldi, Add, Sta, Lda, Jnz, Out, Hlt };
+
+/// Assembles one instruction word.
+[[nodiscard]] constexpr std::uint64_t asm1(Op op, int operand = 0)
+{
+    return (static_cast<std::uint64_t>(op) << 5) | (static_cast<std::uint64_t>(operand) & 0x1F);
+}
+
+/// The single-cycle CPU core (PC + ACC + decode/execute).
+class TinyCpu : public digital::Component {
+public:
+    /// @param instr    instruction bus from the program ROM.
+    /// @param romAddr  PC output to the ROM address bus.
+    /// @param ramAddr/ramWData/ramRData/ramWe  data-memory port.
+    /// @param port     output-port bus (OUT instruction).
+    /// @param halted   raised by HLT.
+    TinyCpu(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
+            const digital::Bus& instr, const digital::Bus& romAddr,
+            const digital::Bus& ramAddr, const digital::Bus& ramWData,
+            const digital::Bus& ramRData, digital::LogicSignal& ramWe,
+            const digital::Bus& port, digital::LogicSignal& halted);
+
+    [[nodiscard]] int pc() const noexcept { return pc_; }
+    [[nodiscard]] std::uint64_t acc() const noexcept { return acc_; }
+    [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+private:
+    void driveFetch();
+
+    int pc_ = 0;
+    std::uint64_t acc_ = 0;
+    std::uint64_t portValue_ = 0;
+    bool halted_ = false;
+    digital::Bus romAddr_;
+    digital::Bus ramAddr_;
+    digital::Bus ramWData_;
+    digital::Bus port_;
+    digital::LogicSignal* ramWe_;
+    digital::LogicSignal* haltedSig_;
+    SimTime delay_;
+};
+
+/// Parameters of the CPU experiment.
+struct TinyCpuConfig {
+    double clockHz = 50e6;
+    SimTime duration = 6 * kMicrosecond; ///< ~300 instructions
+    /// Program: an incrementing counter streamed to the output port.
+    std::vector<std::uint64_t> program{
+        asm1(Op::Ldi, 1),  // 0: ACC = 1
+        asm1(Op::Sta, 16), // 1: RAM[16] = 1 (the increment)
+        asm1(Op::Ldi, 0),  // 2: ACC = 0
+        asm1(Op::Add, 16), // 3: ACC += RAM[16]
+        asm1(Op::Out),     // 4: PORT = ACC
+        asm1(Op::Jnz, 3),  // 5: loop while ACC != 0
+        asm1(Op::Add, 16), // 6: (after wrap) ACC = 1 again
+        asm1(Op::Jnz, 3),  // 7: continue
+    };
+};
+
+/// The elaborated, instrumented processor experiment.
+class TinyCpuTestbench : public fault::Testbench {
+public:
+    explicit TinyCpuTestbench(TinyCpuConfig config = {});
+
+    /// Configuration used.
+    [[nodiscard]] const TinyCpuConfig& config() const noexcept { return config_; }
+
+    /// The CPU core (diagnostics).
+    [[nodiscard]] TinyCpu& cpu() noexcept { return *cpu_; }
+
+private:
+    TinyCpuConfig config_;
+    TinyCpu* cpu_ = nullptr;
+};
+
+} // namespace gfi::duts

@@ -1,0 +1,46 @@
+#pragma once
+// Umbrella header: the whole public API of the gfi library.
+//
+// Fine-grained includes are preferred inside the library itself; this header
+// exists for downstream users and quick experiments.
+
+// Simulation substrate
+#include "ams/bridge.hpp"
+#include "ams/mixed_sim.hpp"
+#include "analog/ac.hpp"
+#include "analog/controlled.hpp"
+#include "analog/netlist.hpp"
+#include "analog/opamp.hpp"
+#include "analog/passive.hpp"
+#include "analog/solver.hpp"
+#include "analog/sources.hpp"
+#include "digital/arith.hpp"
+#include "digital/circuit.hpp"
+#include "digital/fsm.hpp"
+#include "digital/gates.hpp"
+#include "digital/memory.hpp"
+#include "digital/sequential.hpp"
+
+// The fault-injection flow (the paper's contribution)
+#include "core/campaign.hpp"
+#include "core/fault.hpp"
+#include "core/faultlist.hpp"
+#include "core/pulse.hpp"
+#include "core/report.hpp"
+#include "core/saboteur.hpp"
+#include "core/stats.hpp"
+#include "core/testbench.hpp"
+
+// Traces and analysis
+#include "trace/compare.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+// Case studies and hardening
+#include "adc/flash.hpp"
+#include "adc/sar.hpp"
+#include "duts/digital_dut.hpp"
+#include "duts/opamp_dut.hpp"
+#include "duts/protected_dut.hpp"
+#include "harden/tmr.hpp"
+#include "pll/pll.hpp"

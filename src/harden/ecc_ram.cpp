@@ -1,0 +1,94 @@
+#include "harden/ecc_ram.hpp"
+
+#include <stdexcept>
+
+namespace gfi::harden {
+
+using digital::Bus;
+using digital::Logic;
+using digital::LogicSignal;
+
+EccRam::EccRam(digital::Circuit& c, std::string name, LogicSignal& clk, LogicSignal& we,
+               const Bus& addr, const Bus& wdata, const Bus& rdata,
+               LogicSignal* uncorrectable, SimTime readDelay)
+    : digital::Component(std::move(name)), depth_(1 << addr.width()), width_(wdata.width()),
+      codeBits_(hammingCodewordBits(wdata.width())), addr_(addr), rdata_(rdata),
+      uncorrectable_(uncorrectable), readDelay_(readDelay)
+{
+    if (wdata.width() != rdata.width()) {
+        throw std::invalid_argument("EccRam '" + this->name() + "': wdata/rdata width mismatch");
+    }
+    if (addr.width() > 16) {
+        throw std::invalid_argument("EccRam '" + this->name() + "': address bus too wide");
+    }
+    storage_.assign(static_cast<std::size_t>(depth_), hammingEncode(0, width_));
+
+    c.process(this->name() + "/write",
+              [this, &clk, &we, wdata] {
+                  if (digital::risingEdge(clk) &&
+                      digital::toX01(we.value()) == Logic::One) {
+                      bool known = true;
+                      const auto a = static_cast<int>(addr_.toUint(&known));
+                      if (known) {
+                          storage_[static_cast<std::size_t>(a)] =
+                              hammingEncode(wdata.toUint(), width_);
+                          refreshRead();
+                      }
+                  }
+              },
+              {&clk});
+
+    std::vector<digital::SignalBase*> sens(addr_.bits().begin(), addr_.bits().end());
+    c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+
+    for (int w = 0; w < depth_; ++w) {
+        c.instrumentation().add(digital::StateHook{
+            this->name() + "/w" + std::to_string(w), codeBits_,
+            [this, w] { return storage_[static_cast<std::size_t>(w)]; },
+            [this, w](std::uint64_t v) { setCodeword(w, v); },
+            [this, w](int bit) {
+                setCodeword(w, storage_[static_cast<std::size_t>(w)] ^ (1ull << bit));
+            }});
+    }
+}
+
+void EccRam::setCodeword(int address, std::uint64_t value)
+{
+    const std::uint64_t mask = codeBits_ >= 64 ? ~0ull : ((1ull << codeBits_) - 1);
+    storage_.at(static_cast<std::size_t>(address)) = value & mask;
+    refreshRead();
+}
+
+bool EccRam::scrub(int address)
+{
+    const HammingDecode d = hammingDecode(codeword(address), width_);
+    if (d.corrected) {
+        ++corrections_;
+        storage_.at(static_cast<std::size_t>(address)) = hammingEncode(d.data, width_);
+        refreshRead();
+        return true;
+    }
+    return false;
+}
+
+void EccRam::refreshRead()
+{
+    bool known = true;
+    const auto a = static_cast<int>(addr_.toUint(&known));
+    if (!known) {
+        for (LogicSignal* s : rdata_.bits()) {
+            s->scheduleInertial(Logic::X, readDelay_);
+        }
+        return;
+    }
+    const HammingDecode d = hammingDecode(storage_[static_cast<std::size_t>(a)], width_);
+    if (d.corrected) {
+        ++corrections_;
+    }
+    rdata_.scheduleUint(d.data, readDelay_);
+    if (uncorrectable_ != nullptr) {
+        uncorrectable_->scheduleInertial(digital::fromBool(d.uncorrectable), readDelay_);
+    }
+}
+
+} // namespace gfi::harden

@@ -1,0 +1,63 @@
+#pragma once
+// SEC-DED-protected RAM: every word is stored as an extended Hamming
+// codeword; reads correct single-bit upsets on the fly and flag double-bit
+// upsets. Per-word instrumentation hooks target the RAW CODEWORD, so injected
+// SEUs land beneath the protection exactly as particles do in the array.
+
+#include "digital/circuit.hpp"
+#include "harden/hamming.hpp"
+
+namespace gfi::harden {
+
+/// Synchronous-write, asynchronous-read ECC RAM.
+class EccRam : public digital::Component {
+public:
+    /// Same port shape as digital::Ram plus an uncorrectable-error flag that
+    /// follows the read port.
+    EccRam(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
+           digital::LogicSignal& we, const digital::Bus& addr, const digital::Bus& wdata,
+           const digital::Bus& rdata, digital::LogicSignal* uncorrectable = nullptr,
+           SimTime readDelay = 500 * kPicosecond);
+
+    /// Word count / data width.
+    [[nodiscard]] int depth() const noexcept { return depth_; }
+    [[nodiscard]] int width() const noexcept { return width_; }
+
+    /// Raw stored codeword of a word.
+    [[nodiscard]] std::uint64_t codeword(int address) const
+    {
+        return storage_.at(static_cast<std::size_t>(address));
+    }
+
+    /// Decoded (corrected) data of a word.
+    [[nodiscard]] std::uint64_t word(int address) const
+    {
+        return hammingDecode(codeword(address), width_).data;
+    }
+
+    /// Total single-bit corrections performed by reads so far.
+    [[nodiscard]] int correctionCount() const noexcept { return corrections_; }
+
+    /// Overwrites a raw codeword (SEU injection path; also used by the
+    /// per-word hooks "<name>/w<addr>").
+    void setCodeword(int address, std::uint64_t value);
+
+    /// Scrubs one word: decode, correct, re-encode, write back. Returns true
+    /// if a correction happened. (Scrubbing engines call this periodically.)
+    bool scrub(int address);
+
+private:
+    void refreshRead();
+
+    std::vector<std::uint64_t> storage_;
+    int depth_;
+    int width_;
+    int codeBits_;
+    int corrections_ = 0;
+    digital::Bus addr_;
+    digital::Bus rdata_;
+    digital::LogicSignal* uncorrectable_;
+    SimTime readDelay_;
+};
+
+} // namespace gfi::harden

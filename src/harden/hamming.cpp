@@ -1,0 +1,126 @@
+#include "harden/hamming.hpp"
+
+#include <stdexcept>
+
+namespace gfi::harden {
+
+namespace {
+
+// Codeword layout: positions 1..m hold parity (power-of-two positions) and
+// data bits in the classic Hamming arrangement; bit 0 of the stored word is
+// the overall (DED) parity. Internally we use 1-based Hamming positions
+// shifted up by one so position p lives at stored bit p.
+
+bool isPow2(int x)
+{
+    return (x & (x - 1)) == 0;
+}
+
+int parityOf(std::uint64_t v)
+{
+    return __builtin_parityll(v);
+}
+
+} // namespace
+
+int hammingParityBits(int dataBits)
+{
+    if (dataBits < 1 || dataBits > 57) {
+        throw std::invalid_argument("hamming: dataBits must be in [1, 57]");
+    }
+    int r = 0;
+    while ((1 << r) < dataBits + r + 1) {
+        ++r;
+    }
+    return r;
+}
+
+int hammingCodewordBits(int dataBits)
+{
+    return dataBits + hammingParityBits(dataBits) + 1;
+}
+
+std::uint64_t hammingEncode(std::uint64_t data, int dataBits)
+{
+    const int r = hammingParityBits(dataBits);
+    const int m = dataBits + r; // highest Hamming position
+
+    // Scatter data bits into non-power-of-two positions.
+    std::uint64_t word = 0; // stored bit p = Hamming position p; bit 0 = DED
+    int dataIdx = 0;
+    for (int pos = 1; pos <= m; ++pos) {
+        if (isPow2(pos)) {
+            continue;
+        }
+        if ((data >> dataIdx) & 1u) {
+            word |= 1ull << pos;
+        }
+        ++dataIdx;
+    }
+    // Compute each parity bit: parity over positions with that bit set.
+    for (int pb = 0; pb < r; ++pb) {
+        const int ppos = 1 << pb;
+        int parity = 0;
+        for (int pos = 1; pos <= m; ++pos) {
+            if ((pos & ppos) != 0 && ((word >> pos) & 1u)) {
+                parity ^= 1;
+            }
+        }
+        if (parity != 0) {
+            word |= 1ull << ppos;
+        }
+    }
+    // Overall parity over all codeword bits (positions 1..m) -> DED bit 0.
+    if (parityOf(word >> 1 << 1) != 0) {
+        word |= 1ull;
+    }
+    return word;
+}
+
+HammingDecode hammingDecode(std::uint64_t codeword, int dataBits)
+{
+    const int r = hammingParityBits(dataBits);
+    const int m = dataBits + r;
+
+    // Syndrome: XOR of the positions of all set bits.
+    int syndrome = 0;
+    for (int pos = 1; pos <= m; ++pos) {
+        if ((codeword >> pos) & 1u) {
+            syndrome ^= pos;
+        }
+    }
+    const int overall = parityOf(codeword); // includes the DED bit
+
+    HammingDecode result;
+    if (syndrome != 0 && overall != 0) {
+        // Single-bit error at `syndrome` (or in the DED bit if syndrome > m,
+        // which cannot happen for valid positions): correct it.
+        if (syndrome <= m) {
+            codeword ^= 1ull << syndrome;
+            result.corrected = true;
+        } else {
+            result.uncorrectable = true;
+        }
+    } else if (syndrome == 0 && overall != 0) {
+        // The DED bit itself flipped; data is intact.
+        result.corrected = true;
+    } else if (syndrome != 0 && overall == 0) {
+        // Even number of errors with a nonzero syndrome: double error.
+        result.uncorrectable = true;
+    }
+
+    // Gather data bits.
+    int dataIdx = 0;
+    for (int pos = 1; pos <= m; ++pos) {
+        if (isPow2(pos)) {
+            continue;
+        }
+        if ((codeword >> pos) & 1u) {
+            result.data |= 1ull << dataIdx;
+        }
+        ++dataIdx;
+    }
+    return result;
+}
+
+} // namespace gfi::harden

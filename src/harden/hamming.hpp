@@ -1,0 +1,33 @@
+#pragma once
+// SEC-DED (single-error-correct, double-error-detect) Hamming coding.
+//
+// The paper's introduction motivates early fault injection with two goals:
+// (1) find the nodes that need protection, and (2) "validate the efficiency
+// of the implemented mechanisms". This module provides the mechanism side:
+// extended Hamming codes for data widths up to 57 bits, used by EccRegister /
+// EccRam in gfi::harden and validated by injection campaigns.
+
+#include <cstdint>
+
+namespace gfi::harden {
+
+/// Number of parity bits (excluding the overall DED bit) for @p dataBits.
+[[nodiscard]] int hammingParityBits(int dataBits);
+
+/// Total codeword length: dataBits + parity bits + 1 overall-parity bit.
+[[nodiscard]] int hammingCodewordBits(int dataBits);
+
+/// Encodes @p data (low @p dataBits bits) into an extended Hamming codeword.
+[[nodiscard]] std::uint64_t hammingEncode(std::uint64_t data, int dataBits);
+
+/// Decode result.
+struct HammingDecode {
+    std::uint64_t data = 0;    ///< corrected data bits
+    bool corrected = false;    ///< a single-bit error was found and fixed
+    bool uncorrectable = false;///< a double-bit error was detected
+};
+
+/// Decodes an extended Hamming codeword of @p dataBits data bits.
+[[nodiscard]] HammingDecode hammingDecode(std::uint64_t codeword, int dataBits);
+
+} // namespace gfi::harden

@@ -1,0 +1,25 @@
+#include "harden/scrubber.hpp"
+
+namespace gfi::harden {
+
+Scrubber::Scrubber(digital::Circuit& c, std::string name, EccRam& ram, SimTime period)
+    : digital::Component(std::move(name)), ram_(&ram), period_(period)
+{
+    scheduleNext(c);
+}
+
+void Scrubber::scheduleNext(digital::Circuit& c)
+{
+    c.scheduler().scheduleAction(c.scheduler().now() + period_, [this, &c] {
+        if (ram_->scrub(next_)) {
+            ++repairs_;
+        }
+        next_ = (next_ + 1) % ram_->depth();
+        if (next_ == 0) {
+            ++sweeps_;
+        }
+        scheduleNext(c);
+    });
+}
+
+} // namespace gfi::harden

@@ -1,0 +1,37 @@
+#pragma once
+// Memory scrubbing engine.
+//
+// SEC-DED only survives as long as no second upset hits a word before the
+// first one is repaired. A scrubber walks the ECC RAM continuously, decoding
+// and re-encoding one word per scrub period, bounding the accumulation
+// window. The classic dependability trade-off — scrub rate vs multi-upset
+// probability — is measured by bench/abl_scrub_interval.
+
+#include "harden/ecc_ram.hpp"
+
+namespace gfi::harden {
+
+/// Walks an EccRam cyclically, scrubbing one word per period.
+class Scrubber : public digital::Component {
+public:
+    /// @param period  time between word scrubs (full-array sweep takes
+    ///                depth * period).
+    Scrubber(digital::Circuit& c, std::string name, EccRam& ram, SimTime period);
+
+    /// Number of corrections this scrubber performed.
+    [[nodiscard]] int repairs() const noexcept { return repairs_; }
+
+    /// Number of full array sweeps completed.
+    [[nodiscard]] int sweeps() const noexcept { return sweeps_; }
+
+private:
+    void scheduleNext(digital::Circuit& c);
+
+    EccRam* ram_;
+    SimTime period_;
+    int next_ = 0;
+    int repairs_ = 0;
+    int sweeps_ = 0;
+};
+
+} // namespace gfi::harden

@@ -1,0 +1,185 @@
+#include "harden/tmr.hpp"
+
+#include <stdexcept>
+
+namespace gfi::harden {
+
+using digital::Bus;
+using digital::Logic;
+using digital::LogicSignal;
+using digital::StateHook;
+
+namespace {
+
+std::uint64_t widthMask(int width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+bool resetActive(const LogicSignal* rstn)
+{
+    return rstn != nullptr && digital::toX01(rstn->value()) == Logic::Zero;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// TmrRegister
+
+TmrRegister::TmrRegister(digital::Circuit& c, std::string name, LogicSignal& clk, const Bus& d,
+                         const Bus& q, LogicSignal* en, LogicSignal* rstn, SimTime clkToQ)
+    : digital::Component(std::move(name)), mask_(widthMask(q.width())), q_(q), clkToQ_(clkToQ)
+{
+    if (d.width() != q.width()) {
+        throw std::invalid_argument("TmrRegister '" + this->name() + "': width mismatch");
+    }
+    std::vector<digital::SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, d, en, rstn] {
+                  if (resetActive(rstn)) {
+                      copies_ = {0, 0, 0};
+                      propagate();
+                  } else if (digital::risingEdge(clk)) {
+                      if (en == nullptr || digital::toX01(en->value()) == Logic::One) {
+                          // Every load rewrites all three copies: inherent
+                          // scrubbing of any accumulated single-copy upset.
+                          const std::uint64_t v = d.toUint() & mask_;
+                          copies_ = {v, v, v};
+                          propagate();
+                      }
+                  }
+              },
+              sens);
+
+    for (int i = 0; i < 3; ++i) {
+        c.instrumentation().add(StateHook{
+            this->name() + "/copy" + std::to_string(i), q.width(),
+            [this, i] { return copies_[static_cast<std::size_t>(i)]; },
+            [this, i](std::uint64_t v) { setCopy(i, v); },
+            [this, i](int bit) {
+                setCopy(i, copies_[static_cast<std::size_t>(i)] ^ (1ull << bit));
+            }});
+    }
+}
+
+void TmrRegister::setCopy(int i, std::uint64_t v)
+{
+    copies_.at(static_cast<std::size_t>(i)) = v & mask_;
+    propagate();
+}
+
+void TmrRegister::propagate()
+{
+    q_.scheduleUint(voted(), clkToQ_);
+}
+
+// ---------------------------------------------------------------------------
+// DwcRegister
+
+DwcRegister::DwcRegister(digital::Circuit& c, std::string name, LogicSignal& clk, const Bus& d,
+                         const Bus& q, LogicSignal& error, LogicSignal* rstn, SimTime clkToQ)
+    : digital::Component(std::move(name)), mask_(widthMask(q.width())), q_(q), error_(&error),
+      clkToQ_(clkToQ)
+{
+    if (d.width() != q.width()) {
+        throw std::invalid_argument("DwcRegister '" + this->name() + "': width mismatch");
+    }
+    std::vector<digital::SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, d, rstn] {
+                  if (resetActive(rstn)) {
+                      copies_ = {0, 0};
+                      propagate();
+                  } else if (digital::risingEdge(clk)) {
+                      const std::uint64_t v = d.toUint() & mask_;
+                      copies_ = {v, v};
+                      propagate();
+                  }
+              },
+              sens);
+
+    for (int i = 0; i < 2; ++i) {
+        c.instrumentation().add(StateHook{
+            this->name() + "/copy" + std::to_string(i), q.width(),
+            [this, i] { return copies_[static_cast<std::size_t>(i)]; },
+            [this, i](std::uint64_t v) { setCopy(i, v); },
+            [this, i](int bit) {
+                setCopy(i, copies_[static_cast<std::size_t>(i)] ^ (1ull << bit));
+            }});
+    }
+}
+
+void DwcRegister::setCopy(int i, std::uint64_t v)
+{
+    copies_.at(static_cast<std::size_t>(i)) = v & mask_;
+    propagate();
+}
+
+void DwcRegister::propagate()
+{
+    q_.scheduleUint(copies_[0], clkToQ_);
+    error_->scheduleInertial(digital::fromBool(copies_[0] != copies_[1]), clkToQ_);
+}
+
+// ---------------------------------------------------------------------------
+// EccRegister
+
+EccRegister::EccRegister(digital::Circuit& c, std::string name, LogicSignal& clk, const Bus& d,
+                         const Bus& q, LogicSignal* uncorrectable, LogicSignal* rstn,
+                         SimTime clkToQ)
+    : digital::Component(std::move(name)), dataBits_(q.width()),
+      codeBits_(hammingCodewordBits(q.width())), q_(q), uncorrectable_(uncorrectable),
+      clkToQ_(clkToQ)
+{
+    if (d.width() != q.width()) {
+        throw std::invalid_argument("EccRegister '" + this->name() + "': width mismatch");
+    }
+    code_ = hammingEncode(0, dataBits_);
+
+    std::vector<digital::SignalBase*> sens{&clk};
+    if (rstn != nullptr) {
+        sens.push_back(rstn);
+    }
+    c.process(this->name() + "/seq",
+              [this, &clk, d, rstn] {
+                  if (resetActive(rstn)) {
+                      code_ = hammingEncode(0, dataBits_);
+                      propagate();
+                  } else if (digital::risingEdge(clk)) {
+                      code_ = hammingEncode(d.toUint() & widthMask(dataBits_), dataBits_);
+                      propagate();
+                  }
+              },
+              sens);
+
+    c.instrumentation().add(StateHook{
+        this->name() + "/code", codeBits_, [this] { return code_; },
+        [this](std::uint64_t v) { setCodeword(v); },
+        [this](int bit) { setCodeword(code_ ^ (1ull << bit)); }});
+}
+
+void EccRegister::setCodeword(std::uint64_t v)
+{
+    code_ = v & widthMask(codeBits_);
+    propagate();
+}
+
+void EccRegister::propagate()
+{
+    const HammingDecode decoded = hammingDecode(code_, dataBits_);
+    if (decoded.corrected) {
+        ++corrections_;
+    }
+    q_.scheduleUint(decoded.data, clkToQ_);
+    if (uncorrectable_ != nullptr) {
+        uncorrectable_->scheduleInertial(digital::fromBool(decoded.uncorrectable), clkToQ_);
+    }
+}
+
+} // namespace gfi::harden

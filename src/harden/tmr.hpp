@@ -1,0 +1,104 @@
+#pragma once
+// SEU-hardened sequential elements: triple modular redundancy, duplication
+// with comparison, and ECC-protected registers.
+//
+// These are the "implemented mechanisms" whose efficiency the paper's flow is
+// meant to validate (introduction, goal (2)): build the protected block, run
+// the same injection campaign as on the unprotected one, and compare outcome
+// rates. The hooks deliberately target the *internal copies/codewords* so the
+// injected SEU lands below the protection, where real particles strike.
+
+#include "digital/circuit.hpp"
+#include "harden/hamming.hpp"
+
+#include <array>
+
+namespace gfi::harden {
+
+/// Triple-modular-redundant register: three storage copies, a bitwise
+/// majority voter on the output, and (by construction) re-synchronization at
+/// every load. Instrumentation: three hooks "<name>/copy{0,1,2}" so an SEU
+/// flips exactly one copy.
+class TmrRegister : public digital::Component {
+public:
+    TmrRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
+                const digital::Bus& d, const digital::Bus& q,
+                digital::LogicSignal* en = nullptr, digital::LogicSignal* rstn = nullptr,
+                SimTime clkToQ = 200 * kPicosecond);
+
+    /// Stored copy value (diagnostics).
+    [[nodiscard]] std::uint64_t copy(int i) const { return copies_.at(static_cast<std::size_t>(i)); }
+
+    /// The voted output value.
+    [[nodiscard]] std::uint64_t voted() const noexcept
+    {
+        return (copies_[0] & copies_[1]) | (copies_[0] & copies_[2]) |
+               (copies_[1] & copies_[2]);
+    }
+
+    /// Overwrites one copy and re-votes (SEU injection path).
+    void setCopy(int i, std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::array<std::uint64_t, 3> copies_{};
+    std::uint64_t mask_;
+    digital::Bus q_;
+    SimTime clkToQ_;
+};
+
+/// Duplication-with-comparison register: two copies, primary drives the
+/// output, any mismatch raises the error flag (detection, not correction).
+class DwcRegister : public digital::Component {
+public:
+    DwcRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
+                const digital::Bus& d, const digital::Bus& q, digital::LogicSignal& error,
+                digital::LogicSignal* rstn = nullptr, SimTime clkToQ = 200 * kPicosecond);
+
+    /// Overwrites one copy, updates the output/error flag (SEU injection).
+    void setCopy(int i, std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::array<std::uint64_t, 2> copies_{};
+    std::uint64_t mask_;
+    digital::Bus q_;
+    digital::LogicSignal* error_;
+    SimTime clkToQ_;
+};
+
+/// SEC-DED-protected register: stores the extended Hamming codeword; the
+/// read path decodes (and corrects) on every propagation. Instrumentation
+/// targets the raw codeword ("<name>/code"), so single flips are absorbed
+/// and double flips are flagged on the uncorrectable output.
+class EccRegister : public digital::Component {
+public:
+    EccRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
+                const digital::Bus& d, const digital::Bus& q,
+                digital::LogicSignal* uncorrectable = nullptr,
+                digital::LogicSignal* rstn = nullptr, SimTime clkToQ = 200 * kPicosecond);
+
+    /// The stored raw codeword.
+    [[nodiscard]] std::uint64_t codeword() const noexcept { return code_; }
+
+    /// Number of corrections performed so far (scrub telemetry).
+    [[nodiscard]] int correctionCount() const noexcept { return corrections_; }
+
+    /// Overwrites the stored codeword (SEU injection path).
+    void setCodeword(std::uint64_t v);
+
+private:
+    void propagate();
+
+    std::uint64_t code_ = 0;
+    int dataBits_;
+    int codeBits_;
+    int corrections_ = 0;
+    digital::Bus q_;
+    digital::LogicSignal* uncorrectable_;
+    SimTime clkToQ_;
+};
+
+} // namespace gfi::harden

@@ -1,0 +1,78 @@
+#include "pll/pfd.hpp"
+
+namespace gfi::pll {
+
+using digital::Logic;
+
+PhaseFreqDetector::PhaseFreqDetector(digital::Circuit& c, std::string name,
+                                     digital::LogicSignal& ref, digital::LogicSignal& fb,
+                                     digital::LogicSignal& up, digital::LogicSignal& down,
+                                     SimTime resetDelay, SimTime delay)
+    : digital::Component(std::move(name)), circuit_(&c), upSig_(&up), downSig_(&down),
+      resetDelay_(resetDelay), delay_(delay)
+{
+    c.process(this->name() + "/seq",
+              [this, &ref, &fb] {
+                  bool changed = false;
+                  if (digital::risingEdge(ref) && !up_) {
+                      up_ = true;
+                      changed = true;
+                  }
+                  if (digital::risingEdge(fb) && !down_) {
+                      down_ = true;
+                      changed = true;
+                  }
+                  if (changed) {
+                      drive();
+                      maybeScheduleReset();
+                  }
+              },
+              {&ref, &fb});
+
+    c.instrumentation().add(digital::StateHook{
+        this->name(), 2,
+        [this] {
+            return static_cast<std::uint64_t>(up_ ? 1 : 0) |
+                   (static_cast<std::uint64_t>(down_ ? 1 : 0) << 1);
+        },
+        [this](std::uint64_t v) { setState((v & 1u) != 0, (v & 2u) != 0); },
+        [this](int bit) {
+            setState(bit == 0 ? !up_ : up_, bit == 1 ? !down_ : down_);
+        }});
+}
+
+void PhaseFreqDetector::drive()
+{
+    upSig_->scheduleInertial(digital::fromBool(up_), delay_);
+    downSig_->scheduleInertial(digital::fromBool(down_), delay_);
+}
+
+void PhaseFreqDetector::maybeScheduleReset()
+{
+    if (!(up_ && down_)) {
+        return;
+    }
+    // AND reset: both flags clear after the anti-backlash window. A token
+    // guards against stale resets if state was overwritten meanwhile.
+    const std::uint64_t token = ++resetToken_;
+    circuit_->scheduler().scheduleAction(circuit_->scheduler().now() + resetDelay_,
+                                         [this, token] {
+                                             if (token != resetToken_) {
+                                                 return;
+                                             }
+                                             up_ = false;
+                                             down_ = false;
+                                             drive();
+                                         });
+}
+
+void PhaseFreqDetector::setState(bool up, bool down)
+{
+    up_ = up;
+    down_ = down;
+    ++resetToken_; // cancel any in-flight reset
+    drive();
+    maybeScheduleReset();
+}
+
+} // namespace gfi::pll

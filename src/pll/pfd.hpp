@@ -1,0 +1,48 @@
+#pragma once
+// Sequential phase-frequency detector (paper Figure 5, "Sequential
+// Phase-frequency Detector").
+//
+// Classic tri-state PFD: a rising reference edge raises UP, a rising feedback
+// edge raises DOWN, and when both are high an internal reset clears both
+// after a short reset delay. The UP/DOWN flags are stored state and register
+// instrumentation hooks, so the campaign can flip them like any other
+// sequential element (SEUs in the PLL's digital part).
+
+#include "digital/circuit.hpp"
+
+namespace gfi::pll {
+
+/// Behavioral tri-state phase-frequency detector.
+class PhaseFreqDetector : public digital::Component {
+public:
+    /// @param resetDelay  width of the simultaneous UP/DOWN pulse when the
+    ///                    internal AND reset fires (anti-backlash window).
+    PhaseFreqDetector(digital::Circuit& c, std::string name, digital::LogicSignal& ref,
+                      digital::LogicSignal& fb, digital::LogicSignal& up,
+                      digital::LogicSignal& down, SimTime resetDelay = 200 * kPicosecond,
+                      SimTime delay = 100 * kPicosecond);
+
+    /// Stored UP flag.
+    [[nodiscard]] bool upState() const noexcept { return up_; }
+
+    /// Stored DOWN flag.
+    [[nodiscard]] bool downState() const noexcept { return down_; }
+
+    /// Overwrites the stored flags and re-drives the outputs (SEU injection).
+    void setState(bool up, bool down);
+
+private:
+    void drive();
+    void maybeScheduleReset();
+
+    digital::Circuit* circuit_;
+    digital::LogicSignal* upSig_;
+    digital::LogicSignal* downSig_;
+    bool up_ = false;
+    bool down_ = false;
+    SimTime resetDelay_;
+    SimTime delay_;
+    std::uint64_t resetToken_ = 0; // invalidates stale scheduled resets
+};
+
+} // namespace gfi::pll

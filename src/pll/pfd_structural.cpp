@@ -1,0 +1,33 @@
+#include "pll/pfd_structural.hpp"
+
+#include "digital/gates.hpp"
+#include "digital/sequential.hpp"
+
+namespace gfi::pll {
+
+using namespace digital;
+
+StructuralPfd::StructuralPfd(Circuit& c, std::string name, LogicSignal& ref, LogicSignal& fb,
+                             LogicSignal& up, LogicSignal& down, SimTime resetDelay,
+                             SimTime gateDelay)
+    : Component(std::move(name))
+{
+    const std::string base = this->name();
+
+    // Data inputs tied high.
+    auto& vdd = c.logicSignal(base + "/vdd", Logic::One);
+
+    // Internal reset net: rstn = NOT(UP AND DOWN), with the AND carrying the
+    // anti-backlash delay.
+    auto& resetAnd = c.logicSignal(base + "/rst_and", Logic::U);
+    auto& rstn = c.logicSignal(base + "/rstn", Logic::U);
+
+    // The two phase flip-flops drive the outputs directly.
+    c.add<DFlipFlop>(c, base + "/ff_up", ref, vdd, up, &rstn, nullptr, gateDelay);
+    c.add<DFlipFlop>(c, base + "/ff_down", fb, vdd, down, &rstn, nullptr, gateDelay);
+
+    c.add<AndGate>(c, base + "/and", up, down, resetAnd, resetDelay);
+    c.add<NotGate>(c, base + "/inv", resetAnd, rstn, gateDelay);
+}
+
+} // namespace gfi::pll

@@ -1,0 +1,37 @@
+#pragma once
+// Structural (gate-level) phase-frequency detector.
+//
+// The paper's conclusion plans "comparisons between results obtained on
+// behavioral models and results obtained on lower level descriptions". This
+// is the lower-level description of the PFD: the classic two-D-flip-flop
+// implementation — DFF data inputs tied to '1', clocked by the reference and
+// feedback edges, with an AND gate asynchronously resetting both flops —
+// built entirely from library gates and flip-flops, each with its own
+// instrumentation hook and realistic per-gate delays.
+//
+// Same interface as the behavioral PhaseFreqDetector, so PllTestbench can be
+// built with either model and campaigns can be compared level against level.
+
+#include "digital/circuit.hpp"
+
+namespace gfi::pll {
+
+/// Gate-level PFD: 2 DFFs + AND reset + reset-delay buffer chain.
+class StructuralPfd : public digital::Component {
+public:
+    /// @param resetDelay  propagation of the reset path (sets the
+    ///                    anti-backlash pulse width, like the behavioral
+    ///                    model's resetDelay).
+    StructuralPfd(digital::Circuit& c, std::string name, digital::LogicSignal& ref,
+                  digital::LogicSignal& fb, digital::LogicSignal& up,
+                  digital::LogicSignal& down, SimTime resetDelay = 200 * kPicosecond,
+                  SimTime gateDelay = 50 * kPicosecond);
+
+    /// The internal UP flip-flop's instrumentation hook name.
+    [[nodiscard]] std::string upFlopHook() const { return name() + "/ff_up"; }
+
+    /// The internal DOWN flip-flop's instrumentation hook name.
+    [[nodiscard]] std::string downFlopHook() const { return name() + "/ff_down"; }
+};
+
+} // namespace gfi::pll

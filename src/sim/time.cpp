@@ -1,0 +1,43 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace gfi {
+
+std::string formatTime(SimTime t)
+{
+    struct Unit {
+        SimTime scale;
+        const char* suffix;
+    };
+    static constexpr std::array<Unit, 6> units{{
+        {kSecond, "s"},
+        {kMillisecond, "ms"},
+        {kMicrosecond, "us"},
+        {kNanosecond, "ns"},
+        {kPicosecond, "ps"},
+        {kFemtosecond, "fs"},
+    }};
+
+    if (t == 0) {
+        return "0 s";
+    }
+    const SimTime mag = t < 0 ? -t : t;
+    for (const Unit& u : units) {
+        if (mag >= u.scale) {
+            const double value = static_cast<double>(t) / static_cast<double>(u.scale);
+            char buf[48];
+            if (std::fabs(value - std::round(value)) < 1e-9) {
+                std::snprintf(buf, sizeof buf, "%.0f %s", value, u.suffix);
+            } else {
+                std::snprintf(buf, sizeof buf, "%.3f %s", value, u.suffix);
+            }
+            return buf;
+        }
+    }
+    return "0 s";
+}
+
+} // namespace gfi

@@ -1,0 +1,44 @@
+#pragma once
+// Simulation time model shared by the digital and analog kernels.
+//
+// The digital kernel counts integer femtoseconds so that event ordering is
+// exact and repeatable (no floating-point drift over long runs).  The analog
+// solver works in double-precision seconds internally and synchronizes with
+// the digital kernel on event boundaries; the conversion helpers below are the
+// single place where the two representations meet.
+
+#include <cstdint>
+#include <string>
+
+namespace gfi {
+
+/// Simulation time in integer femtoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kFemtosecond = 1;
+inline constexpr SimTime kPicosecond = 1'000;
+inline constexpr SimTime kNanosecond = 1'000'000;
+inline constexpr SimTime kMicrosecond = 1'000'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000'000;
+
+/// Sentinel for "no event pending" / "end of time".
+inline constexpr SimTime kTimeMax = INT64_MAX;
+
+/// Converts an integer-femtosecond time to double-precision seconds.
+constexpr double toSeconds(SimTime t) noexcept
+{
+    return static_cast<double>(t) * 1e-15;
+}
+
+/// Converts double-precision seconds to integer femtoseconds (round to nearest).
+constexpr SimTime fromSeconds(double seconds) noexcept
+{
+    const double fs = seconds * 1e15;
+    return static_cast<SimTime>(fs + (fs >= 0 ? 0.5 : -0.5));
+}
+
+/// Formats a time with an auto-selected SI prefix, e.g. "1.5 ns" or "170 us".
+std::string formatTime(SimTime t);
+
+} // namespace gfi

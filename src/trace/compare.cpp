@@ -1,0 +1,110 @@
+#include "trace/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfi::trace {
+
+DigitalDiff compareDigital(const DigitalTrace& golden, const DigitalTrace& test, SimTime tEnd,
+                           SimTime minWindow)
+{
+    // Merge the event timelines and walk both traces.
+    std::vector<SimTime> times;
+    times.reserve(golden.events.size() + test.events.size() + 2);
+    times.push_back(0);
+    for (const auto& [t, v] : golden.events) {
+        times.push_back(t);
+    }
+    for (const auto& [t, v] : test.events) {
+        times.push_back(t);
+    }
+    times.push_back(tEnd);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+
+    DigitalDiff diff;
+    bool inMismatch = false;
+    SimTime windowStart = 0;
+    for (SimTime t : times) {
+        if (t > tEnd) {
+            break;
+        }
+        const bool differs =
+            digital::toX01(golden.valueAt(t)) != digital::toX01(test.valueAt(t));
+        if (differs && !inMismatch) {
+            inMismatch = true;
+            windowStart = t;
+        } else if (!differs && inMismatch) {
+            inMismatch = false;
+            diff.mismatchWindows.emplace_back(windowStart, t);
+        }
+    }
+    if (inMismatch) {
+        diff.mismatchWindows.emplace_back(windowStart, tEnd);
+    }
+    if (minWindow > 0) {
+        // Uniform filter: a window narrower than the jitter tolerance is not
+        // a functional error even when it is cut short by the end of the
+        // observation (a sub-tolerance edge offset straddling tEnd).
+        std::erase_if(diff.mismatchWindows, [&](const std::pair<SimTime, SimTime>& w) {
+            return w.second - w.first < minWindow;
+        });
+    }
+    if (!diff.mismatchWindows.empty()) {
+        diff.firstMismatch = diff.mismatchWindows.front().first;
+        diff.lastMismatchEnd = diff.mismatchWindows.back().second;
+        for (const auto& [a, b] : diff.mismatchWindows) {
+            diff.totalMismatch += b - a;
+        }
+    }
+    return diff;
+}
+
+AnalogDiff compareAnalog(const AnalogTrace& golden, const AnalogTrace& test, double absTol,
+                         double relTol)
+{
+    std::vector<double> times;
+    times.reserve(golden.samples.size() + test.samples.size());
+    for (const auto& [t, v] : golden.samples) {
+        times.push_back(t);
+    }
+    for (const auto& [t, v] : test.samples) {
+        times.push_back(t);
+    }
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+
+    AnalogDiff diff;
+    bool outside = false;
+    double outsideStart = 0.0;
+    for (double t : times) {
+        const double g = golden.valueAt(t);
+        const double v = test.valueAt(t);
+        const double dev = std::fabs(v - g);
+        if (dev > diff.maxDeviation) {
+            diff.maxDeviation = dev;
+            diff.tMaxDeviation = t;
+        }
+        const bool exceeds = dev > absTol + relTol * std::fabs(g);
+        if (exceeds) {
+            if (diff.firstExceed < 0.0) {
+                diff.firstExceed = t;
+            }
+            diff.lastExceed = t;
+            if (!outside) {
+                outside = true;
+                outsideStart = t;
+            }
+        } else if (outside) {
+            outside = false;
+            diff.timeOutsideTol += t - outsideStart;
+        }
+    }
+    if (outside && !times.empty()) {
+        diff.timeOutsideTol += times.back() - outsideStart;
+        diff.withinTolAtEnd = false;
+    }
+    return diff;
+}
+
+} // namespace gfi::trace

@@ -1,0 +1,54 @@
+#pragma once
+// Trace comparison: exact for digital signals, tolerance-based for analog
+// nodes (the paper notes analog monitoring "may need an additional tolerance
+// on the values to avoid non-significant error identifications" — Section 4.1).
+
+#include "trace/trace.hpp"
+
+namespace gfi::trace {
+
+/// Result of comparing two digital traces.
+struct DigitalDiff {
+    /// Half-open windows [start, end) where the values differ (normalized to
+    /// X01, so X vs 0 counts as a mismatch).
+    std::vector<std::pair<SimTime, SimTime>> mismatchWindows;
+    SimTime firstMismatch = -1;  ///< start of the first window, -1 if none
+    SimTime lastMismatchEnd = -1;///< end of the last window, -1 if none
+    SimTime totalMismatch = 0;   ///< accumulated mismatch duration
+
+    [[nodiscard]] bool identical() const noexcept { return mismatchWindows.empty(); }
+
+    /// True when the traces agree at (and after the last event before) @p t.
+    /// A window that extends to exactly @p t means the traces were still
+    /// diverged when observation stopped — that is NOT a recovery.
+    [[nodiscard]] bool matchesAt(SimTime t) const noexcept
+    {
+        return mismatchWindows.empty() || mismatchWindows.back().second < t;
+    }
+};
+
+/// Compares two digital traces over [0, tEnd]. Mismatch windows shorter than
+/// @p minWindow are discarded: this is the digital counterpart of the analog
+/// tolerance — edge jitter below the threshold (e.g. sub-ps clock wobble
+/// while a PLL relocks) is not a functional error.
+[[nodiscard]] DigitalDiff compareDigital(const DigitalTrace& golden, const DigitalTrace& test,
+                                         SimTime tEnd, SimTime minWindow = 0);
+
+/// Result of comparing two analog traces.
+struct AnalogDiff {
+    double maxDeviation = 0.0;    ///< max |test - golden| (volts)
+    double tMaxDeviation = 0.0;   ///< time of the maximum deviation
+    double firstExceed = -1.0;    ///< first time the tolerance was exceeded, -1 if never
+    double lastExceed = -1.0;     ///< last time the tolerance was exceeded
+    double timeOutsideTol = 0.0;  ///< accumulated time outside tolerance (seconds)
+    bool withinTolAtEnd = true;   ///< back inside tolerance at the end of the run
+
+    [[nodiscard]] bool withinTolerance() const noexcept { return firstExceed < 0.0; }
+};
+
+/// Compares two analog traces on the union of their sample points.
+/// A point deviates when |test - golden| > absTol + relTol * |golden|.
+[[nodiscard]] AnalogDiff compareAnalog(const AnalogTrace& golden, const AnalogTrace& test,
+                                       double absTol, double relTol = 0.0);
+
+} // namespace gfi::trace

@@ -1,0 +1,141 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfi::trace {
+
+std::vector<PeriodSample> extractPeriods(const DigitalTrace& clock)
+{
+    const std::vector<SimTime> edges = clock.risingEdges();
+    std::vector<PeriodSample> periods;
+    if (edges.size() < 2) {
+        return periods;
+    }
+    periods.reserve(edges.size() - 1);
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+        periods.push_back({edges[i], edges[i + 1] - edges[i]});
+    }
+    return periods;
+}
+
+ClockPerturbation analyzeClock(const DigitalTrace& clock, SimTime nominalPeriod, double relTol,
+                               SimTime from)
+{
+    ClockPerturbation result;
+    result.nominalPeriod = nominalPeriod;
+    for (const PeriodSample& p : extractPeriods(clock)) {
+        if (p.edge < from) {
+            continue;
+        }
+        ++result.totalCycles;
+        const double rel = std::fabs(static_cast<double>(p.period - nominalPeriod)) /
+                           static_cast<double>(nominalPeriod);
+        if (rel > result.maxRelDeviation) {
+            result.maxRelDeviation = rel;
+            result.maxDeviationPeriod = p.period;
+        }
+        if (rel > relTol) {
+            ++result.perturbedCycles;
+            if (result.firstPerturbed < 0) {
+                result.firstPerturbed = p.edge;
+            }
+            result.lastPerturbed = p.edge;
+        }
+    }
+    return result;
+}
+
+double averagePeriod(const DigitalTrace& clock, int cycles)
+{
+    const std::vector<SimTime> edges = clock.risingEdges();
+    if (static_cast<int>(edges.size()) < cycles + 1) {
+        return 0.0;
+    }
+    const SimTime span = edges.back() - edges[edges.size() - 1 - static_cast<std::size_t>(cycles)];
+    return static_cast<double>(span) / cycles;
+}
+
+double rmsPeriodJitter(const DigitalTrace& clock, SimTime from)
+{
+    std::vector<double> periods;
+    for (const PeriodSample& p : extractPeriods(clock)) {
+        if (p.edge >= from) {
+            periods.push_back(toSeconds(p.period));
+        }
+    }
+    if (periods.size() < 2) {
+        return 0.0;
+    }
+    double mean = 0.0;
+    for (double p : periods) {
+        mean += p;
+    }
+    mean /= static_cast<double>(periods.size());
+    double var = 0.0;
+    for (double p : periods) {
+        var += (p - mean) * (p - mean);
+    }
+    return std::sqrt(var / static_cast<double>(periods.size()));
+}
+
+double dutyCycle(const DigitalTrace& clock, SimTime from)
+{
+    // Walk rising/falling edges; accumulate high time per full cycle.
+    const std::vector<SimTime> rises = clock.risingEdges();
+    double highTotal = 0.0;
+    double periodTotal = 0.0;
+    for (std::size_t i = 0; i + 1 < rises.size(); ++i) {
+        if (rises[i] < from) {
+            continue;
+        }
+        // Find the falling edge inside this cycle.
+        digital::Logic prev = digital::Logic::One;
+        SimTime fallAt = -1;
+        for (const auto& [t, v] : clock.events) {
+            if (t <= rises[i] || t >= rises[i + 1]) {
+                continue;
+            }
+            const digital::Logic now = digital::toX01(v);
+            if (prev == digital::Logic::One && now == digital::Logic::Zero) {
+                fallAt = t;
+                break;
+            }
+            prev = now;
+        }
+        if (fallAt < 0) {
+            continue;
+        }
+        highTotal += static_cast<double>(fallAt - rises[i]);
+        periodTotal += static_cast<double>(rises[i + 1] - rises[i]);
+    }
+    return periodTotal > 0.0 ? highTotal / periodTotal : -1.0;
+}
+
+ClockPerturbation compareClocks(const DigitalTrace& golden, const DigitalTrace& faulty,
+                                double relTol, SimTime from)
+{
+    // Use the golden trace's steady-state period as the reference, then
+    // analyze the faulty clock against it. Cycle-index pairing would drift
+    // after a perturbation; period-against-nominal is the robust comparison.
+    ClockPerturbation result;
+    const std::vector<PeriodSample> goldenPeriods = extractPeriods(golden);
+    if (goldenPeriods.empty()) {
+        return result;
+    }
+    // Median golden period after `from` as nominal.
+    std::vector<SimTime> periods;
+    for (const PeriodSample& p : goldenPeriods) {
+        if (p.edge >= from) {
+            periods.push_back(p.period);
+        }
+    }
+    if (periods.empty()) {
+        return result;
+    }
+    std::nth_element(periods.begin(), periods.begin() + periods.size() / 2, periods.end());
+    const SimTime nominal = periods[periods.size() / 2];
+    return analyzeClock(faulty, nominal, relTol, from);
+}
+
+} // namespace gfi::trace

@@ -1,0 +1,62 @@
+#pragma once
+// Clock-waveform metrics for the PLL experiments.
+//
+// The paper's key Figure 6 observation is that a sub-nanosecond current pulse
+// perturbs the generated clock for *many consecutive cycles*. These helpers
+// extract per-cycle periods from a recorded clock trace and quantify the
+// perturbation: how many cycles deviate, for how long, and by how much.
+
+#include "trace/trace.hpp"
+
+namespace gfi::trace {
+
+/// One clock cycle: the time of a rising edge and the period to the next one.
+struct PeriodSample {
+    SimTime edge;   ///< rising-edge time
+    SimTime period; ///< distance to the next rising edge
+};
+
+/// Extracts consecutive rising-edge periods from a clock trace.
+[[nodiscard]] std::vector<PeriodSample> extractPeriods(const DigitalTrace& clock);
+
+/// Summary of a clock perturbation relative to a nominal period.
+struct ClockPerturbation {
+    int totalCycles = 0;           ///< cycles examined
+    int perturbedCycles = 0;       ///< cycles whose period deviates > relTol
+    SimTime firstPerturbed = -1;   ///< edge time of the first perturbed cycle
+    SimTime lastPerturbed = -1;    ///< edge time of the last perturbed cycle
+    double maxRelDeviation = 0.0;  ///< max |period - nominal| / nominal
+    SimTime maxDeviationPeriod = 0;///< the most deviant period observed
+    SimTime nominalPeriod = 0;     ///< the reference period used
+
+    /// Duration of the perturbed region (0 when no cycle deviates).
+    [[nodiscard]] SimTime perturbationSpan() const noexcept
+    {
+        return firstPerturbed < 0 ? 0 : lastPerturbed - firstPerturbed;
+    }
+};
+
+/// Analyzes @p clock against @p nominalPeriod over edges at or after @p from.
+/// A cycle is perturbed when |period - nominal| / nominal > relTol.
+[[nodiscard]] ClockPerturbation analyzeClock(const DigitalTrace& clock, SimTime nominalPeriod,
+                                             double relTol, SimTime from = 0);
+
+/// Measures the average period over the last @p cycles rising edges (lock
+/// verification helper).
+[[nodiscard]] double averagePeriod(const DigitalTrace& clock, int cycles);
+
+/// Compares two clock traces cycle-by-cycle (golden vs faulty) and counts
+/// cycles whose period differs by more than relTol of the golden period.
+[[nodiscard]] ClockPerturbation compareClocks(const DigitalTrace& golden,
+                                              const DigitalTrace& faulty, double relTol,
+                                              SimTime from = 0);
+
+/// RMS period jitter (seconds) relative to the mean period, over rising edges
+/// at or after @p from.
+[[nodiscard]] double rmsPeriodJitter(const DigitalTrace& clock, SimTime from = 0);
+
+/// Average duty cycle (high-time fraction) over full cycles at or after
+/// @p from; returns -1 when fewer than two full cycles exist.
+[[nodiscard]] double dutyCycle(const DigitalTrace& clock, SimTime from = 0);
+
+} // namespace gfi::trace

@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic pseudo-random number generation for repeatable campaigns.
+//
+// Fault-injection campaigns must be exactly reproducible: a campaign seeded
+// with the same value must generate the same fault list and therefore the same
+// classification, independent of platform or standard-library implementation.
+// std::mt19937_64 distributions are not portable across implementations, so we
+// carry our own xoshiro256** generator and our own uniform mappings.
+
+#include <cstdint>
+
+namespace gfi {
+
+/// xoshiro256** 1.0 by Blackman & Vigna — small, fast, high-quality, and fully
+/// deterministic across platforms.
+class Rng {
+public:
+    /// Seeds the generator; any 64-bit value (including 0) is acceptable.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept { reseed(seed); }
+
+    /// Re-seeds the generator via splitmix64 expansion of @p seed.
+    void reseed(std::uint64_t seed) noexcept
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step — guarantees a well-mixed non-zero state.
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Next raw 64-bit value.
+    std::uint64_t next() noexcept
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n) using Lemire's unbiased method.
+    std::uint64_t below(std::uint64_t n) noexcept
+    {
+        if (n == 0) {
+            return 0;
+        }
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept
+    {
+        if (hi <= lo) {
+            return lo;
+        }
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// True with probability @p p.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace gfi

@@ -1,0 +1,50 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace gfi {
+
+namespace {
+
+struct Prefix {
+    double scale;
+    const char* symbol;
+};
+
+constexpr std::array<Prefix, 17> kPrefixes{{
+    {1e24, "Y"}, {1e21, "Z"}, {1e18, "E"}, {1e15, "P"}, {1e12, "T"},
+    {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""}, {1e-3, "m"},
+    {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+    {1e-21, "z"}, {1e-24, "y"},
+}};
+
+} // namespace
+
+std::string formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    return buf;
+}
+
+std::string formatSi(double value, const std::string& unit, int precision)
+{
+    if (value == 0.0 || !std::isfinite(value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%g %s", value, unit.c_str());
+        return buf;
+    }
+    const double mag = std::fabs(value);
+    const Prefix* chosen = &kPrefixes.back();
+    for (const Prefix& p : kPrefixes) {
+        if (mag >= p.scale) {
+            chosen = &p;
+            break;
+        }
+    }
+    return formatDouble(value / chosen->scale, precision) + " " + chosen->symbol + unit;
+}
+
+} // namespace gfi

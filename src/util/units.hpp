@@ -1,0 +1,15 @@
+#pragma once
+// SI-unit formatting helpers used by reports and benches.
+
+#include <string>
+
+namespace gfi {
+
+/// Formats @p value with an auto-selected SI prefix and @p unit suffix,
+/// e.g. formatSi(1.0e-3, "A") -> "1 mA", formatSi(5.0e7, "Hz") -> "50 MHz".
+std::string formatSi(double value, const std::string& unit, int precision = 3);
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+std::string formatDouble(double value, int precision = 6);
+
+} // namespace gfi

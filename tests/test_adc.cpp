@@ -1,0 +1,117 @@
+// Tests for the ADC case studies: conversion correctness and fault
+// sensitivity of the analog vs digital parts (the paper's future-work
+// direction, reference [9]).
+
+#include "adc/flash.hpp"
+#include "adc/sar.hpp"
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::adc {
+namespace {
+
+std::uint64_t busValueAt(const fault::Testbench& tb, const std::string& prefix, int bits,
+                         SimTime t)
+{
+    std::uint64_t code = 0;
+    for (int b = 0; b < bits; ++b) {
+        const auto v =
+            tb.recorder().digitalTrace(prefix + "[" + std::to_string(b) + "]").valueAt(t);
+        if (digital::toX01(v) == digital::Logic::One) {
+            code |= 1ull << b;
+        }
+    }
+    return code;
+}
+
+TEST(SarAdc, ConvertsStaircaseWithinOneLsb)
+{
+    SarAdcTestbench tb;
+    tb.run();
+    const auto& cfg = tb.config();
+    for (std::size_t k = 0; k < cfg.inputLevels.size(); ++k) {
+        const SimTime tEnd = static_cast<SimTime>(k + 1) * cfg.levelHold - kMicrosecond;
+        const auto code =
+            static_cast<int>(busValueAt(tb, "adc/result", cfg.bits, tEnd));
+        EXPECT_NEAR(code, tb.idealCode(cfg.inputLevels[k]), 1)
+            << "vin=" << cfg.inputLevels[k];
+    }
+}
+
+TEST(SarAdc, DonePulsesOncePerConversion)
+{
+    SarAdcTestbench tb;
+    tb.run();
+    const auto& done = tb.recorder().digitalTrace("adc/done");
+    EXPECT_EQ(done.risingEdges().size(), tb.config().inputLevels.size());
+}
+
+TEST(SarAdc, BitFlipInSarRegisterCorruptsCode)
+{
+    const SarConfig cfg;
+    campaign::CampaignRunner runner([cfg] { return std::make_unique<SarAdcTestbench>(cfg); });
+    // Flip the MSB of the SAR trial register mid-conversion of level 1.
+    fault::BitFlipFault f{"adc/sar/code", cfg.bits - 1,
+                          cfg.levelHold + 3 * fromSeconds(1.0 / cfg.clockHz)};
+    const auto r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, campaign::Outcome::Silent);
+}
+
+TEST(SarAdc, CurrentPulseOnDacNodeDuringConversion)
+{
+    const SarConfig cfg;
+    campaign::CampaignRunner runner([cfg] { return std::make_unique<SarAdcTestbench>(cfg); });
+    // A large pulse on the DAC settling node exactly while a decision is
+    // being taken flips that comparison.
+    fault::CurrentPulseFault f;
+    f.saboteur = "sab/dac_out";
+    f.timeSeconds = toSeconds(cfg.levelHold) + 2.4e-6; // mid-conversion of level 1
+    f.shape = std::make_shared<fault::TrapezoidPulse>(20e-3, 100e-12, 300e-12, 400e-9);
+    const auto r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, campaign::Outcome::Silent);
+}
+
+TEST(FlashAdc, TracksInputSine)
+{
+    FlashAdcTestbench tb;
+    tb.run();
+    const auto& cfg = tb.config();
+    const double lsb = cfg.vref / (1 << cfg.bits);
+    // Compare the registered code against the ideal flash quantization at a
+    // few sample instants (one clock after the sample edge, away from edges).
+    for (double t : {2.1e-6, 4.9e-6, 7.7e-6, 11.3e-6, 15.9e-6}) {
+        const double vin = tb.recorder().analogTrace("adc/vin").valueAt(t - 2.5e-7);
+        const auto code = static_cast<int>(busValueAt(tb, "adc/code", cfg.bits,
+                                                      fromSeconds(t)));
+        const int ideal = std::min(static_cast<int>(vin / lsb), (1 << cfg.bits) - 1);
+        EXPECT_NEAR(code, ideal, 1) << "t=" << t;
+    }
+}
+
+TEST(FlashAdc, LadderSaboteurPerturbsCodes)
+{
+    const FlashConfig cfg;
+    campaign::CampaignRunner runner([cfg] { return std::make_unique<FlashAdcTestbench>(cfg); },
+                                    campaign::Tolerance{10e-3, 0.0});
+    // A sustained pulse on a middle ladder tap shifts comparator thresholds
+    // and must corrupt at least one conversion.
+    fault::CurrentPulseFault f;
+    f.saboteur = "sab/tap4";
+    f.timeSeconds = 4e-6;
+    f.shape = std::make_shared<fault::TrapezoidPulse>(5e-3, 1e-9, 1e-9, 2e-6);
+    const auto r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, campaign::Outcome::Silent);
+}
+
+TEST(FlashAdc, EnumeratesTapSaboteurs)
+{
+    FlashAdcTestbench tb;
+    EXPECT_EQ(tb.tapSaboteurs().size(), 7u); // 2^3 - 1 comparators
+    for (const auto& name : tb.tapSaboteurs()) {
+        EXPECT_NE(tb.findCurrentSaboteur(name), nullptr);
+    }
+}
+
+} // namespace
+} // namespace gfi::adc

@@ -1,0 +1,114 @@
+// Unit tests for the dense LU solver.
+
+#include "analog/linear.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::analog {
+namespace {
+
+TEST(LuSolve, Identity)
+{
+    DenseMatrix A(3);
+    for (int i = 0; i < 3; ++i) {
+        A.at(i, i) = 1.0;
+    }
+    std::vector<double> b{1.0, 2.0, 3.0};
+    ASSERT_TRUE(luSolveInPlace(A, b));
+    EXPECT_DOUBLE_EQ(b[0], 1.0);
+    EXPECT_DOUBLE_EQ(b[1], 2.0);
+    EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(LuSolve, RequiresPivoting)
+{
+    // Zero on the initial diagonal; only partial pivoting solves this.
+    DenseMatrix A(2);
+    A.at(0, 0) = 0.0;
+    A.at(0, 1) = 1.0;
+    A.at(1, 0) = 1.0;
+    A.at(1, 1) = 0.0;
+    std::vector<double> b{2.0, 5.0};
+    ASSERT_TRUE(luSolveInPlace(A, b));
+    EXPECT_NEAR(b[0], 5.0, 1e-12);
+    EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, SingularDetected)
+{
+    DenseMatrix A(2);
+    A.at(0, 0) = 1.0;
+    A.at(0, 1) = 2.0;
+    A.at(1, 0) = 2.0;
+    A.at(1, 1) = 4.0;
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_FALSE(luSolveInPlace(A, b));
+}
+
+TEST(LuSolve, General3x3)
+{
+    DenseMatrix A(3);
+    const double a[3][3] = {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            A.at(r, c) = a[r][c];
+        }
+    }
+    std::vector<double> b{8.0, -11.0, -3.0};
+    ASSERT_TRUE(luSolveInPlace(A, b));
+    EXPECT_NEAR(b[0], 2.0, 1e-12);
+    EXPECT_NEAR(b[1], 3.0, 1e-12);
+    EXPECT_NEAR(b[2], -1.0, 1e-12);
+}
+
+TEST(LuSolve, EmptySystem)
+{
+    DenseMatrix A(0);
+    std::vector<double> b;
+    EXPECT_TRUE(luSolveInPlace(A, b));
+}
+
+// Property sweep: random diagonally-dominant systems solve to machine
+// precision (residual check), across sizes.
+class LuSolveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSolveSizes, ResidualIsTiny)
+{
+    const int n = GetParam();
+    // Deterministic pseudo-random fill.
+    std::uint64_t s = 12345 + static_cast<std::uint64_t>(n);
+    auto rnd = [&s] {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>((s >> 16) & 0xFFFF) / 65536.0 - 0.5;
+    };
+    DenseMatrix A(n);
+    DenseMatrix Acopy(n);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        double rowSum = 0.0;
+        for (int c = 0; c < n; ++c) {
+            const double v = rnd();
+            A.at(r, c) = v;
+            rowSum += std::abs(v);
+        }
+        A.at(r, r) += rowSum + 1.0; // diagonally dominant
+        b[static_cast<std::size_t>(r)] = rnd();
+        for (int c = 0; c < n; ++c) {
+            Acopy.at(r, c) = A.at(r, c);
+        }
+    }
+    std::vector<double> x = b;
+    ASSERT_TRUE(luSolveInPlace(A, x));
+    for (int r = 0; r < n; ++r) {
+        double acc = 0.0;
+        for (int c = 0; c < n; ++c) {
+            acc += Acopy.at(r, c) * x[static_cast<std::size_t>(c)];
+        }
+        EXPECT_NEAR(acc, b[static_cast<std::size_t>(r)], 1e-9) << "row " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSolveSizes, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace gfi::analog

@@ -1,0 +1,195 @@
+// Tests for the mixed-signal layer: A->D and D->A bridges and the lockstep
+// synchronization between the digital kernel and the analog solver.
+
+#include "ams/bridge.hpp"
+#include "analog/passive.hpp"
+#include "analog/sources.hpp"
+#include "digital/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfi::ams {
+namespace {
+
+using digital::Logic;
+
+TEST(AtoD, SineBecomesSquareWave)
+{
+    MixedSimulator sim;
+    auto& ana = sim.analog();
+    const analog::NodeId n = ana.node("sine");
+    ana.add<analog::SineVoltage>(ana, "vs", n, analog::kGround, 2.5, 2.5, 1e6);
+    ana.add<analog::Resistor>(ana, "rl", n, analog::kGround, 1e4);
+    auto& sq = sim.digital().logicSignal("sq", Logic::U);
+    AtoDBridge bridge(sim, "dig", n, sq, 2.5);
+
+    std::vector<SimTime> rises;
+    digital::SignalWatch::onEvent(sq, [&] {
+        if (digital::toX01(sq.value()) == Logic::One && digital::toX01(sq.lastValue()) == Logic::Zero) {
+            rises.push_back(sim.digital().scheduler().now());
+        }
+    });
+    sim.run(fromSeconds(5.2e-6)); // ~5 periods
+    ASSERT_GE(rises.size(), 4u);
+    // Rising crossings of sin at offset: every 1 us starting at 1 us
+    // (sin starts rising from 2.5 V at t=0, so first *rising* crossing after
+    // a full period).
+    for (std::size_t i = 1; i < rises.size(); ++i) {
+        EXPECT_NEAR(toSeconds(rises[i] - rises[i - 1]), 1e-6, 2e-9);
+    }
+}
+
+TEST(AtoD, InitialValueFromDcPoint)
+{
+    MixedSimulator sim;
+    auto& ana = sim.analog();
+    const analog::NodeId n = ana.node("hi");
+    ana.add<analog::VoltageSource>(ana, "vs", n, analog::kGround, 4.0);
+    auto& out = sim.digital().logicSignal("out", Logic::U);
+    AtoDBridge bridge(sim, "dig", n, out, 2.5);
+    sim.elaborate();
+    EXPECT_EQ(out.value(), Logic::One);
+}
+
+TEST(AtoD, HysteresisSuppressesChatter)
+{
+    // A sine of amplitude 0.05 V around the threshold with 0.2 V hysteresis
+    // must never toggle the output.
+    MixedSimulator sim;
+    auto& ana = sim.analog();
+    const analog::NodeId n = ana.node("noisy");
+    ana.add<analog::SineVoltage>(ana, "vs", n, analog::kGround, 2.5, 0.05, 1e6);
+    ana.add<analog::Resistor>(ana, "rl", n, analog::kGround, 1e4);
+    auto& out = sim.digital().logicSignal("out", Logic::U);
+    AtoDBridge bridge(sim, "dig", n, out, 2.5, /*hysteresis=*/0.2);
+    sim.elaborate(); // the initial DC-derived force is not chatter
+    int toggles = 0;
+    digital::SignalWatch::onEvent(out, [&] { ++toggles; });
+    sim.run(fromSeconds(3e-6));
+    EXPECT_EQ(toggles, 0);
+}
+
+TEST(DtoA, DrivesLevelsOnDigitalEvents)
+{
+    MixedSimulator sim;
+    auto& dig = sim.digital();
+    auto& ctl = dig.logicSignal("ctl", Logic::Zero);
+    const analog::NodeId n = sim.analog().node("drv");
+    sim.analog().add<analog::Resistor>(sim.analog(), "rl", n, analog::kGround, 1e4);
+    DtoABridge bridge(sim, "dac", ctl, n, 0.0, 3.3);
+
+    dig.scheduler().scheduleAction(kMicrosecond, [&ctl] { ctl.forceValue(Logic::One); });
+    sim.run(fromSeconds(0.5e-6));
+    EXPECT_NEAR(sim.analog().voltage(n), 0.0, 1e-6);
+    sim.run(fromSeconds(1.5e-6));
+    EXPECT_NEAR(sim.analog().voltage(n), 3.3, 1e-6);
+}
+
+TEST(DtoA, SlewRampsLinearly)
+{
+    MixedSimulator sim;
+    auto& dig = sim.digital();
+    auto& ctl = dig.logicSignal("ctl", Logic::Zero);
+    const analog::NodeId n = sim.analog().node("drv");
+    sim.analog().add<analog::Resistor>(sim.analog(), "rl", n, analog::kGround, 1e4);
+    DtoABridge bridge(sim, "dac", ctl, n, 0.0, 2.0, /*slew=*/1e-6);
+
+    dig.scheduler().scheduleAction(kMicrosecond, [&ctl] { ctl.forceValue(Logic::One); });
+    sim.run(fromSeconds(1.5e-6)); // halfway up the ramp
+    EXPECT_NEAR(sim.analog().voltage(n), 1.0, 0.05);
+    sim.run(fromSeconds(3e-6));
+    EXPECT_NEAR(sim.analog().voltage(n), 2.0, 1e-6);
+}
+
+TEST(CurrentDriver, ChargesPumpIntoCapacitor)
+{
+    // UP high for 1 us at 1 mA into 1 uF -> 1 mV ramp; DOWN discharges.
+    MixedSimulator sim;
+    auto& dig = sim.digital();
+    auto& up = dig.logicSignal("up", Logic::Zero);
+    auto& down = dig.logicSignal("down", Logic::Zero);
+    const analog::NodeId n = sim.analog().node("cp");
+    sim.analog().add<analog::Capacitor>(sim.analog(), "c", n, analog::kGround, 1e-6);
+    sim.analog().add<analog::Resistor>(sim.analog(), "leak", n, analog::kGround, 1e9);
+    DigitalCurrentDriver cp(sim, "cp", {&up, &down}, n,
+                            [](const std::vector<Logic>& v) {
+                                const double u = digital::toX01(v[0]) == Logic::One ? 1.0 : 0.0;
+                                const double d = digital::toX01(v[1]) == Logic::One ? 1.0 : 0.0;
+                                return 1e-3 * (u - d);
+                            });
+    dig.scheduler().scheduleAction(0, [&up] { up.forceValue(Logic::One); });
+    dig.scheduler().scheduleAction(kMicrosecond, [&up] { up.forceValue(Logic::Zero); });
+    sim.run(2 * kMicrosecond);
+    EXPECT_NEAR(sim.analog().voltage(n), 1e-3, 2e-5);
+
+    dig.scheduler().scheduleAction(3 * kMicrosecond, [&down] { down.forceValue(Logic::One); });
+    dig.scheduler().scheduleAction(fromSeconds(3.5e-6), [&down] { down.forceValue(Logic::Zero); });
+    sim.run(4 * kMicrosecond);
+    EXPECT_NEAR(sim.analog().voltage(n), 0.5e-3, 2e-5);
+}
+
+TEST(VoltageDriver, MapsCodeToLevel)
+{
+    MixedSimulator sim;
+    auto& dig = sim.digital();
+    digital::Bus code = dig.bus("code", 4, Logic::Zero);
+    const analog::NodeId n = sim.analog().node("dac");
+    sim.analog().add<analog::Resistor>(sim.analog(), "rl", n, analog::kGround, 1e4);
+    std::vector<digital::LogicSignal*> bits(code.bits().begin(), code.bits().end());
+    DigitalVoltageDriver dac(sim, "dac", bits, n, [](const std::vector<Logic>& v) {
+        std::uint64_t c = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (digital::toX01(v[i]) == Logic::One) {
+                c |= 1ull << i;
+            }
+        }
+        return 0.25 * static_cast<double>(c);
+    });
+    dig.scheduler().scheduleAction(kMicrosecond, [code] { code.forceUint(10); });
+    sim.run(2 * kMicrosecond);
+    EXPECT_NEAR(sim.analog().voltage(n), 2.5, 1e-6);
+}
+
+TEST(MixedSync, DigitalDividerDrivenByAnalogOscillator)
+{
+    // Full round trip: analog sine -> digitizer -> digital divider; the
+    // divided clock has exactly N sine periods per output period.
+    MixedSimulator sim;
+    auto& ana = sim.analog();
+    const analog::NodeId n = ana.node("osc");
+    ana.add<analog::SineVoltage>(ana, "vs", n, analog::kGround, 2.5, 2.5, 10e6);
+    ana.add<analog::Resistor>(ana, "rl", n, analog::kGround, 1e4);
+    auto& clk = sim.digital().logicSignal("clk", Logic::U);
+    AtoDBridge bridge(sim, "dig", n, clk, 2.5);
+    auto& div = sim.digital().logicSignal("div", Logic::U);
+    sim.digital().add<digital::ClockDivider>(sim.digital(), "div4", clk, div, 4);
+
+    std::vector<SimTime> rises;
+    digital::SignalWatch::onEvent(div, [&] {
+        if (digital::toX01(div.value()) == Logic::One &&
+            digital::toX01(div.lastValue()) == Logic::Zero) {
+            rises.push_back(sim.digital().scheduler().now());
+        }
+    });
+    sim.run(fromSeconds(2.05e-6)); // 20 sine periods -> 5 divided periods
+    ASSERT_GE(rises.size(), 3u);
+    for (std::size_t i = 1; i < rises.size(); ++i) {
+        EXPECT_NEAR(toSeconds(rises[i] - rises[i - 1]), 4e-7, 2e-9);
+    }
+}
+
+TEST(MixedSync, PureDigitalDesignStillRuns)
+{
+    MixedSimulator sim;
+    auto& clk = sim.digital().logicSignal("clk", Logic::Zero);
+    sim.digital().add<digital::ClockGen>(sim.digital(), "cg", clk, 10 * kNanosecond);
+    int edges = 0;
+    digital::SignalWatch::onEvent(clk, [&] { ++edges; });
+    sim.run(kMicrosecond);
+    EXPECT_GT(edges, 150);
+}
+
+} // namespace
+} // namespace gfi::ams

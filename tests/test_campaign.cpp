@@ -1,0 +1,180 @@
+// End-to-end tests of the campaign engine on the digital DUT: golden runs,
+// fault arming, outcome classification and the error-propagation model —
+// the full Figure 2 flow of the paper.
+
+#include "core/campaign.hpp"
+#include "duts/digital_dut.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::campaign {
+namespace {
+
+fault::TestbenchFactory dutFactory()
+{
+    return [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+}
+
+TEST(Campaign, GoldenRunIsDeterministic)
+{
+    CampaignRunner r1(dutFactory());
+    CampaignRunner r2(dutFactory());
+    r1.runGolden();
+    r2.runGolden();
+    const auto& t1 = r1.golden().recorder().digitalTrace("dut/out[0]");
+    const auto& t2 = r2.golden().recorder().digitalTrace("dut/out[0]");
+    ASSERT_EQ(t1.events.size(), t2.events.size());
+    for (std::size_t i = 0; i < t1.events.size(); ++i) {
+        EXPECT_EQ(t1.events[i].first, t2.events[i].first);
+        EXPECT_EQ(t1.events[i].second, t2.events[i].second);
+    }
+}
+
+TEST(Campaign, GoldenFaultIsSilent)
+{
+    CampaignRunner runner(dutFactory());
+    const RunResult r = runner.runOne(fault::FaultSpec{});
+    EXPECT_EQ(r.outcome, Outcome::Silent);
+    EXPECT_TRUE(r.erredSignals.empty());
+}
+
+TEST(Campaign, BitFlipInOutputRegisterIsObservable)
+{
+    CampaignRunner runner(dutFactory());
+    // Flip an output-register bit mid-cycle (not on a clock edge, where the
+    // simultaneous capture would legitimately mask it): visible until the
+    // next clock edge overwrites it -> transient error.
+    fault::BitFlipFault f{"dut/out_reg", 4, 2 * kMicrosecond + 7 * kNanosecond};
+    const RunResult r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, Outcome::Silent);
+    EXPECT_GE(r.firstOutputError, f.time);
+}
+
+TEST(Campaign, StuckAtEnableIsFailure)
+{
+    CampaignRunner runner(dutFactory());
+    // Permanently sticking the counter enable low desynchronizes the counter
+    // for the rest of the run: a failure, not a transient.
+    fault::StuckAtFault f{"sab/enable", digital::Logic::Zero, kMicrosecond, 0};
+    const RunResult r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_EQ(r.outcome, Outcome::Failure);
+}
+
+TEST(Campaign, LateCounterFlipIsLatentOrWorse)
+{
+    CampaignRunner runner(dutFactory());
+    // Flip a counter bit in the very last cycle: the corruption cannot reach
+    // the registered outputs before the run ends, but the stored state
+    // differs -> latent (or transient if it slipped through).
+    const SimTime tEnd = duts::DigitalDutConfig{}.duration;
+    fault::BitFlipFault f{"dut/cnt", 7, tEnd - 10 * kNanosecond};
+    const RunResult r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, Outcome::Silent);
+    if (r.outcome == Outcome::Latent) {
+        EXPECT_FALSE(r.corruptedState.empty());
+        EXPECT_TRUE(r.erredSignals.empty());
+    }
+}
+
+TEST(Campaign, FsmTransitionFaultPerturbsBusyFlag)
+{
+    CampaignRunner runner(dutFactory());
+    // Forcing the FSM into each state at the same instant: at least one of
+    // them must differ from the golden trajectory and disturb an output
+    // (forcing the state it would have reached anyway is legitimately silent).
+    int nonSilent = 0;
+    for (int state = 0; state < 4; ++state) {
+        fault::FsmTransitionFault f{"dut/fsm", state, 2 * kMicrosecond + 7 * kNanosecond};
+        const RunResult r = runner.runOne(fault::FaultSpec{f});
+        nonSilent += r.outcome != Outcome::Silent ? 1 : 0;
+    }
+    EXPECT_GE(nonSilent, 2);
+}
+
+TEST(Campaign, SetPulseOnDataPath)
+{
+    CampaignRunner runner(dutFactory());
+    fault::DigitalPulseFault f{"sab/data", 2 * kMicrosecond, 30 * kNanosecond};
+    const RunResult r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, Outcome::Silent);
+}
+
+TEST(Campaign, UnknownTargetThrows)
+{
+    CampaignRunner runner(dutFactory());
+    EXPECT_THROW(runner.runOne(fault::FaultSpec{fault::BitFlipFault{"nope", 0, 0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        runner.runOne(fault::FaultSpec{fault::DigitalPulseFault{"nope", 0, kNanosecond}}),
+        std::invalid_argument);
+}
+
+TEST(Campaign, ReportHistogramAndTables)
+{
+    CampaignRunner runner(dutFactory());
+    std::vector<fault::FaultSpec> faults{
+        fault::FaultSpec{},
+        fault::FaultSpec{fault::BitFlipFault{"dut/out_reg", 0, 2 * kMicrosecond}},
+        fault::FaultSpec{fault::StuckAtFault{"sab/enable", digital::Logic::Zero,
+                                             kMicrosecond, 0}},
+    };
+    const CampaignReport report = runner.run(faults);
+    ASSERT_EQ(report.runs.size(), 3u);
+    const auto h = report.histogram();
+    int total = 0;
+    for (const auto& [outcome, n] : h) {
+        total += n;
+    }
+    EXPECT_EQ(total, 3);
+    const std::string summary = report.summaryTable();
+    EXPECT_NE(summary.find("silent"), std::string::npos);
+    EXPECT_NE(summary.find("total"), std::string::npos);
+    EXPECT_NE(report.detailTable().find("bit-flip"), std::string::npos);
+}
+
+TEST(Campaign, ProgressCallbackInvoked)
+{
+    CampaignRunner runner(dutFactory());
+    int calls = 0;
+    runner.run({fault::FaultSpec{}, fault::FaultSpec{}},
+               [&](std::size_t, const RunResult&) { ++calls; });
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Campaign, PropagationModelAccumulates)
+{
+    PropagationModel model;
+    model.record("reg_a", {"out1", "out2"});
+    model.record("reg_a", {"out1"});
+    model.record("reg_b", {});
+    EXPECT_EQ(model.runsFor("reg_a"), 2);
+    EXPECT_EQ(model.reaches("reg_a", "out1"), 2);
+    EXPECT_EQ(model.reaches("reg_a", "out2"), 1);
+    EXPECT_EQ(model.reaches("reg_b", "out1"), 0);
+    const std::string table = model.table();
+    EXPECT_NE(table.find("reg_a"), std::string::npos);
+    EXPECT_NE(table.find("out2"), std::string::npos);
+}
+
+TEST(Campaign, TargetOfExtractsNames)
+{
+    EXPECT_EQ(targetOf(fault::FaultSpec{}), "golden");
+    EXPECT_EQ(targetOf(fault::FaultSpec{fault::BitFlipFault{"r", 0, 0}}), "r");
+    EXPECT_EQ(targetOf(fault::FaultSpec{fault::StuckAtFault{"s", digital::Logic::One, 0, 0}}),
+              "s");
+    EXPECT_EQ(targetOf(fault::FaultSpec{fault::ParametricFault{"p", 2.0, 0}}), "p");
+}
+
+TEST(Campaign, InstrumentationEnumerationForFaultLists)
+{
+    CampaignRunner runner(dutFactory());
+    auto tb = runner.makeTestbench();
+    const auto names = tb->sim().digital().instrumentation().names();
+    // LFSR, FSM, counter, output register (+ divider-free DUT has no more).
+    EXPECT_GE(names.size(), 4u);
+    EXPECT_GE(tb->sim().digital().instrumentation().totalBits(), 20);
+    EXPECT_EQ(tb->digitalSaboteurNames().size(), 2u);
+}
+
+} // namespace
+} // namespace gfi::campaign

@@ -1,0 +1,448 @@
+// Unit tests for the digital component library: gates, flip-flops, registers,
+// counters, dividers, shift registers, LFSRs, FSMs and datapath blocks —
+// including their SEU instrumentation hooks.
+
+#include "digital/arith.hpp"
+#include "digital/fsm.hpp"
+#include "digital/gates.hpp"
+#include "digital/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::digital {
+namespace {
+
+// Drives a clock manually: force edges with explicit scheduler actions.
+void pulseClock(Circuit& c, LogicSignal& clk, SimTime at)
+{
+    c.scheduler().scheduleAction(at, [&clk] { clk.forceValue(Logic::One); });
+    c.scheduler().scheduleAction(at + 5 * kNanosecond,
+                                 [&clk] { clk.forceValue(Logic::Zero); });
+}
+
+TEST(Gates, TwoInputTruthTables)
+{
+    Circuit c;
+    auto& a = c.logicSignal("a", Logic::Zero);
+    auto& b = c.logicSignal("b", Logic::Zero);
+    auto& yAnd = c.logicSignal("yAnd", Logic::U);
+    auto& yOr = c.logicSignal("yOr", Logic::U);
+    auto& yXor = c.logicSignal("yXor", Logic::U);
+    c.add<AndGate>(c, "g1", a, b, yAnd);
+    c.add<OrGate>(c, "g2", a, b, yOr);
+    c.add<XorGate>(c, "g3", a, b, yXor);
+
+    const Logic table[4][2] = {
+        {Logic::Zero, Logic::Zero},
+        {Logic::Zero, Logic::One},
+        {Logic::One, Logic::Zero},
+        {Logic::One, Logic::One},
+    };
+    SimTime t = 0;
+    for (const auto& row : table) {
+        const Logic va = row[0];
+        const Logic vb = row[1];
+        c.scheduler().scheduleAction(t, [&a, &b, va, vb] {
+            a.forceValue(va);
+            b.forceValue(vb);
+        });
+        t += 10 * kNanosecond;
+        c.runUntil(t - kNanosecond);
+        const bool ba = va == Logic::One;
+        const bool bb = vb == Logic::One;
+        EXPECT_EQ(yAnd.value(), fromBool(ba && bb));
+        EXPECT_EQ(yOr.value(), fromBool(ba || bb));
+        EXPECT_EQ(yXor.value(), fromBool(ba != bb));
+    }
+}
+
+TEST(Gates, WideNand)
+{
+    Circuit c;
+    auto& a = c.logicSignal("a", Logic::One);
+    auto& b = c.logicSignal("b", Logic::One);
+    auto& d = c.logicSignal("d", Logic::One);
+    auto& y = c.logicSignal("y", Logic::U);
+    c.add<Gate>(c, "nand3", GateKind::Nand, std::vector<LogicSignal*>{&a, &b, &d}, y);
+    c.runUntil(kNanosecond);
+    EXPECT_EQ(y.value(), Logic::Zero);
+    c.scheduler().scheduleAction(2 * kNanosecond, [&d] { d.forceValue(Logic::Zero); });
+    c.runUntil(3 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::One);
+}
+
+TEST(Gates, PropagationDelayRespected)
+{
+    Circuit c;
+    auto& a = c.logicSignal("a", Logic::Zero);
+    auto& y = c.logicSignal("y", Logic::U);
+    c.add<NotGate>(c, "inv", a, y, 2 * kNanosecond);
+    c.runUntil(3 * kNanosecond); // initial evaluation lands after one delay
+    EXPECT_EQ(y.value(), Logic::One);
+    c.scheduler().scheduleAction(10 * kNanosecond, [&a] { a.forceValue(Logic::One); });
+    c.runUntil(11 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::One); // not yet
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::Zero);
+}
+
+TEST(Gates, InertialDelayFiltersGlitch)
+{
+    // A pulse shorter than the gate delay must not appear at the output.
+    Circuit c;
+    auto& a = c.logicSignal("a", Logic::Zero);
+    auto& y = c.logicSignal("y", Logic::U);
+    c.add<Gate>(c, "buf", GateKind::Buf, std::vector<LogicSignal*>{&a}, y, 3 * kNanosecond);
+    c.runUntil(5 * kNanosecond); // let the initial evaluation settle first
+    int yEvents = 0;
+    SignalWatch::onEvent(y, [&] { ++yEvents; });
+    // 1 ns glitch at t=10ns.
+    c.scheduler().scheduleAction(10 * kNanosecond, [&a] { a.forceValue(Logic::One); });
+    c.scheduler().scheduleAction(11 * kNanosecond, [&a] { a.forceValue(Logic::Zero); });
+    c.runUntil(30 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::Zero);
+    EXPECT_EQ(yEvents, 0); // glitch swallowed by inertial cancellation
+}
+
+TEST(Mux2Test, SelectsAndHandlesUnknownSel)
+{
+    Circuit c;
+    auto& a = c.logicSignal("a", Logic::Zero);
+    auto& b = c.logicSignal("b", Logic::One);
+    auto& sel = c.logicSignal("sel", Logic::Zero);
+    auto& y = c.logicSignal("y", Logic::U);
+    c.add<Mux2>(c, "mux", a, b, sel, y);
+    c.runUntil(kNanosecond);
+    EXPECT_EQ(y.value(), Logic::Zero);
+    c.scheduler().scheduleAction(2 * kNanosecond, [&sel] { sel.forceValue(Logic::One); });
+    c.runUntil(3 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::One);
+    c.scheduler().scheduleAction(4 * kNanosecond, [&sel] { sel.forceValue(Logic::X); });
+    c.runUntil(5 * kNanosecond);
+    EXPECT_EQ(y.value(), Logic::X); // a != b, unknown select propagates X
+}
+
+TEST(DFlipFlopTest, CapturesOnRisingEdge)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& d = c.logicSignal("d", Logic::Zero);
+    auto& q = c.logicSignal("q", Logic::U);
+    c.add<DFlipFlop>(c, "ff", clk, d, q);
+    c.runUntil(kNanosecond);
+    c.scheduler().scheduleAction(5 * kNanosecond, [&d] { d.forceValue(Logic::One); });
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::One);
+    // d change without a clock edge must not propagate.
+    c.scheduler().scheduleAction(20 * kNanosecond, [&d] { d.forceValue(Logic::Zero); });
+    c.runUntil(25 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::One);
+}
+
+TEST(DFlipFlopTest, AsyncResetClears)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& d = c.logicSignal("d", Logic::One);
+    auto& q = c.logicSignal("q", Logic::U);
+    auto& qn = c.logicSignal("qn", Logic::U);
+    auto& rstn = c.logicSignal("rstn", Logic::One);
+    c.add<DFlipFlop>(c, "ff", clk, d, q, &rstn, &qn);
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::One);
+    EXPECT_EQ(qn.value(), Logic::Zero);
+    // Reset without any clock edge.
+    c.scheduler().scheduleAction(20 * kNanosecond, [&rstn] { rstn.forceValue(Logic::Zero); });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::Zero);
+    EXPECT_EQ(qn.value(), Logic::One);
+}
+
+TEST(DFlipFlopTest, SeuHookFlipsState)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& d = c.logicSignal("d", Logic::Zero);
+    auto& q = c.logicSignal("q", Logic::U);
+    c.add<DFlipFlop>(c, "ff", clk, d, q);
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::Zero);
+
+    const StateHook& hook = c.instrumentation().hook("ff");
+    EXPECT_EQ(hook.width, 1);
+    EXPECT_EQ(hook.get(), 0u);
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(0); });
+    c.runUntil(21 * kNanosecond);
+    EXPECT_EQ(q.value(), Logic::One); // SEU visible at the output
+    EXPECT_EQ(hook.get(), 1u);
+}
+
+TEST(RegisterTest, LoadsAndResets)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& rstn = c.logicSignal("rstn", Logic::One);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    c.add<Register>(c, "reg", clk, d, q, nullptr, &rstn, 0xFF);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0xA5); });
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0xA5u);
+    c.scheduler().scheduleAction(20 * kNanosecond, [&rstn] { rstn.forceValue(Logic::Zero); });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0xFFu); // reset value
+}
+
+TEST(RegisterTest, EnableGatesLoading)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& en = c.logicSignal("en", Logic::Zero);
+    Bus d = c.bus("d", 4, Logic::Zero);
+    Bus q = c.bus("q", 4, Logic::U);
+    c.add<Register>(c, "reg", clk, d, q, &en);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0x7); });
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(15 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0u); // enable low: no load
+    c.scheduler().scheduleAction(18 * kNanosecond, [&en] { en.forceValue(Logic::One); });
+    pulseClock(c, clk, 20 * kNanosecond);
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0x7u);
+}
+
+TEST(RegisterTest, SeuBitFlipHook)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    c.add<Register>(c, "reg", clk, d, q);
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    const StateHook& hook = c.instrumentation().hook("reg");
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(5); });
+    c.runUntil(21 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 1u << 5);
+}
+
+TEST(CounterTest, CountsAndWrapsModulo)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& tc = c.logicSignal("tc", Logic::U);
+    Bus q = c.bus("q", 4, Logic::U);
+    c.add<Counter>(c, "cnt", clk, q, nullptr, nullptr, /*modulo=*/10, &tc);
+    c.add<ClockGen>(c, "clkgen", clk, 10 * kNanosecond);
+    c.runUntil(95 * kNanosecond); // 9 rising edges (at 0? gen starts 0 rising)
+    // ClockGen first rising edge at t=0, so after 95 ns there were 10 edges
+    // (0,10,...,90): count wrapped to 0 and tc pulsed at 9.
+    EXPECT_EQ(q.toUint(), 0u);
+    c.runUntil(135 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 4u);
+}
+
+TEST(ClockDividerTest, DividesByN)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& out = c.logicSignal("out", Logic::U);
+    c.add<ClockGen>(c, "clkgen", clk, 10 * kNanosecond);
+    c.add<ClockDivider>(c, "div", clk, out, 10);
+    int rises = 0;
+    SignalWatch::onEvent(out, [&] {
+        if (toX01(out.value()) == Logic::One) {
+            ++rises;
+        }
+    });
+    c.runUntil(fromSeconds(2.001e-6)); // 200 input cycles -> 20 output cycles
+    EXPECT_NEAR(rises, 20, 1);
+}
+
+TEST(ClockDividerTest, RejectsOddRatio)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& out = c.logicSignal("out", Logic::U);
+    EXPECT_THROW(c.add<ClockDivider>(c, "div", clk, out, 7), std::invalid_argument);
+}
+
+TEST(ShiftRegisterTest, ShiftsSerialData)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& sin = c.logicSignal("sin", Logic::Zero);
+    Bus taps = c.bus("taps", 4, Logic::U);
+    auto& sr = c.add<ShiftRegister>(c, "sr", clk, sin, taps);
+    // Shift in 1,0,1,1 (LSB-first arrival; new bits enter at the MSB end).
+    const Logic bits[] = {Logic::One, Logic::Zero, Logic::One, Logic::One};
+    SimTime t = 10 * kNanosecond;
+    for (Logic bit : bits) {
+        c.scheduler().scheduleAction(t - 2 * kNanosecond,
+                                     [&sin, bit] { sin.forceValue(bit); });
+        pulseClock(c, clk, t);
+        t += 10 * kNanosecond;
+    }
+    c.runUntil(t);
+    // After 4 shifts the register holds (MSB..LSB) = 1,1,0,1 = 0xD.
+    EXPECT_EQ(sr.state(), 0xDu);
+    EXPECT_EQ(taps.toUint(), 0xDu);
+}
+
+TEST(LfsrTest, MaximalLengthSequence)
+{
+    // x^4 + x^3 + 1 (taps 0xC on a 4-bit register) has period 15.
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus q = c.bus("q", 4, Logic::U);
+    auto& lfsr = c.add<Lfsr>(c, "lfsr", clk, q, 0xC, 1);
+    c.add<ClockGen>(c, "clkgen", clk, 10 * kNanosecond);
+    std::vector<std::uint64_t> seen;
+    c.runUntil(kNanosecond);
+    const std::uint64_t s0 = lfsr.state();
+    for (int i = 0; i < 15; ++i) {
+        seen.push_back(lfsr.state());
+        c.runUntil(c.scheduler().now() + 10 * kNanosecond);
+    }
+    // All 15 non-zero states visited exactly once, then the sequence repeats.
+    EXPECT_EQ(lfsr.state(), s0);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+    EXPECT_EQ(seen.size(), 15u);
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 0u), 0); // never the all-zero state
+}
+
+TEST(TableFsmTest, FollowsTransitionTable)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& rstn = c.logicSignal("rstn", Logic::One);
+    auto& in0 = c.logicSignal("in0", Logic::Zero);
+    Bus in{std::vector<LogicSignal*>{&in0}};
+    Bus out = c.bus("out", 1, Logic::U);
+    // Two-state toggle-on-input machine.
+    auto& fsm = c.add<TableFsm>(
+        c, "fsm", clk, &rstn, in, out, 2, 0,
+        [](int s, std::uint64_t i) { return i != 0 ? 1 - s : s; },
+        [](int s, std::uint64_t) { return static_cast<std::uint64_t>(s); });
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(15 * kNanosecond);
+    EXPECT_EQ(fsm.state(), 0);
+    c.scheduler().scheduleAction(18 * kNanosecond, [&in0] { in0.forceValue(Logic::One); });
+    pulseClock(c, clk, 20 * kNanosecond);
+    c.runUntil(25 * kNanosecond);
+    EXPECT_EQ(fsm.state(), 1);
+    EXPECT_EQ(out.toUint(), 1u);
+}
+
+TEST(TableFsmTest, ErroneousTransitionInjection)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& in0 = c.logicSignal("in0", Logic::Zero);
+    Bus in{std::vector<LogicSignal*>{&in0}};
+    Bus out = c.bus("out", 2, Logic::U);
+    auto& fsm = c.add<TableFsm>(
+        c, "fsm", clk, nullptr, in, out, 4, 0,
+        [](int s, std::uint64_t) { return (s + 1) % 4; },
+        [](int s, std::uint64_t) { return static_cast<std::uint64_t>(s); });
+    pulseClock(c, clk, 10 * kNanosecond);
+    c.runUntil(15 * kNanosecond);
+    EXPECT_EQ(fsm.state(), 1);
+    // Reference [11]: force an erroneous transition at the next edge.
+    fsm.corruptNextTransition(3);
+    pulseClock(c, clk, 20 * kNanosecond);
+    c.runUntil(25 * kNanosecond);
+    EXPECT_EQ(fsm.state(), 3);
+    // Subsequent edges follow the normal table again.
+    pulseClock(c, clk, 30 * kNanosecond);
+    c.runUntil(35 * kNanosecond);
+    EXPECT_EQ(fsm.state(), 0);
+}
+
+TEST(AdderTest, AddsWithCarry)
+{
+    Circuit c;
+    Bus a = c.bus("a", 4, Logic::Zero);
+    Bus b = c.bus("b", 4, Logic::Zero);
+    Bus sum = c.bus("sum", 4, Logic::U);
+    auto& cout = c.logicSignal("cout", Logic::U);
+    c.add<Adder>(c, "add", a, b, sum, nullptr, &cout);
+    c.scheduler().scheduleAction(kNanosecond, [a, b] {
+        a.forceUint(9);
+        b.forceUint(8);
+    });
+    c.runUntil(2 * kNanosecond);
+    EXPECT_EQ(sum.toUint(), 1u); // 17 mod 16
+    EXPECT_EQ(cout.value(), Logic::One);
+}
+
+TEST(AdderTest, UnknownInputYieldsX)
+{
+    Circuit c;
+    Bus a = c.bus("a", 4, Logic::Zero);
+    Bus b = c.bus("b", 4, Logic::Zero);
+    Bus sum = c.bus("sum", 4, Logic::U);
+    c.add<Adder>(c, "add", a, b, sum);
+    c.scheduler().scheduleAction(kNanosecond,
+                                 [a] { a.bit(2).forceValue(Logic::X); });
+    c.runUntil(2 * kNanosecond);
+    EXPECT_EQ(sum.bit(0).value(), Logic::X);
+}
+
+TEST(EqComparatorTest, ComparesBuses)
+{
+    Circuit c;
+    Bus a = c.bus("a", 8, Logic::Zero);
+    Bus b = c.bus("b", 8, Logic::Zero);
+    auto& eq = c.logicSignal("eq", Logic::U);
+    c.add<EqComparator>(c, "cmp", a, b, eq);
+    c.scheduler().scheduleAction(kNanosecond, [a, b] {
+        a.forceUint(0x42);
+        b.forceUint(0x42);
+    });
+    c.runUntil(2 * kNanosecond);
+    EXPECT_EQ(eq.value(), Logic::One);
+    c.scheduler().scheduleAction(3 * kNanosecond, [b] { b.forceUint(0x43); });
+    c.runUntil(4 * kNanosecond);
+    EXPECT_EQ(eq.value(), Logic::Zero);
+}
+
+TEST(BusTest, UintRoundTripAndString)
+{
+    Circuit c;
+    Bus b = c.bus("b", 8, Logic::Zero);
+    b.forceUint(0xA5);
+    EXPECT_EQ(b.toUint(), 0xA5u);
+    EXPECT_EQ(b.str(), "10100101");
+    bool known = true;
+    b.bit(3).forceValue(Logic::X);
+    (void)b.toUint(&known);
+    EXPECT_FALSE(known);
+}
+
+TEST(InstrumentationTest, RegistryEnumeratesTargets)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& d = c.logicSignal("d", Logic::Zero);
+    auto& q1 = c.logicSignal("q1", Logic::U);
+    auto& q2 = c.logicSignal("q2", Logic::U);
+    Bus db = c.bus("db", 8, Logic::Zero);
+    Bus qb = c.bus("qb", 8, Logic::U);
+    c.add<DFlipFlop>(c, "ff1", clk, d, q1);
+    c.add<DFlipFlop>(c, "ff2", clk, d, q2);
+    c.add<Register>(c, "reg", clk, db, qb);
+    EXPECT_EQ(c.instrumentation().names().size(), 3u);
+    EXPECT_EQ(c.instrumentation().totalBits(), 10);
+    EXPECT_TRUE(c.instrumentation().contains("ff1"));
+    EXPECT_THROW((void)c.instrumentation().hook("nope"), std::out_of_range);
+    EXPECT_THROW(c.add<DFlipFlop>(c, "ff1", clk, d, q1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gfi::digital

@@ -1,0 +1,134 @@
+// Tests for the current-controlled sources (CCCS/CCVS) and their netlist
+// cards, plus the campaign report writers.
+
+#include "analog/controlled.hpp"
+#include "analog/netlist.hpp"
+#include "analog/passive.hpp"
+#include "analog/solver.hpp"
+#include "analog/sources.hpp"
+#include "core/report.hpp"
+#include "duts/digital_dut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace gfi::analog {
+namespace {
+
+TEST(CurrentControlled, CccsMirrorsSenseCurrent)
+{
+    // 1 mA flows through Vsense (5 V across 5 kOhm); F mirrors 2x into RL.
+    AnalogSystem sys;
+    const NodeId a = sys.node("a");
+    const NodeId b = sys.node("b");
+    const NodeId out = sys.node("out");
+    auto& vs = sys.add<VoltageSource>(sys, "VSUP", a, kGround, 5.0);
+    auto& sense = sys.add<VoltageSource>(sys, "VSENSE", a, b, 0.0);
+    sys.add<Resistor>(sys, "R1", b, kGround, 5e3);
+    sys.add<Cccs>(sys, "F1", kGround, out, sense.branchIndex(), 2.0);
+    sys.add<Resistor>(sys, "RL", out, kGround, 1e3);
+    (void)vs;
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    const Solution sol(sys.state(), sys.nodeCount());
+    EXPECT_NEAR(sense.current(sol), 1e-3, 1e-9); // current a -> b through sense
+    // CCCS pushes 2 mA from ground to `out`: +2 V across RL.
+    EXPECT_NEAR(sys.voltage(out), 2.0, 1e-6);
+}
+
+TEST(CurrentControlled, CcvsSensesCurrent)
+{
+    AnalogSystem sys;
+    const NodeId a = sys.node("a");
+    const NodeId b = sys.node("b");
+    const NodeId out = sys.node("out");
+    sys.add<VoltageSource>(sys, "VSUP", a, kGround, 5.0);
+    auto& sense = sys.add<VoltageSource>(sys, "VSENSE", a, b, 0.0);
+    sys.add<Resistor>(sys, "R1", b, kGround, 5e3);
+    sys.add<Ccvs>(sys, "H1", out, kGround, sense.branchIndex(), 4e3); // 4 kOhm transres
+    sys.add<Resistor>(sys, "RL", out, kGround, 1e3);
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    EXPECT_NEAR(sys.voltage(out), 4.0, 1e-6); // 1 mA * 4 kOhm
+}
+
+TEST(CurrentControlled, NetlistFhCards)
+{
+    AnalogSystem sys;
+    parseNetlist(R"(
+VSUP a 0 5
+VSENSE a b 0
+R1 b 0 5k
+F1 0 fo VSENSE 2
+RF fo 0 1k
+H1 ho 0 VSENSE 4k
+RH ho 0 1k
+)",
+                 sys);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    EXPECT_NEAR(sys.voltage(sys.node("fo")), 2.0, 1e-6);
+    EXPECT_NEAR(sys.voltage(sys.node("ho")), 4.0, 1e-6);
+}
+
+TEST(CurrentControlled, NetlistForwardReferenceRejected)
+{
+    AnalogSystem sys;
+    EXPECT_THROW(parseNetlist("F1 0 out VLATER 2\nVLATER a 0 1\n", sys), std::runtime_error);
+}
+
+} // namespace
+} // namespace gfi::analog
+
+namespace gfi::campaign {
+namespace {
+
+CampaignReport smallReport()
+{
+    CampaignRunner runner([] { return std::make_unique<duts::DigitalDutTestbench>(); });
+    return runner.run({
+        fault::FaultSpec{},
+        fault::FaultSpec{
+            fault::BitFlipFault{"dut/out_reg", 1, 2 * kMicrosecond + 7 * kNanosecond}},
+    });
+}
+
+TEST(ReportWriters, CsvHasHeaderAndRows)
+{
+    const auto report = smallReport();
+    writeReportCsv(report, "/tmp/gfi_report.csv");
+    std::ifstream in("/tmp/gfi_report.csv");
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find("fault,target,outcome"), std::string::npos);
+    int rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+    }
+    EXPECT_EQ(rows, 2);
+}
+
+TEST(ReportWriters, JsonIsWellFormedish)
+{
+    const auto report = smallReport();
+    const std::string json = reportToJson(report);
+    EXPECT_NE(json.find("\"summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"runs\""), std::string::npos);
+    EXPECT_NE(json.find("bit-flip dut/out_reg[1]"), std::string::npos);
+    // Balanced braces (cheap sanity check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    writeReportJson(report, "/tmp/gfi_report.json");
+    std::ifstream in("/tmp/gfi_report.json");
+    EXPECT_TRUE(in.good());
+}
+
+} // namespace
+} // namespace gfi::campaign

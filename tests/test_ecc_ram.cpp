@@ -1,0 +1,108 @@
+// Tests for the SEC-DED-protected RAM: correction on read, double-error
+// flagging, scrubbing and the per-word codeword hooks.
+
+#include "harden/ecc_ram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::harden {
+namespace {
+
+using namespace digital;
+
+struct EccRamFixture : ::testing::Test {
+    EccRamFixture()
+        : clk(c.logicSignal("clk", Logic::Zero)), we(c.logicSignal("we", Logic::Zero)),
+          ue(c.logicSignal("ue", Logic::U)), addr(c.bus("addr", 2, Logic::Zero)),
+          wdata(c.bus("wdata", 8, Logic::Zero)), rdata(c.bus("rdata", 8, Logic::U)),
+          ram(c.add<EccRam>(c, "eram", clk, we, addr, wdata, rdata, &ue))
+    {
+    }
+
+    void writeWord(SimTime at, int a, std::uint64_t v)
+    {
+        c.scheduler().scheduleAction(at - 2 * kNanosecond, [this, a, v] {
+            we.forceValue(Logic::One);
+            addr.forceUint(static_cast<std::uint64_t>(a));
+            wdata.forceUint(v);
+        });
+        c.scheduler().scheduleAction(at, [this] { clk.forceValue(Logic::One); });
+        c.scheduler().scheduleAction(at + 5 * kNanosecond, [this] {
+            clk.forceValue(Logic::Zero);
+            we.forceValue(Logic::Zero);
+        });
+    }
+
+    Circuit c;
+    LogicSignal& clk;
+    LogicSignal& we;
+    LogicSignal& ue;
+    Bus addr;
+    Bus wdata;
+    Bus rdata;
+    EccRam& ram;
+};
+
+TEST_F(EccRamFixture, WriteReadRoundTrip)
+{
+    writeWord(10 * kNanosecond, 2, 0xB7);
+    c.scheduler().scheduleAction(20 * kNanosecond, [this] { addr.forceUint(2); });
+    c.runUntil(25 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0xB7u);
+    EXPECT_EQ(ue.value(), Logic::Zero);
+    EXPECT_EQ(ram.word(2), 0xB7u);
+}
+
+TEST_F(EccRamFixture, SingleBitUpsetCorrectedOnRead)
+{
+    writeWord(10 * kNanosecond, 1, 0x3C);
+    c.scheduler().scheduleAction(20 * kNanosecond, [this] { addr.forceUint(1); });
+    c.runUntil(25 * kNanosecond);
+
+    const auto& hook = c.instrumentation().hook("eram/w1");
+    EXPECT_EQ(hook.width, 13);
+    c.scheduler().scheduleAction(30 * kNanosecond, [&hook] { hook.flipBit(6); });
+    c.runUntil(35 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0x3Cu); // corrected
+    EXPECT_EQ(ue.value(), Logic::Zero);
+    EXPECT_GE(ram.correctionCount(), 1);
+    // The stored codeword is still corrupted until scrubbed.
+    EXPECT_NE(ram.codeword(1), hammingEncode(0x3C, 8));
+}
+
+TEST_F(EccRamFixture, ScrubRepairsStoredCodeword)
+{
+    writeWord(10 * kNanosecond, 3, 0x55);
+    c.runUntil(20 * kNanosecond);
+    const auto& hook = c.instrumentation().hook("eram/w3");
+    c.scheduler().scheduleAction(25 * kNanosecond, [&hook] { hook.flipBit(4); });
+    c.runUntil(30 * kNanosecond);
+    EXPECT_TRUE(ram.scrub(3));
+    EXPECT_EQ(ram.codeword(3), hammingEncode(0x55, 8));
+    EXPECT_FALSE(ram.scrub(3)); // clean now
+}
+
+TEST_F(EccRamFixture, DoubleBitUpsetRaisesUncorrectable)
+{
+    writeWord(10 * kNanosecond, 0, 0xF0);
+    c.scheduler().scheduleAction(20 * kNanosecond, [this] { addr.forceUint(0); });
+    c.runUntil(25 * kNanosecond);
+    const auto& hook = c.instrumentation().hook("eram/w0");
+    c.scheduler().scheduleAction(30 * kNanosecond, [&hook] {
+        hook.flipBit(3);
+        hook.flipBit(10);
+    });
+    c.runUntil(35 * kNanosecond);
+    EXPECT_EQ(ue.value(), Logic::One); // MBU detected, never silently wrong
+}
+
+TEST_F(EccRamFixture, EveryWordHasACodewordHook)
+{
+    for (int w = 0; w < 4; ++w) {
+        EXPECT_TRUE(c.instrumentation().contains("eram/w" + std::to_string(w)));
+        EXPECT_EQ(c.instrumentation().hook("eram/w" + std::to_string(w)).width, 13);
+    }
+}
+
+} // namespace
+} // namespace gfi::harden

@@ -1,0 +1,212 @@
+// Tests for the hardening library: SEC-DED Hamming coding, TMR, DWC and ECC
+// registers, including exhaustive single- and double-error property sweeps.
+
+#include "harden/tmr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::harden {
+namespace {
+
+using namespace digital;
+
+TEST(Hamming, ParityBitCounts)
+{
+    EXPECT_EQ(hammingParityBits(4), 3);  // Hamming(7,4)
+    EXPECT_EQ(hammingParityBits(8), 4);  // Hamming(12,8)
+    EXPECT_EQ(hammingParityBits(16), 5);
+    EXPECT_EQ(hammingParityBits(32), 6);
+    EXPECT_EQ(hammingCodewordBits(8), 13); // 8 + 4 + DED
+}
+
+TEST(Hamming, EncodeDecodeCleanRoundTrip)
+{
+    for (int bits : {4, 8, 11, 16}) {
+        for (std::uint64_t data = 0; data < (1ull << std::min(bits, 10)); ++data) {
+            const std::uint64_t code = hammingEncode(data, bits);
+            const HammingDecode d = hammingDecode(code, bits);
+            EXPECT_EQ(d.data, data) << "bits=" << bits;
+            EXPECT_FALSE(d.corrected);
+            EXPECT_FALSE(d.uncorrectable);
+        }
+    }
+}
+
+// Property: every single-bit error in the codeword is corrected.
+class HammingSingleError : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingSingleError, AllSingleFlipsCorrected)
+{
+    const int dataBits = GetParam();
+    const int codeBits = hammingCodewordBits(dataBits);
+    const std::uint64_t data = 0xDEADBEEFCAFEull & ((1ull << dataBits) - 1);
+    const std::uint64_t code = hammingEncode(data, dataBits);
+    for (int bit = 0; bit < codeBits; ++bit) {
+        const HammingDecode d = hammingDecode(code ^ (1ull << bit), dataBits);
+        EXPECT_EQ(d.data, data) << "flip bit " << bit;
+        EXPECT_TRUE(d.corrected) << "flip bit " << bit;
+        EXPECT_FALSE(d.uncorrectable) << "flip bit " << bit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingSingleError, ::testing::Values(4, 8, 16, 24, 32));
+
+// Property: every double-bit error is detected as uncorrectable.
+class HammingDoubleError : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingDoubleError, AllDoubleFlipsDetected)
+{
+    const int dataBits = GetParam();
+    const int codeBits = hammingCodewordBits(dataBits);
+    const std::uint64_t data = 0x5A5A5A5Aull & ((1ull << dataBits) - 1);
+    const std::uint64_t code = hammingEncode(data, dataBits);
+    for (int a = 0; a < codeBits; ++a) {
+        for (int b = a + 1; b < codeBits; ++b) {
+            const HammingDecode d =
+                hammingDecode(code ^ (1ull << a) ^ (1ull << b), dataBits);
+            EXPECT_TRUE(d.uncorrectable) << "flips " << a << "," << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingDoubleError, ::testing::Values(4, 8, 16));
+
+TEST(Hamming, RejectsBadWidths)
+{
+    EXPECT_THROW((void)hammingParityBits(0), std::invalid_argument);
+    EXPECT_THROW((void)hammingParityBits(58), std::invalid_argument);
+}
+
+// --- hardened registers ------------------------------------------------------
+
+namespace {
+void clockPulse(Circuit& c, LogicSignal& clk, SimTime at)
+{
+    c.scheduler().scheduleAction(at, [&clk] { clk.forceValue(Logic::One); });
+    c.scheduler().scheduleAction(at + 5 * kNanosecond,
+                                 [&clk] { clk.forceValue(Logic::Zero); });
+}
+} // namespace
+
+TEST(TmrRegisterTest, SingleCopyUpsetIsMaskedByVoter)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    auto& reg = c.add<TmrRegister>(c, "tmr", clk, d, q);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0x42); });
+    clockPulse(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0x42u);
+
+    // SEU in one copy: the voted output must stay correct.
+    const auto& hook = c.instrumentation().hook("tmr/copy1");
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(3); });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(reg.copy(1), 0x4Au);
+    EXPECT_EQ(reg.voted(), 0x42u);
+    EXPECT_EQ(q.toUint(), 0x42u); // masked
+
+    // The next load scrubs the corrupted copy.
+    clockPulse(c, clk, 30 * kNanosecond);
+    c.runUntil(32 * kNanosecond);
+    EXPECT_EQ(reg.copy(1), 0x42u);
+}
+
+TEST(TmrRegisterTest, TwoCopyUpsetDefeatsVoter)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    c.add<TmrRegister>(c, "tmr", clk, d, q);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0x42); });
+    clockPulse(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+
+    const auto& h0 = c.instrumentation().hook("tmr/copy0");
+    const auto& h2 = c.instrumentation().hook("tmr/copy2");
+    c.scheduler().scheduleAction(20 * kNanosecond, [&] {
+        h0.flipBit(3);
+        h2.flipBit(3);
+    });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0x4Au); // two strikes on the same bit win the vote
+}
+
+TEST(DwcRegisterTest, MismatchRaisesErrorFlag)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 4, Logic::Zero);
+    Bus q = c.bus("q", 4, Logic::U);
+    auto& err = c.logicSignal("err", Logic::U);
+    c.add<DwcRegister>(c, "dwc", clk, d, q, err);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0x9); });
+    clockPulse(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0x9u);
+    EXPECT_EQ(err.value(), Logic::Zero);
+
+    const auto& hook = c.instrumentation().hook("dwc/copy1");
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(0); });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(err.value(), Logic::One); // detection
+    EXPECT_EQ(q.toUint(), 0x9u);        // primary copy untouched
+
+    // Detection-only: a flip in the PRIMARY copy corrupts the output but is
+    // still flagged.
+    const auto& hook0 = c.instrumentation().hook("dwc/copy0");
+    clockPulse(c, clk, 30 * kNanosecond); // re-sync first
+    c.scheduler().scheduleAction(40 * kNanosecond, [&hook0] { hook0.flipBit(1); });
+    c.runUntil(42 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0xBu);
+    EXPECT_EQ(err.value(), Logic::One);
+}
+
+TEST(EccRegisterTest, SingleCodewordFlipIsCorrected)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    auto& ue = c.logicSignal("ue", Logic::U);
+    auto& reg = c.add<EccRegister>(c, "ecc", clk, d, q, &ue);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0xC3); });
+    clockPulse(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0xC3u);
+
+    const auto& hook = c.instrumentation().hook("ecc/code");
+    EXPECT_EQ(hook.width, 13); // 8 data + 4 parity + DED
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(5); });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(q.toUint(), 0xC3u); // corrected on the fly
+    EXPECT_EQ(ue.value(), Logic::Zero);
+    EXPECT_GE(reg.correctionCount(), 1);
+}
+
+TEST(EccRegisterTest, DoubleFlipRaisesUncorrectable)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    Bus d = c.bus("d", 8, Logic::Zero);
+    Bus q = c.bus("q", 8, Logic::U);
+    auto& ue = c.logicSignal("ue", Logic::U);
+    c.add<EccRegister>(c, "ecc", clk, d, q, &ue);
+    c.scheduler().scheduleAction(kNanosecond, [d] { d.forceUint(0x5A); });
+    clockPulse(c, clk, 10 * kNanosecond);
+    c.runUntil(12 * kNanosecond);
+
+    const auto& hook = c.instrumentation().hook("ecc/code");
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] {
+        hook.flipBit(2);
+        hook.flipBit(9);
+    });
+    c.runUntil(22 * kNanosecond);
+    EXPECT_EQ(ue.value(), Logic::One); // MBU detected, not silently wrong
+}
+
+} // namespace
+} // namespace gfi::harden

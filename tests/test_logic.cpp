@@ -1,0 +1,153 @@
+// Unit tests for the nine-valued logic algebra.
+
+#include "digital/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::digital {
+namespace {
+
+TEST(Logic, CharRoundTrip)
+{
+    const char chars[] = "UX01ZWLH-";
+    for (char c : chars) {
+        if (c == '\0') {
+            break;
+        }
+        EXPECT_EQ(toChar(logicFromChar(c)), c);
+    }
+}
+
+TEST(Logic, LowercaseParsing)
+{
+    EXPECT_EQ(logicFromChar('u'), Logic::U);
+    EXPECT_EQ(logicFromChar('z'), Logic::Z);
+    EXPECT_EQ(logicFromChar('h'), Logic::H);
+}
+
+TEST(Logic, UnknownCharIsX)
+{
+    EXPECT_EQ(logicFromChar('?'), Logic::X);
+    EXPECT_EQ(logicFromChar('7'), Logic::X);
+}
+
+TEST(Logic, ResolutionCommutes)
+{
+    for (int a = 0; a < kLogicCount; ++a) {
+        for (int b = 0; b < kLogicCount; ++b) {
+            EXPECT_EQ(resolve(static_cast<Logic>(a), static_cast<Logic>(b)),
+                      resolve(static_cast<Logic>(b), static_cast<Logic>(a)))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Logic, ResolutionIdentityWithZ)
+{
+    // 'Z' is the identity element for every driver except it keeps weak levels.
+    EXPECT_EQ(resolve(Logic::Zero, Logic::Z), Logic::Zero);
+    EXPECT_EQ(resolve(Logic::One, Logic::Z), Logic::One);
+    EXPECT_EQ(resolve(Logic::Z, Logic::Z), Logic::Z);
+    EXPECT_EQ(resolve(Logic::L, Logic::Z), Logic::L);
+    EXPECT_EQ(resolve(Logic::H, Logic::Z), Logic::H);
+}
+
+TEST(Logic, ContentionGivesX)
+{
+    EXPECT_EQ(resolve(Logic::Zero, Logic::One), Logic::X);
+    EXPECT_EQ(resolve(Logic::One, Logic::Zero), Logic::X);
+}
+
+TEST(Logic, StrongBeatsWeak)
+{
+    EXPECT_EQ(resolve(Logic::Zero, Logic::H), Logic::Zero);
+    EXPECT_EQ(resolve(Logic::One, Logic::L), Logic::One);
+    EXPECT_EQ(resolve(Logic::L, Logic::H), Logic::W);
+}
+
+TEST(Logic, UDominates)
+{
+    for (int a = 0; a < kLogicCount; ++a) {
+        EXPECT_EQ(resolve(Logic::U, static_cast<Logic>(a)), Logic::U);
+    }
+}
+
+TEST(Logic, AndTruthTable)
+{
+    EXPECT_EQ(logicAnd(Logic::One, Logic::One), Logic::One);
+    EXPECT_EQ(logicAnd(Logic::One, Logic::Zero), Logic::Zero);
+    EXPECT_EQ(logicAnd(Logic::Zero, Logic::X), Logic::Zero); // 0 dominates
+    EXPECT_EQ(logicAnd(Logic::One, Logic::X), Logic::X);
+    EXPECT_EQ(logicAnd(Logic::H, Logic::One), Logic::One); // weak high counts as 1
+    EXPECT_EQ(logicAnd(Logic::L, Logic::One), Logic::Zero);
+}
+
+TEST(Logic, OrTruthTable)
+{
+    EXPECT_EQ(logicOr(Logic::Zero, Logic::Zero), Logic::Zero);
+    EXPECT_EQ(logicOr(Logic::One, Logic::X), Logic::One); // 1 dominates
+    EXPECT_EQ(logicOr(Logic::Zero, Logic::X), Logic::X);
+    EXPECT_EQ(logicOr(Logic::L, Logic::H), Logic::One);
+}
+
+TEST(Logic, XorTruthTable)
+{
+    EXPECT_EQ(logicXor(Logic::One, Logic::One), Logic::Zero);
+    EXPECT_EQ(logicXor(Logic::One, Logic::Zero), Logic::One);
+    EXPECT_EQ(logicXor(Logic::X, Logic::One), Logic::X);
+    EXPECT_EQ(logicXor(Logic::Zero, Logic::Z), Logic::X);
+}
+
+TEST(Logic, NotNormalizes)
+{
+    EXPECT_EQ(logicNot(Logic::H), Logic::Zero);
+    EXPECT_EQ(logicNot(Logic::L), Logic::One);
+    EXPECT_EQ(logicNot(Logic::Z), Logic::X);
+    EXPECT_EQ(logicNot(Logic::U), Logic::U);
+}
+
+TEST(Logic, ToX01)
+{
+    EXPECT_EQ(toX01(Logic::H), Logic::One);
+    EXPECT_EQ(toX01(Logic::L), Logic::Zero);
+    EXPECT_EQ(toX01(Logic::W), Logic::X);
+    EXPECT_EQ(toX01(Logic::DC), Logic::X);
+    EXPECT_EQ(toX01(Logic::U), Logic::U);
+}
+
+TEST(Logic, FlipIsSelfInverseOnKnownValues)
+{
+    EXPECT_EQ(flipped(Logic::Zero), Logic::One);
+    EXPECT_EQ(flipped(Logic::One), Logic::Zero);
+    EXPECT_EQ(flipped(flipped(Logic::One)), Logic::One);
+    EXPECT_EQ(flipped(Logic::Z), Logic::X);
+}
+
+TEST(Logic, Known01Predicate)
+{
+    EXPECT_TRUE(isKnown01(Logic::Zero));
+    EXPECT_TRUE(isKnown01(Logic::H));
+    EXPECT_FALSE(isKnown01(Logic::X));
+    EXPECT_FALSE(isKnown01(Logic::Z));
+    EXPECT_FALSE(isKnown01(Logic::U));
+}
+
+// Property: resolve is associative on the 1164 table (required for multi-driver
+// nets to have a well-defined value regardless of evaluation order).
+TEST(Logic, ResolutionAssociative)
+{
+    for (int a = 0; a < kLogicCount; ++a) {
+        for (int b = 0; b < kLogicCount; ++b) {
+            for (int c = 0; c < kLogicCount; ++c) {
+                const auto la = static_cast<Logic>(a);
+                const auto lb = static_cast<Logic>(b);
+                const auto lc = static_cast<Logic>(c);
+                EXPECT_EQ(resolve(resolve(la, lb), lc), resolve(la, resolve(lb, lc)))
+                    << a << "," << b << "," << c;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace gfi::digital

@@ -1,0 +1,126 @@
+// Tests for RAM/ROM components and their per-word SEU hooks.
+
+#include "digital/memory.hpp"
+#include "digital/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::digital {
+namespace {
+
+struct RamFixture : ::testing::Test {
+    RamFixture()
+        : clk(c.logicSignal("clk", Logic::Zero)), we(c.logicSignal("we", Logic::Zero)),
+          addr(c.bus("addr", 3, Logic::Zero)), wdata(c.bus("wdata", 8, Logic::Zero)),
+          rdata(c.bus("rdata", 8, Logic::U)),
+          ram(c.add<Ram>(c, "ram", clk, we, addr, wdata, rdata))
+    {
+    }
+
+    void clockPulse(SimTime at)
+    {
+        c.scheduler().scheduleAction(at, [this] { clk.forceValue(Logic::One); });
+        c.scheduler().scheduleAction(at + 5 * kNanosecond,
+                                     [this] { clk.forceValue(Logic::Zero); });
+    }
+
+    void writeWord(SimTime at, int a, std::uint64_t v)
+    {
+        c.scheduler().scheduleAction(at - 2 * kNanosecond, [this, a, v] {
+            we.forceValue(Logic::One);
+            addr.forceUint(static_cast<std::uint64_t>(a));
+            wdata.forceUint(v);
+        });
+        clockPulse(at);
+        c.scheduler().scheduleAction(at + 6 * kNanosecond,
+                                     [this] { we.forceValue(Logic::Zero); });
+    }
+
+    Circuit c;
+    LogicSignal& clk;
+    LogicSignal& we;
+    Bus addr;
+    Bus wdata;
+    Bus rdata;
+    Ram& ram;
+};
+
+TEST_F(RamFixture, WriteThenReadBack)
+{
+    writeWord(10 * kNanosecond, 3, 0xA5);
+    writeWord(30 * kNanosecond, 5, 0x3C);
+    c.runUntil(40 * kNanosecond);
+    EXPECT_EQ(ram.word(3), 0xA5u);
+    EXPECT_EQ(ram.word(5), 0x3Cu);
+
+    // Read port follows the address combinationally.
+    c.scheduler().scheduleAction(50 * kNanosecond, [this] { addr.forceUint(3); });
+    c.runUntil(52 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0xA5u);
+    c.scheduler().scheduleAction(60 * kNanosecond, [this] { addr.forceUint(5); });
+    c.runUntil(62 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0x3Cu);
+}
+
+TEST_F(RamFixture, WriteIgnoredWithoutEnable)
+{
+    c.scheduler().scheduleAction(8 * kNanosecond, [this] {
+        addr.forceUint(2);
+        wdata.forceUint(0xFF);
+    });
+    clockPulse(10 * kNanosecond);
+    c.runUntil(20 * kNanosecond);
+    EXPECT_EQ(ram.word(2), 0u);
+}
+
+TEST_F(RamFixture, PerWordSeuHooks)
+{
+    writeWord(10 * kNanosecond, 1, 0x0F);
+    c.runUntil(20 * kNanosecond);
+    const auto& hook = c.instrumentation().hook("ram/w1");
+    EXPECT_EQ(hook.width, 8);
+    EXPECT_EQ(hook.get(), 0x0Fu);
+    c.scheduler().scheduleAction(30 * kNanosecond, [&hook] { hook.flipBit(7); });
+    c.scheduler().scheduleAction(31 * kNanosecond, [this] { addr.forceUint(1); });
+    c.runUntil(35 * kNanosecond);
+    EXPECT_EQ(ram.word(1), 0x8Fu);
+    EXPECT_EQ(rdata.toUint(), 0x8Fu); // SEU visible at the read port
+}
+
+TEST_F(RamFixture, EveryWordHasAHook)
+{
+    for (int w = 0; w < 8; ++w) {
+        EXPECT_TRUE(c.instrumentation().contains("ram/w" + std::to_string(w)));
+    }
+}
+
+TEST(RomTest, LookupAndResize)
+{
+    Circuit c;
+    Bus addr = c.bus("addr", 2, Logic::Zero);
+    Bus rdata = c.bus("rdata", 8, Logic::U);
+    c.add<Rom>(c, "rom", addr, rdata, std::vector<std::uint64_t>{0x11, 0x22, 0x33});
+    c.runUntil(kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0x11u);
+    c.scheduler().scheduleAction(5 * kNanosecond, [addr] { addr.forceUint(2); });
+    c.runUntil(7 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0x33u);
+    // Address 3 was not provided: zero-filled.
+    c.scheduler().scheduleAction(10 * kNanosecond, [addr] { addr.forceUint(3); });
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(rdata.toUint(), 0u);
+}
+
+TEST(RomTest, UnknownAddressGivesX)
+{
+    Circuit c;
+    Bus addr = c.bus("addr", 2, Logic::Zero);
+    Bus rdata = c.bus("rdata", 4, Logic::U);
+    c.add<Rom>(c, "rom", addr, rdata, std::vector<std::uint64_t>{1, 2, 3, 4});
+    c.scheduler().scheduleAction(kNanosecond, [addr] { addr.bit(0).forceValue(Logic::X); });
+    c.runUntil(3 * kNanosecond);
+    EXPECT_EQ(rdata.bit(0).value(), Logic::X);
+}
+
+} // namespace
+} // namespace gfi::digital

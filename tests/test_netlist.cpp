@@ -1,0 +1,159 @@
+// Tests for the SPICE-like netlist front-end.
+
+#include "analog/netlist.hpp"
+#include "analog/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfi::analog {
+namespace {
+
+TEST(SpiceNumber, SuffixParsing)
+{
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("1"), 1.0);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("4.7k"), 4700.0);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("100p"), 100e-12);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("2meg"), 2e6);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("2MEG"), 2e6);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("3.3n"), 3.3e-9);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("1m"), 1e-3);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("-5u"), -5e-6);
+    EXPECT_DOUBLE_EQ(parseSpiceNumber("10f"), 10e-15);
+    EXPECT_THROW((void)parseSpiceNumber("abc"), std::runtime_error);
+    EXPECT_THROW((void)parseSpiceNumber("1x"), std::runtime_error);
+    EXPECT_THROW((void)parseSpiceNumber(""), std::runtime_error);
+}
+
+TEST(Netlist, VoltageDividerDc)
+{
+    AnalogSystem sys;
+    const auto result = parseNetlist(R"(
+* a classic divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)",
+                                     sys);
+    EXPECT_EQ(result.componentCount, 3);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    EXPECT_NEAR(sys.voltage(sys.node("mid")), 7.5, 1e-6);
+}
+
+TEST(Netlist, SineSourceAndComments)
+{
+    AnalogSystem sys;
+    parseNetlist(R"(
+V1 osc 0 SIN(2.5 2.5 1meg)  ; 1 MHz, 0..5 V
+R1 osc 0 10k
+.end
+)",
+                 sys);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(0.25e-6); // quarter period: peak
+    EXPECT_NEAR(sys.voltage(sys.node("osc")), 5.0, 0.01);
+}
+
+TEST(Netlist, PulseSourceShape)
+{
+    AnalogSystem sys;
+    parseNetlist(R"(
+V1 n 0 PULSE(0 3 1u 100n 500n 100n)
+RL n 0 1k
+)",
+                 sys);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(1.3e-6);
+    EXPECT_NEAR(sys.voltage(sys.node("n")), 3.0, 1e-3);
+    solver.advanceTo(2.0e-6);
+    EXPECT_NEAR(sys.voltage(sys.node("n")), 0.0, 1e-3);
+}
+
+TEST(Netlist, ControlledSourcesAndCurrent)
+{
+    AnalogSystem sys;
+    parseNetlist(R"(
+I1 0 a 2m
+R1 a 0 1k
+G1 0 b a 0 1m
+R2 b 0 1k
+E1 c 0 b 0 3
+R3 c 0 1k
+)",
+                 sys);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    // SPICE I card: 2 mA delivered into node "a" (the n- terminal).
+    EXPECT_NEAR(sys.voltage(sys.node("a")), 2.0, 1e-6);
+    // G1 delivers gm * V(a) into node "b" (its n- terminal).
+    EXPECT_NEAR(sys.voltage(sys.node("b")), 2.0, 1e-6);
+    EXPECT_NEAR(sys.voltage(sys.node("c")), 6.0, 1e-6);
+}
+
+TEST(Netlist, DiodeCard)
+{
+    AnalogSystem sys;
+    parseNetlist(R"(
+V1 in 0 5
+R1 in d 1k
+D1 d 0
+)",
+                 sys);
+    TransientSolver solver(sys);
+    solver.solveDc();
+    const double v = sys.voltage(sys.node("d"));
+    EXPECT_GT(v, 0.5);
+    EXPECT_LT(v, 0.9);
+}
+
+TEST(Netlist, SaboteurCardRegistersInjectionPoint)
+{
+    AnalogSystem sys;
+    const auto result = parseNetlist(R"(
+V1 in 0 0
+R1 in n 1k
+C1 n 0 1n
+XSAB n
+)",
+                                     sys);
+    ASSERT_EQ(result.saboteurs.size(), 1u);
+    fault::CurrentSaboteur* sab = result.saboteurs.at("XSAB");
+    ASSERT_NE(sab, nullptr);
+    sab->arm(1e-6, fault::TrapezoidPulse(10e-3, 100e-12, 300e-12, 500e-12));
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(1.05e-6);
+    // 3 pC into ~1 nF (R1 discharges slowly at this timescale).
+    EXPECT_NEAR(sys.voltage(sys.node("n")), 3e-3, 5e-4);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers)
+{
+    AnalogSystem sys;
+    try {
+        parseNetlist("R1 a b 1k\nQ1 x y z\n", sys);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+    AnalogSystem sys2;
+    EXPECT_THROW(parseNetlist("R1 a b\n", sys2), std::runtime_error);
+    AnalogSystem sys3;
+    EXPECT_THROW(parseNetlist("V1 a 0 SIN(1)\n", sys3), std::runtime_error);
+}
+
+TEST(Netlist, StopsAtEndCard)
+{
+    AnalogSystem sys;
+    const auto result = parseNetlist("R1 a 0 1k\n.end\nR2 b 0 2k\n", sys);
+    EXPECT_EQ(result.componentCount, 1);
+}
+
+} // namespace
+} // namespace gfi::analog

@@ -1,0 +1,96 @@
+// Tests for the gate-level structural PFD and its equivalence to the
+// behavioral model (the paper's planned multi-level comparison).
+
+#include "pll/pfd.hpp"
+#include "pll/pfd_structural.hpp"
+#include "pll/pll.hpp"
+#include "trace/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::pll {
+namespace {
+
+using digital::Logic;
+
+TEST(StructuralPfdTest, UpRaisesOnRefAndResetsAfterFb)
+{
+    digital::Circuit c;
+    auto& ref = c.logicSignal("ref", Logic::Zero);
+    auto& fb = c.logicSignal("fb", Logic::Zero);
+    auto& up = c.logicSignal("up", Logic::U);
+    auto& down = c.logicSignal("down", Logic::U);
+    c.add<StructuralPfd>(c, "pfd", ref, fb, up, down);
+    c.runUntil(kNanosecond);
+
+    c.scheduler().scheduleAction(10 * kNanosecond, [&ref] { ref.forceValue(Logic::One); });
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One);
+    EXPECT_NE(down.value(), Logic::One);
+
+    c.scheduler().scheduleAction(30 * kNanosecond, [&fb] { fb.forceValue(Logic::One); });
+    c.runUntil(29 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One); // still leading
+    c.runUntil(35 * kNanosecond);
+    // AND reset propagated: both flags cleared.
+    EXPECT_EQ(up.value(), Logic::Zero);
+    EXPECT_EQ(down.value(), Logic::Zero);
+}
+
+TEST(StructuralPfdTest, SymmetricForFbLeading)
+{
+    digital::Circuit c;
+    auto& ref = c.logicSignal("ref", Logic::Zero);
+    auto& fb = c.logicSignal("fb", Logic::Zero);
+    auto& up = c.logicSignal("up", Logic::U);
+    auto& down = c.logicSignal("down", Logic::U);
+    c.add<StructuralPfd>(c, "pfd", ref, fb, up, down);
+    c.runUntil(kNanosecond);
+
+    c.scheduler().scheduleAction(10 * kNanosecond, [&fb] { fb.forceValue(Logic::One); });
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(down.value(), Logic::One);
+    EXPECT_NE(up.value(), Logic::One);
+}
+
+TEST(StructuralPfdTest, RegistersPerFlopHooks)
+{
+    digital::Circuit c;
+    auto& ref = c.logicSignal("ref", Logic::Zero);
+    auto& fb = c.logicSignal("fb", Logic::Zero);
+    auto& up = c.logicSignal("up", Logic::U);
+    auto& down = c.logicSignal("down", Logic::U);
+    auto& pfd = c.add<StructuralPfd>(c, "pfd", ref, fb, up, down);
+    EXPECT_TRUE(c.instrumentation().contains(pfd.upFlopHook()));
+    EXPECT_TRUE(c.instrumentation().contains(pfd.downFlopHook()));
+
+    // Initialize the flops via one normal UP/DOWN cycle (they power up 'U').
+    c.scheduler().scheduleAction(5 * kNanosecond, [&ref] { ref.forceValue(Logic::One); });
+    c.scheduler().scheduleAction(10 * kNanosecond, [&fb] { fb.forceValue(Logic::One); });
+    c.runUntil(15 * kNanosecond);
+    ASSERT_EQ(up.value(), Logic::Zero);
+
+    // An SEU in the UP flop produces a spurious UP pulse until the next
+    // reset, exactly like the behavioral hook's bit 0.
+    const auto& hook = c.instrumentation().hook(pfd.upFlopHook());
+    c.scheduler().scheduleAction(20 * kNanosecond, [&hook] { hook.flipBit(0); });
+    c.runUntil(21 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One);
+}
+
+TEST(StructuralPfdTest, PllLocksWithGateLevelPfd)
+{
+    PllConfig cfg;
+    cfg.duration = 130 * kMicrosecond;
+    cfg.structuralPfd = true;
+    PllTestbench tb(cfg);
+    tb.run();
+    const SimTime tLock =
+        lockTime(tb.recorder().digitalTrace(names::kFout), cfg.nominalOutputPeriod());
+    ASSERT_GT(tLock, 0);
+    EXPECT_LT(tLock, 120 * kMicrosecond);
+    EXPECT_NEAR(tb.recorder().analogTrace(names::kVctrl).samples.back().second, 1.0, 0.01);
+}
+
+} // namespace
+} // namespace gfi::pll

@@ -1,0 +1,154 @@
+// Integration tests for the PLL case study (paper Section 5): PFD behavior,
+// locking, and the headline fault-injection result (Figure 6's shape).
+//
+// The full-length experiments live in the bench/ binaries; these tests use a
+// shortened observation window to stay fast while still exercising every
+// loop component end to end.
+
+#include "core/campaign.hpp"
+#include "pll/pll.hpp"
+#include "trace/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::pll {
+namespace {
+
+using digital::Logic;
+
+TEST(Pfd, RefEdgeRaisesUpFbEdgeResets)
+{
+    digital::Circuit c;
+    auto& ref = c.logicSignal("ref", Logic::Zero);
+    auto& fb = c.logicSignal("fb", Logic::Zero);
+    auto& up = c.logicSignal("up", Logic::U);
+    auto& down = c.logicSignal("down", Logic::U);
+    c.add<PhaseFreqDetector>(c, "pfd", ref, fb, up, down);
+    c.runUntil(kNanosecond);
+
+    // Reference leads: UP pulses for the phase difference.
+    c.scheduler().scheduleAction(10 * kNanosecond, [&ref] { ref.forceValue(Logic::One); });
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One);
+    EXPECT_EQ(down.value(), Logic::Zero);
+
+    c.scheduler().scheduleAction(30 * kNanosecond, [&fb] { fb.forceValue(Logic::One); });
+    c.runUntil(29 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One); // still waiting for fb
+    c.runUntil(35 * kNanosecond);
+    // Both flags were briefly high; the AND reset cleared them.
+    EXPECT_EQ(up.value(), Logic::Zero);
+    EXPECT_EQ(down.value(), Logic::Zero);
+}
+
+TEST(Pfd, SeuHookFlipsUpFlag)
+{
+    digital::Circuit c;
+    auto& ref = c.logicSignal("ref", Logic::Zero);
+    auto& fb = c.logicSignal("fb", Logic::Zero);
+    auto& up = c.logicSignal("up", Logic::U);
+    auto& down = c.logicSignal("down", Logic::U);
+    c.add<PhaseFreqDetector>(c, "pfd", ref, fb, up, down);
+    c.runUntil(kNanosecond);
+    const auto& hook = c.instrumentation().hook("pfd");
+    EXPECT_EQ(hook.width, 2);
+    c.scheduler().scheduleAction(10 * kNanosecond, [&hook] { hook.flipBit(0); });
+    c.runUntil(11 * kNanosecond);
+    EXPECT_EQ(up.value(), Logic::One); // spurious UP from the SEU
+}
+
+// Shared shortened configuration: lock happens near 90 us with the default
+// loop, so 130 us observation is enough for lock tests.
+PllConfig shortConfig()
+{
+    PllConfig cfg;
+    cfg.duration = 130 * kMicrosecond;
+    return cfg;
+}
+
+TEST(PllLock, LocksToNominalFrequency)
+{
+    PllTestbench tb(shortConfig());
+    tb.run();
+    const auto& fout = tb.recorder().digitalTrace(names::kFout);
+    const SimTime nominal = tb.config().nominalOutputPeriod();
+    EXPECT_EQ(nominal, 20 * kNanosecond);
+
+    const SimTime tLock = lockTime(fout, nominal);
+    ASSERT_GT(tLock, 0);
+    EXPECT_LT(tLock, 120 * kMicrosecond);
+
+    // Locked output: average period within 0.05 % of 20 ns.
+    const double avg = trace::averagePeriod(fout, 100);
+    EXPECT_NEAR(avg, static_cast<double>(nominal), 0.0005 * nominal);
+
+    // Control voltage settles at (50 MHz - f0) / Kvco = 1 V.
+    const auto& vctrl = tb.recorder().analogTrace(names::kVctrl);
+    EXPECT_NEAR(vctrl.samples.back().second, 1.0, 0.01);
+}
+
+TEST(PllLock, DividerKeepsRatioExactly)
+{
+    PllTestbench tb(shortConfig());
+    tb.run();
+    const auto foutEdges = tb.recorder().digitalTrace(names::kFout).risingEdges();
+    const auto fbEdges = tb.recorder().digitalTrace(names::kFb).risingEdges();
+    ASSERT_GT(fbEdges.size(), 10u);
+    // N output cycles per feedback cycle.
+    const double ratio = static_cast<double>(foutEdges.size()) /
+                         static_cast<double>(fbEdges.size());
+    EXPECT_NEAR(ratio, tb.config().dividerN, 2.0);
+}
+
+TEST(PllInjection, Figure6ShapeReproduced)
+{
+    // Shortened variant of the paper's Figure 6 experiment: inject the
+    // RT=100ps/FT=300ps/PW=500ps/PA=10mA pulse at the filter input after
+    // lock, and verify the three qualitative findings:
+    //  (1) the VCO input is disturbed far longer than the pulse width,
+    //  (2) the output clock is perturbed for many consecutive cycles,
+    //  (3) the PLL eventually recovers (transient, not failure).
+    PllConfig cfg;
+    cfg.duration = 150 * kMicrosecond;
+    const double tInject = 120e-6;
+
+    campaign::CampaignRunner runner([cfg] { return std::make_unique<PllTestbench>(cfg); },
+                                    campaign::Tolerance{5e-3, 0.0, 200 * kPicosecond});
+    fault::CurrentPulseFault f;
+    f.saboteur = names::kSabFilter;
+    f.timeSeconds = tInject;
+    f.shape = std::make_shared<fault::TrapezoidPulse>(10e-3, 100e-12, 300e-12, 500e-12);
+    const auto r = runner.runOne(fault::FaultSpec{f});
+
+    EXPECT_EQ(r.outcome, campaign::Outcome::TransientError);
+    // (1) disturbance duration >> 500 ps pulse width.
+    EXPECT_GT(r.analogTimeOutsideTol, 100e-9);
+    // Charge / C2 = 3 pC / 150 pF = 20 mV initial step on the VCO input.
+    EXPECT_NEAR(r.maxAnalogDeviation, 0.02, 0.005);
+
+    // (2) many perturbed output cycles.
+    auto tb = runner.makeTestbench();
+    fault::armFault(*tb, fault::FaultSpec{f});
+    tb->run();
+    const auto pert = trace::compareClocks(
+        runner.golden().recorder().digitalTrace(names::kFout),
+        tb->recorder().digitalTrace(names::kFout), 1e-3, fromSeconds(tInject - 1e-6));
+    EXPECT_GT(pert.perturbedCycles, 20);
+    EXPECT_GT(toSeconds(pert.perturbationSpan()), 1e-6);
+}
+
+TEST(PllInjection, SeuInPfdPerturbsLoop)
+{
+    // Digital-side SEU in the same instrumented design: flip the PFD UP flag
+    // while locked; the spurious charge-pump pulse disturbs the loop.
+    PllConfig cfg;
+    cfg.duration = 130 * kMicrosecond;
+    campaign::CampaignRunner runner([cfg] { return std::make_unique<PllTestbench>(cfg); },
+                                    campaign::Tolerance{5e-3, 0.0, 200 * kPicosecond});
+    fault::BitFlipFault f{"pll/pfd", 0, 110 * kMicrosecond};
+    const auto r = runner.runOne(fault::FaultSpec{f});
+    EXPECT_NE(r.outcome, campaign::Outcome::Silent);
+}
+
+} // namespace
+} // namespace gfi::pll

@@ -1,0 +1,170 @@
+// Unit and property tests for the SEU current-pulse models (paper Figure 1)
+// and the trapezoid <-> double-exponential fits (Figure 1b).
+
+#include "core/pulse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfi::fault {
+namespace {
+
+TEST(TrapezoidPulse, Fig6ParametersShape)
+{
+    // The paper's Figure 6 pulse: RT=100 ps, FT=300 ps, PW=500 ps, PA=10 mA.
+    TrapezoidPulse p(10e-3, 100e-12, 300e-12, 500e-12);
+    EXPECT_DOUBLE_EQ(p.current(-1e-12), 0.0);
+    EXPECT_DOUBLE_EQ(p.current(0.0), 0.0);
+    EXPECT_NEAR(p.current(50e-12), 5e-3, 1e-9);   // mid-rise
+    EXPECT_NEAR(p.current(100e-12), 10e-3, 1e-9); // top of rise
+    EXPECT_NEAR(p.current(150e-12), 10e-3, 1e-9); // plateau
+    EXPECT_NEAR(p.current(200e-12), 10e-3, 1e-9); // end of plateau
+    EXPECT_NEAR(p.current(350e-12), 5e-3, 1e-9);  // mid-fall
+    EXPECT_DOUBLE_EQ(p.current(500e-12), 0.0);
+    EXPECT_DOUBLE_EQ(p.current(600e-12), 0.0);
+    EXPECT_DOUBLE_EQ(p.peak(), 10e-3);
+    EXPECT_DOUBLE_EQ(p.duration(), 500e-12);
+}
+
+TEST(TrapezoidPulse, ChargeFormula)
+{
+    TrapezoidPulse p(10e-3, 100e-12, 300e-12, 500e-12);
+    // Q = PA * (plateau + (RT+FT)/2) = 10mA * (100 + 200) ps = 3 pC.
+    EXPECT_NEAR(p.charge(), 3e-12, 1e-18);
+}
+
+TEST(TrapezoidPulse, ChargeMatchesNumericIntegral)
+{
+    TrapezoidPulse p(2e-3, 40e-12, 120e-12, 300e-12);
+    double q = 0.0;
+    const double dt = 1e-15;
+    for (double t = 0.0; t < p.duration(); t += dt) {
+        q += p.current(t) * dt;
+    }
+    EXPECT_NEAR(q, p.charge(), p.charge() * 1e-2);
+}
+
+TEST(TrapezoidPulse, CornersOrdered)
+{
+    TrapezoidPulse p(1e-3, 100e-12, 300e-12, 500e-12);
+    const auto corners = p.corners();
+    ASSERT_EQ(corners.size(), 4u);
+    EXPECT_DOUBLE_EQ(corners[0], 0.0);
+    EXPECT_DOUBLE_EQ(corners[1], 100e-12);
+    EXPECT_DOUBLE_EQ(corners[2], 200e-12);
+    EXPECT_DOUBLE_EQ(corners[3], 500e-12);
+}
+
+TEST(TrapezoidPulse, RejectsBadParameters)
+{
+    EXPECT_THROW(TrapezoidPulse(1e-3, -1e-12, 1e-12, 5e-12), std::invalid_argument);
+    EXPECT_THROW(TrapezoidPulse(1e-3, 3e-12, 3e-12, 5e-12), std::invalid_argument);
+    EXPECT_THROW(TrapezoidPulse(1e-3, 1e-12, 1e-12, 0.0), std::invalid_argument);
+}
+
+TEST(TrapezoidPulse, ZeroEdgeTimesAreRectangular)
+{
+    TrapezoidPulse p(1e-3, 0.0, 0.0, 100e-12);
+    EXPECT_DOUBLE_EQ(p.current(50e-12), 1e-3);
+    EXPECT_NEAR(p.charge(), 1e-3 * 100e-12, 1e-20);
+}
+
+TEST(DoubleExpPulse, PeakBelowI0AndAtAnalyticTime)
+{
+    DoubleExpPulse p(10e-3, 50e-12, 500e-12);
+    const double tp = p.peakTime();
+    EXPECT_GT(tp, 0.0);
+    EXPECT_LT(p.peak(), 10e-3);
+    // The derivative vanishes at the peak.
+    const double eps = 1e-15;
+    EXPECT_GT(p.current(tp), p.current(tp - 10 * eps));
+    EXPECT_GT(p.current(tp), p.current(tp + 10 * eps));
+}
+
+TEST(DoubleExpPulse, ChargeAnalytic)
+{
+    DoubleExpPulse p(10e-3, 50e-12, 500e-12);
+    EXPECT_NEAR(p.charge(), 10e-3 * 450e-12, 1e-18);
+    // Numeric cross-check.
+    double q = 0.0;
+    const double dt = 1e-14;
+    for (double t = 0.0; t < 30.0 * 500e-12; t += dt) {
+        q += p.current(t) * dt;
+    }
+    EXPECT_NEAR(q, p.charge(), p.charge() * 1e-2);
+}
+
+TEST(DoubleExpPulse, RejectsBadTimeConstants)
+{
+    EXPECT_THROW(DoubleExpPulse(1e-3, 5e-12, 5e-12), std::invalid_argument);
+    EXPECT_THROW(DoubleExpPulse(1e-3, 0.0, 5e-12), std::invalid_argument);
+}
+
+TEST(PulseFit, TrapezoidFromDoubleExpPreservesPeakAndCharge)
+{
+    DoubleExpPulse dexp(10e-3, 50e-12, 500e-12);
+    const TrapezoidPulse trap = fitTrapezoid(dexp);
+    EXPECT_NEAR(trap.peak(), dexp.peak(), dexp.peak() * 1e-9);
+    EXPECT_NEAR(trap.charge(), dexp.charge(), dexp.charge() * 1e-6);
+}
+
+TEST(PulseFit, DoubleExpFromTrapezoidPreservesPeakAndCharge)
+{
+    TrapezoidPulse trap(10e-3, 100e-12, 300e-12, 500e-12);
+    const DoubleExpPulse dexp = fitDoubleExp(trap);
+    EXPECT_NEAR(dexp.peak(), trap.peak(), trap.peak() * 1e-3);
+    EXPECT_NEAR(dexp.charge(), trap.charge(), trap.charge() * 1e-3);
+}
+
+TEST(PulseFit, RoundTripIsStable)
+{
+    DoubleExpPulse original(8e-3, 40e-12, 400e-12);
+    const TrapezoidPulse trap = fitTrapezoid(original);
+    const DoubleExpPulse back = fitDoubleExp(trap);
+    EXPECT_NEAR(back.peak(), original.peak(), original.peak() * 0.01);
+    EXPECT_NEAR(back.charge(), original.charge(), original.charge() * 0.01);
+}
+
+TEST(PulseShape, CloneIsDeep)
+{
+    TrapezoidPulse p(1e-3, 1e-12, 1e-12, 3e-12);
+    const std::unique_ptr<PulseShape> c = p.clone();
+    EXPECT_DOUBLE_EQ(c->current(1.5e-12), p.current(1.5e-12));
+    EXPECT_EQ(c->describe(), p.describe());
+}
+
+TEST(PulseShape, DescribeMentionsParameters)
+{
+    TrapezoidPulse p(10e-3, 100e-12, 300e-12, 500e-12);
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("10 mA"), std::string::npos);
+    EXPECT_NE(d.find("100 ps"), std::string::npos);
+}
+
+// Property sweep over the paper's Figure 8 parameter sets: charge ordering
+// must follow the amplitude x width product.
+struct Fig8Params {
+    double pa, rt, ft, pw;
+};
+
+class Fig8Charges : public ::testing::TestWithParam<Fig8Params> {};
+
+TEST_P(Fig8Charges, ChargeIsPositiveAndBounded)
+{
+    const auto [pa, rt, ft, pw] = GetParam();
+    TrapezoidPulse p(pa, rt, ft, pw);
+    EXPECT_GT(p.charge(), 0.0);
+    EXPECT_LE(p.charge(), pa * pw); // bounded by the enclosing rectangle
+    EXPECT_GE(p.charge(), pa * (pw - rt - ft)); // at least the plateau
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperParameterSets, Fig8Charges,
+                         ::testing::Values(Fig8Params{2e-3, 100e-12, 100e-12, 300e-12},
+                                           Fig8Params{8e-3, 100e-12, 100e-12, 300e-12},
+                                           Fig8Params{10e-3, 40e-12, 40e-12, 120e-12},
+                                           Fig8Params{10e-3, 180e-12, 180e-12, 540e-12},
+                                           Fig8Params{10e-3, 100e-12, 300e-12, 500e-12}));
+
+} // namespace
+} // namespace gfi::fault

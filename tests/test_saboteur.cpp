@@ -1,0 +1,187 @@
+// Unit tests for the instrumentation blocks: the analog current saboteur
+// (the paper's GenCur, Figure 4) and the digital interconnect saboteur.
+
+#include "analog/passive.hpp"
+#include "analog/solver.hpp"
+#include "analog/sources.hpp"
+#include "core/fault.hpp"
+#include "core/saboteur.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::fault {
+namespace {
+
+using namespace analog;
+
+TEST(CurrentSaboteur, InjectsChargeIntoCapacitor)
+{
+    // A pulse into an isolated capacitor deposits exactly Q/C volts.
+    AnalogSystem sys;
+    const NodeId n = sys.node("n");
+    sys.add<Capacitor>(sys, "C1", n, kGround, 1e-9);
+    sys.add<Resistor>(sys, "Rleak", n, kGround, 1e9); // slow leak for DC
+    auto& sab = sys.add<CurrentSaboteur>(sys, "sab", n);
+
+    TrapezoidPulse pulse(10e-3, 100e-12, 300e-12, 500e-12);
+    sab.arm(1e-6, pulse);
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    EXPECT_NEAR(sys.voltage(n), 0.0, 1e-6);
+    solver.advanceTo(2e-6);
+    // Q = 3 pC into 1 nF -> 3 mV (leak negligible at this time scale).
+    EXPECT_NEAR(sys.voltage(n), 3e-3, 3e-5);
+}
+
+TEST(CurrentSaboteur, DoubleExpDepositsItsCharge)
+{
+    AnalogSystem sys;
+    const NodeId n = sys.node("n");
+    sys.add<Capacitor>(sys, "C1", n, kGround, 1e-9);
+    sys.add<Resistor>(sys, "Rleak", n, kGround, 1e9);
+    auto& sab = sys.add<CurrentSaboteur>(sys, "sab", n);
+
+    DoubleExpPulse pulse(10e-3, 50e-12, 500e-12);
+    sab.arm(1e-6, pulse);
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(2e-6);
+    EXPECT_NEAR(sys.voltage(n), pulse.charge() / 1e-9, pulse.charge() / 1e-9 * 0.02);
+}
+
+TEST(CurrentSaboteur, DisarmedInjectsNothing)
+{
+    AnalogSystem sys;
+    const NodeId n = sys.node("n");
+    sys.add<Capacitor>(sys, "C1", n, kGround, 1e-9);
+    sys.add<Resistor>(sys, "Rleak", n, kGround, 1e6);
+    auto& sab = sys.add<CurrentSaboteur>(sys, "sab", n);
+    sab.arm(1e-6, TrapezoidPulse(10e-3, 100e-12, 300e-12, 500e-12));
+    sab.disarm();
+    EXPECT_FALSE(sab.armed());
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(2e-6);
+    EXPECT_NEAR(sys.voltage(n), 0.0, 1e-6);
+}
+
+TEST(CurrentSaboteur, SuperposesWithNormalCurrent)
+{
+    // Paper semantics: the pulse is superposed on the node's normal current.
+    // A resistor divider holds 2.5 V; during a long flat pulse the node sits
+    // at 2.5 V + I * (R1 || R2).
+    AnalogSystem sys;
+    const NodeId in = sys.node("in");
+    const NodeId n = sys.node("n");
+    sys.add<VoltageSource>(sys, "V1", in, kGround, 5.0);
+    sys.add<Resistor>(sys, "R1", in, n, 1e3);
+    sys.add<Resistor>(sys, "R2", n, kGround, 1e3);
+    auto& sab = sys.add<CurrentSaboteur>(sys, "sab", n);
+    sab.arm(1e-6, TrapezoidPulse(1e-3, 1e-9, 1e-9, 102e-9));
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(1e-6 + 50e-9); // mid-plateau
+    EXPECT_NEAR(sys.voltage(n), 2.5 + 1e-3 * 500.0, 5e-3);
+    solver.advanceTo(2e-6); // pulse over
+    EXPECT_NEAR(sys.voltage(n), 2.5, 5e-3);
+}
+
+TEST(DigitalSaboteur, TransparentByDefault)
+{
+    digital::Circuit c;
+    auto& in = c.logicSignal("in", digital::Logic::Zero);
+    auto& out = c.logicSignal("out", digital::Logic::U);
+    c.add<DigitalSaboteur>(c, "sab", in, out);
+    c.runUntil(kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero);
+    c.scheduler().scheduleAction(2 * kNanosecond,
+                                 [&in] { in.forceValue(digital::Logic::One); });
+    c.runUntil(3 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::One);
+}
+
+TEST(DigitalSaboteur, InvertPulseWindow)
+{
+    digital::Circuit c;
+    auto& in = c.logicSignal("in", digital::Logic::Zero);
+    auto& out = c.logicSignal("out", digital::Logic::U);
+    auto& sab = c.add<DigitalSaboteur>(c, "sab", in, out);
+    sab.injectPulse(10 * kNanosecond, 5 * kNanosecond);
+    c.runUntil(9 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero);
+    c.runUntil(12 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::One); // inverted
+    c.runUntil(20 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero); // transparent again
+}
+
+TEST(DigitalSaboteur, StuckAtWindowAndPermanent)
+{
+    digital::Circuit c;
+    auto& in = c.logicSignal("in", digital::Logic::One);
+    auto& out = c.logicSignal("out", digital::Logic::U);
+    auto& sab = c.add<DigitalSaboteur>(c, "sab", in, out);
+    sab.injectStuckAt(10 * kNanosecond, digital::Logic::Zero, 10 * kNanosecond);
+    c.runUntil(15 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero);
+    c.runUntil(25 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::One);
+
+    sab.injectStuckAt(30 * kNanosecond, digital::Logic::Zero, 0); // permanent
+    c.runUntil(100 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero);
+    EXPECT_EQ(sab.mode(), DigitalSaboteur::Mode::Stuck);
+}
+
+TEST(DigitalSaboteur, InvertTracksInputDuringWindow)
+{
+    digital::Circuit c;
+    auto& in = c.logicSignal("in", digital::Logic::Zero);
+    auto& out = c.logicSignal("out", digital::Logic::U);
+    auto& sab = c.add<DigitalSaboteur>(c, "sab", in, out);
+    sab.setMode(DigitalSaboteur::Mode::Invert);
+    c.runUntil(kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::One);
+    c.scheduler().scheduleAction(2 * kNanosecond,
+                                 [&in] { in.forceValue(digital::Logic::One); });
+    c.runUntil(3 * kNanosecond);
+    EXPECT_EQ(out.value(), digital::Logic::Zero);
+}
+
+TEST(FaultSpec, DescribeAllVariants)
+{
+    EXPECT_EQ(describe(FaultSpec{}), "golden (no fault)");
+    EXPECT_NE(describe(FaultSpec{BitFlipFault{"reg", 3, kMicrosecond}}).find("reg[3]"),
+              std::string::npos);
+    EXPECT_NE(describe(FaultSpec{StateWriteFault{"reg", 7, 0}}).find("reg=7"),
+              std::string::npos);
+    EXPECT_NE(describe(FaultSpec{FsmTransitionFault{"fsm", 2, 0}}).find("S2"),
+              std::string::npos);
+    EXPECT_NE(describe(FaultSpec{DigitalPulseFault{"sab", 0, kNanosecond}}).find("set-pulse"),
+              std::string::npos);
+    EXPECT_NE(describe(FaultSpec{StuckAtFault{"sab", digital::Logic::One, 0, 0}})
+                  .find("stuck-at-1"),
+              std::string::npos);
+    CurrentPulseFault cp{"sab", 1e-6, std::make_shared<TrapezoidPulse>(1e-3, 1e-12, 1e-12,
+                                                                       3e-12)};
+    EXPECT_NE(describe(FaultSpec{cp}).find("current-pulse"), std::string::npos);
+    EXPECT_NE(describe(FaultSpec{ParametricFault{"r1", 1.5, 0}}).find("x1.5"),
+              std::string::npos);
+}
+
+TEST(FaultSpec, InjectionTimes)
+{
+    EXPECT_EQ(injectionTime(FaultSpec{}), 0);
+    EXPECT_EQ(injectionTime(FaultSpec{BitFlipFault{"r", 0, 42}}), 42);
+    CurrentPulseFault cp{"sab", 1e-6, nullptr};
+    EXPECT_EQ(injectionTime(FaultSpec{cp}), kMicrosecond);
+    EXPECT_TRUE(isGolden(FaultSpec{}));
+    EXPECT_FALSE(isGolden(FaultSpec{BitFlipFault{}}));
+}
+
+} // namespace
+} // namespace gfi::fault

@@ -1,0 +1,161 @@
+// Parameterized property tests for the analog transient solver: accuracy
+// scales with tolerance, charge conservation holds across pulse shapes,
+// crossing detection is slope-independent, and simulation is bit-identical
+// across repeated runs (the determinism the campaign comparison relies on).
+
+#include "analog/passive.hpp"
+#include "analog/solver.hpp"
+#include "analog/sources.hpp"
+#include "core/saboteur.hpp"
+#include "pll/pll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfi::analog {
+namespace {
+
+// --- accuracy vs LTE tolerance ------------------------------------------------
+
+class RcAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcAccuracy, ErrorShrinksWithTolerance)
+{
+    const double lteRel = GetParam();
+    AnalogSystem sys;
+    const NodeId in = sys.node("in");
+    const NodeId out = sys.node("out");
+    auto& vs = sys.add<VoltageSource>(sys, "V1", in, kGround, 5.0);
+    sys.add<Resistor>(sys, "R1", in, out, 10e3);
+    sys.add<Capacitor>(sys, "C1", out, kGround, 100e-12);
+    TimeFunction fn;
+    fn.value = [](double t) { return t < 1e-6 ? 5.0 : 0.0; };
+    fn.breakpoints = {1e-6};
+    vs.setFunction(std::move(fn));
+
+    SolverOptions opt;
+    opt.lteRelTol = lteRel;
+    TransientSolver solver(sys, opt);
+    solver.solveDc();
+    const double tau = 1e-6;
+    solver.advanceTo(1e-6 + 2.0 * tau);
+    const double exact = 5.0 * std::exp(-2.0);
+    const double err = std::fabs(sys.voltage(out) - exact);
+    // Global error tracks the local tolerance within a small constant.
+    EXPECT_LT(err, std::max(50.0 * lteRel * exact, 1e-4)) << "lteRel=" << lteRel;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, RcAccuracy,
+                         ::testing::Values(1e-2, 2e-3, 5e-4, 1e-4));
+
+// --- charge conservation across pulse shapes -----------------------------------
+
+class ChargeConservation
+    : public ::testing::TestWithParam<std::shared_ptr<fault::PulseShape>> {};
+
+TEST_P(ChargeConservation, DepositedVoltageEqualsQOverC)
+{
+    const auto& shape = GetParam();
+    AnalogSystem sys;
+    const NodeId n = sys.node("n");
+    sys.add<Capacitor>(sys, "C1", n, kGround, 1e-9);
+    sys.add<Resistor>(sys, "Rleak", n, kGround, 1e12);
+    auto& sab = sys.add<fault::CurrentSaboteur>(sys, "sab", n);
+    sab.arm(1e-7, *shape);
+
+    TransientSolver solver(sys);
+    solver.solveDc();
+    solver.advanceTo(1e-7 + shape->duration() + 1e-7);
+    const double expected = shape->charge() / 1e-9;
+    EXPECT_NEAR(sys.voltage(n), expected, expected * 0.02) << shape->describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ChargeConservation,
+    ::testing::Values(
+        std::make_shared<fault::TrapezoidPulse>(2e-3, 100e-12, 100e-12, 300e-12),
+        std::make_shared<fault::TrapezoidPulse>(8e-3, 100e-12, 100e-12, 300e-12),
+        std::make_shared<fault::TrapezoidPulse>(10e-3, 40e-12, 40e-12, 120e-12),
+        std::make_shared<fault::TrapezoidPulse>(10e-3, 180e-12, 180e-12, 540e-12),
+        std::make_shared<fault::TrapezoidPulse>(10e-3, 100e-12, 300e-12, 500e-12),
+        std::make_shared<fault::DoubleExpPulse>(10e-3, 50e-12, 500e-12),
+        std::make_shared<fault::DoubleExpPulse>(5e-3, 20e-12, 2e-9)));
+
+// --- crossing accuracy across slopes --------------------------------------------
+
+class CrossingAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossingAccuracy, RampCrossingLocatedPrecisely)
+{
+    const double rampSeconds = GetParam(); // 0 -> 5 V over this time
+    AnalogSystem sys;
+    const NodeId n = sys.node("n");
+    auto& vs = sys.add<VoltageSource>(sys, "V1", n, kGround, 0.0);
+    sys.add<Resistor>(sys, "RL", n, kGround, 1e6);
+    TimeFunction fn;
+    fn.value = [rampSeconds](double t) {
+        return t < rampSeconds ? 5.0 * t / rampSeconds : 5.0;
+    };
+    fn.breakpoints = {rampSeconds};
+    vs.setFunction(std::move(fn));
+
+    TransientSolver solver(sys);
+    double tCross = -1.0;
+    solver.addMonitor(n, 2.5, CrossingMonitor::Edge::Rising,
+                      [&](double t, bool) { tCross = t; });
+    solver.advanceTo(2.0 * rampSeconds);
+    // The crossing is at exactly half the ramp, independent of the slope.
+    ASSERT_GT(tCross, 0.0);
+    EXPECT_NEAR(tCross, rampSeconds / 2.0, std::max(1e-12, rampSeconds * 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, CrossingAccuracy,
+                         ::testing::Values(1e-8, 1e-7, 1e-6, 1e-5, 1e-4));
+
+// --- determinism ------------------------------------------------------------------
+
+TEST(Determinism, TransientRunsAreBitIdentical)
+{
+    auto run = [] {
+        AnalogSystem sys;
+        const NodeId in = sys.node("in");
+        const NodeId out = sys.node("out");
+        sys.add<SineVoltage>(sys, "V1", in, kGround, 0.0, 1.0, 1e6);
+        sys.add<Resistor>(sys, "R1", in, out, 1e3);
+        sys.add<Capacitor>(sys, "C1", out, kGround, 1e-9);
+        TransientSolver solver(sys);
+        std::vector<std::pair<double, double>> samples;
+        solver.onAccept([&](double t) { samples.emplace_back(t, sys.voltage(out)); });
+        solver.solveDc();
+        solver.advanceTo(5e-6);
+        return samples;
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].first, b[i].first);   // exact, not approximate
+        EXPECT_EQ(a[i].second, b[i].second);
+    }
+}
+
+TEST(Determinism, MixedPllRunsAreBitIdentical)
+{
+    auto edges = [] {
+        pll::PllConfig cfg;
+        cfg.duration = 20 * kMicrosecond;
+        pll::PllTestbench tb(cfg);
+        tb.run();
+        return tb.recorder().digitalTrace(pll::names::kFout).risingEdges();
+    };
+    const auto a = edges();
+    const auto b = edges();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+} // namespace
+} // namespace gfi::analog

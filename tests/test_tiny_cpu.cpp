@@ -1,0 +1,146 @@
+// Tests for the tiny processor DUT and the memory scrubbing engine.
+
+#include "core/campaign.hpp"
+#include "duts/tiny_cpu.hpp"
+#include "harden/scrubber.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gfi::duts {
+namespace {
+
+std::uint64_t portAt(const fault::Testbench& tb, SimTime t)
+{
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+        const auto lv =
+            tb.recorder().digitalTrace("cpu/port[" + std::to_string(b) + "]").valueAt(t);
+        if (digital::toX01(lv) == digital::Logic::One) {
+            v |= 1ull << b;
+        }
+    }
+    return v;
+}
+
+TEST(TinyCpuTest, CounterProgramStreamsIncrementingValues)
+{
+    TinyCpuTestbench tb;
+    tb.run();
+    // Loop body = ADD, OUT, JNZ = 3 cycles at 20 ns -> +1 every 60 ns.
+    const std::uint64_t v1 = portAt(tb, 1 * kMicrosecond);
+    const std::uint64_t v2 = portAt(tb, 2 * kMicrosecond);
+    const std::uint64_t v3 = portAt(tb, 3 * kMicrosecond);
+    EXPECT_GT(v2, v1);
+    EXPECT_GT(v3, v2);
+    EXPECT_NEAR(static_cast<double>(v2 - v1), 1e-6 / 60e-9, 2.0);
+    EXPECT_FALSE(tb.cpu().halted());
+}
+
+TEST(TinyCpuTest, HltStopsTheMachine)
+{
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 7), asm1(Op::Out), asm1(Op::Hlt), asm1(Op::Ldi, 1),
+                   asm1(Op::Out)};
+    cfg.duration = kMicrosecond;
+    TinyCpuTestbench tb(cfg);
+    tb.run();
+    EXPECT_TRUE(tb.cpu().halted());
+    EXPECT_EQ(portAt(tb, kMicrosecond), 7u); // the post-HLT OUT never ran
+    EXPECT_EQ(digital::toX01(tb.recorder().digitalTrace("cpu/halted").valueAt(kMicrosecond)),
+              digital::Logic::One);
+}
+
+TEST(TinyCpuTest, LoadStoreRoundTrip)
+{
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 21), asm1(Op::Sta, 5),  asm1(Op::Ldi, 0),
+                   asm1(Op::Lda, 5),  asm1(Op::Out),     asm1(Op::Hlt)};
+    cfg.duration = kMicrosecond;
+    TinyCpuTestbench tb(cfg);
+    tb.run();
+    EXPECT_EQ(portAt(tb, kMicrosecond), 21u);
+}
+
+TEST(TinyCpuTest, AccSeuCorruptsTheStreamPermanently)
+{
+    TinyCpuConfig cfg;
+    campaign::CampaignRunner runner(
+        [cfg] { return std::make_unique<TinyCpuTestbench>(cfg); });
+    fault::BitFlipFault f{"cpu/core/acc", 6, 2 * kMicrosecond + 7 * kNanosecond};
+    const auto r = runner.runOne(fault::FaultSpec{f});
+    // The accumulator feeds itself: a +/-64 offset persists in every later OUT.
+    EXPECT_EQ(r.outcome, campaign::Outcome::Failure);
+}
+
+TEST(TinyCpuTest, PcSeuDisturbsControlFlow)
+{
+    TinyCpuConfig cfg;
+    campaign::CampaignRunner runner(
+        [cfg] { return std::make_unique<TinyCpuTestbench>(cfg); });
+    int nonSilent = 0;
+    for (int bit = 0; bit < 5; ++bit) {
+        fault::BitFlipFault f{"cpu/core/pc", bit, 2 * kMicrosecond + 7 * kNanosecond};
+        nonSilent +=
+            runner.runOne(fault::FaultSpec{f}).outcome != campaign::Outcome::Silent ? 1 : 0;
+    }
+    EXPECT_GE(nonSilent, 3);
+}
+
+} // namespace
+} // namespace gfi::duts
+
+namespace gfi::harden {
+namespace {
+
+using namespace digital;
+
+TEST(ScrubberTest, RepairsInjectedUpsetsDuringSweep)
+{
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& we = c.logicSignal("we", Logic::Zero);
+    Bus addr = c.bus("addr", 2, Logic::Zero);
+    Bus wdata = c.bus("wdata", 8, Logic::Zero);
+    Bus rdata = c.bus("rdata", 8, Logic::U);
+    auto& ram = c.add<EccRam>(c, "eram", clk, we, addr, wdata, rdata);
+    auto& scrubber = c.add<Scrubber>(c, "scrub", ram, 10 * kMicrosecond);
+
+    // Flip one bit in each of two words.
+    c.scheduler().scheduleAction(kMicrosecond, [&c] {
+        c.instrumentation().hook("eram/w1").flipBit(2);
+        c.instrumentation().hook("eram/w3").flipBit(7);
+    });
+    // One full sweep (4 words x 10 us) plus margin.
+    c.runUntil(60 * kMicrosecond);
+    EXPECT_EQ(scrubber.repairs(), 2);
+    EXPECT_GE(scrubber.sweeps(), 1);
+    // Storage is clean again.
+    EXPECT_EQ(ram.codeword(1), hammingEncode(0, 8));
+    EXPECT_EQ(ram.codeword(3), hammingEncode(0, 8));
+}
+
+TEST(ScrubberTest, PreventsDoubleErrorAccumulation)
+{
+    // Two upsets in the same word, far enough apart that a fast scrubber
+    // repairs the first before the second lands -> the word stays readable.
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& we = c.logicSignal("we", Logic::Zero);
+    Bus addr = c.bus("addr", 2, Logic::Zero);
+    Bus wdata = c.bus("wdata", 8, Logic::Zero);
+    Bus rdata = c.bus("rdata", 8, Logic::U);
+    auto& ram = c.add<EccRam>(c, "eram", clk, we, addr, wdata, rdata);
+    c.add<Scrubber>(c, "scrub", ram, 5 * kMicrosecond);
+
+    c.scheduler().scheduleAction(kMicrosecond,
+                                 [&c] { c.instrumentation().hook("eram/w0").flipBit(1); });
+    c.scheduler().scheduleAction(100 * kMicrosecond,
+                                 [&c] { c.instrumentation().hook("eram/w0").flipBit(9); });
+    c.runUntil(200 * kMicrosecond);
+    const auto d = hammingDecode(ram.codeword(0), 8);
+    EXPECT_FALSE(d.uncorrectable);
+    EXPECT_EQ(ram.word(0), 0u);
+}
+
+} // namespace
+} // namespace gfi::harden

@@ -1,0 +1,290 @@
+// Tests for trace capture, tolerant comparison and clock metrics.
+
+#include "trace/compare.hpp"
+#include "trace/metrics.hpp"
+
+#include "analog/passive.hpp"
+#include "analog/sources.hpp"
+#include "digital/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gfi::trace {
+namespace {
+
+using digital::Logic;
+
+DigitalTrace makeTrace(Logic initial, std::vector<std::pair<SimTime, Logic>> events)
+{
+    DigitalTrace t;
+    t.name = "t";
+    t.initial = initial;
+    t.events = std::move(events);
+    return t;
+}
+
+TEST(DigitalTraceTest, ValueAtWalksEvents)
+{
+    const auto t = makeTrace(Logic::Zero, {{10, Logic::One}, {20, Logic::Zero}});
+    EXPECT_EQ(t.valueAt(5), Logic::Zero);
+    EXPECT_EQ(t.valueAt(10), Logic::One);
+    EXPECT_EQ(t.valueAt(15), Logic::One);
+    EXPECT_EQ(t.valueAt(25), Logic::Zero);
+}
+
+TEST(DigitalTraceTest, RisingEdges)
+{
+    const auto t = makeTrace(Logic::Zero, {{10, Logic::One},
+                                           {20, Logic::Zero},
+                                           {30, Logic::One},
+                                           {40, Logic::X},
+                                           {50, Logic::One}});
+    const auto edges = t.risingEdges();
+    ASSERT_EQ(edges.size(), 2u); // X -> 1 is not a clean rising edge
+    EXPECT_EQ(edges[0], 10);
+    EXPECT_EQ(edges[1], 30);
+}
+
+TEST(AnalogTraceTest, LinearInterpolation)
+{
+    AnalogTrace t;
+    t.samples = {{0.0, 0.0}, {1.0, 2.0}, {2.0, 0.0}};
+    EXPECT_DOUBLE_EQ(t.valueAt(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(-1.0), 0.0); // clamped
+    EXPECT_DOUBLE_EQ(t.valueAt(5.0), 0.0);
+    const auto [lo, hi] = t.minmax();
+    EXPECT_DOUBLE_EQ(lo, 0.0);
+    EXPECT_DOUBLE_EQ(hi, 2.0);
+}
+
+TEST(CompareDigitalTest, IdenticalTraces)
+{
+    const auto a = makeTrace(Logic::Zero, {{10, Logic::One}});
+    const auto diff = compareDigital(a, a, 100);
+    EXPECT_TRUE(diff.identical());
+    EXPECT_EQ(diff.totalMismatch, 0);
+    EXPECT_TRUE(diff.matchesAt(100));
+}
+
+TEST(CompareDigitalTest, TransientMismatchWindow)
+{
+    const auto golden = makeTrace(Logic::Zero, {{10, Logic::One}});
+    const auto faulty = makeTrace(Logic::Zero, {{10, Logic::One},
+                                                {30, Logic::Zero}, // glitch
+                                                {40, Logic::One}});
+    const auto diff = compareDigital(golden, faulty, 100);
+    ASSERT_EQ(diff.mismatchWindows.size(), 1u);
+    EXPECT_EQ(diff.firstMismatch, 30);
+    EXPECT_EQ(diff.mismatchWindows[0].second, 40);
+    EXPECT_EQ(diff.totalMismatch, 10);
+    EXPECT_TRUE(diff.matchesAt(100)); // recovered
+}
+
+TEST(CompareDigitalTest, PermanentMismatch)
+{
+    const auto golden = makeTrace(Logic::Zero, {});
+    const auto faulty = makeTrace(Logic::Zero, {{50, Logic::One}});
+    const auto diff = compareDigital(golden, faulty, 100);
+    ASSERT_EQ(diff.mismatchWindows.size(), 1u);
+    EXPECT_FALSE(diff.matchesAt(100));
+    EXPECT_EQ(diff.totalMismatch, 50);
+}
+
+TEST(CompareDigitalTest, WeakValuesNormalized)
+{
+    // 'H' vs '1' must not count as a mismatch (to_x01 normalization).
+    const auto golden = makeTrace(Logic::One, {});
+    const auto faulty = makeTrace(Logic::H, {});
+    EXPECT_TRUE(compareDigital(golden, faulty, 100).identical());
+}
+
+TEST(CompareAnalogTest, WithinTolerance)
+{
+    AnalogTrace g;
+    AnalogTrace f;
+    for (int i = 0; i <= 10; ++i) {
+        g.samples.emplace_back(i * 1e-6, 1.0);
+        f.samples.emplace_back(i * 1e-6, 1.0 + 0.5e-3);
+    }
+    const auto diff = compareAnalog(g, f, 1e-3);
+    EXPECT_TRUE(diff.withinTolerance());
+    EXPECT_NEAR(diff.maxDeviation, 0.5e-3, 1e-9);
+}
+
+TEST(CompareAnalogTest, TransientExcursion)
+{
+    AnalogTrace g;
+    AnalogTrace f;
+    for (int i = 0; i <= 100; ++i) {
+        const double t = i * 1e-6;
+        g.samples.emplace_back(t, 1.0);
+        // 20 mV bump between 40 and 60 us.
+        const double bump = (t > 40e-6 && t < 60e-6) ? 0.02 : 0.0;
+        f.samples.emplace_back(t, 1.0 + bump);
+    }
+    const auto diff = compareAnalog(g, f, 5e-3);
+    EXPECT_FALSE(diff.withinTolerance());
+    EXPECT_TRUE(diff.withinTolAtEnd);
+    EXPECT_NEAR(diff.maxDeviation, 0.02, 1e-9);
+    EXPECT_NEAR(diff.firstExceed, 41e-6, 1e-6);
+    EXPECT_NEAR(diff.timeOutsideTol, 19e-6, 2e-6);
+}
+
+TEST(CompareAnalogTest, RelativeTolerance)
+{
+    AnalogTrace g;
+    AnalogTrace f;
+    g.samples = {{0.0, 10.0}, {1.0, 10.0}};
+    f.samples = {{0.0, 10.5}, {1.0, 10.5}};
+    EXPECT_TRUE(compareAnalog(g, f, 0.0, 0.10).withinTolerance());  // 5 % < 10 %
+    EXPECT_FALSE(compareAnalog(g, f, 0.0, 0.01).withinTolerance()); // 5 % > 1 %
+}
+
+TEST(MetricsTest, ExtractPeriods)
+{
+    const auto clk = makeTrace(Logic::Zero, {{0, Logic::One},
+                                             {10, Logic::Zero},
+                                             {20, Logic::One},
+                                             {30, Logic::Zero},
+                                             {42, Logic::One}}); // late edge
+    const auto periods = extractPeriods(clk);
+    ASSERT_EQ(periods.size(), 2u);
+    EXPECT_EQ(periods[0].period, 20);
+    EXPECT_EQ(periods[1].period, 22);
+}
+
+TEST(MetricsTest, AnalyzeClockCountsPerturbedCycles)
+{
+    DigitalTrace clk;
+    clk.initial = Logic::Zero;
+    SimTime t = 0;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        // Cycles 40-49 are 2 % long.
+        const SimTime period = (cycle >= 40 && cycle < 50) ? 2040 : 2000;
+        clk.events.emplace_back(t, Logic::One);
+        clk.events.emplace_back(t + period / 2, Logic::Zero);
+        t += period;
+    }
+    const auto result = analyzeClock(clk, 2000, 0.01);
+    EXPECT_EQ(result.perturbedCycles, 10);
+    EXPECT_NEAR(result.maxRelDeviation, 0.02, 1e-6);
+    EXPECT_GT(result.firstPerturbed, 0);
+    EXPECT_EQ(result.totalCycles, 99); // n edges -> n-1 periods
+}
+
+TEST(MetricsTest, CompareClocksUsesGoldenMedianPeriod)
+{
+    DigitalTrace golden;
+    DigitalTrace faulty;
+    golden.initial = faulty.initial = Logic::Zero;
+    SimTime tg = 0;
+    SimTime tf = 0;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        golden.events.emplace_back(tg, Logic::One);
+        golden.events.emplace_back(tg + 1000, Logic::Zero);
+        tg += 2000;
+        const SimTime period = cycle == 25 ? 2100 : 2000;
+        faulty.events.emplace_back(tf, Logic::One);
+        faulty.events.emplace_back(tf + period / 2, Logic::Zero);
+        tf += period;
+    }
+    const auto result = compareClocks(golden, faulty, 0.01);
+    EXPECT_EQ(result.perturbedCycles, 1);
+    EXPECT_EQ(result.nominalPeriod, 2000);
+}
+
+TEST(MetricsTest, RmsPeriodJitter)
+{
+    DigitalTrace clk;
+    clk.initial = Logic::Zero;
+    // Alternating 1900/2100 fs periods around a 2000 fs mean -> RMS = 100 fs.
+    SimTime t = 0;
+    for (int i = 0; i < 40; ++i) {
+        clk.events.emplace_back(t, Logic::One);
+        clk.events.emplace_back(t + 500, Logic::Zero);
+        t += (i % 2 == 0) ? 1900 : 2100;
+    }
+    EXPECT_NEAR(rmsPeriodJitter(clk), 100e-15, 5e-15);
+
+    DigitalTrace flat;
+    flat.initial = Logic::Zero;
+    t = 0;
+    for (int i = 0; i < 10; ++i) {
+        flat.events.emplace_back(t, Logic::One);
+        flat.events.emplace_back(t + 500, Logic::Zero);
+        t += 2000;
+    }
+    EXPECT_NEAR(rmsPeriodJitter(flat), 0.0, 1e-18);
+}
+
+TEST(MetricsTest, DutyCycle)
+{
+    DigitalTrace clk;
+    clk.initial = Logic::Zero;
+    SimTime t = 0;
+    for (int i = 0; i < 20; ++i) {
+        clk.events.emplace_back(t, Logic::One);
+        clk.events.emplace_back(t + 600, Logic::Zero); // 30 % high
+        t += 2000;
+    }
+    EXPECT_NEAR(dutyCycle(clk), 0.3, 1e-9);
+
+    DigitalTrace empty;
+    empty.initial = Logic::Zero;
+    EXPECT_DOUBLE_EQ(dutyCycle(empty), -1.0);
+}
+
+TEST(RecorderTest, CapturesDigitalAndAnalog)
+{
+    ams::MixedSimulator sim;
+    auto& clk = sim.digital().logicSignal("clk", Logic::Zero);
+    sim.digital().add<digital::ClockGen>(sim.digital(), "cg", clk, 100 * kNanosecond);
+    const analog::NodeId n = sim.analog().node("ramp");
+    auto& vs = sim.analog().add<analog::VoltageSource>(sim.analog(), "vs", n, analog::kGround,
+                                                       0.0);
+    analog::TimeFunction fn;
+    fn.value = [](double t) { return 1e6 * t; }; // 1 V/us ramp
+    vs.setFunction(std::move(fn));
+    sim.analog().add<analog::Resistor>(sim.analog(), "rl", n, analog::kGround, 1e4);
+
+    Recorder rec(sim);
+    rec.recordDigital("clk");
+    rec.recordAnalog("ramp");
+    sim.run(kMicrosecond);
+
+    const auto& dt = rec.digitalTrace("clk");
+    EXPECT_GE(dt.risingEdges().size(), 9u);
+    const auto& at = rec.analogTrace("ramp");
+    EXPECT_GT(at.samples.size(), 10u);
+    EXPECT_NEAR(at.valueAt(0.5e-6), 0.5, 0.01);
+    EXPECT_THROW(rec.digitalTrace("nope"), std::out_of_range);
+}
+
+TEST(WritersTest, CsvAndVcdProduceFiles)
+{
+    AnalogTrace a;
+    a.name = "v1";
+    a.samples = {{0.0, 1.0}, {1e-6, 2.0}};
+    DigitalTrace d = makeTrace(Logic::Zero, {{10, Logic::One}, {20, Logic::Zero}});
+    d.name = "sig";
+
+    writeAnalogCsv("/tmp/gfi_trace.csv", {&a});
+    writeVcd("/tmp/gfi_trace.vcd", {&d}, {&a});
+
+    std::FILE* f = std::fopen("/tmp/gfi_trace.vcd", "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    buf[n] = '\0';
+    std::fclose(f);
+    const std::string vcd(buf);
+    EXPECT_NE(vcd.find("$var wire 1 ! sig $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var real 64"), std::string::npos);
+    EXPECT_NE(vcd.find("#10"), std::string::npos);
+}
+
+} // namespace
+} // namespace gfi::trace
