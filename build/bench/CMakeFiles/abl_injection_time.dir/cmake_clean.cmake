@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_injection_time.dir/abl_injection_time.cpp.o"
+  "CMakeFiles/abl_injection_time.dir/abl_injection_time.cpp.o.d"
+  "abl_injection_time"
+  "abl_injection_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_injection_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_injection_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scrub_interval.dir/abl_scrub_interval.cpp.o"
+  "CMakeFiles/abl_scrub_interval.dir/abl_scrub_interval.cpp.o.d"
+  "abl_scrub_interval"
+  "abl_scrub_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scrub_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

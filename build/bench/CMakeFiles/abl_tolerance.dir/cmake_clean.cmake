@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tolerance.dir/abl_tolerance.cpp.o"
+  "CMakeFiles/abl_tolerance.dir/abl_tolerance.cpp.o.d"
+  "abl_tolerance"
+  "abl_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

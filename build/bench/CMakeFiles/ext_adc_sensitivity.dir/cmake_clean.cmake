@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adc_sensitivity.dir/ext_adc_sensitivity.cpp.o"
+  "CMakeFiles/ext_adc_sensitivity.dir/ext_adc_sensitivity.cpp.o.d"
+  "ext_adc_sensitivity"
+  "ext_adc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multilevel.dir/ext_multilevel.cpp.o"
+  "CMakeFiles/ext_multilevel.dir/ext_multilevel.cpp.o.d"
+  "ext_multilevel"
+  "ext_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_processor.dir/ext_processor.cpp.o"
+  "CMakeFiles/ext_processor.dir/ext_processor.cpp.o.d"
+  "ext_processor"
+  "ext_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

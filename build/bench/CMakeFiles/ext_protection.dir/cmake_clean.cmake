@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_protection.dir/ext_protection.cpp.o"
+  "CMakeFiles/ext_protection.dir/ext_protection.cpp.o.d"
+  "ext_protection"
+  "ext_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

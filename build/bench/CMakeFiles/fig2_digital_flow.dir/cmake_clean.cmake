@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_digital_flow.dir/fig2_digital_flow.cpp.o"
+  "CMakeFiles/fig2_digital_flow.dir/fig2_digital_flow.cpp.o.d"
+  "fig2_digital_flow"
+  "fig2_digital_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_digital_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

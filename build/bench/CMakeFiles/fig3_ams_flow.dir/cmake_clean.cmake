@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ams_flow.dir/fig3_ams_flow.cpp.o"
+  "CMakeFiles/fig3_ams_flow.dir/fig3_ams_flow.cpp.o.d"
+  "fig3_ams_flow"
+  "fig3_ams_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ams_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

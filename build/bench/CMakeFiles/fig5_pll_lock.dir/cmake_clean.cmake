@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pll_lock.dir/fig5_pll_lock.cpp.o"
+  "CMakeFiles/fig5_pll_lock.dir/fig5_pll_lock.cpp.o.d"
+  "fig5_pll_lock"
+  "fig5_pll_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pll_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

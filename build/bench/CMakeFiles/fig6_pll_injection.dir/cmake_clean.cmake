@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pll_injection.dir/fig6_pll_injection.cpp.o"
+  "CMakeFiles/fig6_pll_injection.dir/fig6_pll_injection.cpp.o.d"
+  "fig6_pll_injection"
+  "fig6_pll_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pll_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

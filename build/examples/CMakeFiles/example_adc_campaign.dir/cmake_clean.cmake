@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adc_campaign.dir/adc_campaign.cpp.o"
+  "CMakeFiles/example_adc_campaign.dir/adc_campaign.cpp.o.d"
+  "example_adc_campaign"
+  "example_adc_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adc_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

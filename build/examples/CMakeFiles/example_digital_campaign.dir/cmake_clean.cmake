@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_digital_campaign.dir/digital_campaign.cpp.o"
+  "CMakeFiles/example_digital_campaign.dir/digital_campaign.cpp.o.d"
+  "example_digital_campaign"
+  "example_digital_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_digital_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

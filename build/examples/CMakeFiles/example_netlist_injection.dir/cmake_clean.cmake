@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netlist_injection.dir/netlist_injection.cpp.o"
+  "CMakeFiles/example_netlist_injection.dir/netlist_injection.cpp.o.d"
+  "example_netlist_injection"
+  "example_netlist_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netlist_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

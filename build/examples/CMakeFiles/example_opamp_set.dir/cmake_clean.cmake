@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_opamp_set.dir/opamp_set.cpp.o"
+  "CMakeFiles/example_opamp_set.dir/opamp_set.cpp.o.d"
+  "example_opamp_set"
+  "example_opamp_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_opamp_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pll_injection.dir/pll_injection.cpp.o"
+  "CMakeFiles/example_pll_injection.dir/pll_injection.cpp.o.d"
+  "example_pll_injection"
+  "example_pll_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pll_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_statistical_campaign.dir/statistical_campaign.cpp.o"
+  "CMakeFiles/example_statistical_campaign.dir/statistical_campaign.cpp.o.d"
+  "example_statistical_campaign"
+  "example_statistical_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_statistical_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adc/flash.cpp" "src/CMakeFiles/gfi.dir/adc/flash.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/adc/flash.cpp.o.d"
+  "/root/repo/src/adc/sar.cpp" "src/CMakeFiles/gfi.dir/adc/sar.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/adc/sar.cpp.o.d"
+  "/root/repo/src/ams/bridge.cpp" "src/CMakeFiles/gfi.dir/ams/bridge.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/ams/bridge.cpp.o.d"
+  "/root/repo/src/ams/mixed_sim.cpp" "src/CMakeFiles/gfi.dir/ams/mixed_sim.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/ams/mixed_sim.cpp.o.d"
+  "/root/repo/src/analog/ac.cpp" "src/CMakeFiles/gfi.dir/analog/ac.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/ac.cpp.o.d"
+  "/root/repo/src/analog/controlled.cpp" "src/CMakeFiles/gfi.dir/analog/controlled.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/controlled.cpp.o.d"
+  "/root/repo/src/analog/linear.cpp" "src/CMakeFiles/gfi.dir/analog/linear.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/linear.cpp.o.d"
+  "/root/repo/src/analog/netlist.cpp" "src/CMakeFiles/gfi.dir/analog/netlist.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/netlist.cpp.o.d"
+  "/root/repo/src/analog/opamp.cpp" "src/CMakeFiles/gfi.dir/analog/opamp.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/opamp.cpp.o.d"
+  "/root/repo/src/analog/passive.cpp" "src/CMakeFiles/gfi.dir/analog/passive.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/passive.cpp.o.d"
+  "/root/repo/src/analog/solver.cpp" "src/CMakeFiles/gfi.dir/analog/solver.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/solver.cpp.o.d"
+  "/root/repo/src/analog/sources.cpp" "src/CMakeFiles/gfi.dir/analog/sources.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/sources.cpp.o.d"
+  "/root/repo/src/analog/system.cpp" "src/CMakeFiles/gfi.dir/analog/system.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/analog/system.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/gfi.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/fault.cpp" "src/CMakeFiles/gfi.dir/core/fault.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/fault.cpp.o.d"
+  "/root/repo/src/core/faultlist.cpp" "src/CMakeFiles/gfi.dir/core/faultlist.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/faultlist.cpp.o.d"
+  "/root/repo/src/core/pulse.cpp" "src/CMakeFiles/gfi.dir/core/pulse.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/pulse.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/gfi.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/saboteur.cpp" "src/CMakeFiles/gfi.dir/core/saboteur.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/saboteur.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/gfi.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/testbench.cpp" "src/CMakeFiles/gfi.dir/core/testbench.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/core/testbench.cpp.o.d"
+  "/root/repo/src/digital/arith.cpp" "src/CMakeFiles/gfi.dir/digital/arith.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/arith.cpp.o.d"
+  "/root/repo/src/digital/circuit.cpp" "src/CMakeFiles/gfi.dir/digital/circuit.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/circuit.cpp.o.d"
+  "/root/repo/src/digital/fsm.cpp" "src/CMakeFiles/gfi.dir/digital/fsm.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/fsm.cpp.o.d"
+  "/root/repo/src/digital/gates.cpp" "src/CMakeFiles/gfi.dir/digital/gates.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/gates.cpp.o.d"
+  "/root/repo/src/digital/instrument.cpp" "src/CMakeFiles/gfi.dir/digital/instrument.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/instrument.cpp.o.d"
+  "/root/repo/src/digital/logic.cpp" "src/CMakeFiles/gfi.dir/digital/logic.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/logic.cpp.o.d"
+  "/root/repo/src/digital/memory.cpp" "src/CMakeFiles/gfi.dir/digital/memory.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/memory.cpp.o.d"
+  "/root/repo/src/digital/scheduler.cpp" "src/CMakeFiles/gfi.dir/digital/scheduler.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/scheduler.cpp.o.d"
+  "/root/repo/src/digital/sequential.cpp" "src/CMakeFiles/gfi.dir/digital/sequential.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/digital/sequential.cpp.o.d"
+  "/root/repo/src/duts/digital_dut.cpp" "src/CMakeFiles/gfi.dir/duts/digital_dut.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/duts/digital_dut.cpp.o.d"
+  "/root/repo/src/duts/opamp_dut.cpp" "src/CMakeFiles/gfi.dir/duts/opamp_dut.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/duts/opamp_dut.cpp.o.d"
+  "/root/repo/src/duts/protected_dut.cpp" "src/CMakeFiles/gfi.dir/duts/protected_dut.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/duts/protected_dut.cpp.o.d"
+  "/root/repo/src/duts/tiny_cpu.cpp" "src/CMakeFiles/gfi.dir/duts/tiny_cpu.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/duts/tiny_cpu.cpp.o.d"
+  "/root/repo/src/harden/ecc_ram.cpp" "src/CMakeFiles/gfi.dir/harden/ecc_ram.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/harden/ecc_ram.cpp.o.d"
+  "/root/repo/src/harden/hamming.cpp" "src/CMakeFiles/gfi.dir/harden/hamming.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/harden/hamming.cpp.o.d"
+  "/root/repo/src/harden/scrubber.cpp" "src/CMakeFiles/gfi.dir/harden/scrubber.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/harden/scrubber.cpp.o.d"
+  "/root/repo/src/harden/tmr.cpp" "src/CMakeFiles/gfi.dir/harden/tmr.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/harden/tmr.cpp.o.d"
+  "/root/repo/src/pll/pfd.cpp" "src/CMakeFiles/gfi.dir/pll/pfd.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/pll/pfd.cpp.o.d"
+  "/root/repo/src/pll/pfd_structural.cpp" "src/CMakeFiles/gfi.dir/pll/pfd_structural.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/pll/pfd_structural.cpp.o.d"
+  "/root/repo/src/pll/pll.cpp" "src/CMakeFiles/gfi.dir/pll/pll.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/pll/pll.cpp.o.d"
+  "/root/repo/src/pll/vco.cpp" "src/CMakeFiles/gfi.dir/pll/vco.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/pll/vco.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/gfi.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/sim/time.cpp.o.d"
+  "/root/repo/src/trace/compare.cpp" "src/CMakeFiles/gfi.dir/trace/compare.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/trace/compare.cpp.o.d"
+  "/root/repo/src/trace/metrics.cpp" "src/CMakeFiles/gfi.dir/trace/metrics.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/trace/metrics.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/gfi.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gfi.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/gfi.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/gfi.dir/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

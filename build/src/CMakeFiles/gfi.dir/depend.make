@@ -1,0 +1,2 @@
+# Empty dependencies file for gfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac.cpp" "tests/CMakeFiles/gfi_tests.dir/test_ac.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_ac.cpp.o.d"
+  "/root/repo/tests/test_adc.cpp" "tests/CMakeFiles/gfi_tests.dir/test_adc.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_adc.cpp.o.d"
+  "/root/repo/tests/test_analog_linear.cpp" "tests/CMakeFiles/gfi_tests.dir/test_analog_linear.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_analog_linear.cpp.o.d"
+  "/root/repo/tests/test_analog_solver.cpp" "tests/CMakeFiles/gfi_tests.dir/test_analog_solver.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_analog_solver.cpp.o.d"
+  "/root/repo/tests/test_bridge.cpp" "tests/CMakeFiles/gfi_tests.dir/test_bridge.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_bridge.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/gfi_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/gfi_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_controlled_cc.cpp" "tests/CMakeFiles/gfi_tests.dir/test_controlled_cc.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_controlled_cc.cpp.o.d"
+  "/root/repo/tests/test_ecc_ram.cpp" "tests/CMakeFiles/gfi_tests.dir/test_ecc_ram.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_ecc_ram.cpp.o.d"
+  "/root/repo/tests/test_faultlist.cpp" "tests/CMakeFiles/gfi_tests.dir/test_faultlist.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_faultlist.cpp.o.d"
+  "/root/repo/tests/test_harden.cpp" "tests/CMakeFiles/gfi_tests.dir/test_harden.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_harden.cpp.o.d"
+  "/root/repo/tests/test_logic.cpp" "tests/CMakeFiles/gfi_tests.dir/test_logic.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_logic.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/gfi_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/gfi_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/gfi_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_opamp.cpp" "tests/CMakeFiles/gfi_tests.dir/test_opamp.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_opamp.cpp.o.d"
+  "/root/repo/tests/test_pfd_structural.cpp" "tests/CMakeFiles/gfi_tests.dir/test_pfd_structural.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_pfd_structural.cpp.o.d"
+  "/root/repo/tests/test_pll.cpp" "tests/CMakeFiles/gfi_tests.dir/test_pll.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_pll.cpp.o.d"
+  "/root/repo/tests/test_properties_digital.cpp" "tests/CMakeFiles/gfi_tests.dir/test_properties_digital.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_properties_digital.cpp.o.d"
+  "/root/repo/tests/test_pulse.cpp" "tests/CMakeFiles/gfi_tests.dir/test_pulse.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_pulse.cpp.o.d"
+  "/root/repo/tests/test_saboteur.cpp" "tests/CMakeFiles/gfi_tests.dir/test_saboteur.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_saboteur.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/gfi_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_solver_properties.cpp" "tests/CMakeFiles/gfi_tests.dir/test_solver_properties.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_solver_properties.cpp.o.d"
+  "/root/repo/tests/test_tiny_cpu.cpp" "tests/CMakeFiles/gfi_tests.dir/test_tiny_cpu.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_tiny_cpu.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gfi_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gfi_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gfi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
