@@ -49,6 +49,10 @@ int main()
         campaign::CampaignRunner runner(
             [cfg] { return std::make_unique<adc::FlashAdcTestbench>(cfg); },
             campaign::Tolerance{20e-3});
+        // Analog strikes can diverge the solver: bound each run and retry
+        // once with a tightened step instead of aborting the sweep.
+        runner.setWatchdogConfig(WatchdogConfig{.wallClockSeconds = 30.0});
+        runner.setRetryPolicy(campaign::RetryPolicy{.maxAttempts = 2});
         const adc::FlashAdcTestbench probe(cfg); // target enumeration only
 
         std::vector<Row> rows;

@@ -18,6 +18,17 @@ int main()
     campaign::CampaignRunner runner(
         [cfg] { return std::make_unique<duts::DigitalDutTestbench>(cfg); });
 
+    // Fault-tolerant execution: budget each run so a pathological fault can
+    // never hang the campaign, retry solver flakes once with a tightened
+    // step, and checkpoint every result so a killed campaign resumes here.
+    WatchdogConfig watchdog;
+    watchdog.wallClockSeconds = 30.0;
+    runner.setWatchdogConfig(watchdog);
+    campaign::RetryPolicy retry;
+    retry.maxAttempts = 2;
+    runner.setRetryPolicy(retry);
+    runner.setJournalPath("digital_campaign.journal.jsonl");
+
     // --- fault-list generation: all state bits x sampled injection times ------
     auto probe = runner.makeTestbench();
     const auto& registry = probe->sim().digital().instrumentation();

@@ -1,13 +1,30 @@
 #include "ams/mixed_sim.hpp"
 
+#include <algorithm>
+
 namespace gfi::ams {
+
+void MixedSimulator::setWatchdog(Watchdog* wd)
+{
+    watchdog_ = wd;
+    digital_.scheduler().setWatchdog(wd);
+    if (solver_) {
+        solver_->setWatchdog(wd);
+    }
+}
 
 void MixedSimulator::elaborate(analog::SolverOptions options)
 {
     if (solver_) {
         return;
     }
+    if (stepScale_ != 1.0) {
+        // Retry tightening: smaller maximum/restart steps, same floors.
+        options.dtMax = std::max(options.dtMax * stepScale_, options.dtMin);
+        options.dtInitial = std::max(options.dtInitial * stepScale_, options.dtMin);
+    }
     solver_ = std::make_unique<analog::TransientSolver>(analog_, options);
+    solver_->setWatchdog(watchdog_);
     solver_->solveDc();
     for (auto& hook : elaborationHooks_) {
         hook(*solver_);
@@ -26,6 +43,9 @@ void MixedSimulator::run(SimTime until)
     const bool hasAnalog = analog_.unknownCount() > 0;
 
     while (true) {
+        if (watchdog_ != nullptr) {
+            watchdog_->checkWallClock();
+        }
         const SimTime nextDigital = sched.nextEventTime();
         const SimTime target = nextDigital < until ? nextDigital : until;
 

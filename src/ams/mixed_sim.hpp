@@ -14,6 +14,7 @@
 
 #include "analog/solver.hpp"
 #include "digital/circuit.hpp"
+#include "sim/watchdog.hpp"
 
 #include <functional>
 #include <memory>
@@ -64,11 +65,26 @@ public:
     /// Current co-simulation time (the digital kernel's clock).
     [[nodiscard]] SimTime now() const noexcept { return digital_.scheduler().now(); }
 
+    // --- fault-tolerant execution support ----------------------------------
+
+    /// Attaches a per-run watchdog to both kernels (not owned; nullptr
+    /// detaches). Digital waves and analog step attempts are charged against
+    /// its budgets; exhaustion unwinds run() with WatchdogTimeout.
+    void setWatchdog(Watchdog* wd);
+
+    /// Scales the solver's dtMax/dtInitial at elaboration time — the retry
+    /// policy uses this to re-run a diverged fault with a tightened step.
+    /// Must be set before elaborate(); 1.0 = nominal.
+    void setSolverStepScale(double scale) noexcept { stepScale_ = scale; }
+    [[nodiscard]] double solverStepScale() const noexcept { return stepScale_; }
+
 private:
     digital::Circuit digital_;
     analog::AnalogSystem analog_;
     std::unique_ptr<analog::TransientSolver> solver_;
     std::vector<std::function<void(analog::TransientSolver&)>> elaborationHooks_;
+    Watchdog* watchdog_ = nullptr;
+    double stepScale_ = 1.0;
 };
 
 } // namespace gfi::ams

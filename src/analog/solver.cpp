@@ -1,10 +1,26 @@
 #include "analog/solver.hpp"
 
+#include "sim/errors.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace gfi::analog {
+
+namespace {
+
+bool allFinite(const std::vector<double>& x) noexcept
+{
+    for (double v : x) {
+        if (!std::isfinite(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 TransientSolver::TransientSolver(AnalogSystem& sys, SolverOptions options)
     : sys_(&sys), options_(options), dtNext_(options.dtInitial)
@@ -22,6 +38,7 @@ bool TransientSolver::trySolveStep(double dt, std::vector<double>& xOut, bool dc
 {
     const int n = sys_->unknownCount();
     const double t1 = tEvalOverride >= 0.0 ? tEvalOverride : time_ + dt;
+    sawNonFinite_ = false;
 
     bool anyNonlinear = false;
     for (const auto& comp : sys_->components()) {
@@ -49,6 +66,10 @@ bool TransientSolver::trySolveStep(double dt, std::vector<double>& xOut, bool dc
         if (!luSolveInPlace(A_, x)) {
             return false; // singular matrix
         }
+        if (!allFinite(x)) {
+            sawNonFinite_ = true; // NaN/Inf source or overflowed companion model
+            return false;
+        }
 
         double maxDelta = 0.0;
         for (int i = 0; i < n; ++i) {
@@ -68,13 +89,17 @@ void TransientSolver::solveDc()
 {
     std::vector<double> x;
     if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
-        throw std::runtime_error("TransientSolver: DC operating point did not converge");
+        throw DivergenceError(sawNonFinite_
+                                  ? "TransientSolver: non-finite DC operating point"
+                                  : "TransientSolver: DC operating point did not converge");
     }
     // A second pass lets dynamic components observe the converged operating
     // point in their dcMode stamp (capacitors prime their initial voltage).
     sys_->state() = x;
     if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
-        throw std::runtime_error("TransientSolver: DC operating point did not converge");
+        throw DivergenceError(sawNonFinite_
+                                  ? "TransientSolver: non-finite DC operating point"
+                                  : "TransientSolver: DC operating point did not converge");
     }
     sys_->state() = x;
     dcDone_ = true;
@@ -160,6 +185,9 @@ double TransientSolver::advanceTo(double tStop)
     std::vector<double> xCand;
 
     while (time_ < tStop) {
+        if (watchdog_ != nullptr) {
+            watchdog_->chargeAnalogStep();
+        }
         const double bp = nextBreakpoint(tStop);
         const double hardLimit = std::min(bp, tStop);
 
@@ -184,8 +212,12 @@ double TransientSolver::advanceTo(double tStop)
             solved = trySolveStep(dt, xCand, false);
         }
         if (!solved) {
-            throw std::runtime_error("TransientSolver: step failed at t=" +
-                                     std::to_string(time_));
+            throw DivergenceError(
+                "TransientSolver: step failed at t=" + std::to_string(time_) + " s, dt=" +
+                std::to_string(dt) + " s (" +
+                (sawNonFinite_ ? "non-finite solution"
+                               : "Newton non-convergence or singular matrix") +
+                " at the minimum step)");
         }
 
         // --- local truncation error control ------------------------------

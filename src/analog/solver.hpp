@@ -15,6 +15,7 @@
 
 #include "analog/linear.hpp"
 #include "analog/system.hpp"
+#include "sim/watchdog.hpp"
 
 #include <functional>
 #include <memory>
@@ -128,6 +129,12 @@ public:
     /// Solver options (read-only).
     [[nodiscard]] const SolverOptions& options() const noexcept { return options_; }
 
+    /// Attaches a per-run watchdog (not owned; nullptr detaches). Every step
+    /// attempt charges one analog-step unit; budget exhaustion unwinds with
+    /// WatchdogTimeout. Divergent solves (non-finite solution, step failure
+    /// at the minimum step) unwind with DivergenceError.
+    void setWatchdog(Watchdog* wd) noexcept { watchdog_ = wd; }
+
 private:
     /// One Newton solve of the step [time_, time_ + dt] from the committed
     /// state; returns false if Newton failed to converge or the matrix was
@@ -157,6 +164,8 @@ private:
     double time_ = 0.0;
     double dtNext_;
     bool dcDone_ = false;
+    Watchdog* watchdog_ = nullptr;
+    bool sawNonFinite_ = false; // last trySolveStep failure was non-finite
 
     // Predictor history for LTE estimation.
     std::vector<double> xPrev_;

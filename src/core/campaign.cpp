@@ -1,9 +1,12 @@
 #include "core/campaign.hpp"
 
+#include "core/journal.hpp"
+#include "sim/errors.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gfi::campaign {
@@ -19,8 +22,25 @@ const char* toString(Outcome o)
         return "transient";
     case Outcome::Failure:
         return "failure";
+    case Outcome::SimError:
+        return "sim-error";
+    case Outcome::Timeout:
+        return "timeout";
+    case Outcome::Diverged:
+        return "diverged";
     }
     return "?";
+}
+
+bool outcomeFromString(const std::string& name, Outcome& out)
+{
+    for (Outcome o : kAllOutcomes) {
+        if (name == toString(o)) {
+            out = o;
+            return true;
+        }
+    }
+    return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -41,8 +61,7 @@ std::string CampaignReport::summaryTable() const
     TextTable t;
     t.setHeader({"outcome", "count", "fraction"});
     const int total = static_cast<int>(runs.size());
-    for (Outcome o :
-         {Outcome::Silent, Outcome::Latent, Outcome::TransientError, Outcome::Failure}) {
+    for (Outcome o : kAllOutcomes) {
         const int n = h.count(o) != 0 ? h.at(o) : 0;
         t.addRow({toString(o), std::to_string(n),
                   total > 0 ? formatDouble(100.0 * n / total, 4) + " %" : "-"});
@@ -55,12 +74,18 @@ std::string CampaignReport::summaryTable() const
 std::string CampaignReport::detailTable() const
 {
     TextTable t;
-    t.setHeader({"fault", "outcome", "first err", "err time", "max analog dev"});
+    t.setHeader({"fault", "outcome", "first err", "err time", "max analog dev", "error"});
     for (const RunResult& r : runs) {
+        // Abnormal runs carry the contained failure instead of metrics.
+        std::string note = r.diagnostics.error;
+        if (note.size() > 60) {
+            note = note.substr(0, 57) + "...";
+        }
         t.addRow({fault::describe(r.fault), toString(r.outcome),
                   r.firstOutputError >= 0 ? formatTime(r.firstOutputError) : "-",
                   r.totalOutputErrorTime > 0 ? formatTime(r.totalOutputErrorTime) : "-",
-                  r.maxAnalogDeviation > 0 ? formatSi(r.maxAnalogDeviation, "V") : "-"});
+                  r.maxAnalogDeviation > 0 ? formatSi(r.maxAnalogDeviation, "V") : "-",
+                  note.empty() ? "-" : note});
     }
     return t.str();
 }
@@ -236,13 +261,60 @@ RunResult CampaignRunner::classify(fault::Testbench& tb, const fault::FaultSpec&
     return result;
 }
 
+RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
+{
+    RunResult result;
+    result.fault = fault;
+
+    Watchdog watchdog(watchdogConfig_);
+    std::unique_ptr<fault::Testbench> tb;
+    try {
+        tb = factory_();
+        if (attempt > 1 && retryPolicy_.stepTighten > 0.0 && retryPolicy_.stepTighten < 1.0) {
+            tb->sim().setSolverStepScale(std::pow(retryPolicy_.stepTighten, attempt - 1));
+        }
+        tb->sim().setWatchdog(&watchdog);
+        fault::armFault(*tb, fault);
+        tb->run();
+        result = classify(*tb, fault);
+    } catch (const WatchdogTimeout& e) {
+        result.outcome = Outcome::Timeout;
+        result.diagnostics.error = e.what();
+    } catch (const DivergenceError& e) {
+        result.outcome = Outcome::Diverged;
+        result.diagnostics.error = e.what();
+    } catch (const std::exception& e) {
+        // Unknown targets (std::invalid_argument), scheduler limits and any
+        // other structural failure: a classified data point, not a crash.
+        result.outcome = Outcome::SimError;
+        result.diagnostics.error = e.what();
+    }
+
+    if (tb) {
+        tb->sim().setWatchdog(nullptr);
+        result.diagnostics.digitalWaves = tb->sim().digital().scheduler().deltaCycles();
+        if (tb->sim().elaborated()) {
+            const auto& stats = tb->sim().solver().stats();
+            result.diagnostics.analogSteps = stats.acceptedSteps + stats.rejectedSteps;
+        }
+    }
+    result.diagnostics.wallSeconds = watchdog.elapsedSeconds();
+    return result;
+}
+
 RunResult CampaignRunner::runOne(const fault::FaultSpec& fault)
 {
     runGolden();
-    auto tb = factory_();
-    fault::armFault(*tb, fault);
-    tb->run();
-    return classify(*tb, fault);
+    const int maxAttempts = std::max(1, retryPolicy_.maxAttempts);
+    RunResult result;
+    for (int attempt = 1;; ++attempt) {
+        result = attemptOne(fault, attempt);
+        result.diagnostics.attempts = attempt;
+        if (!isAbnormal(result.outcome) || attempt >= maxAttempts ||
+            !retryPolicy_.shouldRetry(result.outcome)) {
+            return result;
+        }
+    }
 }
 
 CampaignReport CampaignRunner::run(
@@ -250,10 +322,32 @@ CampaignReport CampaignRunner::run(
     const std::function<void(std::size_t, const RunResult&)>& progress)
 {
     runGolden();
+
+    // Resume: index -> journal entry of an earlier (possibly killed) campaign.
+    std::map<std::size_t, JournalEntry> done;
+    std::unique_ptr<CampaignJournal> journal;
+    if (!journalPath_.empty()) {
+        for (JournalEntry& e : CampaignJournal::load(journalPath_)) {
+            done[e.index] = std::move(e); // later duplicates win
+        }
+        journal = std::make_unique<CampaignJournal>(journalPath_);
+    }
+
     CampaignReport report;
     report.runs.reserve(faults.size());
     for (std::size_t i = 0; i < faults.size(); ++i) {
-        report.runs.push_back(runOne(faults[i]));
+        const auto it = done.find(i);
+        if (it != done.end() && it->second.faultDescription == fault::describe(faults[i])) {
+            // Already classified by a previous invocation: restore, don't re-run.
+            RunResult restored = it->second.result;
+            restored.fault = faults[i];
+            report.runs.push_back(std::move(restored));
+        } else {
+            report.runs.push_back(runOne(faults[i]));
+            if (journal) {
+                journal->append(i, report.runs.back());
+            }
+        }
         if (progress) {
             progress(i, report.runs.back());
         }

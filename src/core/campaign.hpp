@@ -3,10 +3,22 @@
 // compares traces and classifies each fault's effect — the "fault injection
 // set-up -> simulation -> results analysis -> failure report/classification"
 // pipeline of the paper's Figures 2 and 3.
+//
+// Fault-tolerant execution: by construction many injected runs are
+// pathological (a current pulse can diverge the analog solver, a mutated FSM
+// can oscillate the delta-cycle engine), so each run executes inside a
+// containment boundary with a per-run watchdog. Misbehaving runs become
+// classified data points (SimError / Timeout / Diverged) with structured
+// diagnostics instead of tool crashes; transient failures can be retried
+// with a tightened solver step, and every completed run can be journaled to
+// a JSONL checkpoint so an interrupted campaign resumes losing at most one
+// run.
 
 #include "core/testbench.hpp"
+#include "sim/watchdog.hpp"
 #include "trace/compare.hpp"
 
+#include <array>
 #include <map>
 
 namespace gfi::campaign {
@@ -17,10 +29,30 @@ enum class Outcome {
     Latent,         ///< outputs clean, but stored state differs at the end
     TransientError, ///< outputs diverged, then re-converged before the end
     Failure,        ///< outputs still wrong at the end of the observation
+    SimError,       ///< the run aborted on a structural simulation error
+                    ///< (unknown target, delta-cycle limit, ...)
+    Timeout,        ///< a watchdog budget expired before the run finished
+    Diverged,       ///< the analog solver lost the solution (non-finite
+                    ///< values or step failure at the minimum step)
 };
+
+/// Every outcome, in report order. Iterate this — never hard-code the list —
+/// so new categories can't be silently dropped from reports.
+inline constexpr std::array<Outcome, 7> kAllOutcomes{
+    Outcome::Silent,   Outcome::Latent,  Outcome::TransientError, Outcome::Failure,
+    Outcome::SimError, Outcome::Timeout, Outcome::Diverged};
+
+/// True for the outcomes produced by run containment rather than comparison.
+[[nodiscard]] constexpr bool isAbnormal(Outcome o) noexcept
+{
+    return o == Outcome::SimError || o == Outcome::Timeout || o == Outcome::Diverged;
+}
 
 /// Short name for reports.
 [[nodiscard]] const char* toString(Outcome o);
+
+/// Parses a summaryTable()/journal outcome name; false when unknown.
+[[nodiscard]] bool outcomeFromString(const std::string& name, Outcome& out);
 
 /// Analog comparison tolerance (paper Section 4.1: analog monitoring needs a
 /// tolerance to avoid flagging non-significant deviations).
@@ -29,6 +61,16 @@ struct Tolerance {
     double analogRel = 0.0;       ///< fraction of the golden value
     SimTime digitalJitter = 0;    ///< digital mismatch windows shorter than
                                   ///< this are ignored (clock-edge jitter)
+};
+
+/// How one injection run executed (containment + resource bookkeeping).
+struct RunDiagnostics {
+    std::string error;              ///< what() of the contained failure; empty when clean
+    int attempts = 1;               ///< total attempts, including the final one
+    double wallSeconds = 0.0;       ///< wall-clock time of the final attempt
+    std::uint64_t digitalWaves = 0; ///< delta cycles consumed by the final attempt
+    std::uint64_t analogSteps = 0;  ///< analog step attempts of the final attempt
+    bool fromJournal = false;       ///< restored from a checkpoint, not simulated
 };
 
 /// Result of one injection run.
@@ -50,6 +92,33 @@ struct RunResult {
 
     /// State elements that differed at the end of the run.
     std::vector<std::string> corruptedState;
+
+    /// Containment/watchdog/retry bookkeeping for this run.
+    RunDiagnostics diagnostics;
+};
+
+/// Retry policy for abnormal runs (transient solver failures mostly).
+struct RetryPolicy {
+    int maxAttempts = 1;        ///< total attempts per fault (1 = no retry)
+    double stepTighten = 0.25;  ///< solver dtMax/dtInitial scale per extra
+                                ///< attempt (1.0 = keep the nominal step)
+    bool retryDiverged = true;  ///< retry Outcome::Diverged runs
+    bool retryTimeout = false;  ///< retry Outcome::Timeout runs
+    bool retrySimError = false; ///< retry Outcome::SimError runs
+
+    [[nodiscard]] bool shouldRetry(Outcome o) const noexcept
+    {
+        switch (o) {
+        case Outcome::Diverged:
+            return retryDiverged;
+        case Outcome::Timeout:
+            return retryTimeout;
+        case Outcome::SimError:
+            return retrySimError;
+        default:
+            return false;
+        }
+    }
 };
 
 /// Aggregate of a whole campaign.
@@ -59,7 +128,8 @@ struct CampaignReport {
     /// Count of runs per outcome.
     [[nodiscard]] std::map<Outcome, int> histogram() const;
 
-    /// Paper-style classification table as printable text.
+    /// Paper-style classification table as printable text (one row per
+    /// Outcome category, always all of them).
     [[nodiscard]] std::string summaryTable() const;
 
     /// Full per-run listing as printable text.
@@ -90,19 +160,27 @@ private:
 /// The injection target a fault addresses (for propagation bookkeeping).
 [[nodiscard]] std::string targetOf(const fault::FaultSpec& fault);
 
-/// Runs campaigns: one golden run, then one run per fault.
+/// Runs campaigns: one golden run, then one contained run per fault.
 class CampaignRunner {
 public:
     /// @param factory  builds a fresh instrumented testbench per run.
     explicit CampaignRunner(fault::TestbenchFactory factory, Tolerance tolerance = {});
 
     /// Runs the golden reference (idempotent; run() calls it automatically).
+    /// The golden run is NOT contained: a design that cannot complete its
+    /// fault-free run is a configuration error and throws.
     void runGolden();
 
-    /// Runs one fault against the golden reference and classifies it.
+    /// Runs one fault against the golden reference and classifies it. Never
+    /// throws on a misbehaving run: simulation errors, watchdog timeouts and
+    /// solver divergence become SimError/Timeout/Diverged results with the
+    /// failure recorded in diagnostics, retried per the RetryPolicy.
     RunResult runOne(const fault::FaultSpec& fault);
 
     /// Runs a whole fault list; @p progress (optional) is called per run.
+    /// With a journal path set, each result is appended to the JSONL journal
+    /// as it completes, and faults already classified in an existing journal
+    /// are restored (diagnostics.fromJournal = true) instead of re-simulated.
     CampaignReport run(const std::vector<fault::FaultSpec>& faults,
                        const std::function<void(std::size_t, const RunResult&)>& progress = {});
 
@@ -118,13 +196,36 @@ public:
     /// Adjusts the analog tolerance (ablation sweeps re-classify with this).
     void setTolerance(Tolerance t) { tolerance_ = t; }
 
+    /// Per-run watchdog budgets (default: unlimited).
+    void setWatchdogConfig(WatchdogConfig c) noexcept { watchdogConfig_ = c; }
+    [[nodiscard]] const WatchdogConfig& watchdogConfig() const noexcept
+    {
+        return watchdogConfig_;
+    }
+
+    /// Retry policy for abnormal runs (default: single attempt).
+    void setRetryPolicy(RetryPolicy p) noexcept { retryPolicy_ = p; }
+    [[nodiscard]] const RetryPolicy& retryPolicy() const noexcept { return retryPolicy_; }
+
+    /// Enables the JSONL campaign journal (empty path disables). run() then
+    /// checkpoints each result as it completes and resumes from an existing
+    /// journal, so an interrupted campaign loses at most one run.
+    void setJournalPath(std::string path) { journalPath_ = std::move(path); }
+    [[nodiscard]] const std::string& journalPath() const noexcept { return journalPath_; }
+
     /// Re-classifies a finished faulty testbench against the golden traces
     /// (used by tolerance-sweep ablations without re-simulating).
     [[nodiscard]] RunResult classify(fault::Testbench& tb, const fault::FaultSpec& fault) const;
 
 private:
+    /// One contained attempt: build, arm, run under the watchdog, classify.
+    RunResult attemptOne(const fault::FaultSpec& fault, int attempt);
+
     fault::TestbenchFactory factory_;
     Tolerance tolerance_;
+    WatchdogConfig watchdogConfig_;
+    RetryPolicy retryPolicy_;
+    std::string journalPath_;
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
 };

@@ -1,0 +1,262 @@
+#include "core/journal.hpp"
+
+#include "core/report.hpp"
+#include "util/units.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gfi::campaign {
+
+namespace {
+
+// --- tiny parsers for the journal's own line format ------------------------
+// The writer below is the only producer, so these only need to handle the
+// exact shape entryToJson emits (plus escaped strings).
+
+bool findKey(const std::string& line, const std::string& key, std::size_t& pos)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) {
+        return false;
+    }
+    pos = at + needle.size();
+    return true;
+}
+
+/// Parses a quoted string starting at line[pos] == '"'; on success @p pos is
+/// advanced past the closing quote.
+bool parseString(const std::string& line, std::size_t& pos, std::string& out)
+{
+    if (pos >= line.size() || line[pos] != '"') {
+        return false;
+    }
+    out.clear();
+    for (std::size_t i = pos + 1; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            const char next = line[++i];
+            out += next == 'n' ? '\n' : next;
+        } else if (c == '"') {
+            pos = i + 1;
+            return true;
+        } else {
+            out += c;
+        }
+    }
+    return false; // unterminated
+}
+
+bool getString(const std::string& line, const std::string& key, std::string& out)
+{
+    std::size_t pos = 0;
+    if (!findKey(line, key, pos)) {
+        return false;
+    }
+    return parseString(line, pos, out);
+}
+
+bool getDouble(const std::string& line, const std::string& key, double& out)
+{
+    std::size_t pos = 0;
+    if (!findKey(line, key, pos)) {
+        return false;
+    }
+    out = std::strtod(line.c_str() + pos, nullptr);
+    return true;
+}
+
+bool getInt(const std::string& line, const std::string& key, long long& out)
+{
+    std::size_t pos = 0;
+    if (!findKey(line, key, pos)) {
+        return false;
+    }
+    out = std::strtoll(line.c_str() + pos, nullptr, 10);
+    return true;
+}
+
+bool getStringArray(const std::string& line, const std::string& key,
+                    std::vector<std::string>& out)
+{
+    std::size_t pos = 0;
+    if (!findKey(line, key, pos) || pos >= line.size() || line[pos] != '[') {
+        return false;
+    }
+    out.clear();
+    ++pos;
+    while (pos < line.size() && line[pos] != ']') {
+        if (line[pos] == '"') {
+            std::string item;
+            if (!parseString(line, pos, item)) {
+                return false;
+            }
+            out.push_back(std::move(item));
+        } else {
+            ++pos;
+        }
+    }
+    return pos < line.size();
+}
+
+std::string quoted(const std::string& s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string stringArray(const std::vector<std::string>& items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        out += (i > 0 ? ", " : "") + quoted(items[i]);
+    }
+    return out + "]";
+}
+
+} // namespace
+
+CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path))
+{
+    // A journal left by a killed campaign can end mid-line; terminate it
+    // before appending so the first new record is not glued onto the torn one.
+    bool needsNewline = false;
+    if (std::FILE* probe = std::fopen(path_.c_str(), "rb")) {
+        if (std::fseek(probe, -1, SEEK_END) == 0) {
+            needsNewline = std::fgetc(probe) != '\n';
+        }
+        std::fclose(probe);
+    }
+    file_ = std::fopen(path_.c_str(), "a");
+    if (file_ == nullptr) {
+        throw std::runtime_error("CampaignJournal: cannot open " + path_);
+    }
+    if (needsNewline) {
+        std::fputc('\n', file_);
+    }
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+    }
+}
+
+std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r)
+{
+    std::string json = "{";
+    json += "\"index\": " + std::to_string(index) + ", ";
+    json += "\"fault\": " + quoted(fault::describe(r.fault)) + ", ";
+    json += "\"outcome\": " + quoted(toString(r.outcome)) + ", ";
+    json += "\"attempts\": " + std::to_string(r.diagnostics.attempts) + ", ";
+    json += "\"error\": " + quoted(r.diagnostics.error) + ", ";
+    json += "\"wall_s\": " + formatDouble(r.diagnostics.wallSeconds, 6) + ", ";
+    json += "\"digital_waves\": " + std::to_string(r.diagnostics.digitalWaves) + ", ";
+    json += "\"analog_steps\": " + std::to_string(r.diagnostics.analogSteps) + ", ";
+    json += "\"first_output_error_fs\": " + std::to_string(r.firstOutputError) + ", ";
+    json += "\"last_output_error_end_fs\": " + std::to_string(r.lastOutputErrorEnd) + ", ";
+    json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
+    json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9) + ", ";
+    json += "\"analog_time_outside_tol_s\": " + formatDouble(r.analogTimeOutsideTol, 9) + ", ";
+    json += "\"erred_signals\": " + stringArray(r.erredSignals) + ", ";
+    json += "\"corrupted_state\": " + stringArray(r.corruptedState);
+    json += "}";
+    return json;
+}
+
+void CampaignJournal::append(std::size_t index, const RunResult& result)
+{
+    const std::string line = entryToJson(index, result) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        throw std::runtime_error("CampaignJournal: write failed on " + path_);
+    }
+}
+
+std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
+{
+    JournalEntry e;
+    long long index = -1;
+    std::string outcomeName;
+    // A record is only trusted when complete: a torn line (killed campaign)
+    // may still contain index/fault/outcome but miss the metrics, and must
+    // be re-simulated rather than restored with defaulted fields.
+    if (line.empty() || line.back() != '}') {
+        return std::nullopt;
+    }
+    if (!getInt(line, "index", index) || index < 0 ||
+        !getString(line, "fault", e.faultDescription) ||
+        !getString(line, "outcome", outcomeName) ||
+        !outcomeFromString(outcomeName, e.result.outcome)) {
+        return std::nullopt;
+    }
+    e.index = static_cast<std::size_t>(index);
+
+    long long ll = 0;
+    double d = 0.0;
+    if (getInt(line, "attempts", ll)) {
+        e.result.diagnostics.attempts = static_cast<int>(ll);
+    }
+    (void)getString(line, "error", e.result.diagnostics.error);
+    if (getDouble(line, "wall_s", d)) {
+        e.result.diagnostics.wallSeconds = d;
+    }
+    if (getInt(line, "digital_waves", ll)) {
+        e.result.diagnostics.digitalWaves = static_cast<std::uint64_t>(ll);
+    }
+    if (getInt(line, "analog_steps", ll)) {
+        e.result.diagnostics.analogSteps = static_cast<std::uint64_t>(ll);
+    }
+    if (getInt(line, "first_output_error_fs", ll)) {
+        e.result.firstOutputError = ll;
+    }
+    if (getInt(line, "last_output_error_end_fs", ll)) {
+        e.result.lastOutputErrorEnd = ll;
+    }
+    if (getInt(line, "total_output_error_fs", ll)) {
+        e.result.totalOutputErrorTime = ll;
+    }
+    if (getDouble(line, "max_analog_deviation_v", d)) {
+        e.result.maxAnalogDeviation = d;
+    }
+    if (getDouble(line, "analog_time_outside_tol_s", d)) {
+        e.result.analogTimeOutsideTol = d;
+    }
+    (void)getStringArray(line, "erred_signals", e.result.erredSignals);
+    (void)getStringArray(line, "corrupted_state", e.result.corruptedState);
+    e.result.diagnostics.fromJournal = true;
+    return e;
+}
+
+std::vector<JournalEntry> CampaignJournal::load(const std::string& path)
+{
+    std::vector<JournalEntry> entries;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        return entries; // no journal yet: fresh campaign
+    }
+    std::string line;
+    int c = 0;
+    while ((c = std::fgetc(f)) != EOF) {
+        if (c == '\n') {
+            if (auto e = parseLine(line)) {
+                entries.push_back(std::move(*e));
+            }
+            line.clear();
+        } else {
+            line += static_cast<char>(c);
+        }
+    }
+    if (!line.empty()) {
+        // Final line without a newline: complete if the flush made it out
+        // before the kill, torn otherwise — parseLine tells them apart.
+        if (auto e = parseLine(line)) {
+            entries.push_back(std::move(*e));
+        }
+    }
+    std::fclose(f);
+    return entries;
+}
+
+} // namespace gfi::campaign

@@ -1,0 +1,58 @@
+#pragma once
+// Campaign journal: a JSONL checkpoint of classified runs. The runner appends
+// one line per completed RunResult (flushed immediately, so a killed campaign
+// loses at most the run in flight) and resumes by loading the journal and
+// skipping every fault whose (index, description) pair is already classified.
+//
+// A journal line stores the classification and diagnostics, not the FaultSpec
+// itself: on resume the FaultSpec is taken from the *current* fault list and
+// validated against the recorded description, so a journal can never replay
+// results onto a different fault list unnoticed.
+
+#include "core/campaign.hpp"
+
+#include <cstdio>
+#include <optional>
+
+namespace gfi::campaign {
+
+/// One parsed journal line.
+struct JournalEntry {
+    std::size_t index = 0;        ///< position in the campaign fault list
+    std::string faultDescription; ///< fault::describe() at write time
+    RunResult result;             ///< fault field is left golden; the resumer
+                                  ///< re-attaches the FaultSpec from its list
+};
+
+/// Append-mode writer plus loader for campaign checkpoints.
+class CampaignJournal {
+public:
+    /// Opens @p path for appending (creates it if missing). Throws
+    /// std::runtime_error when the file cannot be opened.
+    explicit CampaignJournal(std::string path);
+    ~CampaignJournal();
+    CampaignJournal(const CampaignJournal&) = delete;
+    CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+    /// Appends one classified run and flushes the line to disk.
+    void append(std::size_t index, const RunResult& result);
+
+    /// The journal file path.
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Renders one journal line (without trailing newline).
+    [[nodiscard]] static std::string entryToJson(std::size_t index, const RunResult& result);
+
+    /// Parses one journal line; std::nullopt on malformed input.
+    [[nodiscard]] static std::optional<JournalEntry> parseLine(const std::string& line);
+
+    /// Loads every well-formed entry of @p path; empty when the file does not
+    /// exist. Later duplicates of an index win (a retried/rewritten run).
+    [[nodiscard]] static std::vector<JournalEntry> load(const std::string& path);
+
+private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+};
+
+} // namespace gfi::campaign

@@ -8,8 +8,6 @@
 
 namespace gfi::campaign {
 
-namespace {
-
 std::string jsonEscape(const std::string& s)
 {
     std::string out;
@@ -32,14 +30,13 @@ std::string jsonEscape(const std::string& s)
     return out;
 }
 
-} // namespace
-
 void writeReportCsv(const CampaignReport& report, const std::string& path)
 {
     CsvWriter csv(path);
     csv.writeRow({"fault", "target", "outcome", "first_output_error_fs",
                   "total_output_error_fs", "max_analog_deviation_v",
-                  "analog_time_outside_tol_s", "erred_signals", "corrupted_state"});
+                  "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
+                  "attempts", "wall_s", "error"});
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -53,7 +50,9 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                       std::to_string(r.firstOutputError),
                       std::to_string(r.totalOutputErrorTime),
                       formatDouble(r.maxAnalogDeviation, 9),
-                      formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted});
+                      formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted,
+                      std::to_string(r.diagnostics.attempts),
+                      formatDouble(r.diagnostics.wallSeconds, 6), r.diagnostics.error});
     }
 }
 
@@ -66,11 +65,13 @@ std::string reportToJson(const CampaignReport& report)
     };
 
     std::string json = "{\n  \"summary\": {\n";
-    json += "    \"total\": " + std::to_string(report.runs.size()) + ",\n";
-    json += "    \"silent\": " + std::to_string(count(Outcome::Silent)) + ",\n";
-    json += "    \"latent\": " + std::to_string(count(Outcome::Latent)) + ",\n";
-    json += "    \"transient\": " + std::to_string(count(Outcome::TransientError)) + ",\n";
-    json += "    \"failure\": " + std::to_string(count(Outcome::Failure)) + "\n  },\n";
+    json += "    \"total\": " + std::to_string(report.runs.size());
+    // One counter per Outcome category — iterate the full enum so new
+    // categories can never be silently dropped from the summary.
+    for (Outcome o : kAllOutcomes) {
+        json += ",\n    \"" + std::string(toString(o)) + "\": " + std::to_string(count(o));
+    }
+    json += "\n  },\n";
     json += "  \"runs\": [\n";
     for (std::size_t i = 0; i < report.runs.size(); ++i) {
         const RunResult& r = report.runs[i];
@@ -80,7 +81,11 @@ std::string reportToJson(const CampaignReport& report)
         json += "\"outcome\": \"" + std::string(toString(r.outcome)) + "\", ";
         json += "\"first_output_error_fs\": " + std::to_string(r.firstOutputError) + ", ";
         json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
-        json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9);
+        json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9) + ", ";
+        json += "\"attempts\": " + std::to_string(r.diagnostics.attempts);
+        if (!r.diagnostics.error.empty()) {
+            json += ", \"error\": \"" + jsonEscape(r.diagnostics.error) + "\"";
+        }
         json += "}";
         json += i + 1 < report.runs.size() ? ",\n" : "\n";
     }

@@ -1,6 +1,6 @@
 #include "digital/scheduler.hpp"
 
-#include <stdexcept>
+#include "sim/errors.hpp"
 
 namespace gfi::digital {
 
@@ -47,6 +47,21 @@ void Scheduler::start()
     runDeltasNow();
 }
 
+void Scheduler::throwDeltaLimit() const
+{
+    std::string msg = "Scheduler: delta-cycle limit (" + std::to_string(deltaLimit_) +
+                      ") exceeded at t=" + formatTime(now_) +
+                      " (combinational loop or zero-delay oscillation";
+    if (lastEventSignal_ != nullptr) {
+        msg += "; last signal event: '" + *lastEventSignal_ + "'";
+    }
+    if (lastProcessRun_ != nullptr) {
+        msg += "; last process: '" + *lastProcessRun_ + "'";
+    }
+    msg += ")";
+    throw SchedulerLimitError(msg);
+}
+
 void Scheduler::runWave()
 {
     // Phase 1: apply signal transactions due now; phase 2: actions; phase 3:
@@ -69,15 +84,18 @@ void Scheduler::runWave()
     toRun.swap(runnable_);
     for (Process* p : toRun) {
         p->queued_ = false;
+        lastProcessRun_ = &p->name();
         p->run();
     }
     ++waveId_;
     ++deltasRun_;
+    if (watchdog_ != nullptr) {
+        watchdog_->chargeDigitalWave();
+    }
 }
 
 void Scheduler::runUntil(SimTime tEnd)
 {
-    constexpr std::uint64_t kDeltaLimit = 1'000'000;
     start();
     // Values forced from outside the kernel (testbenches, bridges) may have
     // woken processes without queuing any entry; drain them before advancing.
@@ -87,10 +105,8 @@ void Scheduler::runUntil(SimTime tEnd)
         now_ = t < now_ ? now_ : t;
         std::uint64_t deltasHere = 0;
         while (workPendingNow()) {
-            if (++deltasHere > kDeltaLimit) {
-                throw std::runtime_error(
-                    "Scheduler: delta-cycle limit exceeded at t=" + formatTime(now_) +
-                    " (combinational loop or zero-delay oscillation)");
+            if (++deltasHere > deltaLimit_) {
+                throwDeltaLimit();
             }
             runWave();
         }
@@ -102,14 +118,11 @@ void Scheduler::runUntil(SimTime tEnd)
 
 void Scheduler::runDeltasNow()
 {
-    constexpr std::uint64_t kDeltaLimit = 1'000'000;
     started_ = true;
     std::uint64_t deltasHere = 0;
     while (workPendingNow()) {
-        if (++deltasHere > kDeltaLimit) {
-            throw std::runtime_error(
-                "Scheduler: delta-cycle limit exceeded at t=" + formatTime(now_) +
-                " (combinational loop or zero-delay oscillation)");
+        if (++deltasHere > deltaLimit_) {
+            throwDeltaLimit();
         }
         runWave();
     }

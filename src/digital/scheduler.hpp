@@ -16,6 +16,7 @@
 // by runDeltasNow() executes the woken processes before the wave id advances.
 
 #include "sim/time.hpp"
+#include "sim/watchdog.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -67,6 +68,23 @@ public:
 
     /// Total number of waves (delta cycles) executed — diagnostic metric.
     [[nodiscard]] std::uint64_t deltaCycles() const noexcept { return deltasRun_; }
+
+    /// Caps the number of delta cycles at one simulation time before the
+    /// kernel declares a combinational loop (SchedulerLimitError).
+    void setDeltaLimit(std::uint64_t limit) noexcept
+    {
+        deltaLimit_ = limit == 0 ? kDefaultDeltaLimit : limit;
+    }
+    [[nodiscard]] std::uint64_t deltaLimit() const noexcept { return deltaLimit_; }
+
+    /// Attaches a per-run watchdog (not owned; nullptr detaches). Every wave
+    /// charges one digital-wave unit; budget exhaustion unwinds the kernel
+    /// with WatchdogTimeout.
+    void setWatchdog(Watchdog* wd) noexcept { watchdog_ = wd; }
+
+    /// Records the signal whose event was stamped most recently — the prime
+    /// suspect when the delta-cycle limit trips (called by SignalBase).
+    void noteSignalEvent(const std::string& name) noexcept { lastEventSignal_ = &name; }
 
     /// Registers a process so the kernel can run it once at startup
     /// (VHDL elaboration semantics). Called by Circuit.
@@ -125,6 +143,12 @@ private:
 
     void runWave(); // one wave at the current time
 
+    /// Throws SchedulerLimitError naming the time, the last signal event and
+    /// the last process run (the usual combinational-loop participants).
+    [[noreturn]] void throwDeltaLimit() const;
+
+    static constexpr std::uint64_t kDefaultDeltaLimit = 1'000'000;
+
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
     std::vector<Process*> processes_;
     std::vector<Process*> runnable_;
@@ -132,6 +156,10 @@ private:
     std::uint64_t seq_ = 0;
     std::uint64_t deltasRun_ = 0;
     std::uint64_t waveId_ = 0;
+    std::uint64_t deltaLimit_ = kDefaultDeltaLimit;
+    Watchdog* watchdog_ = nullptr;
+    const std::string* lastEventSignal_ = nullptr;
+    const std::string* lastProcessRun_ = nullptr;
     bool started_ = false;
 };
 

@@ -53,6 +53,7 @@ protected:
     {
         lastEventTime_ = sched_->now();
         lastEventStamp_ = sched_->waveId();
+        sched_->noteSignalEvent(name_);
         for (Process* p : listeners_) {
             sched_->wake(p);
         }

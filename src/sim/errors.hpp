@@ -1,0 +1,44 @@
+#pragma once
+// Simulation-error taxonomy shared by the digital kernel, the analog solver
+// and the campaign engine. Faulty runs are *expected* to misbehave — an
+// injected pulse can make the analog solver diverge, a mutated FSM can push
+// the delta-cycle engine into oscillation — so the kernels throw typed
+// errors the campaign layer can contain and classify instead of crashing on.
+//
+// All types derive from std::runtime_error, so pre-existing catch sites keep
+// working; the campaign engine distinguishes them to map runs onto the
+// Timeout / Diverged / SimError outcome categories.
+
+#include <stdexcept>
+#include <string>
+
+namespace gfi {
+
+/// Base class for every typed simulation failure.
+class SimulationError : public std::runtime_error {
+public:
+    explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The analog solve path lost the solution: non-finite values appeared, or
+/// Newton / the step controller failed even at the minimum step.
+class DivergenceError : public SimulationError {
+public:
+    explicit DivergenceError(const std::string& what) : SimulationError(what) {}
+};
+
+/// A watchdog budget was exhausted: wall-clock deadline, digital wave budget
+/// or analog step budget (the run was making "progress" but would never end).
+class WatchdogTimeout : public SimulationError {
+public:
+    explicit WatchdogTimeout(const std::string& what) : SimulationError(what) {}
+};
+
+/// The digital kernel hit its delta-cycle limit at one simulation time
+/// (combinational loop or zero-delay oscillation, e.g. from a saboteur).
+class SchedulerLimitError : public SimulationError {
+public:
+    explicit SchedulerLimitError(const std::string& what) : SimulationError(what) {}
+};
+
+} // namespace gfi

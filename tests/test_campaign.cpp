@@ -99,14 +99,18 @@ TEST(Campaign, SetPulseOnDataPath)
     EXPECT_NE(r.outcome, Outcome::Silent);
 }
 
-TEST(Campaign, UnknownTargetThrows)
+TEST(Campaign, UnknownTargetIsContainedAsSimError)
 {
+    // armFault's std::invalid_argument must not escape the campaign loop: an
+    // unknown target is a classified data point with the message preserved.
     CampaignRunner runner(dutFactory());
-    EXPECT_THROW(runner.runOne(fault::FaultSpec{fault::BitFlipFault{"nope", 0, 0}}),
-                 std::invalid_argument);
-    EXPECT_THROW(
-        runner.runOne(fault::FaultSpec{fault::DigitalPulseFault{"nope", 0, kNanosecond}}),
-        std::invalid_argument);
+    const RunResult r1 = runner.runOne(fault::FaultSpec{fault::BitFlipFault{"nope", 0, 0}});
+    EXPECT_EQ(r1.outcome, Outcome::SimError);
+    EXPECT_NE(r1.diagnostics.error.find("nope"), std::string::npos);
+    const RunResult r2 = runner.runOne(
+        fault::FaultSpec{fault::DigitalPulseFault{"nope", 0, kNanosecond}});
+    EXPECT_EQ(r2.outcome, Outcome::SimError);
+    EXPECT_NE(r2.diagnostics.error.find("unknown"), std::string::npos);
 }
 
 TEST(Campaign, ReportHistogramAndTables)
