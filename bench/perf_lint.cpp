@@ -1,0 +1,95 @@
+// Static-analysis cost/benefit benchmarks: what one lint pass of the PLL
+// testbench costs (it runs once per campaign), and what the preflight saves
+// by rejecting a campaign of known-bad faults in O(1) testbench builds
+// instead of one contained simulation per fault.
+
+#include "core/campaign.hpp"
+#include "duts/digital_dut.hpp"
+#include "lint/lint.hpp"
+#include "pll/pll.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace gfi;
+
+namespace {
+
+// --- lint cost --------------------------------------------------------------
+
+void BM_LintPllTestbench(benchmark::State& state)
+{
+    // Full static pass (digital netlist + analog topology) over the PLL.
+    // Building the testbench is part of the loop on purpose: that is what
+    // the campaign preflight pays, golden elaboration included.
+    for (auto _ : state) {
+        pll::PllTestbench tb;
+        const lint::Report rep = lint::lintTestbench(tb);
+        benchmark::DoNotOptimize(rep.size());
+    }
+}
+BENCHMARK(BM_LintPllTestbench)->Unit(benchmark::kMillisecond);
+
+void BM_LintOnlyPll(benchmark::State& state)
+{
+    // The lint pass alone on a pre-built testbench: the marginal cost of
+    // re-linting (e.g. per fault-list variant in a sweep).
+    pll::PllTestbench tb;
+    for (auto _ : state) {
+        const lint::Report rep = lint::lintTestbench(tb);
+        benchmark::DoNotOptimize(rep.size());
+    }
+}
+BENCHMARK(BM_LintOnlyPll)->Unit(benchmark::kMicrosecond);
+
+// --- preflight benefit ------------------------------------------------------
+
+std::vector<fault::FaultSpec> badFaults(int n)
+{
+    std::vector<fault::FaultSpec> faults;
+    faults.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        faults.push_back(
+            fault::BitFlipFault{"typo/reg" + std::to_string(i), 0, kMicrosecond});
+    }
+    return faults;
+}
+
+void BM_PreflightRejects100BadFaults(benchmark::State& state)
+{
+    // Campaign with 100 unknown targets, preflight on: one testbench build,
+    // one report, zero simulations.
+    const std::vector<fault::FaultSpec> faults = badFaults(100);
+    for (auto _ : state) {
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        try {
+            runner.run(faults);
+        } catch (const lint::PreflightError& e) {
+            benchmark::DoNotOptimize(e.report().size());
+        }
+    }
+}
+BENCHMARK(BM_PreflightRejects100BadFaults)->Unit(benchmark::kMillisecond);
+
+void BM_NoPreflight100BadFaultsSimulated(benchmark::State& state)
+{
+    // The same campaign with preflight off: every bad fault costs a full
+    // contained golden-vs-faulty run before classifying as SimError. The
+    // ratio against BM_PreflightRejects100BadFaults is the savings.
+    const std::vector<fault::FaultSpec> faults = badFaults(100);
+    for (auto _ : state) {
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        runner.setPreflight(false);
+        const campaign::CampaignReport rep = runner.run(faults);
+        benchmark::DoNotOptimize(rep.runs.size());
+    }
+}
+BENCHMARK(BM_NoPreflight100BadFaultsSimulated)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

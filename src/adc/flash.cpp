@@ -51,7 +51,7 @@ FlashAdcTestbench::FlashAdcTestbench(FlashConfig config) : config_(config)
     // --- thermometer -> binary encoder (combinational) -----------------------
     digital::Bus rawCode = dig.bus("adc/raw", config_.bits, digital::Logic::Zero);
     std::vector<digital::SignalBase*> sens(thermo.begin(), thermo.end());
-    dig.process("adc/encoder",
+    digital::Process& enc = dig.process("adc/encoder",
                 [thermo, rawCode] {
                     int ones = 0;
                     for (const digital::LogicSignal* t : thermo) {
@@ -63,6 +63,7 @@ FlashAdcTestbench::FlashAdcTestbench(FlashConfig config) : config_(config)
                                          100 * kPicosecond);
                 },
                 sens);
+    dig.noteDrives(enc, digital::busSignals(rawCode));
 
     // --- sampling clock and output register ----------------------------------
     auto& clk = dig.logicSignal("adc/clk", digital::Logic::Zero);

@@ -20,7 +20,7 @@ SarLogic::SarLogic(digital::Circuit& c, std::string name, digital::LogicSignal& 
     : digital::Component(std::move(name)), bits_(bits), dacCode_(dacCode), resultBus_(result),
       done_(&done), clkToQ_(clkToQ)
 {
-    c.process(this->name() + "/seq",
+    digital::Process& p = c.process(this->name() + "/seq",
               [this, &clk, &start, &cmp] {
                   if (!digital::risingEdge(clk)) {
                       return;
@@ -50,6 +50,15 @@ SarLogic::SarLogic(digital::Circuit& c, std::string name, digital::LogicSignal& 
                   drive();
               },
               {&clk});
+    c.noteSequential(p, &clk);
+    c.noteReads(p, {&start, &cmp});
+    {
+        std::vector<digital::SignalBase*> outs = digital::busSignals(dacCode);
+        const std::vector<digital::SignalBase*> res = digital::busSignals(result);
+        outs.insert(outs.end(), res.begin(), res.end());
+        outs.push_back(&done);
+        c.noteDrives(p, outs);
+    }
 
     // Two hooks: the SAR trial register and the bit counter — both are real
     // SEU targets with very different failure signatures.
@@ -138,6 +147,7 @@ SarAdcTestbench::SarAdcTestbench(SarConfig config) : config_(config)
 
     // Start strobe: one conversion shortly after each staircase level begins.
     auto& start = dig.logicSignal("adc/start", digital::Logic::Zero);
+    dig.noteExternalDriver(start); // forced by the scheduled strobe actions below
     const SimTime clkPeriod = fromSeconds(1.0 / config_.clockHz);
     for (std::size_t k = 0; k < config_.inputLevels.size(); ++k) {
         const SimTime t0 = static_cast<SimTime>(k) * config_.levelHold + clkPeriod;

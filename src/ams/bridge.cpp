@@ -10,6 +10,7 @@ AtoDBridge::AtoDBridge(MixedSimulator& sim, std::string name, analog::NodeId nod
     : name_(std::move(name)), node_(node), out_(&out), threshold_(threshold),
       hysteresis_(hysteresis)
 {
+    sim.digital().noteExternalDriver(out); // forced from the analog domain
     sim.onElaborate([this, &sim](analog::TransientSolver& solver) {
         // Initial digital value from the DC operating point.
         const double v0 = sim.analog().voltage(node_);

@@ -10,6 +10,12 @@ namespace gfi::analog {
 
 namespace {
 
+// Runtime <-> static cross-reference: the lint pass diagnoses the usual
+// divergence topologies (floating nodes, V-source loops, current cutsets)
+// before any solve, so every DivergenceError points the user at it.
+const char* kLintHint = "; hint: run lint — rules ANA001-ANA005 report floating "
+                        "nodes, source loops and singular topologies statically";
+
 bool allFinite(const std::vector<double>& x) noexcept
 {
     for (double v : x) {
@@ -89,17 +95,19 @@ void TransientSolver::solveDc()
 {
     std::vector<double> x;
     if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
-        throw DivergenceError(sawNonFinite_
-                                  ? "TransientSolver: non-finite DC operating point"
-                                  : "TransientSolver: DC operating point did not converge");
+        throw DivergenceError(
+            (sawNonFinite_ ? "TransientSolver: non-finite DC operating point"
+                           : "TransientSolver: DC operating point did not converge") +
+            std::string(kLintHint));
     }
     // A second pass lets dynamic components observe the converged operating
     // point in their dcMode stamp (capacitors prime their initial voltage).
     sys_->state() = x;
     if (!trySolveStep(0.0, x, /*dcMode=*/true)) {
-        throw DivergenceError(sawNonFinite_
-                                  ? "TransientSolver: non-finite DC operating point"
-                                  : "TransientSolver: DC operating point did not converge");
+        throw DivergenceError(
+            (sawNonFinite_ ? "TransientSolver: non-finite DC operating point"
+                           : "TransientSolver: DC operating point did not converge") +
+            std::string(kLintHint));
     }
     sys_->state() = x;
     dcDone_ = true;
@@ -217,7 +225,7 @@ double TransientSolver::advanceTo(double tStop)
                 std::to_string(dt) + " s (" +
                 (sawNonFinite_ ? "non-finite solution"
                                : "Newton non-convergence or singular matrix") +
-                " at the minimum step)");
+                " at the minimum step)" + kLintHint);
         }
 
         // --- local truncation error control ------------------------------

@@ -11,6 +11,9 @@ Stamper::Stamper(DenseMatrix& A, std::vector<double>& b, int nodeCount)
 
 void Stamper::conductance(NodeId a, NodeId b, double g)
 {
+    if (observer_ != nullptr) {
+        observer_->onConductance(a, b, g);
+    }
     const int va = varOfNode(a);
     const int vb = varOfNode(b);
     if (va >= 0) {
@@ -27,6 +30,9 @@ void Stamper::conductance(NodeId a, NodeId b, double g)
 
 void Stamper::currentInto(NodeId n, double i)
 {
+    if (observer_ != nullptr) {
+        observer_->onCurrentInto(n, i);
+    }
     const int v = varOfNode(n);
     if (v >= 0) {
         (*b_)[static_cast<std::size_t>(v)] += i;
@@ -35,6 +41,9 @@ void Stamper::currentInto(NodeId n, double i)
 
 void Stamper::vccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double g)
 {
+    if (observer_ != nullptr) {
+        observer_->onVccs(outP, outM, ctrlP, ctrlM, g);
+    }
     const int p = varOfNode(outP);
     const int m = varOfNode(outM);
     const int cp = varOfNode(ctrlP);
@@ -56,6 +65,9 @@ void Stamper::vccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double 
 
 void Stamper::addA(int row, int col, double v)
 {
+    if (observer_ != nullptr) {
+        observer_->onAddA(row, col, v);
+    }
     if (row >= 0 && col >= 0) {
         A_->at(row, col) += v;
     }
@@ -63,6 +75,9 @@ void Stamper::addA(int row, int col, double v)
 
 void Stamper::addB(int row, double v)
 {
+    if (observer_ != nullptr) {
+        observer_->onAddB(row, v);
+    }
     if (row >= 0) {
         (*b_)[static_cast<std::size_t>(row)] += v;
     }

@@ -48,10 +48,28 @@ private:
     int nodeCount_;
 };
 
+/// Observes the structure of MNA stamps as components emit them. The lint
+/// subsystem attaches one to a Stamper to reconstruct circuit topology
+/// (conductance graph, branch incidence, current injections) without adding
+/// any bookkeeping to the components themselves.
+class StampObserver {
+public:
+    virtual ~StampObserver() = default;
+    virtual void onConductance(NodeId a, NodeId b, double g) = 0;
+    virtual void onCurrentInto(NodeId n, double i) = 0;
+    virtual void onVccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double g) = 0;
+    virtual void onAddA(int row, int col, double v) = 0;
+    virtual void onAddB(int row, double v) = 0;
+};
+
 /// Assembles component contributions into the MNA matrix and RHS.
 class Stamper {
 public:
     Stamper(class DenseMatrix& A, std::vector<double>& b, int nodeCount);
+
+    /// Attaches a structure observer (not owned; nullptr detaches). Every
+    /// subsequent stamp call is mirrored to it.
+    void setObserver(StampObserver* obs) noexcept { observer_ = obs; }
 
     /// Conductance @p g between nodes @p a and @p b (the classic 4-entry stamp).
     void conductance(NodeId a, NodeId b, double g);
@@ -78,6 +96,7 @@ private:
     class DenseMatrix* A_;
     std::vector<double>* b_;
     int nodeCount_;
+    StampObserver* observer_ = nullptr;
 };
 
 /// Assembles small-signal (AC) contributions into a complex MNA system.

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include "core/journal.hpp"
+#include "lint/lint.hpp"
 #include "sim/errors.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -176,11 +177,14 @@ CampaignRunner::CampaignRunner(fault::TestbenchFactory factory, Tolerance tolera
 
 void CampaignRunner::runGolden()
 {
-    if (golden_) {
+    if (goldenRan_) {
         return;
     }
-    golden_ = factory_();
+    if (!golden_) {
+        golden_ = factory_(); // may already exist: preflight lints it pre-run
+    }
     golden_->run();
+    goldenRan_ = true;
     for (const std::string& name : golden_->observedState()) {
         goldenState_[name] = golden_->sim().digital().instrumentation().hook(name).get();
     }
@@ -188,10 +192,18 @@ void CampaignRunner::runGolden()
 
 const fault::Testbench& CampaignRunner::golden() const
 {
-    if (!golden_) {
+    if (!goldenRan_) {
         throw std::logic_error("CampaignRunner: golden run not executed yet");
     }
     return *golden_;
+}
+
+lint::Report CampaignRunner::preflightReport(const std::vector<fault::FaultSpec>& faults)
+{
+    if (!golden_) {
+        golden_ = factory_(); // lint the design without running it
+    }
+    return lint::lintCampaign(*golden_, faults);
 }
 
 RunResult CampaignRunner::classify(fault::Testbench& tb, const fault::FaultSpec& fault) const
@@ -321,6 +333,14 @@ CampaignReport CampaignRunner::run(
     const std::vector<fault::FaultSpec>& faults,
     const std::function<void(std::size_t, const RunResult&)>& progress)
 {
+    // Static-analysis phase: a broken design or malformed fault list fails
+    // here in O(1), before the golden run and before any journal restore.
+    if (preflight_) {
+        lint::Report rep = preflightReport(faults);
+        if (rep.count(lint::Severity::Error) > 0) {
+            throw lint::PreflightError(std::move(rep));
+        }
+    }
     runGolden();
 
     // Resume: index -> journal entry of an earlier (possibly killed) campaign.
@@ -337,7 +357,15 @@ CampaignReport CampaignRunner::run(
     report.runs.reserve(faults.size());
     for (std::size_t i = 0; i < faults.size(); ++i) {
         const auto it = done.find(i);
-        if (it != done.end() && it->second.faultDescription == fault::describe(faults[i])) {
+        bool restorable =
+            it != done.end() && it->second.faultDescription == fault::describe(faults[i]);
+        if (restorable && preflight_ &&
+            lint::preflightFault(*golden_, faults[i], i).count(lint::Severity::Error) > 0) {
+            // A checkpoint for a fault that no longer passes preflight (e.g.
+            // a stale sim-error row) must not be resurrected.
+            restorable = false;
+        }
+        if (restorable) {
             // Already classified by a previous invocation: restore, don't re-run.
             RunResult restored = it->second.result;
             restored.fault = faults[i];

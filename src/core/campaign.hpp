@@ -15,6 +15,7 @@
 // run.
 
 #include "core/testbench.hpp"
+#include "lint/diagnostic.hpp"
 #include "sim/watchdog.hpp"
 #include "trace/compare.hpp"
 
@@ -181,8 +182,21 @@ public:
     /// With a journal path set, each result is appended to the JSONL journal
     /// as it completes, and faults already classified in an existing journal
     /// are restored (diagnostics.fromJournal = true) instead of re-simulated.
+    ///
+    /// Unless disabled with setPreflight(false), the campaign first runs the
+    /// static-analysis phase (design lint + fault-list preflight) and throws
+    /// lint::PreflightError when it finds errors — a broken design or a
+    /// typo'd target fails once, up front, instead of once per run.
     CampaignReport run(const std::vector<fault::FaultSpec>& faults,
                        const std::function<void(std::size_t, const RunResult&)>& progress = {});
+
+    /// Enables/disables run()'s static-analysis phase (default: enabled).
+    void setPreflight(bool on) noexcept { preflight_ = on; }
+    [[nodiscard]] bool preflightEnabled() const noexcept { return preflight_; }
+
+    /// The report run()'s preflight phase gates on: design lint of the
+    /// golden testbench (built, not simulated) plus fault-list validation.
+    [[nodiscard]] lint::Report preflightReport(const std::vector<fault::FaultSpec>& faults);
 
     /// The golden testbench (valid after runGolden); exposes golden traces.
     [[nodiscard]] const fault::Testbench& golden() const;
@@ -226,6 +240,8 @@ private:
     WatchdogConfig watchdogConfig_;
     RetryPolicy retryPolicy_;
     std::string journalPath_;
+    bool preflight_ = true;
+    bool goldenRan_ = false;
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
 };

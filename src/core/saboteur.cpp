@@ -71,7 +71,8 @@ DigitalSaboteur::DigitalSaboteur(digital::Circuit& c, std::string name,
                                  SimTime delay)
     : digital::Component(std::move(name)), circuit_(&c), in_(&in), out_(&out), delay_(delay)
 {
-    c.process(this->name() + "/pass", [this] { drive(); }, {&in});
+    digital::Process& p = c.process(this->name() + "/pass", [this] { drive(); }, {&in});
+    c.noteDrives(p, {&out});
 }
 
 void DigitalSaboteur::drive()

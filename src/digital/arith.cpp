@@ -33,7 +33,7 @@ Adder::Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus
         throw std::invalid_argument("Adder '" + this->name() + "': width mismatch");
     }
     const int width = a.width();
-    c.process(this->name() + "/eval",
+    Process& p = c.process(this->name() + "/eval",
               [a, b, sum, cin, cout, width, delay] {
                   bool knownA = true;
                   bool knownB = true;
@@ -63,6 +63,7 @@ Adder::Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus
                   }
               },
               busSensitivity({&a, &b}, {cin}));
+    c.noteDrives(p, busSensitivity({&sum}, {cout}));
 }
 
 EqComparator::EqComparator(Circuit& c, std::string name, const Bus& a, const Bus& b,
@@ -72,7 +73,7 @@ EqComparator::EqComparator(Circuit& c, std::string name, const Bus& a, const Bus
     if (a.width() != b.width()) {
         throw std::invalid_argument("EqComparator '" + this->name() + "': width mismatch");
     }
-    c.process(this->name() + "/eval",
+    Process& p = c.process(this->name() + "/eval",
               [a, b, &eq, delay] {
                   bool knownA = true;
                   bool knownB = true;
@@ -85,6 +86,7 @@ EqComparator::EqComparator(Circuit& c, std::string name, const Bus& a, const Bus
                   }
               },
               busSensitivity({&a, &b}));
+    c.noteDrives(p, {&eq});
 }
 
 BusMux2::BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& sel,
@@ -94,7 +96,7 @@ BusMux2::BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, Logic
     if (a.width() != b.width() || a.width() != y.width()) {
         throw std::invalid_argument("BusMux2 '" + this->name() + "': width mismatch");
     }
-    c.process(this->name() + "/eval",
+    Process& p = c.process(this->name() + "/eval",
               [a, b, &sel, y, delay] {
                   const Logic s = toX01(sel.value());
                   for (int i = 0; i < y.width(); ++i) {
@@ -108,6 +110,7 @@ BusMux2::BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, Logic
                   }
               },
               busSensitivity({&a, &b}, {&sel}));
+    c.noteDrives(p, busSensitivity({&y}));
 }
 
 } // namespace gfi::digital

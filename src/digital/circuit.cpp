@@ -83,7 +83,47 @@ Process& Circuit::process(const std::string& name, std::function<void()> fn,
         s->addListener(&ref);
     }
     sched_.registerProcess(&ref);
+
+    ProcessConnectivity conn;
+    conn.process = &ref;
+    conn.triggers = sensitivity;
+    connIndex_[&ref] = connectivity_.size();
+    connectivity_.push_back(std::move(conn));
     return ref;
+}
+
+ProcessConnectivity& Circuit::connOf(Process& p)
+{
+    const auto it = connIndex_.find(&p);
+    if (it == connIndex_.end()) {
+        throw std::logic_error("Circuit: process '" + p.name() +
+                               "' was not created by this circuit");
+    }
+    return connectivity_[it->second];
+}
+
+void Circuit::noteDrives(Process& p, const std::vector<SignalBase*>& signals)
+{
+    auto& drives = connOf(p).drives;
+    drives.insert(drives.end(), signals.begin(), signals.end());
+}
+
+void Circuit::noteReads(Process& p, const std::vector<SignalBase*>& signals)
+{
+    auto& reads = connOf(p).reads;
+    reads.insert(reads.end(), signals.begin(), signals.end());
+}
+
+void Circuit::noteSequential(Process& p, SignalBase* clock)
+{
+    ProcessConnectivity& conn = connOf(p);
+    conn.sequential = true;
+    conn.clock = clock;
+}
+
+std::vector<SignalBase*> busSignals(const Bus& bus)
+{
+    return {bus.bits().begin(), bus.bits().end()};
 }
 
 void Circuit::registerSignal(const std::string& name, std::unique_ptr<SignalBase> sig)

@@ -10,9 +10,24 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace gfi::digital {
+
+/// Declared static connectivity of one process. The sensitivity list is
+/// recorded automatically at process creation; components declare the rest
+/// (driven signals, non-triggering reads, sequential/clock role) so the lint
+/// subsystem can reason about the netlist without executing any callback.
+struct ProcessConnectivity {
+    Process* process = nullptr;
+    std::vector<SignalBase*> triggers; ///< sensitivity list (wakes the process)
+    std::vector<SignalBase*> reads;    ///< sampled without triggering (DFF data)
+    std::vector<SignalBase*> drives;   ///< signals the process schedules/forces
+    bool sequential = false;           ///< clock-edge triggered: breaks
+                                       ///< combinational cycles
+    SignalBase* clock = nullptr;       ///< the clock, when sequential
+};
 
 /// Base class for structural component instances. Components register their
 /// processes and instrumentation hooks in the owning Circuit at construction.
@@ -113,6 +128,43 @@ public:
     Process& process(const std::string& name, std::function<void()> fn,
                      const std::vector<SignalBase*>& sensitivity);
 
+    // --- declared connectivity (static-analysis metadata) -------------------
+
+    /// Declares that @p p schedules or forces the given signals.
+    void noteDrives(Process& p, const std::vector<SignalBase*>& signals);
+
+    /// Declares that @p p samples the given signals without being sensitive
+    /// to them (register data inputs, FSM inputs, memory address buses).
+    void noteReads(Process& p, const std::vector<SignalBase*>& signals);
+
+    /// Declares that @p p is clock-edge triggered (a register): it does not
+    /// participate in combinational cycles. @p clock may be null for
+    /// processes without a single clock (multi-edge detectors).
+    void noteSequential(Process& p, SignalBase* clock);
+
+    /// Declares that @p s is driven from outside the process network: clock
+    /// generators, analog-to-digital bridges and testbench stimuli that force
+    /// values through scheduleAction()/forceValue().
+    void noteExternalDriver(SignalBase& s) { externallyDriven_.insert(&s); }
+
+    /// True when @p s was declared externally driven.
+    [[nodiscard]] bool isExternallyDriven(const SignalBase& s) const
+    {
+        return externallyDriven_.count(const_cast<SignalBase*>(&s)) != 0;
+    }
+
+    /// Connectivity records, one per created process, in creation order.
+    [[nodiscard]] const std::vector<ProcessConnectivity>& connectivity() const noexcept
+    {
+        return connectivity_;
+    }
+
+    /// All declared external drivers (lint iteration).
+    [[nodiscard]] const std::unordered_set<SignalBase*>& externalDrivers() const noexcept
+    {
+        return externallyDriven_;
+    }
+
     /// Constructs a component in place; the circuit owns it.
     template <typename C, typename... Args>
     C& add(Args&&... args)
@@ -136,12 +188,21 @@ public:
 private:
     void registerSignal(const std::string& name, std::unique_ptr<SignalBase> sig);
 
+    /// Connectivity record of @p p; throws std::logic_error for a foreign one.
+    ProcessConnectivity& connOf(Process& p);
+
     Scheduler sched_;
     std::unordered_map<std::string, std::unique_ptr<SignalBase>> signals_;
     std::vector<std::string> signalOrder_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<std::unique_ptr<Component>> components_;
+    std::vector<ProcessConnectivity> connectivity_;
+    std::unordered_map<const Process*, std::size_t> connIndex_;
+    std::unordered_set<SignalBase*> externallyDriven_;
     InstrumentationRegistry registry_;
 };
+
+/// Convenience: a Bus as the signal list the connectivity declarations take.
+[[nodiscard]] std::vector<SignalBase*> busSignals(const Bus& bus);
 
 } // namespace gfi::digital

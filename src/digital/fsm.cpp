@@ -23,7 +23,7 @@ TableFsm::TableFsm(Circuit& c, std::string name, LogicSignal& clk, LogicSignal* 
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
+    Process& p = c.process(this->name() + "/seq",
               [this, &clk, rstn, resetState] {
                   if (rstn != nullptr && toX01(rstn->value()) == Logic::Zero) {
                       state_ = resetState;
@@ -40,6 +40,9 @@ TableFsm::TableFsm(Circuit& c, std::string name, LogicSignal& clk, LogicSignal* 
                   }
               },
               sens);
+    c.noteSequential(p, &clk);
+    c.noteReads(p, busSignals(in));
+    c.noteDrives(p, busSignals(out));
 
     c.instrumentation().add(StateHook{
         this->name(), stateBits_,

@@ -16,16 +16,17 @@ Gate::Gate(Circuit& c, std::string name, GateKind kind, std::vector<LogicSignal*
         throw std::invalid_argument("Gate '" + this->name() + "': Buf/Not take one input");
     }
     std::vector<SignalBase*> sens(inputs_.begin(), inputs_.end());
-    c.process(this->name() + "/eval",
-              [this] {
-                  std::vector<Logic> values;
-                  values.reserve(inputs_.size());
-                  for (const LogicSignal* in : inputs_) {
-                      values.push_back(in->value());
-                  }
-                  output_->scheduleInertial(evaluate(kind_, values), delay_);
-              },
-              sens);
+    Process& p = c.process(this->name() + "/eval",
+                           [this] {
+                               std::vector<Logic> values;
+                               values.reserve(inputs_.size());
+                               for (const LogicSignal* in : inputs_) {
+                                   values.push_back(in->value());
+                               }
+                               output_->scheduleInertial(evaluate(kind_, values), delay_);
+                           },
+                           sens);
+    c.noteDrives(p, {output_});
 }
 
 Logic Gate::evaluate(GateKind kind, const std::vector<Logic>& values)
@@ -71,20 +72,21 @@ Mux2::Mux2(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSi
            LogicSignal& y, SimTime delay)
     : Component(std::move(name))
 {
-    c.process(this->name() + "/eval",
-              [&a, &b, &sel, &y, delay] {
-                  const Logic s = toX01(sel.value());
-                  Logic out = Logic::X;
-                  if (s == Logic::Zero) {
-                      out = toX01(a.value());
-                  } else if (s == Logic::One) {
-                      out = toX01(b.value());
-                  } else if (toX01(a.value()) == toX01(b.value())) {
-                      out = toX01(a.value()); // both branches agree: sel unknown is harmless
-                  }
-                  y.scheduleInertial(out, delay);
-              },
-              {&a, &b, &sel});
+    Process& p = c.process(this->name() + "/eval",
+                           [&a, &b, &sel, &y, delay] {
+                               const Logic s = toX01(sel.value());
+                               Logic out = Logic::X;
+                               if (s == Logic::Zero) {
+                                   out = toX01(a.value());
+                               } else if (s == Logic::One) {
+                                   out = toX01(b.value());
+                               } else if (toX01(a.value()) == toX01(b.value())) {
+                                   out = toX01(a.value()); // both branches agree: sel unknown is harmless
+                               }
+                               y.scheduleInertial(out, delay);
+                           },
+                           {&a, &b, &sel});
+    c.noteDrives(p, {&y});
 }
 
 } // namespace gfi::digital

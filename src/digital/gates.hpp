@@ -74,6 +74,16 @@ public:
     }
 };
 
+/// Buffer convenience wrapper.
+class BufGate : public Gate {
+public:
+    BufGate(Circuit& c, std::string name, LogicSignal& a, LogicSignal& y,
+            SimTime delay = kDefaultGateDelay)
+        : Gate(c, std::move(name), GateKind::Buf, {&a}, y, delay)
+    {
+    }
+};
+
 /// Two-to-one single-bit multiplexer: y = sel ? b : a.
 class Mux2 : public Component {
 public:

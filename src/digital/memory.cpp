@@ -30,22 +30,32 @@ Ram::Ram(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& we, const 
     storage_.assign(static_cast<std::size_t>(depth_), 0);
 
     // Write port.
-    c.process(this->name() + "/write",
-              [this, &clk, &we, wdata] {
-                  if (risingEdge(clk) && toX01(we.value()) == Logic::One) {
-                      bool known = true;
-                      const auto a = static_cast<int>(addr_.toUint(&known));
-                      if (known) {
-                          storage_[static_cast<std::size_t>(a)] = wdata.toUint() & mask_;
-                          refreshRead();
-                      }
-                  }
-              },
-              {&clk});
+    Process& wp = c.process(this->name() + "/write",
+                            [this, &clk, &we, wdata] {
+                                if (risingEdge(clk) && toX01(we.value()) == Logic::One) {
+                                    bool known = true;
+                                    const auto a = static_cast<int>(addr_.toUint(&known));
+                                    if (known) {
+                                        storage_[static_cast<std::size_t>(a)] =
+                                            wdata.toUint() & mask_;
+                                        refreshRead();
+                                    }
+                                }
+                            },
+                            {&clk});
+    c.noteSequential(wp, &clk);
+    std::vector<SignalBase*> wreads{&we};
+    wreads.insert(wreads.end(), addr.bits().begin(), addr.bits().end());
+    wreads.insert(wreads.end(), wdata.bits().begin(), wdata.bits().end());
+    c.noteReads(wp, wreads);
+    // Architecturally the write port drives the memory array, not rdata; the
+    // read-port refresh it triggers is an intra-component update, so rdata's
+    // sole declared driver is the read process.
 
     // Asynchronous read port.
     std::vector<SignalBase*> sens(addr_.bits().begin(), addr_.bits().end());
-    c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+    Process& rp = c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+    c.noteDrives(rp, busSignals(rdata));
 
     // One SEU hook per word.
     for (int w = 0; w < depth_; ++w) {
@@ -85,7 +95,7 @@ Rom::Rom(Circuit& c, std::string name, const Bus& addr, const Bus& rdata,
 {
     contents_.resize(1ull << addr.width(), 0);
     std::vector<SignalBase*> sens(addr.bits().begin(), addr.bits().end());
-    c.process(this->name() + "/read",
+    Process& p = c.process(this->name() + "/read",
               [this, addr, rdata, readDelay] {
                   bool known = true;
                   const auto a = addr.toUint(&known);
@@ -98,6 +108,7 @@ Rom::Rom(Circuit& c, std::string name, const Bus& addr, const Bus& rdata,
                   rdata.scheduleUint(contents_[a], readDelay);
               },
               sens);
+    c.noteDrives(p, busSignals(rdata));
 }
 
 } // namespace gfi::digital

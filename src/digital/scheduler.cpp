@@ -58,7 +58,8 @@ void Scheduler::throwDeltaLimit() const
     if (lastProcessRun_ != nullptr) {
         msg += "; last process: '" + *lastProcessRun_ + "'";
     }
-    msg += ")";
+    msg += "); hint: run lint — rule DIG001 reports combinational loops statically, "
+           "before any simulation";
     throw SchedulerLimitError(msg);
 }
 

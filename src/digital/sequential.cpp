@@ -29,17 +29,24 @@ DFlipFlop::DFlipFlop(Circuit& c, std::string name, LogicSignal& clk, LogicSignal
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clk, &d, rstn] {
-                  if (resetActive(rstn)) {
-                      state_ = Logic::Zero;
-                      propagate();
-                  } else if (risingEdge(clk)) {
-                      state_ = toX01(d.value());
-                      propagate();
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clk, &d, rstn] {
+                               if (resetActive(rstn)) {
+                                   state_ = Logic::Zero;
+                                   propagate();
+                               } else if (risingEdge(clk)) {
+                                   state_ = toX01(d.value());
+                                   propagate();
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clk);
+    c.noteReads(p, {&d});
+    std::vector<SignalBase*> outs{&q};
+    if (qn != nullptr) {
+        outs.push_back(qn);
+    }
+    c.noteDrives(p, outs);
 
     c.instrumentation().add(StateHook{
         this->name(), 1,
@@ -76,19 +83,26 @@ Register::Register(Circuit& c, std::string name, LogicSignal& clk, const Bus& d,
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clk, d, en, rstn, resetValue] {
-                  if (resetActive(rstn)) {
-                      state_ = resetValue & mask_;
-                      propagate();
-                  } else if (risingEdge(clk)) {
-                      if (en == nullptr || toX01(en->value()) == Logic::One) {
-                          state_ = d.toUint() & mask_;
-                          propagate();
-                      }
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clk, d, en, rstn, resetValue] {
+                               if (resetActive(rstn)) {
+                                   state_ = resetValue & mask_;
+                                   propagate();
+                               } else if (risingEdge(clk)) {
+                                   if (en == nullptr || toX01(en->value()) == Logic::One) {
+                                       state_ = d.toUint() & mask_;
+                                       propagate();
+                                   }
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clk);
+    std::vector<SignalBase*> ins = busSignals(d);
+    if (en != nullptr) {
+        ins.push_back(en);
+    }
+    c.noteReads(p, ins);
+    c.noteDrives(p, busSignals(q));
 
     c.instrumentation().add(StateHook{
         this->name(), q.width(), [this] { return state_; },
@@ -123,19 +137,28 @@ Counter::Counter(Circuit& c, std::string name, LogicSignal& clk, const Bus& q,
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clk, rstn, en] {
-                  if (resetActive(rstn)) {
-                      count_ = 0;
-                      propagate();
-                  } else if (risingEdge(clk)) {
-                      if (en == nullptr || toX01(en->value()) == Logic::One) {
-                          count_ = (count_ + 1) % modulo_;
-                          propagate();
-                      }
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clk, rstn, en] {
+                               if (resetActive(rstn)) {
+                                   count_ = 0;
+                                   propagate();
+                               } else if (risingEdge(clk)) {
+                                   if (en == nullptr || toX01(en->value()) == Logic::One) {
+                                       count_ = (count_ + 1) % modulo_;
+                                       propagate();
+                                   }
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clk);
+    if (en != nullptr) {
+        c.noteReads(p, {en});
+    }
+    std::vector<SignalBase*> outs = busSignals(q);
+    if (tc != nullptr) {
+        outs.push_back(tc);
+    }
+    c.noteDrives(p, outs);
 
     c.instrumentation().add(StateHook{
         this->name(), q.width(), [this] { return count_; },
@@ -172,21 +195,23 @@ ClockDivider::ClockDivider(Circuit& c, std::string name, LogicSignal& clkIn, Log
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clkIn, rstn] {
-                  if (resetActive(rstn)) {
-                      count_ = 0;
-                      out_ = Logic::Zero;
-                      clkOut_->scheduleInertial(out_, delay_);
-                  } else if (risingEdge(clkIn)) {
-                      if (++count_ >= half_) {
-                          count_ = 0;
-                          out_ = logicNot(out_);
-                          clkOut_->scheduleInertial(out_, delay_);
-                      }
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clkIn, rstn] {
+                               if (resetActive(rstn)) {
+                                   count_ = 0;
+                                   out_ = Logic::Zero;
+                                   clkOut_->scheduleInertial(out_, delay_);
+                               } else if (risingEdge(clkIn)) {
+                                   if (++count_ >= half_) {
+                                       count_ = 0;
+                                       out_ = logicNot(out_);
+                                       clkOut_->scheduleInertial(out_, delay_);
+                                   }
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clkIn);
+    c.noteDrives(p, {&clkOut});
 
     // State = edge counter plus the output phase bit packed on top.
     const int counterBits = [n = half_]() mutable {
@@ -233,18 +258,23 @@ ShiftRegister::ShiftRegister(Circuit& c, std::string name, LogicSignal& clk,
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clk, &serialIn, rstn] {
-                  if (resetActive(rstn)) {
-                      state_ = 0;
-                      propagate();
-                  } else if (risingEdge(clk)) {
-                      const std::uint64_t in = toX01(serialIn.value()) == Logic::One ? 1u : 0u;
-                      state_ = ((state_ >> 1) | (in << (width_ - 1))) & widthMask(width_);
-                      propagate();
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clk, &serialIn, rstn] {
+                               if (resetActive(rstn)) {
+                                   state_ = 0;
+                                   propagate();
+                               } else if (risingEdge(clk)) {
+                                   const std::uint64_t in =
+                                       toX01(serialIn.value()) == Logic::One ? 1u : 0u;
+                                   state_ = ((state_ >> 1) | (in << (width_ - 1))) &
+                                            widthMask(width_);
+                                   propagate();
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clk);
+    c.noteReads(p, {&serialIn});
+    c.noteDrives(p, busSignals(taps));
 
     c.instrumentation().add(StateHook{
         this->name(), width_, [this] { return state_; },
@@ -276,19 +306,21 @@ Lfsr::Lfsr(Circuit& c, std::string name, LogicSignal& clk, const Bus& q, std::ui
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
-              [this, &clk, rstn] {
-                  if (resetActive(rstn)) {
-                      state_ = seed_ & mask_;
-                      propagate();
-                  } else if (risingEdge(clk)) {
-                      const std::uint64_t fb =
-                          static_cast<std::uint64_t>(__builtin_parityll(state_ & taps_));
-                      state_ = ((state_ << 1) | fb) & mask_;
-                      propagate();
-                  }
-              },
-              sens);
+    Process& p = c.process(this->name() + "/seq",
+                           [this, &clk, rstn] {
+                               if (resetActive(rstn)) {
+                                   state_ = seed_ & mask_;
+                                   propagate();
+                               } else if (risingEdge(clk)) {
+                                   const std::uint64_t fb = static_cast<std::uint64_t>(
+                                       __builtin_parityll(state_ & taps_));
+                                   state_ = ((state_ << 1) | fb) & mask_;
+                                   propagate();
+                               }
+                           },
+                           sens);
+    c.noteSequential(p, &clk);
+    c.noteDrives(p, busSignals(q));
 
     c.instrumentation().add(StateHook{
         this->name(), width_, [this] { return state_; },
@@ -318,6 +350,7 @@ ClockGen::ClockGen(Circuit& c, std::string name, LogicSignal& clk, SimTime perio
     if (period <= 0 || highTime_ <= 0 || highTime_ >= period) {
         throw std::invalid_argument("ClockGen '" + this->name() + "': bad period/duty");
     }
+    c.noteExternalDriver(clk);
     clk_->scheduleInertial(Logic::Zero, 0);
     riseAt(start);
 }

@@ -34,6 +34,13 @@ public:
     /// Adds @p p to the sensitivity list: it wakes on every event of this signal.
     void addListener(Process* p) { listeners_.push_back(p); }
 
+    /// Number of sensitive processes (lint: a signal nobody listens to,
+    /// watches or reads is dead).
+    [[nodiscard]] std::size_t listenerCount() const noexcept { return listeners_.size(); }
+
+    /// Number of raw event watchers (trace recorders, D->A bridges).
+    [[nodiscard]] std::size_t watcherCount() const noexcept { return watchers_.size(); }
+
     /// Time of the most recent event, or -1 before the first one.
     [[nodiscard]] SimTime lastEventTime() const noexcept { return lastEventTime_; }
 

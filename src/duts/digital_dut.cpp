@@ -15,6 +15,7 @@ DigitalDutTestbench::DigitalDutTestbench(DigitalDutConfig config) : config_(conf
     dig.add<ClockGen>(dig, "dut/clkgen", clk, period);
 
     auto& rstn = dig.logicSignal("dut/rstn", Logic::Zero);
+    dig.noteExternalDriver(rstn); // released by the scheduled action below
     dig.scheduler().scheduleAction(3 * period / 2,
                                    [&rstn] { rstn.forceValue(Logic::One); });
 
@@ -76,6 +77,9 @@ DigitalDutTestbench::DigitalDutTestbench(DigitalDutConfig config) : config_(conf
 
     // --- match comparator ----------------------------------------------------------
     Bus matchConst = dig.bus("dut/match_const", 8, Logic::Zero);
+    for (LogicSignal* s : matchConst.bits()) {
+        dig.noteExternalDriver(*s); // constant tied off by the testbench
+    }
     matchConst.forceUint(0x5A);
     auto& match = dig.logicSignal("dut/match", Logic::Zero);
     dig.add<EqComparator>(dig, "dut/cmp", outQ, matchConst, match);

@@ -18,7 +18,7 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
     // current instruction and accumulator (settles well before the next
     // clock edge at any sane clock rate).
     std::vector<SignalBase*> decodeSens(instr.bits().begin(), instr.bits().end());
-    c.process(this->name() + "/decode",
+    Process& decode = c.process(this->name() + "/decode",
               [this, instr] {
                   const std::uint64_t word = instr.toUint();
                   const auto op = static_cast<Op>((word >> 5) & 0x7);
@@ -28,9 +28,16 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
                   ramWe_->scheduleInertial(fromBool(op == Op::Sta && !halted_), delay_);
               },
               decodeSens);
+    {
+        std::vector<SignalBase*> outs = busSignals(ramAddr);
+        const std::vector<SignalBase*> wd = busSignals(ramWData);
+        outs.insert(outs.end(), wd.begin(), wd.end());
+        outs.push_back(&ramWe);
+        c.noteDrives(decode, outs);
+    }
 
     // Execute stage: one instruction per rising clock edge.
-    c.process(this->name() + "/exec",
+    Process& exec = c.process(this->name() + "/exec",
               [this, &clk, instr, ramRData] {
                   if (!risingEdge(clk) || halted_) {
                       return;
@@ -71,6 +78,18 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
                   driveFetch();
               },
               {&clk});
+    c.noteSequential(exec, &clk);
+    {
+        std::vector<SignalBase*> ins = busSignals(instr);
+        const std::vector<SignalBase*> rd = busSignals(ramRData);
+        ins.insert(ins.end(), rd.begin(), rd.end());
+        c.noteReads(exec, ins);
+        std::vector<SignalBase*> outs = busSignals(romAddr);
+        const std::vector<SignalBase*> po = busSignals(port);
+        outs.insert(outs.end(), po.begin(), po.end());
+        outs.push_back(&halted);
+        c.noteDrives(exec, outs);
+    }
 
     // Architectural-register hooks: PC (control flow) and ACC (datapath).
     c.instrumentation().add(StateHook{

@@ -23,23 +23,38 @@ EccRam::EccRam(digital::Circuit& c, std::string name, LogicSignal& clk, LogicSig
     }
     storage_.assign(static_cast<std::size_t>(depth_), hammingEncode(0, width_));
 
-    c.process(this->name() + "/write",
-              [this, &clk, &we, wdata] {
-                  if (digital::risingEdge(clk) &&
-                      digital::toX01(we.value()) == Logic::One) {
-                      bool known = true;
-                      const auto a = static_cast<int>(addr_.toUint(&known));
-                      if (known) {
-                          storage_[static_cast<std::size_t>(a)] =
-                              hammingEncode(wdata.toUint(), width_);
-                          refreshRead();
+    digital::Process& wp =
+        c.process(this->name() + "/write",
+                  [this, &clk, &we, wdata] {
+                      if (digital::risingEdge(clk) &&
+                          digital::toX01(we.value()) == Logic::One) {
+                          bool known = true;
+                          const auto a = static_cast<int>(addr_.toUint(&known));
+                          if (known) {
+                              storage_[static_cast<std::size_t>(a)] =
+                                  hammingEncode(wdata.toUint(), width_);
+                              refreshRead();
+                          }
                       }
-                  }
-              },
-              {&clk});
+                  },
+                  {&clk});
+    c.noteSequential(wp, &clk);
+    {
+        std::vector<digital::SignalBase*> ins{&we};
+        ins.insert(ins.end(), addr.bits().begin(), addr.bits().end());
+        ins.insert(ins.end(), wdata.bits().begin(), wdata.bits().end());
+        c.noteReads(wp, ins);
+    }
+    std::vector<digital::SignalBase*> outs = digital::busSignals(rdata);
+    if (uncorrectable != nullptr) {
+        outs.push_back(uncorrectable);
+    }
+    // rdata's sole declared driver is the read process: the write port's
+    // read-refresh is an intra-component update, not a second net driver.
 
     std::vector<digital::SignalBase*> sens(addr_.bits().begin(), addr_.bits().end());
-    c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+    digital::Process& rp = c.process(this->name() + "/read", [this] { refreshRead(); }, sens);
+    c.noteDrives(rp, outs);
 
     for (int w = 0; w < depth_; ++w) {
         c.instrumentation().add(digital::StateHook{

@@ -37,7 +37,7 @@ TmrRegister::TmrRegister(digital::Circuit& c, std::string name, LogicSignal& clk
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
+    digital::Process& p = c.process(this->name() + "/seq",
               [this, &clk, d, en, rstn] {
                   if (resetActive(rstn)) {
                       copies_ = {0, 0, 0};
@@ -53,6 +53,15 @@ TmrRegister::TmrRegister(digital::Circuit& c, std::string name, LogicSignal& clk
                   }
               },
               sens);
+    c.noteSequential(p, &clk);
+    {
+        std::vector<digital::SignalBase*> ins = digital::busSignals(d);
+        if (en != nullptr) {
+            ins.push_back(en);
+        }
+        c.noteReads(p, ins);
+    }
+    c.noteDrives(p, digital::busSignals(q));
 
     for (int i = 0; i < 3; ++i) {
         c.instrumentation().add(StateHook{
@@ -91,7 +100,7 @@ DwcRegister::DwcRegister(digital::Circuit& c, std::string name, LogicSignal& clk
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
+    digital::Process& p = c.process(this->name() + "/seq",
               [this, &clk, d, rstn] {
                   if (resetActive(rstn)) {
                       copies_ = {0, 0};
@@ -103,6 +112,13 @@ DwcRegister::DwcRegister(digital::Circuit& c, std::string name, LogicSignal& clk
                   }
               },
               sens);
+    c.noteSequential(p, &clk);
+    c.noteReads(p, digital::busSignals(d));
+    {
+        std::vector<digital::SignalBase*> outs = digital::busSignals(q);
+        outs.push_back(&error);
+        c.noteDrives(p, outs);
+    }
 
     for (int i = 0; i < 2; ++i) {
         c.instrumentation().add(StateHook{
@@ -146,7 +162,7 @@ EccRegister::EccRegister(digital::Circuit& c, std::string name, LogicSignal& clk
     if (rstn != nullptr) {
         sens.push_back(rstn);
     }
-    c.process(this->name() + "/seq",
+    digital::Process& p = c.process(this->name() + "/seq",
               [this, &clk, d, rstn] {
                   if (resetActive(rstn)) {
                       code_ = hammingEncode(0, dataBits_);
@@ -157,6 +173,15 @@ EccRegister::EccRegister(digital::Circuit& c, std::string name, LogicSignal& clk
                   }
               },
               sens);
+    c.noteSequential(p, &clk);
+    c.noteReads(p, digital::busSignals(d));
+    {
+        std::vector<digital::SignalBase*> outs = digital::busSignals(q);
+        if (uncorrectable != nullptr) {
+            outs.push_back(uncorrectable);
+        }
+        c.noteDrives(p, outs);
+    }
 
     c.instrumentation().add(StateHook{
         this->name() + "/code", codeBits_, [this] { return code_; },

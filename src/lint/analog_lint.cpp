@@ -1,0 +1,335 @@
+#include "lint/analog_lint.hpp"
+
+#include "analog/linear.hpp"
+#include "analog/system.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfi::lint {
+
+namespace {
+
+using analog::AnalogSystem;
+using analog::kGround;
+using analog::NodeId;
+
+/// Plain union-find over node ids.
+class UnionFind {
+public:
+    explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n))
+    {
+        for (int i = 0; i < n; ++i) {
+            parent_[static_cast<std::size_t>(i)] = i;
+        }
+    }
+    int find(int x)
+    {
+        while (parent_[static_cast<std::size_t>(x)] != x) {
+            parent_[static_cast<std::size_t>(x)] =
+                parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+            x = parent_[static_cast<std::size_t>(x)];
+        }
+        return x;
+    }
+    /// Returns false when @p a and @p b were already connected.
+    bool unite(int a, int b)
+    {
+        const int ra = find(a);
+        const int rb = find(b);
+        if (ra == rb) {
+            return false;
+        }
+        parent_[static_cast<std::size_t>(ra)] = rb;
+        return true;
+    }
+
+private:
+    std::vector<int> parent_;
+};
+
+/// Records the structure of one stamping pass (one mode).
+class TopologyRecorder : public analog::StampObserver {
+public:
+    explicit TopologyRecorder(int nodeCount) : nodeCount_(nodeCount) {}
+
+    void setComponent(const std::string* name) { current_ = name; }
+
+    void onConductance(NodeId a, NodeId b, double g) override
+    {
+        touch(a);
+        touch(b);
+        if (g != 0.0) {
+            edges_.emplace_back(a, b);
+        }
+    }
+
+    void onCurrentInto(NodeId n, double i) override
+    {
+        touch(n);
+        injection_[n] += i;
+        if (i != 0.0 && current_ != nullptr) {
+            injector_[n] = *current_;
+        }
+    }
+
+    void onVccs(NodeId outP, NodeId outM, NodeId ctrlP, NodeId ctrlM, double) override
+    {
+        touch(outP);
+        touch(outM);
+        touch(ctrlP);
+        touch(ctrlM);
+    }
+
+    void onAddA(int row, int col, double v) override
+    {
+        if (v == 0.0) {
+            return;
+        }
+        matrix_[{row, col}] += v;
+        // Branch incidence: a node row entry in a branch column paired with
+        // the transposed branch row entry marks the node as an endpoint of a
+        // voltage-defined branch (V source, VCVS output, VCO output).
+        if (isBranchVar(col) && isNodeVar(row)) {
+            touch(nodeOfVar(row));
+            if (current_ != nullptr && branchOwner_.count(branchOfVar(col)) == 0) {
+                branchOwner_[branchOfVar(col)] = *current_;
+            }
+        }
+    }
+
+    void onAddB(int, double) override {}
+
+    /// Nodes incident to branch @p b: rows with A[node][branch] != 0 that the
+    /// branch equation also references (A[branch][node] != 0). The transpose
+    /// check keeps CCCS output rows (which add gain entries in a *sense*
+    /// branch column) from being mistaken for branch endpoints.
+    [[nodiscard]] std::vector<NodeId> branchIncidence(int b) const
+    {
+        std::vector<NodeId> nodes;
+        const int bcol = nodeCount_ - 1 + b;
+        for (int var = 0; var < nodeCount_ - 1; ++var) {
+            const bool nodeRow = matrix_.count({var, bcol}) != 0;
+            const bool branchRow = matrix_.count({bcol, var}) != 0;
+            if (nodeRow && branchRow) {
+                nodes.push_back(nodeOfVar(var));
+            }
+        }
+        return nodes;
+    }
+
+    [[nodiscard]] std::set<int> branches() const
+    {
+        std::set<int> out;
+        for (const auto& [rc, v] : matrix_) {
+            if (isBranchVar(rc.second)) {
+                out.insert(branchOfVar(rc.second));
+            }
+            if (isBranchVar(rc.first)) {
+                out.insert(branchOfVar(rc.first));
+            }
+        }
+        return out;
+    }
+
+    [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& edges() const noexcept
+    {
+        return edges_;
+    }
+    [[nodiscard]] const std::map<NodeId, double>& injections() const noexcept
+    {
+        return injection_;
+    }
+    [[nodiscard]] std::string injectorOf(NodeId n) const
+    {
+        const auto it = injector_.find(n);
+        return it == injector_.end() ? std::string("?") : it->second;
+    }
+    [[nodiscard]] std::string branchOwnerOf(int b) const
+    {
+        const auto it = branchOwner_.find(b);
+        return it == branchOwner_.end() ? std::string("?") : it->second;
+    }
+    [[nodiscard]] bool touched(NodeId n) const { return touched_.count(n) != 0; }
+
+private:
+    [[nodiscard]] bool isNodeVar(int var) const { return var >= 0 && var < nodeCount_ - 1; }
+    [[nodiscard]] bool isBranchVar(int var) const { return var >= nodeCount_ - 1; }
+    [[nodiscard]] NodeId nodeOfVar(int var) const { return var + 1; }
+    [[nodiscard]] int branchOfVar(int var) const { return var - (nodeCount_ - 1); }
+
+    void touch(NodeId n) { touched_.insert(n); }
+
+    int nodeCount_;
+    const std::string* current_ = nullptr;
+    std::vector<std::pair<NodeId, NodeId>> edges_;
+    std::map<NodeId, double> injection_;
+    std::map<NodeId, std::string> injector_;
+    std::map<std::pair<int, int>, double> matrix_;
+    std::map<int, std::string> branchOwner_;
+    std::set<NodeId> touched_;
+};
+
+/// Stamps every component once in the given mode, mirroring the structure
+/// into @p recorder and the values into @p A / @p rhs.
+void recordMode(AnalogSystem& sys, bool dcMode, TopologyRecorder& recorder,
+                analog::DenseMatrix& A, std::vector<double>& rhs)
+{
+    const int n = sys.unknownCount();
+    A.resize(n);
+    rhs.assign(static_cast<std::size_t>(n), 0.0);
+    analog::Stamper stamper(A, rhs, sys.nodeCount());
+    stamper.setObserver(&recorder);
+    const std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    const analog::Solution candidate(x, sys.nodeCount());
+    const double dt = dcMode ? 0.0 : 1e-9;
+    for (const auto& comp : sys.components()) {
+        recorder.setComponent(&comp->name());
+        comp->stamp(stamper, candidate, 0.0, dt, dcMode);
+    }
+    recorder.setComponent(nullptr);
+}
+
+/// Connectivity of one mode: conductance edges plus rigid branch edges.
+UnionFind connectivityOf(const TopologyRecorder& rec, int nodeCount)
+{
+    UnionFind uf(nodeCount);
+    for (const auto& [a, b] : rec.edges()) {
+        uf.unite(a, b);
+    }
+    for (const int b : rec.branches()) {
+        const std::vector<NodeId> inc = rec.branchIncidence(b);
+        if (inc.size() == 1) {
+            uf.unite(inc.front(), kGround); // grounded voltage-defined branch
+        }
+        for (std::size_t i = 1; i < inc.size(); ++i) {
+            uf.unite(inc[0], inc[i]);
+        }
+    }
+    return uf;
+}
+
+} // namespace
+
+Report lintAnalog(AnalogSystem& sys)
+{
+    Report report;
+    const int nodeCount = sys.nodeCount();
+    if (nodeCount <= 1 && sys.components().empty()) {
+        return report; // no analog half at all
+    }
+
+    TopologyRecorder dcRec(nodeCount);
+    TopologyRecorder trRec(nodeCount);
+    analog::DenseMatrix dcA;
+    analog::DenseMatrix trA;
+    std::vector<double> dcRhs;
+    std::vector<double> trRhs;
+    recordMode(sys, /*dcMode=*/true, dcRec, dcA, dcRhs);
+    recordMode(sys, /*dcMode=*/false, trRec, trA, trRhs);
+
+    UnionFind dcConn = connectivityOf(dcRec, nodeCount);
+    UnionFind trConn = connectivityOf(trRec, nodeCount);
+
+    // --- ANA001 / ANA005: floating nodes -----------------------------------
+    bool anyError = false;
+    for (NodeId n = 1; n < nodeCount; ++n) {
+        const bool dcGrounded = dcConn.find(n) == dcConn.find(kGround);
+        const bool trGrounded = trConn.find(n) == trConn.find(kGround);
+        if (!trGrounded) {
+            report.add("ANA001", Severity::Error, sys.nodeName(n),
+                       trRec.touched(n)
+                           ? std::string("floating node: no path to ground in any mode — "
+                                         "only gmin determines its voltage")
+                           : std::string("dangling node: no component connects to it"),
+                       "add a DC path to ground (resistor, source) or remove the node");
+            anyError = true;
+        } else if (!dcGrounded) {
+            report.add("ANA005", Severity::Info, sys.nodeName(n),
+                       "no DC path to ground (capacitive island): the operating point "
+                       "relies on gmin",
+                       "expected for charge integrators (PLL loop filters); add a "
+                       "bleed resistor if the DC level matters");
+        }
+    }
+
+    // --- ANA002: voltage-source loops --------------------------------------
+    {
+        UnionFind rigid(nodeCount);
+        for (const int b : dcRec.branches()) {
+            const std::vector<NodeId> inc = dcRec.branchIncidence(b);
+            NodeId x = kGround;
+            NodeId y = kGround;
+            if (inc.size() == 1) {
+                x = inc.front(); // grounded source: edge to ground
+            } else if (inc.size() == 2) {
+                x = inc[0];
+                y = inc[1];
+            } else {
+                continue; // degenerate/no incidence: not a rigid edge
+            }
+            if (!rigid.unite(x, y)) {
+                report.add(
+                    "ANA002", Severity::Error,
+                    dcRec.branchOwnerOf(b),
+                    "voltage-source loop closed between node(s) '" + sys.nodeName(x) +
+                        "' and '" + sys.nodeName(y) +
+                        "': the MNA matrix is singular and the DC solve will diverge",
+                    "break the loop (series resistance) or drop one source");
+                anyError = true;
+            }
+        }
+    }
+
+    // --- ANA003: current-source cutsets ------------------------------------
+    {
+        // Sum the DC injections per DC island; an island with no ground path
+        // and nonzero net |injection| pushes current through gmin only.
+        std::map<int, double> islandInjection;
+        std::map<int, NodeId> islandExample;
+        for (const auto& [n, i] : dcRec.injections()) {
+            if (n == kGround || std::fabs(i) < 1e-30) {
+                continue;
+            }
+            const int root = dcConn.find(n);
+            islandInjection[root] += std::fabs(i);
+            islandExample.emplace(root, n);
+        }
+        const int groundRoot = dcConn.find(kGround);
+        for (const auto& [root, total] : islandInjection) {
+            if (root == groundRoot || total < 1e-30) {
+                continue;
+            }
+            const NodeId n = islandExample.at(root);
+            report.add("ANA003", Severity::Error, sys.nodeName(n),
+                       "current source '" + dcRec.injectorOf(n) +
+                           "' injects DC current into an island with no DC return "
+                           "path — the operating point is i/gmin",
+                       "give the island a DC path to ground");
+            anyError = true;
+        }
+    }
+
+    // --- ANA004: singular DC matrix (with gmin), catch-all ------------------
+    if (!anyError) {
+        analog::Stamper gminStamper(dcA, dcRhs, nodeCount);
+        for (NodeId n = 1; n < nodeCount; ++n) {
+            gminStamper.conductance(n, kGround, 1e-12);
+        }
+        std::vector<double> x = dcRhs;
+        if (!analog::luSolveInPlace(dcA, x)) {
+            report.add("ANA004", Severity::Error, "<matrix>",
+                       "DC MNA matrix is singular even with gmin — the operating-"
+                       "point solve will throw DivergenceError",
+                       "check for degenerate controlled-source constraints");
+        }
+    }
+
+    return report;
+}
+
+} // namespace gfi::lint

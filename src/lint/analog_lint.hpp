@@ -1,0 +1,34 @@
+#pragma once
+// Analog topology checker. Replays every component's MNA stamp once in DC
+// mode and once in transient mode against a StampObserver, reconstructs the
+// connectivity/branch-incidence structure, and diagnoses the classic
+// singular-matrix topologies *before* LU/Newton fails inside a run:
+//
+//   ANA001 (error) floating node — no path to ground even in the transient
+//                  stamp graph; only gmin determines its voltage.
+//   ANA002 (error) voltage-source loop — the rigid (voltage-defined) branch
+//                  edges close a cycle; the MNA matrix is singular.
+//   ANA003 (error) current-source cutset — a nonzero DC current injection
+//                  into an island with no DC path to ground; the operating
+//                  point is i/gmin, i.e. nonsense.
+//   ANA004 (error) singular DC matrix (with gmin) not explained by the rules
+//                  above — the operating-point solve will throw
+//                  DivergenceError.
+//   ANA005 (info)  no DC path to ground but a transient path exists (charge
+//                  integrator / AC coupling): legal, but the operating point
+//                  relies on gmin.
+
+#include "lint/diagnostic.hpp"
+
+namespace gfi::analog {
+class AnalogSystem;
+}
+
+namespace gfi::lint {
+
+/// Lints the MNA stamp structure of @p system. Components are stamped (their
+/// contribution recorded, then discarded) but never solved; behavioral state
+/// is untouched.
+[[nodiscard]] Report lintAnalog(analog::AnalogSystem& system);
+
+} // namespace gfi::lint

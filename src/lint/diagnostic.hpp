@@ -1,0 +1,86 @@
+#pragma once
+// Structured lint findings. Every static-analysis rule (digital netlist,
+// analog topology, campaign preflight) reports lint::Diagnostic records: a
+// stable rule id, a severity, the hierarchical path of the offender, a
+// human-readable message and a fix hint. A Report aggregates them and
+// renders as a text table or JSON — the same record feeds the CLI, the
+// campaign preflight gate and the tests.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gfi::lint {
+
+/// How bad a finding is. Errors gate the campaign preflight; warnings and
+/// infos are advisory.
+enum class Severity {
+    Info,    ///< stylistic / informational (dead signal, gmin reliance)
+    Warning, ///< suspicious but simulatable (undriven input)
+    Error,   ///< will or may break simulation (combinational loop, V-loop)
+};
+
+/// Short name for reports ("info" / "warning" / "error").
+[[nodiscard]] const char* toString(Severity s);
+
+/// One static-analysis finding.
+struct Diagnostic {
+    std::string rule;     ///< stable rule id, e.g. "DIG001"
+    Severity severity = Severity::Warning;
+    std::string path;     ///< hierarchical path of the offender
+                          ///< (signal/process/node/fault description)
+    std::string message;  ///< what is wrong
+    std::string hint;     ///< how to fix it (may be empty)
+};
+
+/// Aggregated findings of one lint pass.
+class Report {
+public:
+    /// Appends one finding.
+    void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+    /// Convenience append.
+    void add(std::string rule, Severity severity, std::string path, std::string message,
+             std::string hint = {});
+
+    /// Appends every finding of @p other.
+    void merge(const Report& other);
+
+    /// All findings, in report order.
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept
+    {
+        return diags_;
+    }
+
+    /// Number of findings at @p severity.
+    [[nodiscard]] std::size_t count(Severity severity) const;
+
+    /// Total number of findings.
+    [[nodiscard]] std::size_t size() const noexcept { return diags_.size(); }
+
+    /// True when the design passes: no errors and no warnings (infos allowed).
+    [[nodiscard]] bool clean() const
+    {
+        return count(Severity::Error) == 0 && count(Severity::Warning) == 0;
+    }
+
+    /// True when at least one finding carries rule id @p rule.
+    [[nodiscard]] bool hasRule(const std::string& rule) const;
+
+    /// Findings with rule id @p rule.
+    [[nodiscard]] std::vector<Diagnostic> byRule(const std::string& rule) const;
+
+    /// Printable text table (rule | severity | path | message | hint).
+    [[nodiscard]] std::string table() const;
+
+    /// JSON array of findings (machine-readable reports).
+    [[nodiscard]] std::string json() const;
+
+    /// One-line summary, e.g. "2 errors, 1 warning, 3 infos".
+    [[nodiscard]] std::string summary() const;
+
+private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace gfi::lint

@@ -1,0 +1,244 @@
+#include "lint/digital_lint.hpp"
+
+#include "digital/circuit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gfi::lint {
+
+namespace {
+
+using digital::Circuit;
+using digital::Process;
+using digital::ProcessConnectivity;
+using digital::SignalBase;
+
+/// Iterative Tarjan SCC over a process-index adjacency list. Returns the
+/// strongly connected components in reverse topological order.
+std::vector<std::vector<int>> tarjanScc(const std::vector<std::vector<int>>& adj)
+{
+    const int n = static_cast<int>(adj.size());
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+    std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int nextIndex = 0;
+
+    struct Frame {
+        int v;
+        std::size_t edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[static_cast<std::size_t>(root)] != -1) {
+            continue;
+        }
+        std::vector<Frame> call{{root, 0}};
+        while (!call.empty()) {
+            Frame& f = call.back();
+            const auto v = static_cast<std::size_t>(f.v);
+            if (f.edge == 0) {
+                index[v] = lowlink[v] = nextIndex++;
+                stack.push_back(f.v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (f.edge < adj[v].size()) {
+                const int w = adj[v][f.edge++];
+                const auto wi = static_cast<std::size_t>(w);
+                if (index[wi] == -1) {
+                    call.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[wi]) {
+                    lowlink[v] = std::min(lowlink[v], index[wi]);
+                }
+            }
+            if (descended) {
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                std::vector<int> scc;
+                int w = -1;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    onStack[static_cast<std::size_t>(w)] = false;
+                    scc.push_back(w);
+                } while (w != f.v);
+                sccs.push_back(std::move(scc));
+            }
+            const int done = f.v;
+            call.pop_back();
+            if (!call.empty()) {
+                const auto p = static_cast<std::size_t>(call.back().v);
+                lowlink[p] = std::min(lowlink[p], lowlink[static_cast<std::size_t>(done)]);
+            }
+        }
+    }
+    return sccs;
+}
+
+std::string joinNames(const std::vector<std::string>& names)
+{
+    std::string out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        out += (i == 0 ? "" : ", ") + names[i];
+    }
+    return out;
+}
+
+} // namespace
+
+Report lintDigital(const Circuit& circuit)
+{
+    Report report;
+    const std::vector<ProcessConnectivity>& conns = circuit.connectivity();
+
+    // Per-signal driver / reader maps from the declared connectivity.
+    std::map<SignalBase*, std::vector<const ProcessConnectivity*>> drivers;
+    std::set<SignalBase*> readOrTriggered;
+    std::set<SignalBase*> mentioned; // every signal the netlist knows about
+    for (const ProcessConnectivity& c : conns) {
+        for (SignalBase* s : c.drives) {
+            drivers[s].push_back(&c);
+            mentioned.insert(s);
+        }
+        for (SignalBase* s : c.triggers) {
+            readOrTriggered.insert(s);
+            mentioned.insert(s);
+        }
+        for (SignalBase* s : c.reads) {
+            readOrTriggered.insert(s);
+            mentioned.insert(s);
+        }
+    }
+    for (SignalBase* s : circuit.externalDrivers()) {
+        mentioned.insert(s);
+    }
+
+    // --- DIG001: combinational loops (Tarjan SCC) --------------------------
+    // Vertices: combinational processes. Edge p -> q when p drives a signal
+    // q is sensitive to. Sequential processes absorb the cycle at the clock
+    // edge, so they are excluded — exactly why a registered feedback path is
+    // legal and a gate loop is not.
+    std::vector<const ProcessConnectivity*> comb;
+    std::map<const Process*, int> combIndex;
+    for (const ProcessConnectivity& c : conns) {
+        if (!c.sequential) {
+            combIndex[c.process] = static_cast<int>(comb.size());
+            comb.push_back(&c);
+        }
+    }
+    std::vector<std::vector<int>> adj(comb.size());
+    for (std::size_t p = 0; p < comb.size(); ++p) {
+        for (SignalBase* s : comb[p]->drives) {
+            for (const ProcessConnectivity& c : conns) {
+                if (c.sequential) {
+                    continue;
+                }
+                if (std::find(c.triggers.begin(), c.triggers.end(), s) != c.triggers.end()) {
+                    adj[p].push_back(combIndex.at(c.process));
+                }
+            }
+        }
+    }
+    for (const std::vector<int>& scc : tarjanScc(adj)) {
+        bool cyclic = scc.size() > 1;
+        if (scc.size() == 1) {
+            const int v = scc.front();
+            const auto& edges = adj[static_cast<std::size_t>(v)];
+            cyclic = std::find(edges.begin(), edges.end(), v) != edges.end();
+        }
+        if (!cyclic) {
+            continue;
+        }
+        std::set<int> inScc(scc.begin(), scc.end());
+        std::vector<std::string> procNames;
+        std::vector<std::string> sigNames;
+        for (const int v : scc) {
+            const ProcessConnectivity* c = comb[static_cast<std::size_t>(v)];
+            procNames.push_back(c->process->name());
+            for (SignalBase* s : c->drives) {
+                for (const int w : inScc) {
+                    const ProcessConnectivity* d = comb[static_cast<std::size_t>(w)];
+                    if (std::find(d->triggers.begin(), d->triggers.end(), s) !=
+                            d->triggers.end() &&
+                        std::find(sigNames.begin(), sigNames.end(), s->name()) ==
+                            sigNames.end()) {
+                        sigNames.push_back(s->name());
+                    }
+                }
+            }
+        }
+        std::sort(procNames.begin(), procNames.end());
+        report.add("DIG001", Severity::Error, joinNames(procNames),
+                   "combinational loop through signal(s) " + joinNames(sigNames) +
+                       " — the delta-cycle engine will oscillate until "
+                       "SchedulerLimitError",
+                   "register the feedback path or break the zero-delay cycle");
+    }
+
+    // --- DIG002: multiple drivers on an unresolved signal ------------------
+    for (const auto& [sig, procs] : drivers) {
+        const int external = circuit.isExternallyDriven(*sig) ? 1 : 0;
+        if (static_cast<int>(procs.size()) + external < 2) {
+            continue;
+        }
+        std::vector<std::string> names;
+        for (const ProcessConnectivity* c : procs) {
+            names.push_back(c->process->name());
+        }
+        if (external != 0) {
+            names.emplace_back("<external driver>");
+        }
+        std::sort(names.begin(), names.end());
+        report.add("DIG002", Severity::Error, sig->name(),
+                   "unresolved signal has " + std::to_string(names.size()) +
+                       " drivers: " + joinNames(names),
+                   "single-driver nets only: mux the sources or insert a resolved bus");
+    }
+
+    // --- DIG003: undriven inputs -------------------------------------------
+    for (SignalBase* s : readOrTriggered) {
+        if (drivers.count(s) == 0 && !circuit.isExternallyDriven(*s)) {
+            report.add("DIG003", Severity::Warning, s->name(),
+                       "read by a process but never driven — it will hold its "
+                       "initial value for the whole run",
+                       "drive it, or declare it external with noteExternalDriver()");
+        }
+    }
+
+    // --- DIG004: dead signals ----------------------------------------------
+    for (SignalBase* s : mentioned) {
+        const bool driven = drivers.count(s) != 0 || circuit.isExternallyDriven(*s);
+        const bool used = readOrTriggered.count(s) != 0 || s->listenerCount() > 0 ||
+                          s->watcherCount() > 0;
+        if (driven && !used) {
+            report.add("DIG004", Severity::Info, s->name(),
+                       "driven but never read, listened to or recorded",
+                       "remove it, or observe it in the testbench");
+        }
+    }
+
+    // --- DIG005: unclocked registers ---------------------------------------
+    for (const ProcessConnectivity& c : conns) {
+        if (!c.sequential || c.clock == nullptr) {
+            continue;
+        }
+        if (drivers.count(c.clock) == 0 && !circuit.isExternallyDriven(*c.clock)) {
+            report.add("DIG005", Severity::Warning, c.process->name(),
+                       "sequential process clocked by '" + c.clock->name() +
+                           "', which has no driver — the register will never update",
+                       "connect a clock generator or mark the clock external");
+        }
+    }
+
+    return report;
+}
+
+} // namespace gfi::lint

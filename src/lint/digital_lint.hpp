@@ -1,0 +1,32 @@
+#pragma once
+// Digital netlist linter. Works entirely on the declared connectivity of a
+// Circuit (ProcessConnectivity records + external-driver set) — no process
+// callback is ever executed, so a broken design is diagnosed before the
+// first delta cycle.
+//
+// Rules:
+//   DIG001 (error)   combinational loop — an SCC of combinational processes
+//                    in the drive/trigger graph; names the cycle's processes
+//                    and signals, the same participants SchedulerLimitError
+//                    reports at runtime.
+//   DIG002 (error)   multiple drivers on an unresolved signal (two processes,
+//                    or a process plus an external driver).
+//   DIG003 (warning) undriven input — a signal some process triggers on or
+//                    reads that has no declared driver.
+//   DIG004 (info)    dead signal — driven, but with no listener, watcher or
+//                    declared reader.
+//   DIG005 (warning) unclocked register — a sequential process whose clock
+//                    has no driver.
+
+#include "lint/diagnostic.hpp"
+
+namespace gfi::digital {
+class Circuit;
+}
+
+namespace gfi::lint {
+
+/// Lints the declared netlist of @p circuit.
+[[nodiscard]] Report lintDigital(const digital::Circuit& circuit);
+
+} // namespace gfi::lint

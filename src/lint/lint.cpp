@@ -1,0 +1,21 @@
+#include "lint/lint.hpp"
+
+#include "core/testbench.hpp"
+
+namespace gfi::lint {
+
+Report lintTestbench(fault::Testbench& tb)
+{
+    Report report = lintDigital(tb.sim().digital());
+    report.merge(lintAnalog(tb.sim().analog()));
+    return report;
+}
+
+Report lintCampaign(fault::Testbench& tb, const std::vector<fault::FaultSpec>& faults)
+{
+    Report report = lintTestbench(tb);
+    report.merge(preflightCampaign(tb, faults));
+    return report;
+}
+
+} // namespace gfi::lint

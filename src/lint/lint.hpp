@@ -1,0 +1,22 @@
+#pragma once
+// Umbrella entry point for the static-analysis subsystem: one call lints a
+// whole testbench (digital netlist + analog topology), and one call adds the
+// campaign fault-list preflight on top. CampaignRunner, the benches and the
+// tests all go through these.
+
+#include "lint/analog_lint.hpp"
+#include "lint/digital_lint.hpp"
+#include "lint/preflight.hpp"
+
+namespace gfi::lint {
+
+/// Lints both halves of @p tb's design. Non-const because the analog pass
+/// replays component stamps (structure only; nothing is solved or advanced).
+[[nodiscard]] Report lintTestbench(fault::Testbench& tb);
+
+/// Design lint plus fault-list preflight: everything the campaign's
+/// preflight phase checks.
+[[nodiscard]] Report lintCampaign(fault::Testbench& tb,
+                                  const std::vector<fault::FaultSpec>& faults);
+
+} // namespace gfi::lint

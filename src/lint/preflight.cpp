@@ -1,0 +1,185 @@
+#include "lint/preflight.hpp"
+
+#include "core/testbench.hpp"
+#include "util/units.hpp"
+
+#include <set>
+
+namespace gfi::lint {
+
+namespace {
+
+using fault::FaultSpec;
+using fault::Testbench;
+
+struct Checker {
+    const Testbench& tb;
+    const FaultSpec& spec;
+    Report& report;
+
+    [[nodiscard]] std::string path() const { return fault::describe(spec); }
+
+    void unknown(const char* kind, const std::string& name) const
+    {
+        report.add("PRE001", Severity::Error, path(),
+                   std::string("unknown ") + kind + " '" + name + "'",
+                   "check the testbench's registered injection targets");
+    }
+
+    void checkWindow(SimTime t) const
+    {
+        if (t < 0 || t > tb.duration()) {
+            report.add("PRE003", Severity::Error, path(),
+                       "injection time " + formatTime(t) +
+                           " is outside the simulation window [0, " +
+                           formatTime(tb.duration()) + "]",
+                       "move the injection inside the observed run");
+        }
+    }
+
+    void checkBit(const std::string& target, int bit) const
+    {
+        const auto& reg = tb.sim().digital().instrumentation();
+        if (!reg.contains(target)) {
+            return; // PRE001 already reported
+        }
+        const int width = reg.hook(target).width;
+        if (bit < 0 || bit >= width) {
+            report.add("PRE002", Severity::Error, path(),
+                       "bit " + std::to_string(bit) + " is outside '" + target +
+                           "' (width " + std::to_string(width) + ")",
+                       "valid bits are 0.." + std::to_string(width - 1));
+        }
+    }
+
+    void operator()(const std::monostate&) const {} // golden: always valid
+
+    void operator()(const fault::BitFlipFault& f) const
+    {
+        if (!tb.sim().digital().instrumentation().contains(f.target)) {
+            unknown("state element", f.target);
+        }
+        checkBit(f.target, f.bit);
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::DoubleBitFlipFault& f) const
+    {
+        if (!tb.sim().digital().instrumentation().contains(f.target)) {
+            unknown("state element", f.target);
+        }
+        checkBit(f.target, f.bitA);
+        checkBit(f.target, f.bitB);
+        if (f.bitA == f.bitB) {
+            report.add("PRE002", Severity::Warning, path(),
+                       "double flip of the same bit " + std::to_string(f.bitA) +
+                           " is a no-op",
+                       "pick two distinct bits");
+        }
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::StateWriteFault& f) const
+    {
+        const auto& reg = tb.sim().digital().instrumentation();
+        if (!reg.contains(f.target)) {
+            unknown("state element", f.target);
+        } else {
+            const int width = reg.hook(f.target).width;
+            if (width < 64 && (f.value >> width) != 0) {
+                report.add("PRE002", Severity::Warning, path(),
+                           "value " + std::to_string(f.value) + " is wider than '" +
+                               f.target + "' (width " + std::to_string(width) + ")",
+                           "the write will be truncated");
+            }
+        }
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::FsmTransitionFault& f) const
+    {
+        if (tb.findFsm(f.target) == nullptr) {
+            unknown("FSM", f.target);
+        }
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::DigitalPulseFault& f) const
+    {
+        if (tb.findDigitalSaboteur(f.saboteur) == nullptr) {
+            unknown("digital saboteur", f.saboteur);
+        }
+        if (f.width <= 0) {
+            report.add("PRE002", Severity::Warning, path(),
+                       "pulse width " + formatTime(f.width) + " never asserts",
+                       "use a positive width");
+        }
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::StuckAtFault& f) const
+    {
+        if (tb.findDigitalSaboteur(f.saboteur) == nullptr) {
+            unknown("digital saboteur", f.saboteur);
+        }
+        checkWindow(f.time);
+    }
+
+    void operator()(const fault::CurrentPulseFault& f) const
+    {
+        if (tb.findCurrentSaboteur(f.saboteur) == nullptr) {
+            unknown("current saboteur", f.saboteur);
+        }
+        if (!f.shape) {
+            report.add("PRE004", Severity::Error, path(),
+                       "current-pulse fault without a pulse shape",
+                       "attach a PulseShape (rectangular, double-exponential, ...)");
+        }
+        checkWindow(fromSeconds(f.timeSeconds));
+    }
+
+    void operator()(const fault::ParametricFault& f) const
+    {
+        if (tb.findParameter(f.parameter) == nullptr) {
+            unknown("parameter", f.parameter);
+        }
+        checkWindow(f.time);
+    }
+};
+
+} // namespace
+
+Report preflightFault(const Testbench& tb, const FaultSpec& fault, std::size_t)
+{
+    Report report;
+    std::visit(Checker{tb, fault, report}, fault);
+    return report;
+}
+
+Report preflightCampaign(const Testbench& tb, const std::vector<FaultSpec>& faults)
+{
+    Report report;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        report.merge(preflightFault(tb, faults[i], i));
+        if (fault::isGolden(faults[i])) {
+            continue;
+        }
+        const std::string desc = fault::describe(faults[i]);
+        if (!seen.insert(desc).second) {
+            report.add("PRE005", Severity::Warning, desc,
+                       "duplicate fault at index " + std::to_string(i),
+                       "every run re-simulates; drop the duplicate");
+        }
+    }
+    return report;
+}
+
+PreflightError::PreflightError(Report report)
+    : std::runtime_error("campaign preflight failed: " + report.summary() + "\n" +
+                         report.table()),
+      report_(std::move(report))
+{
+}
+
+} // namespace gfi::lint

@@ -1,0 +1,49 @@
+#pragma once
+// Campaign preflight: validates a fault list against a testbench's
+// registries and observation window *before* any run is attempted. A
+// campaign with a typo'd target fails here with one structured report in
+// O(1) instead of producing one sim-error row per run.
+//
+// Rules:
+//   PRE001 (error)   unknown injection target (state hook, FSM, digital or
+//                    current saboteur, parameter) — the exact registry
+//                    lookups armFault() performs at run time.
+//   PRE002 (error)   bit index outside the target state element's width.
+//   PRE003 (error)   injection time outside the simulation window.
+//   PRE004 (error)   current-pulse fault without a pulse shape.
+//   PRE005 (warning) duplicate fault in the list (same description twice).
+
+#include "core/fault.hpp"
+#include "lint/diagnostic.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gfi::fault {
+class Testbench;
+}
+
+namespace gfi::lint {
+
+/// Validates one fault against @p tb's registries and window. @p index is
+/// used in the diagnostic path ("fault[3]"); pass 0 for standalone checks.
+[[nodiscard]] Report preflightFault(const fault::Testbench& tb,
+                                    const fault::FaultSpec& fault, std::size_t index = 0);
+
+/// Validates a whole campaign fault list (per-fault checks + duplicates).
+[[nodiscard]] Report preflightCampaign(const fault::Testbench& tb,
+                                       const std::vector<fault::FaultSpec>& faults);
+
+/// Thrown by CampaignRunner when the preflight phase finds errors; carries
+/// the full report.
+class PreflightError : public std::runtime_error {
+public:
+    explicit PreflightError(Report report);
+
+    [[nodiscard]] const Report& report() const noexcept { return report_; }
+
+private:
+    Report report_;
+};
+
+} // namespace gfi::lint

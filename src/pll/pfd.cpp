@@ -11,7 +11,7 @@ PhaseFreqDetector::PhaseFreqDetector(digital::Circuit& c, std::string name,
     : digital::Component(std::move(name)), circuit_(&c), upSig_(&up), downSig_(&down),
       resetDelay_(resetDelay), delay_(delay)
 {
-    c.process(this->name() + "/seq",
+    digital::Process& p = c.process(this->name() + "/seq",
               [this, &ref, &fb] {
                   bool changed = false;
                   if (digital::risingEdge(ref) && !up_) {
@@ -28,6 +28,8 @@ PhaseFreqDetector::PhaseFreqDetector(digital::Circuit& c, std::string name,
                   }
               },
               {&ref, &fb});
+    c.noteSequential(p, nullptr); // edge-triggered on both inputs, no single clock
+    c.noteDrives(p, {&up, &down});
 
     c.instrumentation().add(digital::StateHook{
         this->name(), 2,

@@ -16,6 +16,7 @@ StructuralPfd::StructuralPfd(Circuit& c, std::string name, LogicSignal& ref, Log
 
     // Data inputs tied high.
     auto& vdd = c.logicSignal(base + "/vdd", Logic::One);
+    c.noteExternalDriver(vdd); // constant tie-off
 
     // Internal reset net: rstn = NOT(UP AND DOWN), with the AND carrying the
     // anti-backlash delay.
