@@ -1,0 +1,88 @@
+// Parallel campaign executor: wall-clock scaling on the Figure 2 exhaustive
+// digital campaign. One fault list (every stored bit x 4 injection times plus
+// the saboteur SET/stuck-at population), swept across worker counts; the
+// speedup counter is real-time relative to the 1-worker run of the same
+// process, so `perf_parallel` directly demonstrates the near-linear scaling
+// claim on a multi-core host. On a single-core host every width degrades to
+// roughly 1x — the determinism guarantee is what keeps that safe.
+
+#include "core/campaign.hpp"
+#include "duts/digital_dut.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace gfi;
+
+namespace {
+
+std::vector<fault::FaultSpec> exhaustiveDigitalFaults()
+{
+    const duts::DigitalDutTestbench probe;
+    const std::vector<SimTime> times{
+        kMicrosecond + 7 * kNanosecond, 2 * kMicrosecond + 13 * kNanosecond,
+        3 * kMicrosecond + 3 * kNanosecond, 3 * kMicrosecond + 511 * kNanosecond};
+    std::vector<fault::FaultSpec> faults;
+    for (const auto& [name, hook] : probe.sim().digital().instrumentation().all()) {
+        for (int bit = 0; bit < hook.width; ++bit) {
+            for (SimTime t : times) {
+                faults.emplace_back(fault::BitFlipFault{name, bit, t});
+            }
+        }
+    }
+    for (const std::string& sab : probe.digitalSaboteurNames()) {
+        for (SimTime t : times) {
+            faults.emplace_back(fault::DigitalPulseFault{sab, t, 25 * kNanosecond});
+            faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::Zero, t, 0});
+            faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::One, t, 0});
+        }
+    }
+    return faults;
+}
+
+double& serialSecondsBaseline()
+{
+    static double baseline = 0.0;
+    return baseline;
+}
+
+void BM_ExhaustiveDigitalCampaign(benchmark::State& state)
+{
+    const auto workers = static_cast<unsigned>(state.range(0));
+    const auto faults = exhaustiveDigitalFaults();
+    double seconds = 0.0;
+    for (auto _ : state) {
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        runner.setWorkers(workers);
+        const auto start = std::chrono::steady_clock::now();
+        const campaign::CampaignReport report = runner.run(faults);
+        seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                      .count();
+        benchmark::DoNotOptimize(report.runs.size());
+    }
+    if (workers == 1) {
+        serialSecondsBaseline() = seconds;
+    }
+    state.counters["faults"] = static_cast<double>(faults.size());
+    state.counters["runs_per_s"] =
+        benchmark::Counter(static_cast<double>(faults.size()) / seconds);
+    if (serialSecondsBaseline() > 0.0) {
+        state.counters["speedup_vs_serial"] = serialSecondsBaseline() / seconds;
+    }
+}
+// Workers 1 first: it records the serial baseline the speedup counter uses.
+BENCHMARK(BM_ExhaustiveDigitalCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -278,7 +278,7 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
     RunResult result;
     result.fault = fault;
 
-    Watchdog watchdog(watchdogConfig_);
+    Watchdog watchdog(watchdogConfig_.scaledFor(activeWorkers_));
     std::unique_ptr<fault::Testbench> tb;
     try {
         tb = factory_();
@@ -310,13 +310,12 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
             result.diagnostics.analogSteps = stats.acceptedSteps + stats.rejectedSteps;
         }
     }
-    result.diagnostics.wallSeconds = watchdog.elapsedSeconds();
+    result.diagnostics.wallSeconds = recordTiming_ ? watchdog.elapsedSeconds() : 0.0;
     return result;
 }
 
-RunResult CampaignRunner::runOne(const fault::FaultSpec& fault)
+RunResult CampaignRunner::runContained(const fault::FaultSpec& fault)
 {
-    runGolden();
     const int maxAttempts = std::max(1, retryPolicy_.maxAttempts);
     RunResult result;
     for (int attempt = 1;; ++attempt) {
@@ -327,6 +326,24 @@ RunResult CampaignRunner::runOne(const fault::FaultSpec& fault)
             return result;
         }
     }
+}
+
+RunResult CampaignRunner::runOne(const fault::FaultSpec& fault)
+{
+    runGolden();
+    return runContained(fault);
+}
+
+std::map<Outcome, int> CampaignRunner::liveHistogram() const
+{
+    const std::lock_guard<std::mutex> lock(liveMutex_);
+    return liveHistogram_;
+}
+
+std::size_t CampaignRunner::completedRuns() const
+{
+    const std::lock_guard<std::mutex> lock(liveMutex_);
+    return liveCompleted_;
 }
 
 CampaignReport CampaignRunner::run(
@@ -353,8 +370,10 @@ CampaignReport CampaignRunner::run(
         journal = std::make_unique<CampaignJournal>(journalPath_);
     }
 
-    CampaignReport report;
-    report.runs.reserve(faults.size());
+    // Decide up front (serially — preflightFault is cheap registry lookups)
+    // which journal entries are restorable, so the worker phase only ever
+    // simulates.
+    std::map<std::size_t, RunResult> restored;
     for (std::size_t i = 0; i < faults.size(); ++i) {
         const auto it = done.find(i);
         bool restorable =
@@ -366,20 +385,57 @@ CampaignReport CampaignRunner::run(
             restorable = false;
         }
         if (restorable) {
-            // Already classified by a previous invocation: restore, don't re-run.
-            RunResult restored = it->second.result;
-            restored.fault = faults[i];
-            report.runs.push_back(std::move(restored));
-        } else {
-            report.runs.push_back(runOne(faults[i]));
-            if (journal) {
-                journal->append(i, report.runs.back());
-            }
-        }
-        if (progress) {
-            progress(i, report.runs.back());
+            RunResult r = it->second.result;
+            r.fault = faults[i];
+            restored.emplace(i, std::move(r));
         }
     }
+    {
+        const std::lock_guard<std::mutex> lock(liveMutex_);
+        liveHistogram_.clear();
+        liveCompleted_ = 0;
+    }
+
+    CampaignReport report;
+    report.runs.resize(faults.size());
+
+    // Worker phase: simulations run concurrently, commits (journal append,
+    // live counters, progress callback, report slot) run serialized in
+    // fault-list order — byte-identical observable output at any width.
+    core::Executor exec(workers_);
+    activeWorkers_ = exec.effectiveWorkers();
+    try {
+        exec.forEachOrdered(faults.size(), [&](std::size_t i) -> core::CommitFn {
+            RunResult r;
+            bool fromJournal = false;
+            if (const auto it = restored.find(i); it != restored.end()) {
+                // Already classified by a previous invocation: restore only.
+                r = it->second;
+                fromJournal = true;
+            } else {
+                r = runContained(faults[i]);
+            }
+            return [this, &report, &journal, &progress, i, fromJournal,
+                    r = std::move(r)]() mutable {
+                if (journal && !fromJournal) {
+                    journal->append(i, r);
+                }
+                {
+                    const std::lock_guard<std::mutex> lock(liveMutex_);
+                    ++liveHistogram_[r.outcome];
+                    ++liveCompleted_;
+                }
+                report.runs[i] = std::move(r);
+                if (progress) {
+                    progress(i, report.runs[i]);
+                }
+            };
+        });
+    } catch (...) {
+        activeWorkers_ = 1;
+        throw;
+    }
+    activeWorkers_ = 1;
     return report;
 }
 

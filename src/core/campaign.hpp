@@ -13,7 +13,14 @@
 // with a tightened solver step, and every completed run can be journaled to
 // a JSONL checkpoint so an interrupted campaign resumes losing at most one
 // run.
+//
+// Parallel execution: the fault list is embarrassingly parallel (every run
+// compares an independent simulation against one golden reference), so run()
+// shards it across a core::Executor worker pool — each worker builds its own
+// testbench, the golden trace is shared read-only, and results commit in
+// fault-list order so parallel output is identical to serial output.
 
+#include "core/executor.hpp"
 #include "core/testbench.hpp"
 #include "lint/diagnostic.hpp"
 #include "sim/watchdog.hpp"
@@ -21,6 +28,7 @@
 
 #include <array>
 #include <map>
+#include <mutex>
 
 namespace gfi::campaign {
 
@@ -187,8 +195,36 @@ public:
     /// static-analysis phase (design lint + fault-list preflight) and throws
     /// lint::PreflightError when it finds errors — a broken design or a
     /// typo'd target fails once, up front, instead of once per run.
+    ///
+    /// The fault list is sharded across workers() threads (each worker builds
+    /// its own testbenches through the factory; the golden trace is shared
+    /// read-only). Results still commit in fault-list order, so the report,
+    /// the journal, the progress-callback sequence and every table are
+    /// identical to a serial run — wall-clock timing fields excepted, which
+    /// setRecordTiming(false) zeroes for byte-level diffing.
     CampaignReport run(const std::vector<fault::FaultSpec>& faults,
                        const std::function<void(std::size_t, const RunResult&)>& progress = {});
+
+    /// Worker threads for run() (0 = auto: GFI_JOBS when set, else
+    /// hardware_concurrency; 1 = serial on the calling thread). The factory
+    /// must be safe to call concurrently — it should build each testbench
+    /// from per-instance state only.
+    void setWorkers(unsigned n) noexcept { workers_ = n; }
+    [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+
+    /// When disabled, diagnostics.wallSeconds is recorded as 0 so journals
+    /// and reports are byte-stable across runs and worker counts (the wall
+    /// clock is the only nondeterministic field). Default: enabled.
+    void setRecordTiming(bool on) noexcept { recordTiming_ = on; }
+    [[nodiscard]] bool recordTiming() const noexcept { return recordTiming_; }
+
+    /// Live outcome counts of the campaign in flight: committed runs only,
+    /// restored-from-journal entries included. Safe to poll from any thread
+    /// while run() executes.
+    [[nodiscard]] std::map<Outcome, int> liveHistogram() const;
+
+    /// Committed-run count of the campaign in flight (see liveHistogram).
+    [[nodiscard]] std::size_t completedRuns() const;
 
     /// Enables/disables run()'s static-analysis phase (default: enabled).
     void setPreflight(bool on) noexcept { preflight_ = on; }
@@ -235,15 +271,27 @@ private:
     /// One contained attempt: build, arm, run under the watchdog, classify.
     RunResult attemptOne(const fault::FaultSpec& fault, int attempt);
 
+    /// runOne() minus the golden-run bootstrap — the worker entry point:
+    /// requires runGolden() to have completed, touches only run-local state
+    /// plus the read-only golden reference.
+    RunResult runContained(const fault::FaultSpec& fault);
+
     fault::TestbenchFactory factory_;
     Tolerance tolerance_;
     WatchdogConfig watchdogConfig_;
     RetryPolicy retryPolicy_;
     std::string journalPath_;
+    unsigned workers_ = 0;        ///< 0 = auto (GFI_JOBS / hardware_concurrency)
+    unsigned activeWorkers_ = 1;  ///< resolved count while run() executes
+    bool recordTiming_ = true;
     bool preflight_ = true;
     bool goldenRan_ = false;
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
+
+    mutable std::mutex liveMutex_;           ///< guards the live counters
+    std::map<Outcome, int> liveHistogram_;   ///< committed-run outcome counts
+    std::size_t liveCompleted_ = 0;          ///< committed-run total
 };
 
 } // namespace gfi::campaign

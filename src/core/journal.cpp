@@ -168,6 +168,7 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r)
 void CampaignJournal::append(std::size_t index, const RunResult& result)
 {
     const std::string line = entryToJson(index, result) + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
         throw std::runtime_error("CampaignJournal: write failed on " + path_);

@@ -12,6 +12,7 @@
 #include "core/campaign.hpp"
 
 #include <cstdio>
+#include <mutex>
 #include <optional>
 
 namespace gfi::campaign {
@@ -34,7 +35,10 @@ public:
     CampaignJournal(const CampaignJournal&) = delete;
     CampaignJournal& operator=(const CampaignJournal&) = delete;
 
-    /// Appends one classified run and flushes the line to disk.
+    /// Appends one classified run and flushes the line to disk. Thread-safe:
+    /// concurrent appends serialize behind an internal mutex, so every
+    /// journal line is written whole — a torn interleaving would poison the
+    /// checkpoint for resume.
     void append(std::size_t index, const RunResult& result);
 
     /// The journal file path.
@@ -51,6 +55,7 @@ public:
     [[nodiscard]] static std::vector<JournalEntry> load(const std::string& path);
 
 private:
+    std::mutex mutex_;
     std::string path_;
     std::FILE* file_ = nullptr;
 };

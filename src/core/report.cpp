@@ -36,7 +36,7 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
     csv.writeRow({"fault", "target", "outcome", "first_output_error_fs",
                   "total_output_error_fs", "max_analog_deviation_v",
                   "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
-                  "attempts", "wall_s", "error"});
+                  "attempts", "wall_s", "from_journal", "error"});
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -52,7 +52,8 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                       formatDouble(r.maxAnalogDeviation, 9),
                       formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted,
                       std::to_string(r.diagnostics.attempts),
-                      formatDouble(r.diagnostics.wallSeconds, 6), r.diagnostics.error});
+                      formatDouble(r.diagnostics.wallSeconds, 6),
+                      r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error});
     }
 }
 
@@ -83,6 +84,11 @@ std::string reportToJson(const CampaignReport& report)
         json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
         json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9) + ", ";
         json += "\"attempts\": " + std::to_string(r.diagnostics.attempts);
+        // Resumed campaigns restore classified rows from the journal; flag
+        // them so a report consumer can tell restored from fresh results.
+        if (r.diagnostics.fromJournal) {
+            json += ", \"from_journal\": true";
+        }
         if (!r.diagnostics.error.empty()) {
             json += ", \"error\": \"" + jsonEscape(r.diagnostics.error) + "\"";
         }

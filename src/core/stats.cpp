@@ -7,6 +7,32 @@
 
 namespace gfi::campaign {
 
+void OutcomeTally::add(Outcome o)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[o];
+    ++total_;
+}
+
+void OutcomeTally::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counts_.clear();
+    total_ = 0;
+}
+
+std::map<Outcome, int> OutcomeTally::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+int OutcomeTally::total() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
 Proportion wilsonInterval(int successes, int trials, double z)
 {
     Proportion p;

@@ -9,7 +9,32 @@
 
 #include "core/campaign.hpp"
 
+#include <mutex>
+
 namespace gfi::campaign {
+
+/// Thread-safe running outcome histogram. CampaignRunner feeds one of these
+/// as results commit, so a monitor (progress UI, watchdog process) can poll
+/// live counts while a parallel campaign is still executing.
+class OutcomeTally {
+public:
+    /// Counts one classified run.
+    void add(Outcome o);
+
+    /// Drops all counts (a runner calls this when a new campaign starts).
+    void reset();
+
+    /// Copy of the current histogram.
+    [[nodiscard]] std::map<Outcome, int> snapshot() const;
+
+    /// Total runs counted so far.
+    [[nodiscard]] int total() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<Outcome, int> counts_;
+    int total_ = 0;
+};
 
 /// A binomial proportion with its Wilson score confidence interval.
 struct Proportion {

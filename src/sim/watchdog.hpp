@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace gfi {
 
@@ -23,6 +24,26 @@ struct WatchdogConfig {
     double wallClockSeconds = 0.0;    ///< real-time deadline for one run
     std::uint64_t digitalWaves = 0;   ///< total delta-cycle (wave) budget
     std::uint64_t analogSteps = 0;    ///< total analog step attempts budget
+
+    /// Budgets for one of @p workers concurrent runs. The wave and step
+    /// budgets count simulated work — deterministic, so they stay exact.
+    /// The wall-clock deadline measures real time, which stretches when
+    /// workers oversubscribe the cores: scale it by the oversubscription
+    /// factor so a run that fits its budget alone does not flip to Timeout
+    /// merely because the campaign went parallel.
+    [[nodiscard]] WatchdogConfig scaledFor(unsigned workers) const
+    {
+        WatchdogConfig scaled = *this;
+        if (workers > 1 && wallClockSeconds > 0.0) {
+            const unsigned hc = std::thread::hardware_concurrency();
+            const unsigned cores = hc != 0 ? hc : 1;
+            if (workers > cores) {
+                scaled.wallClockSeconds =
+                    wallClockSeconds * static_cast<double>(workers) / cores;
+            }
+        }
+        return scaled;
+    }
 };
 
 /// Counts a run's resource use and throws WatchdogTimeout past any budget.

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -257,28 +258,28 @@ TEST(CampaignRobustness, JournalResumeSkipsCompletedFaults)
     };
 
     // Phase 1: "killed" campaign — only the first two faults completed.
-    auto builds1 = std::make_shared<int>(0);
+    auto builds1 = std::make_shared<std::atomic<int>>(0);
     CampaignRunner first([builds1] {
-        ++*builds1;
+        builds1->fetch_add(1, std::memory_order_relaxed);
         return std::make_unique<duts::DigitalDutTestbench>();
     });
     first.setJournalPath(path);
     const CampaignReport partial =
         first.run({faults.begin(), faults.begin() + 2});
     ASSERT_EQ(partial.runs.size(), 2u);
-    EXPECT_EQ(*builds1, 3); // golden + 2 faults
+    EXPECT_EQ(builds1->load(), 3); // golden + 2 faults
 
     // Phase 2: fresh runner, same journal, full fault list: only the third
     // fault may simulate (plus the golden reference).
-    auto builds2 = std::make_shared<int>(0);
+    auto builds2 = std::make_shared<std::atomic<int>>(0);
     CampaignRunner second([builds2] {
-        ++*builds2;
+        builds2->fetch_add(1, std::memory_order_relaxed);
         return std::make_unique<duts::DigitalDutTestbench>();
     });
     second.setJournalPath(path);
     const CampaignReport full = second.run(faults);
     ASSERT_EQ(full.runs.size(), 3u);
-    EXPECT_EQ(*builds2, 2); // golden + fault #3 only: nothing was re-run
+    EXPECT_EQ(builds2->load(), 2); // golden + fault #3 only: nothing was re-run
     EXPECT_TRUE(full.runs[0].diagnostics.fromJournal);
     EXPECT_TRUE(full.runs[1].diagnostics.fromJournal);
     EXPECT_FALSE(full.runs[2].diagnostics.fromJournal);
@@ -289,16 +290,16 @@ TEST(CampaignRobustness, JournalResumeSkipsCompletedFaults)
 
     // Phase 3: a *different* fault at a journaled index must re-simulate —
     // the journal validates descriptions, not just indices.
-    auto builds3 = std::make_shared<int>(0);
+    auto builds3 = std::make_shared<std::atomic<int>>(0);
     CampaignRunner third([builds3] {
-        ++*builds3;
+        builds3->fetch_add(1, std::memory_order_relaxed);
         return std::make_unique<duts::DigitalDutTestbench>();
     });
     third.setJournalPath(path);
     std::vector<fault::FaultSpec> changed = faults;
     changed[0] = fault::BitFlipFault{"dut/out_reg", 5, 3 * kMicrosecond};
     const CampaignReport revised = third.run(changed);
-    EXPECT_EQ(*builds3, 2); // golden + changed fault #0
+    EXPECT_EQ(builds3->load(), 2); // golden + changed fault #0
     EXPECT_FALSE(revised.runs[0].diagnostics.fromJournal);
     EXPECT_TRUE(revised.runs[1].diagnostics.fromJournal);
 
@@ -321,14 +322,14 @@ TEST(CampaignRobustness, JournalRecordsAbnormalOutcomes)
     EXPECT_FALSE(entries[1].result.diagnostics.error.empty());
 
     // Resuming the same list re-simulates nothing, abnormal runs included.
-    auto builds = std::make_shared<int>(0);
+    auto builds = std::make_shared<std::atomic<int>>(0);
     CampaignRunner resumed([builds] {
-        ++*builds;
+        builds->fetch_add(1, std::memory_order_relaxed);
         return makeChaosBench();
     });
     resumed.setJournalPath(path);
     const CampaignReport report = resumed.run({divergingFault(), oscillatorFault()});
-    EXPECT_EQ(*builds, 1); // golden only
+    EXPECT_EQ(builds->load(), 1); // golden only
     EXPECT_EQ(report.runs[0].outcome, Outcome::Diverged);
     std::remove(path.c_str());
 }
