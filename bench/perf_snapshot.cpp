@@ -1,0 +1,113 @@
+// Fork-from-golden speedup on the paper's Figure 8 experiment: a sweep of
+// current pulses on the PLL filter input, injected late in the run. A
+// from-scratch campaign re-simulates the whole lock-in prefix for every
+// fault; fork mode restores the nearest golden checkpoint and re-runs only
+// the post-injection suffix, so the speedup approaches
+// (runs x duration) / (duration + runs x suffix).
+//
+// Emits a single JSON object (machine-readable, consumed by CI) with the
+// scratch and forked campaign wall-clock times, the speedup, and whether the
+// two campaigns produced byte-identical reports.
+
+#include "pll_bench_common.hpp"
+
+#include "core/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+using namespace gfi;
+using namespace gfi::bench;
+
+namespace {
+
+double seconds(const std::function<void()>& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    return dt.count();
+}
+
+struct CampaignResult {
+    double wallSeconds = 0;
+    std::string summary;
+    std::string json;
+    std::size_t checkpoints = 0;
+};
+
+CampaignResult runCampaign(const pll::PllConfig& cfg,
+                           const std::vector<fault::FaultSpec>& faults, SimTime cadence)
+{
+    campaign::CampaignRunner runner = makePllRunner(cfg);
+    runner.setRecordTiming(false); // keep reports byte-comparable across modes
+    runner.setCheckpointCadence(cadence);
+    CampaignResult out;
+    campaign::CampaignReport report;
+    out.wallSeconds = seconds([&] { report = runner.run(faults); });
+    out.summary = report.summaryTable();
+    out.json = campaign::reportToJson(report);
+    out.checkpoints = runner.checkpointCount();
+    return out;
+}
+
+} // namespace
+
+int main()
+{
+    pll::PllConfig cfg;
+    cfg.duration = 40 * kMicrosecond;
+
+    // Figure 8's pulse parameter sets (PA, RT, FT, PW), each injected at two
+    // late instants — the regime the paper sweeps once the PLL is locked.
+    struct ParamSet {
+        double pa, rt, ft, pw;
+    };
+    const std::vector<ParamSet> sets{
+        {2e-3, 100e-12, 100e-12, 300e-12},
+        {8e-3, 100e-12, 100e-12, 300e-12},
+        {10e-3, 40e-12, 40e-12, 120e-12},
+        {10e-3, 180e-12, 180e-12, 540e-12},
+    };
+    const std::vector<double> injectTimes{30e-6, 36e-6};
+
+    std::vector<fault::FaultSpec> faults;
+    for (const ParamSet& p : sets) {
+        auto shape = std::make_shared<fault::TrapezoidPulse>(p.pa, p.rt, p.ft, p.pw);
+        for (double t : injectTimes) {
+            faults.emplace_back(fault::CurrentPulseFault{pll::names::kSabFilter, t, shape});
+        }
+    }
+
+    std::fprintf(stderr, "perf_snapshot: %zu faults, duration %s\n", faults.size(),
+                 formatTime(cfg.duration).c_str());
+
+    const CampaignResult scratch = runCampaign(cfg, faults, -1);
+    std::fprintf(stderr, "  from-scratch: %.3f s\n", scratch.wallSeconds);
+
+    const CampaignResult forked = runCampaign(cfg, faults, 2 * kMicrosecond);
+    std::fprintf(stderr, "  fork-from-golden: %.3f s (%zu checkpoints)\n",
+                 forked.wallSeconds, forked.checkpoints);
+
+    const bool identical =
+        forked.summary == scratch.summary && forked.json == scratch.json;
+    const double speedup =
+        forked.wallSeconds > 0 ? scratch.wallSeconds / forked.wallSeconds : 0.0;
+
+    std::printf("{\"benchmark\": \"perf_snapshot\", \"experiment\": \"fig8_pulse_sweep\", "
+                "\"runs\": %zu, \"checkpoints\": %zu, \"scratch_s\": %.3f, "
+                "\"fork_s\": %.3f, \"speedup\": %.2f, \"identical\": %s}\n",
+                faults.size(), forked.checkpoints, scratch.wallSeconds,
+                forked.wallSeconds, speedup, identical ? "true" : "false");
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: forked campaign output differs from scratch\n");
+        return 1;
+    }
+    if (speedup < 2.0) {
+        std::fprintf(stderr, "FAIL: speedup %.2f below the 2x target\n", speedup);
+        return 1;
+    }
+    return 0;
+}

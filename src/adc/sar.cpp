@@ -4,6 +4,7 @@
 #include "analog/controlled.hpp"
 #include "analog/passive.hpp"
 #include "analog/sources.hpp"
+#include "digital/stimulus.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -146,14 +147,16 @@ SarAdcTestbench::SarAdcTestbench(SarConfig config) : config_(config)
     dig.add<digital::ClockGen>(dig, "adc/clkgen", clk, fromSeconds(1.0 / config_.clockHz));
 
     // Start strobe: one conversion shortly after each staircase level begins.
+    // The strobes live in a StimulusSchedule (not raw actions) so snapshots
+    // know which ones have fired and restore can re-arm the rest.
     auto& start = dig.logicSignal("adc/start", digital::Logic::Zero);
-    dig.noteExternalDriver(start); // forced by the scheduled strobe actions below
+    dig.noteExternalDriver(start); // forced by the scheduled strobes below
     const SimTime clkPeriod = fromSeconds(1.0 / config_.clockHz);
+    auto& strobes = dig.add<digital::StimulusSchedule>(dig, "adc/start_strobes");
     for (std::size_t k = 0; k < config_.inputLevels.size(); ++k) {
         const SimTime t0 = static_cast<SimTime>(k) * config_.levelHold + clkPeriod;
-        dig.scheduler().scheduleAction(t0, [&start] { start.forceValue(digital::Logic::One); });
-        dig.scheduler().scheduleAction(t0 + 2 * clkPeriod,
-                                       [&start] { start.forceValue(digital::Logic::Zero); });
+        strobes.at(t0, start, digital::Logic::One);
+        strobes.at(t0 + 2 * clkPeriod, start, digital::Logic::Zero);
     }
 
     result_ = dig.bus("adc/result", bits, digital::Logic::Zero);

@@ -9,11 +9,12 @@
 
 #include "core/testbench.hpp"
 #include "digital/sequential.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::adc {
 
 /// Digital SAR controller: one bit decided per clock.
-class SarLogic : public digital::Component {
+class SarLogic : public digital::Component, public snapshot::Snapshottable {
 public:
     /// @param start    begins a conversion at the next rising clock edge.
     /// @param cmp      comparator input (1 when vin > DAC level).
@@ -30,6 +31,24 @@ public:
 
     /// True while converting.
     [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(code_);
+        w.u64(result_);
+        w.u64(static_cast<std::uint64_t>(bit_));
+        w.boolean(busy_);
+        w.boolean(doneFlag_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        code_ = r.u64();
+        result_ = r.u64();
+        bit_ = static_cast<int>(r.u64());
+        busy_ = r.boolean();
+        doneFlag_ = r.boolean();
+    }
 
 private:
     void drive();

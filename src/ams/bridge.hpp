@@ -15,7 +15,7 @@
 namespace gfi::ams {
 
 /// Comparator-style analog-to-digital bridge.
-class AtoDBridge {
+class AtoDBridge : public snapshot::Snapshottable {
 public:
     /// @param threshold   switching threshold (volts).
     /// @param hysteresis  full hysteresis band width (volts, 0 = none).
@@ -27,6 +27,11 @@ public:
 
     /// Bridge name.
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Snapshot: only the hysteresis state. The driven digital signal is
+    /// captured with the rest of the circuit; monitors are structural.
+    void captureState(snapshot::Writer& w) const override { w.boolean(high_); }
+    void restoreState(snapshot::Reader& r) override { high_ = r.boolean(); }
 
 private:
     void fire(MixedSimulator& sim, double tCross, bool rising);
@@ -40,7 +45,7 @@ private:
 };
 
 /// Digital-to-analog bridge driving a voltage source between two levels.
-class DtoABridge {
+class DtoABridge : public snapshot::Snapshottable {
 public:
     /// @param lowVolts/highVolts  output levels for logic 0/1.
     /// @param slewSeconds         0->instant; otherwise linear ramp duration.
@@ -50,6 +55,13 @@ public:
 
     /// The underlying analog source (e.g. to probe its branch current).
     [[nodiscard]] analog::VoltageSource& source() noexcept { return *source_; }
+
+    /// Snapshot: the settled drive level. The underlying source serializes
+    /// its own DC value; an in-flight slew ramp is code, not data — a
+    /// checkpoint taken mid-ramp restores to the ramp's target level (see
+    /// DESIGN.md §9, "not captured").
+    void captureState(snapshot::Writer& w) const override { w.f64(currentLevel_); }
+    void restoreState(snapshot::Reader& r) override { currentLevel_ = r.f64(); }
 
 private:
     void drive(MixedSimulator& sim);
@@ -65,7 +77,7 @@ private:
 
 /// Maps a set of digital signals to a voltage level on an analog node — the
 /// behavioral model of a DAC or digitally-programmed reference.
-class DigitalVoltageDriver {
+class DigitalVoltageDriver : public snapshot::Snapshottable {
 public:
     using LevelFn = std::function<double(const std::vector<digital::Logic>&)>;
 
@@ -77,6 +89,10 @@ public:
 
     /// The underlying voltage source.
     [[nodiscard]] analog::VoltageSource& source() noexcept { return *source_; }
+
+    /// Snapshot: the last driven level (the source serializes its DC value).
+    void captureState(snapshot::Writer& w) const override { w.f64(currentLevel_); }
+    void restoreState(snapshot::Reader& r) override { currentLevel_ = r.f64(); }
 
 private:
     void drive(MixedSimulator& sim);
@@ -90,7 +106,7 @@ private:
 
 /// Maps a set of digital signals to a current injected into an analog node.
 /// The PLL charge pump is the canonical instance: I = Icp * (UP - DOWN).
-class DigitalCurrentDriver {
+class DigitalCurrentDriver : public snapshot::Snapshottable {
 public:
     using LevelFn = std::function<double(const std::vector<digital::Logic>&)>;
 
@@ -102,6 +118,10 @@ public:
 
     /// The underlying current source (fault campaigns may probe or usurp it).
     [[nodiscard]] analog::CurrentSource& source() noexcept { return *source_; }
+
+    /// Snapshot: the last driven level (the source serializes its DC value).
+    void captureState(snapshot::Writer& w) const override { w.f64(currentLevel_); }
+    void restoreState(snapshot::Reader& r) override { currentLevel_ = r.f64(); }
 
 private:
     void drive(MixedSimulator& sim);

@@ -34,6 +34,139 @@ void MixedSimulator::elaborate(analog::SolverOptions options)
     digital_.scheduler().start();
 }
 
+namespace {
+
+/// Snapshottable digital components, registration order. Exempt components
+/// (pure combinational, ROMs, structural shells) carry no state and are
+/// skipped; a stateful non-Snapshottable component is a preflight error
+/// (PRE006), not a silent gap.
+snapshot::SnapshotRegistry digitalRegistry(const digital::Circuit& c)
+{
+    snapshot::SnapshotRegistry reg;
+    for (const auto& comp : c.components()) {
+        if (auto* s = dynamic_cast<snapshot::Snapshottable*>(comp.get())) {
+            reg.add(comp->name(), s);
+        }
+    }
+    return reg;
+}
+
+/// All analog components, registration order. Stateless ones serialize an
+/// empty payload through the default AnalogComponent hooks.
+snapshot::SnapshotRegistry analogRegistry(const analog::AnalogSystem& sys)
+{
+    snapshot::SnapshotRegistry reg;
+    for (const auto& comp : sys.components()) {
+        reg.add(comp->name(), comp.get());
+    }
+    return reg;
+}
+
+} // namespace
+
+snapshot::Snapshot MixedSimulator::captureSnapshot()
+{
+    elaborate();
+    snapshot::Writer w;
+    snapshot::writeHeader(w);
+
+    digital_.scheduler().captureState(w);
+
+    // Signals, creation order; each payload length-prefixed and name-tagged.
+    const auto& names = digital_.signalNames();
+    w.u64(names.size());
+    for (const std::string& name : names) {
+        w.str(name);
+        snapshot::Writer sub;
+        digital_.findSignal(name).captureState(sub);
+        w.blob(sub.bytes());
+    }
+
+    digitalRegistry(digital_).capture(w);
+    bridges_.capture(w);
+
+    const bool hasAnalog = analog_.unknownCount() > 0;
+    w.boolean(hasAnalog);
+    if (hasAnalog) {
+        snapshot::Writer sub;
+        solver_->captureState(sub);
+        w.blob(sub.bytes());
+        analogRegistry(analog_).capture(w);
+    }
+
+    snapshot::Snapshot snap;
+    snap.time = digital_.scheduler().now();
+    snap.analogTime = hasAnalog ? solver_->time() : 0.0;
+    snap.bytes = w.take();
+    return snap;
+}
+
+void MixedSimulator::restoreSnapshot(const snapshot::Snapshot& snap)
+{
+    elaborate();
+    snapshot::Reader r(snap.bytes);
+    snapshot::readHeader(r);
+
+    digital_.scheduler().restoreState(
+        r, [this](const std::string& name) -> digital::SignalBase& {
+            try {
+                return digital_.findSignal(name);
+            } catch (const std::out_of_range&) {
+                throw snapshot::SnapshotFormatError(
+                    "snapshot: pending transaction targets unknown signal '" + name +
+                    "' (testbench factory mismatch?)");
+            }
+        });
+
+    const std::uint64_t n = r.u64();
+    const auto& names = digital_.signalNames();
+    if (n != names.size()) {
+        throw snapshot::SnapshotFormatError(
+            "snapshot: stream has " + std::to_string(n) + " signals, circuit has " +
+            std::to_string(names.size()) + " (testbench factory mismatch?)");
+    }
+    for (const std::string& expected : names) {
+        const std::string name = r.str();
+        if (name != expected) {
+            throw snapshot::SnapshotFormatError("snapshot: signal '" + name +
+                                                "' where '" + expected + "' was expected");
+        }
+        const std::vector<std::uint8_t> payload = r.blob();
+        snapshot::Reader sub(payload);
+        digital_.findSignal(name).restoreState(sub);
+        if (!sub.atEnd()) {
+            throw snapshot::SnapshotFormatError("snapshot: signal '" + name + "' left " +
+                                                std::to_string(sub.remaining()) +
+                                                " unread payload bytes");
+        }
+    }
+
+    digitalRegistry(digital_).restore(r);
+    bridges_.restore(r);
+
+    const bool hasAnalog = r.boolean();
+    if (hasAnalog != (analog_.unknownCount() > 0)) {
+        throw snapshot::SnapshotFormatError(
+            "snapshot: analog-domain presence differs from the capture");
+    }
+    if (hasAnalog) {
+        const std::vector<std::uint8_t> payload = r.blob();
+        snapshot::Reader sub(payload);
+        solver_->restoreState(sub);
+        if (!sub.atEnd()) {
+            throw snapshot::SnapshotFormatError(
+                "snapshot: solver left " + std::to_string(sub.remaining()) +
+                " unread payload bytes");
+        }
+        analogRegistry(analog_).restore(r);
+    }
+
+    if (!r.atEnd()) {
+        throw snapshot::SnapshotFormatError("snapshot: " + std::to_string(r.remaining()) +
+                                            " trailing bytes after restore");
+    }
+}
+
 void MixedSimulator::run(SimTime until)
 {
     elaborate();

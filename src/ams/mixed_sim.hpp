@@ -15,6 +15,7 @@
 #include "analog/solver.hpp"
 #include "digital/circuit.hpp"
 #include "sim/watchdog.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <functional>
 #include <memory>
@@ -65,6 +66,28 @@ public:
     /// Current co-simulation time (the digital kernel's clock).
     [[nodiscard]] SimTime now() const noexcept { return digital_.scheduler().now(); }
 
+    // --- snapshot/restore ---------------------------------------------------
+
+    /// Registry the AMS bridges add themselves to at construction; their
+    /// hysteresis/level state rides along in every snapshot.
+    [[nodiscard]] snapshot::SnapshotRegistry& bridgeRegistry() noexcept { return bridges_; }
+
+    /// Serializes the full simulator state — digital scheduler (time, seq,
+    /// wave counters, pending transactions), every signal, every Snapshottable
+    /// digital component, the AMS bridges, and the analog solver plus
+    /// per-component companion history — into one byte-stable stream.
+    /// The simulator must be quiescent: call after run(t) returns, never from
+    /// inside a process or bridge callback.
+    [[nodiscard]] snapshot::Snapshot captureSnapshot();
+
+    /// Restores state captured by captureSnapshot() into THIS simulator,
+    /// which must be a freshly built structural twin (same testbench factory).
+    /// Elaborates first (DC solve + bridge hooks), then overwrites members
+    /// directly — no instrumentation setters, no event propagation — and
+    /// re-arms component self-scheduled actions. After this returns, run()
+    /// continues exactly as the captured simulator would have.
+    void restoreSnapshot(const snapshot::Snapshot& snap);
+
     // --- fault-tolerant execution support ----------------------------------
 
     /// Attaches a per-run watchdog to both kernels (not owned; nullptr
@@ -82,6 +105,7 @@ private:
     digital::Circuit digital_;
     analog::AnalogSystem analog_;
     std::unique_ptr<analog::TransientSolver> solver_;
+    snapshot::SnapshotRegistry bridges_;
     std::vector<std::function<void(analog::TransientSolver&)>> elaborationHooks_;
     Watchdog* watchdog_ = nullptr;
     double stepScale_ = 1.0;

@@ -45,6 +45,26 @@ public:
     void notifyDiscontinuity() override { resetHistory(); }
     bool stampAc(ComplexStamper& s, double omega) const override;
 
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.f64(v0_);
+        w.f64(i0_);
+        w.f64(geq_);
+        w.f64(irhs_);
+        w.boolean(hasHistory_);
+        w.boolean(primed_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        v0_ = r.f64();
+        i0_ = r.f64();
+        geq_ = r.f64();
+        irhs_ = r.f64();
+        hasHistory_ = r.boolean();
+        primed_ = r.boolean();
+    }
+
 private:
     NodeId a_;
     NodeId b_;
@@ -73,6 +93,24 @@ public:
     void acceptStep(const Solution& x, double t, double dt) override;
     void notifyDiscontinuity() override { resetHistory(); }
     bool stampAc(ComplexStamper& s, double omega) const override;
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.f64(v0_);
+        w.f64(i0_);
+        w.f64(geq_);
+        w.f64(irhs_);
+        w.boolean(hasHistory_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        v0_ = r.f64();
+        i0_ = r.f64();
+        geq_ = r.f64();
+        irhs_ = r.f64();
+        hasHistory_ = r.boolean();
+    }
 
 private:
     NodeId a_;

@@ -185,6 +185,76 @@ CrossingMonitor& TransientSolver::addMonitor(NodeId node, double threshold,
     return *monitors_.back();
 }
 
+void TransientSolver::captureState(snapshot::Writer& w) const
+{
+    w.boolean(dcDone_);
+    w.f64(time_);
+    w.f64(dtNext_);
+    w.f64(dtPrev_);
+    w.boolean(havePrev_);
+    w.boolean(sawNonFinite_);
+
+    const std::vector<double>& x = sys_->state();
+    w.u64(x.size());
+    for (double v : x) {
+        w.f64(v);
+    }
+    w.u64(xPrev_.size());
+    for (double v : xPrev_) {
+        w.f64(v);
+    }
+
+    w.u64(stats_.acceptedSteps);
+    w.u64(stats_.rejectedSteps);
+    w.u64(stats_.newtonIterations);
+    w.u64(stats_.linearSolves);
+    w.u64(stats_.crossingsLocated);
+
+    w.u64(breakpoints_.size());
+    for (double bp : breakpoints_) {
+        w.f64(bp);
+    }
+}
+
+void TransientSolver::restoreState(snapshot::Reader& r)
+{
+    dcDone_ = r.boolean();
+    time_ = r.f64();
+    dtNext_ = r.f64();
+    dtPrev_ = r.f64();
+    havePrev_ = r.boolean();
+    sawNonFinite_ = r.boolean();
+
+    const std::uint64_t n = r.u64();
+    if (n != static_cast<std::uint64_t>(sys_->unknownCount())) {
+        throw snapshot::SnapshotFormatError(
+            "TransientSolver: snapshot has " + std::to_string(n) + " unknowns, system has " +
+            std::to_string(sys_->unknownCount()));
+    }
+    std::vector<double>& x = sys_->state();
+    x.assign(static_cast<std::size_t>(n), 0.0);
+    for (double& v : x) {
+        v = r.f64();
+    }
+    const std::uint64_t np = r.u64();
+    xPrev_.assign(static_cast<std::size_t>(np), 0.0);
+    for (double& v : xPrev_) {
+        v = r.f64();
+    }
+
+    stats_.acceptedSteps = r.u64();
+    stats_.rejectedSteps = r.u64();
+    stats_.newtonIterations = r.u64();
+    stats_.linearSolves = r.u64();
+    stats_.crossingsLocated = r.u64();
+
+    breakpoints_.clear();
+    const std::uint64_t nb = r.u64();
+    for (std::uint64_t i = 0; i < nb; ++i) {
+        breakpoints_.insert(r.f64());
+    }
+}
+
 double TransientSolver::advanceTo(double tStop)
 {
     if (!dcDone_) {

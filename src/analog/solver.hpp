@@ -16,6 +16,7 @@
 #include "analog/linear.hpp"
 #include "analog/system.hpp"
 #include "sim/watchdog.hpp"
+#include "snapshot/serialize.hpp"
 
 #include <functional>
 #include <memory>
@@ -128,6 +129,17 @@ public:
 
     /// Solver options (read-only).
     [[nodiscard]] const SolverOptions& options() const noexcept { return options_; }
+
+    /// Serializes the integrator state: analog time, adaptive-step control,
+    /// committed MNA solution, predictor history, cumulative statistics and
+    /// external breakpoints. Monitors and probes are structural (rebuilt by
+    /// elaboration) and are not captured. Per-component companion history is
+    /// captured separately through AnalogComponent::captureState.
+    void captureState(snapshot::Writer& w) const;
+
+    /// Restores state written by captureState; the system must have the same
+    /// unknown count as at capture time.
+    void restoreState(snapshot::Reader& r);
 
     /// Attaches a per-run watchdog (not owned; nullptr detaches). Every step
     /// attempt charges one analog-step unit; budget exhaustion unwinds with

@@ -48,6 +48,24 @@ public:
     void collectBreakpoints(double tNow, double tMax, std::vector<double>& out) override;
     bool stampAc(ComplexStamper& s, double omega) const override;
 
+    /// Snapshot: the DC level plus whether a time function was active. The
+    /// function itself is code, not data — a restore keeps the (identical)
+    /// constructor-installed function, or clears it if the golden run had
+    /// switched the source to piecewise-constant drive by capture time.
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.f64(dc_);
+        w.boolean(static_cast<bool>(fn_.value));
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        dc_ = r.f64();
+        if (!r.boolean()) {
+            fn_ = {};
+        }
+    }
+
 private:
     NodeId p_;
     NodeId m_;
@@ -94,6 +112,21 @@ public:
     void stamp(Stamper& s, const Solution& x, double t, double dt, bool dcMode) override;
     void collectBreakpoints(double tNow, double tMax, std::vector<double>& out) override;
     bool stampAc(ComplexStamper& s, double omega) const override;
+
+    /// Snapshot semantics mirror VoltageSource::captureState.
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.f64(dc_);
+        w.boolean(static_cast<bool>(fn_.value));
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        dc_ = r.f64();
+        if (!r.boolean()) {
+            fn_ = {};
+        }
+    }
 
 private:
     NodeId p_;

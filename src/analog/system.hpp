@@ -11,6 +11,8 @@
 // adding a current contribution to that equation — exactly the saboteur
 // semantics of the paper's Figure 4.
 
+#include "snapshot/snapshot.hpp"
+
 #include <complex>
 #include <functional>
 #include <memory>
@@ -138,10 +140,10 @@ private:
 
 /// Base class for analog components (the behavioral sub-blocks of the paper's
 /// mixed structural/behavioral descriptions).
-class AnalogComponent {
+class AnalogComponent : public snapshot::Snapshottable {
 public:
     explicit AnalogComponent(std::string name) : name_(std::move(name)) {}
-    virtual ~AnalogComponent() = default;
+    ~AnalogComponent() override = default;
     AnalogComponent(const AnalogComponent&) = delete;
     AnalogComponent& operator=(const AnalogComponent&) = delete;
 
@@ -188,6 +190,16 @@ public:
         (void)t;
         return 1e30;
     }
+
+    /// Serializes integration history / behavioral state for a simulation
+    /// snapshot. Stateless components (the default) write nothing; stateful
+    /// ones (capacitors, inductors, behavioral oscillators, externally
+    /// driven sources) override both hooks symmetrically.
+    void captureState(snapshot::Writer& w) const override { (void)w; }
+
+    /// Restores state written by captureState. Must consume exactly the
+    /// bytes the capture wrote.
+    void restoreState(snapshot::Reader& r) override { (void)r; }
 
     /// Adds this component's small-signal contribution at angular frequency
     /// @p omega. Returns false when the component has no linear small-signal

@@ -8,9 +8,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace gfi::campaign {
+
+namespace {
+
+/// CheckpointStore key of the (single) golden testbench.
+constexpr const char* kGoldenCheckpoints = "golden";
+
+} // namespace
 
 const char* toString(Outcome o)
 {
@@ -69,6 +77,21 @@ std::string CampaignReport::summaryTable() const
     }
     t.addSeparator();
     t.addRow({"total", std::to_string(total), "100 %"});
+
+    // Fork-from-golden savings footer — only when at least one run actually
+    // forked, so non-forking campaigns keep the exact historical table.
+    int forked = 0;
+    SimTime skipped = 0;
+    for (const RunResult& r : runs) {
+        if (r.diagnostics.checkpointTime > 0) {
+            ++forked;
+            skipped += r.diagnostics.checkpointTime;
+        }
+    }
+    if (forked > 0) {
+        t.addSeparator();
+        t.addRow({"forked runs", std::to_string(forked), formatTime(skipped) + " skipped"});
+    }
     return t.str();
 }
 
@@ -175,6 +198,29 @@ CampaignRunner::CampaignRunner(fault::TestbenchFactory factory, Tolerance tolera
 {
 }
 
+SimTime CampaignRunner::effectiveCheckpointCadence() const
+{
+    if (checkpointCadence_ > 0) {
+        return checkpointCadence_;
+    }
+    if (checkpointCadence_ < 0) {
+        return 0; // explicit opt-out beats the environment
+    }
+    const char* env = std::getenv("GFI_CHECKPOINT");
+    if (env != nullptr && *env != '\0') {
+        const double seconds = std::strtod(env, nullptr);
+        if (seconds > 0.0 && seconds < 1e30) {
+            return fromSeconds(seconds);
+        }
+    }
+    return 0;
+}
+
+std::size_t CampaignRunner::checkpointCount() const
+{
+    return checkpoints_.count(kGoldenCheckpoints);
+}
+
 void CampaignRunner::runGolden()
 {
     if (goldenRan_) {
@@ -183,7 +229,34 @@ void CampaignRunner::runGolden()
     if (!golden_) {
         golden_ = factory_(); // may already exist: preflight lints it pre-run
     }
-    golden_->run();
+    const SimTime cadence = effectiveCheckpointCadence();
+    if (cadence > 0) {
+        // Fork-from-golden: advance event by event and capture at the first
+        // scheduled event past each cadence mark. Scheduled event times are
+        // exactly where an uninterrupted run's kernels stop anyway (the
+        // analog solver never steps past the next digital event), so the
+        // capture points perturb nothing and a restored run is bit-identical
+        // to a from-scratch one.
+        auto& sim = golden_->sim();
+        sim.elaborate();
+        const SimTime duration = golden_->duration();
+        SimTime nextMark = cadence;
+        while (true) {
+            const SimTime ev = sim.digital().scheduler().nextEventTime();
+            if (ev >= duration) {
+                break;
+            }
+            sim.run(ev);
+            if (ev >= nextMark) {
+                checkpoints_.put(kGoldenCheckpoints, std::make_shared<const snapshot::Snapshot>(
+                                                         sim.captureSnapshot()));
+                nextMark = ev + cadence;
+            }
+        }
+        sim.run(duration);
+    } else {
+        golden_->run();
+    }
     goldenRan_ = true;
     for (const std::string& name : golden_->observedState()) {
         goldenState_[name] = golden_->sim().digital().instrumentation().hook(name).get();
@@ -278,12 +351,33 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
     RunResult result;
     result.fault = fault;
 
+    // Fork-from-golden: a first attempt at a real fault may resume from the
+    // nearest golden checkpoint strictly before the injection instant (the
+    // store is empty unless runGolden() captured in fork mode). Retries
+    // always re-simulate from scratch — a tightened solver step invalidates
+    // the captured integrator history.
+    std::shared_ptr<const snapshot::Snapshot> cp;
+    if (attempt == 1 && !fault::isGolden(fault)) {
+        const SimTime tInj = fault::injectionTime(fault);
+        if (tInj > 0) {
+            cp = checkpoints_.nearestBefore(kGoldenCheckpoints, tInj);
+        }
+    }
+
     Watchdog watchdog(watchdogConfig_.scaledFor(activeWorkers_));
     std::unique_ptr<fault::Testbench> tb;
     try {
         tb = factory_();
         if (attempt > 1 && retryPolicy_.stepTighten > 0.0 && retryPolicy_.stepTighten < 1.0) {
             tb->sim().setSolverStepScale(std::pow(retryPolicy_.stepTighten, attempt - 1));
+        }
+        if (cp) {
+            tb->sim().restoreSnapshot(*cp);
+            tb->recorder().preloadPrefix(golden_->recorder(), cp->time, cp->analogTime);
+            // Re-arm so the wave/step/wall budgets meter only the post-restore
+            // suffix, not the restore work — a forked run must never trip a
+            // budget its from-scratch twin would survive.
+            watchdog.arm();
         }
         tb->sim().setWatchdog(&watchdog);
         fault::armFault(*tb, fault);
@@ -311,6 +405,13 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
         }
     }
     result.diagnostics.wallSeconds = recordTiming_ ? watchdog.elapsedSeconds() : 0.0;
+    if (cp && recordTiming_) {
+        result.diagnostics.checkpointTime = cp->time;
+        if (tb) {
+            result.diagnostics.resimulatedTime =
+                std::max<SimTime>(tb->sim().now() - cp->time, 0);
+        }
+    }
     return result;
 }
 
@@ -354,6 +455,12 @@ CampaignReport CampaignRunner::run(
     // here in O(1), before the golden run and before any journal restore.
     if (preflight_) {
         lint::Report rep = preflightReport(faults);
+        if (effectiveCheckpointCadence() > 0) {
+            // Fork-from-golden restores component state through the
+            // Snapshottable interface; a stateful component outside it would
+            // silently resume stale (PRE006).
+            rep.merge(lint::preflightSnapshot(*golden_));
+        }
         if (rep.count(lint::Severity::Error) > 0) {
             throw lint::PreflightError(std::move(rep));
         }

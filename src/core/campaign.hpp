@@ -24,6 +24,7 @@
 #include "core/testbench.hpp"
 #include "lint/diagnostic.hpp"
 #include "sim/watchdog.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/compare.hpp"
 
 #include <array>
@@ -80,6 +81,10 @@ struct RunDiagnostics {
     std::uint64_t digitalWaves = 0; ///< delta cycles consumed by the final attempt
     std::uint64_t analogSteps = 0;  ///< analog step attempts of the final attempt
     bool fromJournal = false;       ///< restored from a checkpoint, not simulated
+    SimTime checkpointTime = 0;     ///< golden checkpoint this run forked from
+                                    ///< (0 = simulated from scratch)
+    SimTime resimulatedTime = 0;    ///< simulated time actually re-run after the
+                                    ///< fork (0 when from scratch)
 };
 
 /// Result of one injection run.
@@ -212,9 +217,32 @@ public:
     void setWorkers(unsigned n) noexcept { workers_ = n; }
     [[nodiscard]] unsigned workers() const noexcept { return workers_; }
 
-    /// When disabled, diagnostics.wallSeconds is recorded as 0 so journals
-    /// and reports are byte-stable across runs and worker counts (the wall
-    /// clock is the only nondeterministic field). Default: enabled.
+    /// Fork-from-golden execution: with a cadence > 0, runGolden() advances
+    /// the golden run event by event and captures a full simulator snapshot
+    /// at the first scheduled event past each cadence mark. Every first
+    /// attempt of a real fault then restores the nearest checkpoint strictly
+    /// before its injection instant and simulates only the suffix — results
+    /// (journal, report, summary table) stay byte-identical to from-scratch
+    /// execution because checkpoints live at points where an uninterrupted
+    /// run's kernels land anyway. Retries and golden runs always simulate
+    /// from scratch. run()'s preflight phase adds the PRE006 snapshot-
+    /// readiness check while forking is enabled.
+    ///
+    /// 0 (the default) defers to the GFI_CHECKPOINT environment variable
+    /// (cadence in seconds); a negative cadence disables forking even when
+    /// the variable is set. Requires testbenches that use the default
+    /// Testbench::run() (plain sim().run(duration())).
+    void setCheckpointCadence(SimTime cadence) noexcept { checkpointCadence_ = cadence; }
+    [[nodiscard]] SimTime checkpointCadence() const noexcept { return checkpointCadence_; }
+
+    /// Golden checkpoints captured so far (0 until runGolden() in fork mode).
+    [[nodiscard]] std::size_t checkpointCount() const;
+
+    /// When disabled, diagnostics.wallSeconds, checkpointTime and
+    /// resimulatedTime are recorded as 0 so journals and reports are
+    /// byte-stable across runs, worker counts and fork-from-golden modes
+    /// (the wall clock is nondeterministic; the checkpoint fields depend on
+    /// the configured cadence). Default: enabled.
     void setRecordTiming(bool on) noexcept { recordTiming_ = on; }
     [[nodiscard]] bool recordTiming() const noexcept { return recordTiming_; }
 
@@ -276,6 +304,10 @@ private:
     /// plus the read-only golden reference.
     RunResult runContained(const fault::FaultSpec& fault);
 
+    /// Resolves the fork-from-golden cadence: the explicit setting when
+    /// positive, else GFI_CHECKPOINT (seconds), else 0 (disabled).
+    [[nodiscard]] SimTime effectiveCheckpointCadence() const;
+
     fault::TestbenchFactory factory_;
     Tolerance tolerance_;
     WatchdogConfig watchdogConfig_;
@@ -286,8 +318,10 @@ private:
     bool recordTiming_ = true;
     bool preflight_ = true;
     bool goldenRan_ = false;
+    SimTime checkpointCadence_ = 0; ///< 0 = GFI_CHECKPOINT env, negative = off
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
+    snapshot::CheckpointStore checkpoints_; ///< golden snapshots, fork mode only
 
     mutable std::mutex liveMutex_;           ///< guards the live counters
     std::map<Outcome, int> liveHistogram_;   ///< committed-run outcome counts

@@ -154,6 +154,8 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r)
     json += "\"wall_s\": " + formatDouble(r.diagnostics.wallSeconds, 6) + ", ";
     json += "\"digital_waves\": " + std::to_string(r.diagnostics.digitalWaves) + ", ";
     json += "\"analog_steps\": " + std::to_string(r.diagnostics.analogSteps) + ", ";
+    json += "\"checkpoint_fs\": " + std::to_string(r.diagnostics.checkpointTime) + ", ";
+    json += "\"resim_fs\": " + std::to_string(r.diagnostics.resimulatedTime) + ", ";
     json += "\"first_output_error_fs\": " + std::to_string(r.firstOutputError) + ", ";
     json += "\"last_output_error_end_fs\": " + std::to_string(r.lastOutputErrorEnd) + ", ";
     json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
@@ -208,6 +210,12 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     }
     if (getInt(line, "analog_steps", ll)) {
         e.result.diagnostics.analogSteps = static_cast<std::uint64_t>(ll);
+    }
+    if (getInt(line, "checkpoint_fs", ll)) {
+        e.result.diagnostics.checkpointTime = ll;
+    }
+    if (getInt(line, "resim_fs", ll)) {
+        e.result.diagnostics.resimulatedTime = ll;
     }
     if (getInt(line, "first_output_error_fs", ll)) {
         e.result.firstOutputError = ll;

@@ -36,7 +36,8 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
     csv.writeRow({"fault", "target", "outcome", "first_output_error_fs",
                   "total_output_error_fs", "max_analog_deviation_v",
                   "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
-                  "attempts", "wall_s", "from_journal", "error"});
+                  "attempts", "wall_s", "checkpoint_fs", "resim_fs", "from_journal",
+                  "error"});
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -53,6 +54,8 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                       formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted,
                       std::to_string(r.diagnostics.attempts),
                       formatDouble(r.diagnostics.wallSeconds, 6),
+                      std::to_string(r.diagnostics.checkpointTime),
+                      std::to_string(r.diagnostics.resimulatedTime),
                       r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error});
     }
 }
@@ -84,6 +87,12 @@ std::string reportToJson(const CampaignReport& report)
         json += "\"total_output_error_fs\": " + std::to_string(r.totalOutputErrorTime) + ", ";
         json += "\"max_analog_deviation_v\": " + formatDouble(r.maxAnalogDeviation, 9) + ", ";
         json += "\"attempts\": " + std::to_string(r.diagnostics.attempts);
+        // Forked runs carry their checkpoint bookkeeping; from-scratch runs
+        // omit the fields so pre-fork reports keep their exact shape.
+        if (r.diagnostics.checkpointTime > 0) {
+            json += ", \"checkpoint_fs\": " + std::to_string(r.diagnostics.checkpointTime);
+            json += ", \"resim_fs\": " + std::to_string(r.diagnostics.resimulatedTime);
+        }
         // Resumed campaigns restore classified rows from the journal; flag
         // them so a report consumer can tell restored from fresh results.
         if (r.diagnostics.fromJournal) {

@@ -10,6 +10,7 @@
 #include "analog/system.hpp"
 #include "core/pulse.hpp"
 #include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::fault {
 
@@ -49,7 +50,7 @@ private:
 };
 
 /// Digital saboteur: a controllable pass-through inserted on a signal.
-class DigitalSaboteur : public digital::Component {
+class DigitalSaboteur : public digital::Component, public snapshot::Snapshottable {
 public:
     enum class Mode {
         Transparent, ///< out follows in
@@ -73,6 +74,20 @@ public:
     void injectStuckAt(SimTime start, digital::Logic value, SimTime duration = 0);
 
     [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+    /// Golden runs always capture the saboteur Transparent (faults arm only
+    /// after restore), but the mode is serialized anyway for completeness.
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(mode_));
+        w.u64(static_cast<std::uint64_t>(stuck_));
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        mode_ = static_cast<Mode>(r.u64());
+        stuck_ = static_cast<digital::Logic>(r.u64());
+    }
 
 private:
     void drive();

@@ -11,6 +11,8 @@ public:
     Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus& sum,
           LogicSignal* cin = nullptr, LogicSignal* cout = nullptr,
           SimTime delay = 300 * kPicosecond);
+
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 };
 
 /// Combinational equality comparator: eq = (a == b), X if any input unknown.
@@ -18,6 +20,8 @@ class EqComparator : public Component {
 public:
     EqComparator(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& eq,
                  SimTime delay = 200 * kPicosecond);
+
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 };
 
 /// Two-to-one bus multiplexer: y = sel ? b : a.
@@ -25,6 +29,8 @@ class BusMux2 : public Component {
 public:
     BusMux2(Circuit& c, std::string name, const Bus& a, const Bus& b, LogicSignal& sel,
             const Bus& y, SimTime delay = 150 * kPicosecond);
+
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 };
 
 } // namespace gfi::digital

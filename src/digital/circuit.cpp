@@ -67,6 +67,15 @@ LogicSignal& Circuit::findLogic(const std::string& name) const
     return *sig;
 }
 
+SignalBase& Circuit::findSignal(const std::string& name) const
+{
+    const auto it = signals_.find(name);
+    if (it == signals_.end()) {
+        throw std::out_of_range("Circuit: unknown signal '" + name + "'");
+    }
+    return *it->second;
+}
+
 Process& Circuit::process(const std::string& name, std::function<void()> fn,
                           std::initializer_list<SignalBase*> sensitivity)
 {

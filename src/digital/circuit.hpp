@@ -41,6 +41,12 @@ public:
     /// Hierarchical instance name.
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+    /// True for components with no mutable simulation state (pure
+    /// combinational logic, ROMs, structural shells): they are skipped by
+    /// snapshot capture and exempt from preflight rule PRE006, which rejects
+    /// fork-from-golden campaigns over stateful non-Snapshottable components.
+    [[nodiscard]] virtual bool snapshotExempt() const noexcept { return false; }
+
 private:
     std::string name_;
 };
@@ -108,6 +114,9 @@ public:
     /// Looks up a previously created logic signal; throws std::out_of_range.
     [[nodiscard]] LogicSignal& findLogic(const std::string& name) const;
 
+    /// Looks up any signal by name (snapshot restore); throws std::out_of_range.
+    [[nodiscard]] SignalBase& findSignal(const std::string& name) const;
+
     /// True if a signal with this exact name exists.
     [[nodiscard]] bool hasSignal(const std::string& name) const
     {
@@ -173,6 +182,13 @@ public:
         C& ref = *comp;
         components_.push_back(std::move(comp));
         return ref;
+    }
+
+    /// Owned component instances, in registration order (the deterministic
+    /// iteration order snapshot capture and preflight PRE006 rely on).
+    [[nodiscard]] const std::vector<std::unique_ptr<Component>>& components() const noexcept
+    {
+        return components_;
     }
 
     /// The mutant/injection hook registry.

@@ -9,6 +9,7 @@
 // clock edge.
 
 #include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <functional>
 
@@ -16,7 +17,7 @@ namespace gfi::digital {
 
 /// Synchronous Moore/Mealy FSM described by callable next-state and output
 /// functions (a transition table is the usual special case).
-class TableFsm : public Component {
+class TableFsm : public Component, public snapshot::Snapshottable {
 public:
     /// Computes the next state from (currentState, inputValue).
     using TransitionFn = std::function<int(int, std::uint64_t)>;
@@ -49,6 +50,20 @@ public:
 
     /// Number of state bits (hook width).
     [[nodiscard]] int stateBits() const noexcept { return stateBits_; }
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(state_));
+        w.u64(static_cast<std::uint64_t>(forcedNext_));
+        w.boolean(hasForcedNext_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        state_ = static_cast<int>(r.u64());
+        forcedNext_ = static_cast<int>(r.u64());
+        hasForcedNext_ = r.boolean();
+    }
 
 private:
     void drive();

@@ -27,6 +27,9 @@ public:
     /// Combinational function of this gate applied to explicit values.
     [[nodiscard]] static Logic evaluate(GateKind kind, const std::vector<Logic>& values);
 
+    /// Pure combinational: outputs re-derive from restored inputs.
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
+
 private:
     GateKind kind_;
     std::vector<LogicSignal*> inputs_;
@@ -89,6 +92,8 @@ class Mux2 : public Component {
 public:
     Mux2(Circuit& c, std::string name, LogicSignal& a, LogicSignal& b, LogicSignal& sel,
          LogicSignal& y, SimTime delay = kDefaultGateDelay);
+
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 };
 
 } // namespace gfi::digital

@@ -4,11 +4,12 @@
 // its own instrumentation hook so campaigns can flip any bit of any word.
 
 #include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::digital {
 
 /// Synchronous-write RAM with asynchronous (combinational) read.
-class Ram : public Component {
+class Ram : public Component, public snapshot::Snapshottable {
 public:
     /// @param clk    write clock (positive edge).
     /// @param we     write enable (active high).
@@ -34,6 +35,23 @@ public:
     /// per-word hooks registered as "<name>/w<addr>").
     void setWord(int address, std::uint64_t value);
 
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(storage_.size());
+        for (std::uint64_t word : storage_) {
+            w.u64(word);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        const std::uint64_t n = r.u64();
+        storage_.assign(n, 0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            storage_[i] = r.u64();
+        }
+    }
+
 private:
     void refreshRead();
 
@@ -51,6 +69,9 @@ class Rom : public Component {
 public:
     Rom(Circuit& c, std::string name, const Bus& addr, const Bus& rdata,
         std::vector<std::uint64_t> contents, SimTime readDelay = 500 * kPicosecond);
+
+    /// Contents are immutable after construction: nothing to snapshot.
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 
 private:
     std::vector<std::uint64_t> contents_;

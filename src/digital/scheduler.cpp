@@ -1,15 +1,16 @@
 #include "digital/scheduler.hpp"
 
+#include "digital/signal.hpp"
 #include "sim/errors.hpp"
 
 namespace gfi::digital {
 
-void Scheduler::scheduleTransaction(SimTime t, std::function<void()> apply)
+void Scheduler::scheduleTransaction(SimTime t, SignalBase& sig, std::uint64_t txnId)
 {
     if (t < now_) {
         t = now_; // defensive: never schedule in the past
     }
-    queue_.push(Entry{t, seq_++, true, std::move(apply)});
+    queue_.push(Entry{t, seq_++, true, {}, &sig, txnId});
 }
 
 void Scheduler::scheduleAction(SimTime t, std::function<void()> action)
@@ -17,7 +18,7 @@ void Scheduler::scheduleAction(SimTime t, std::function<void()> action)
     if (t < now_) {
         t = now_;
     }
-    queue_.push(Entry{t, seq_++, false, std::move(action)});
+    queue_.push(Entry{t, seq_++, false, std::move(action), nullptr, 0});
 }
 
 void Scheduler::wake(Process* p)
@@ -68,15 +69,19 @@ void Scheduler::runWave()
     // Phase 1: apply signal transactions due now; phase 2: actions; phase 3:
     // woken processes. The wave id advances only after the processes ran, so
     // events stamped in phases 1-2 are visible to them.
-    std::vector<std::function<void()>> transactions;
+    std::vector<Entry> transactions;
     std::vector<std::function<void()>> actions;
     while (!queue_.empty() && queue_.top().time <= now_) {
         Entry e = queue_.top();
         queue_.pop();
-        (e.isTransaction ? transactions : actions).push_back(std::move(e.fn));
+        if (e.isTransaction) {
+            transactions.push_back(e);
+        } else {
+            actions.push_back(std::move(e.fn));
+        }
     }
-    for (auto& fn : transactions) {
-        fn();
+    for (const Entry& e : transactions) {
+        e.signal->applyTxn(e.txnId);
     }
     for (auto& fn : actions) {
         fn();
@@ -126,6 +131,59 @@ void Scheduler::runDeltasNow()
             throwDeltaLimit();
         }
         runWave();
+    }
+}
+
+void Scheduler::captureState(snapshot::Writer& w) const
+{
+    w.i64(now_);
+    w.u64(seq_);
+    w.u64(waveId_);
+    w.u64(deltasRun_);
+    // Drain a copy of the queue so pending transactions serialize in exact
+    // (time, seq) pop order — the order they would apply in.
+    auto copy = queue_;
+    std::vector<Entry> pending;
+    while (!copy.empty()) {
+        if (copy.top().isTransaction) {
+            pending.push_back(copy.top());
+        }
+        copy.pop();
+    }
+    w.u64(pending.size());
+    for (const Entry& e : pending) {
+        w.i64(e.time);
+        w.u64(e.seq);
+        w.str(e.signal->name());
+        w.u64(e.txnId);
+    }
+}
+
+void Scheduler::restoreState(snapshot::Reader& r,
+                             const std::function<SignalBase&(const std::string&)>& resolve)
+{
+    now_ = r.i64();
+    seq_ = r.u64();
+    waveId_ = r.u64();
+    deltasRun_ = r.u64();
+    started_ = true; // the captured kernel had completed its startup pass
+    queue_ = {};
+    for (Process* p : runnable_) {
+        p->queued_ = false;
+    }
+    runnable_.clear();
+    lastEventSignal_ = nullptr;
+    lastProcessRun_ = nullptr;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const SimTime t = r.i64();
+        const std::uint64_t seq = r.u64();
+        SignalBase& sig = resolve(r.str());
+        const std::uint64_t txnId = r.u64();
+        // Original sequence numbers are kept so same-wave transactions apply
+        // in the captured order; fresh entries (re-armed actions, new faults)
+        // draw from the restored seq_ counter and sort after these.
+        queue_.push(Entry{t, seq, true, {}, &sig, txnId});
     }
 }
 

@@ -17,6 +17,7 @@
 
 #include "sim/time.hpp"
 #include "sim/watchdog.hpp"
+#include "snapshot/serialize.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -27,6 +28,7 @@
 namespace gfi::digital {
 
 class Scheduler;
+class SignalBase;
 
 /// A concurrent process: a callback executed whenever one of the signals it is
 /// sensitive to has an event (VHDL process with a sensitivity list).
@@ -90,8 +92,10 @@ public:
     /// (VHDL elaboration semantics). Called by Circuit.
     void registerProcess(Process* p) { processes_.push_back(p); }
 
-    /// Queues a signal-value update at absolute time @p t (phase 1 of a wave).
-    void scheduleTransaction(SimTime t, std::function<void()> apply);
+    /// Queues a signal-value update at absolute time @p t (phase 1 of a wave):
+    /// when due, the kernel calls @p sig->applyTxn(txnId). Transactions are
+    /// pure data (no closure) so a pending queue can be snapshotted.
+    void scheduleTransaction(SimTime t, SignalBase& sig, std::uint64_t txnId);
 
     /// Queues a callback at absolute time @p t (phase 2 of a wave). Used for
     /// clock generators, testbench stimuli and fault-injection triggers.
@@ -118,12 +122,30 @@ public:
     /// Forces the startup pass (normally triggered lazily by runUntil).
     void start();
 
+    // --- snapshot support ---------------------------------------------------
+
+    /// Serializes the kernel counters plus every pending *transaction*
+    /// (time, seq, signal name, txn id). Pending *actions* are closures and
+    /// are not captured: their owners (clock generators, stimulus schedules,
+    /// PFD resets, scrubbers) record their fire times and re-arm on restore.
+    /// Must be called at a quiescent point (no wave in flight).
+    void captureState(snapshot::Writer& w) const;
+
+    /// Restores the counters, clears the queue and re-inserts the captured
+    /// transactions with their original sequence numbers (so same-wave apply
+    /// order is preserved exactly). @p resolve maps a signal name back to the
+    /// freshly built circuit's signal object.
+    void restoreState(snapshot::Reader& r,
+                      const std::function<SignalBase&(const std::string&)>& resolve);
+
 private:
     struct Entry {
         SimTime time;
         std::uint64_t seq;
         bool isTransaction;
-        std::function<void()> fn;
+        std::function<void()> fn;          // action payload (empty for transactions)
+        SignalBase* signal = nullptr;      // transaction target
+        std::uint64_t txnId = 0;           // transaction id within the signal
     };
     struct Later {
         bool operator()(const Entry& a, const Entry& b) const noexcept

@@ -69,6 +69,16 @@ void DFlipFlop::propagate()
     }
 }
 
+void DFlipFlop::captureState(snapshot::Writer& w) const
+{
+    w.u64(static_cast<std::uint64_t>(state_));
+}
+
+void DFlipFlop::restoreState(snapshot::Reader& r)
+{
+    state_ = static_cast<Logic>(r.u64()); // direct write: restore must not propagate
+}
+
 // ---------------------------------------------------------------------------
 // Register
 
@@ -119,6 +129,16 @@ void Register::setState(std::uint64_t v)
 void Register::propagate()
 {
     q_.scheduleUint(state_, clkToQ_);
+}
+
+void Register::captureState(snapshot::Writer& w) const
+{
+    w.u64(state_);
+}
+
+void Register::restoreState(snapshot::Reader& r)
+{
+    state_ = r.u64();
 }
 
 // ---------------------------------------------------------------------------
@@ -178,6 +198,16 @@ void Counter::propagate()
     if (tc_ != nullptr) {
         tc_->scheduleInertial(fromBool(count_ == modulo_ - 1), clkToQ_);
     }
+}
+
+void Counter::captureState(snapshot::Writer& w) const
+{
+    w.u64(count_);
+}
+
+void Counter::restoreState(snapshot::Reader& r)
+{
+    count_ = r.u64();
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +276,18 @@ void ClockDivider::setPhase(int v)
     count_ = v % half_;
 }
 
+void ClockDivider::captureState(snapshot::Writer& w) const
+{
+    w.u64(static_cast<std::uint64_t>(count_));
+    w.u64(static_cast<std::uint64_t>(out_));
+}
+
+void ClockDivider::restoreState(snapshot::Reader& r)
+{
+    count_ = static_cast<int>(r.u64());
+    out_ = static_cast<Logic>(r.u64());
+}
+
 // ---------------------------------------------------------------------------
 // ShiftRegister
 
@@ -291,6 +333,16 @@ void ShiftRegister::setState(std::uint64_t v)
 void ShiftRegister::propagate()
 {
     taps_.scheduleUint(state_, clkToQ_);
+}
+
+void ShiftRegister::captureState(snapshot::Writer& w) const
+{
+    w.u64(state_);
+}
+
+void ShiftRegister::restoreState(snapshot::Reader& r)
+{
+    state_ = r.u64();
 }
 
 // ---------------------------------------------------------------------------
@@ -339,6 +391,16 @@ void Lfsr::propagate()
     q_.scheduleUint(state_, clkToQ_);
 }
 
+void Lfsr::captureState(snapshot::Writer& w) const
+{
+    w.u64(state_);
+}
+
+void Lfsr::restoreState(snapshot::Reader& r)
+{
+    state_ = r.u64();
+}
+
 // ---------------------------------------------------------------------------
 // ClockGen
 
@@ -357,11 +419,40 @@ ClockGen::ClockGen(Circuit& c, std::string name, LogicSignal& clk, SimTime perio
 
 void ClockGen::riseAt(SimTime t)
 {
+    nextRise_ = t;
     sched_->scheduleAction(t, [this, t] {
         clk_->forceValue(Logic::One);
-        sched_->scheduleAction(t + highTime_, [this] { clk_->forceValue(Logic::Zero); });
+        fallAt(t + highTime_);
         riseAt(t + period_);
     });
+}
+
+void ClockGen::fallAt(SimTime t)
+{
+    fallAt_ = t;
+    sched_->scheduleAction(t, [this] {
+        clk_->forceValue(Logic::Zero);
+        fallAt_ = -1;
+    });
+}
+
+void ClockGen::captureState(snapshot::Writer& w) const
+{
+    w.i64(nextRise_);
+    w.i64(fallAt_);
+}
+
+void ClockGen::restoreState(snapshot::Reader& r)
+{
+    const SimTime rise = r.i64();
+    const SimTime fall = r.i64();
+    // Re-arm from the recorded fire times: the restored queue has no actions.
+    if (fall >= 0) {
+        fallAt(fall);
+    } else {
+        fallAt_ = -1;
+    }
+    riseAt(rise);
 }
 
 } // namespace gfi::digital

@@ -5,6 +5,7 @@
 // is the "mutant" instrumentation of the paper's digital flow.
 
 #include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <optional>
 
@@ -15,7 +16,7 @@ inline constexpr SimTime kDefaultClkToQ = 200 * kPicosecond;
 
 /// Positive-edge D flip-flop with optional asynchronous active-low reset and
 /// optional inverted output.
-class DFlipFlop : public Component {
+class DFlipFlop : public Component, public snapshot::Snapshottable {
 public:
     /// @param rstn  optional asynchronous active-low reset (clears to 0).
     /// @param qn    optional inverted output.
@@ -29,6 +30,9 @@ public:
     /// Overwrites the stored bit and propagates to the outputs (SEU injection).
     void setState(Logic v);
 
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
+
 private:
     void propagate();
 
@@ -39,7 +43,7 @@ private:
 };
 
 /// Multi-bit positive-edge register with optional enable and async reset.
-class Register : public Component {
+class Register : public Component, public snapshot::Snapshottable {
 public:
     /// @param en    optional active-high load enable (loads every edge if null).
     /// @param rstn  optional asynchronous active-low reset (clears to resetValue).
@@ -53,6 +57,9 @@ public:
     /// Overwrites the stored value and propagates (SEU injection).
     void setState(std::uint64_t v);
 
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
+
 private:
     void propagate();
 
@@ -64,7 +71,7 @@ private:
 
 /// Up counter with synchronous enable, asynchronous reset, modulo wrap and a
 /// terminal-count output.
-class Counter : public Component {
+class Counter : public Component, public snapshot::Snapshottable {
 public:
     /// @param modulo  wrap value (counts 0..modulo-1); 0 means natural 2^width wrap.
     /// @param tc      optional terminal-count output, high while count == modulo-1.
@@ -77,6 +84,9 @@ public:
 
     /// Overwrites the count and propagates (SEU injection).
     void setCount(std::uint64_t v);
+
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
 
 private:
     void propagate();
@@ -92,7 +102,7 @@ private:
 /// Divide-by-N clock divider: output toggles every N/2 rising input edges,
 /// so the output period equals N input periods. N must be even and >= 2.
 /// This is the PLL feedback divider of the paper's case study (N = 100).
-class ClockDivider : public Component {
+class ClockDivider : public Component, public snapshot::Snapshottable {
 public:
     ClockDivider(Circuit& c, std::string name, LogicSignal& clkIn, LogicSignal& clkOut,
                  int divideBy, LogicSignal* rstn = nullptr, SimTime delay = kDefaultClkToQ);
@@ -103,6 +113,9 @@ public:
     /// Injects into the divider state: corrupts the edge counter (SEU).
     void setPhase(int v);
 
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
+
 private:
     int count_ = 0;
     int half_;
@@ -112,7 +125,7 @@ private:
 };
 
 /// Serial-in serial-out shift register (also exposes parallel taps).
-class ShiftRegister : public Component {
+class ShiftRegister : public Component, public snapshot::Snapshottable {
 public:
     ShiftRegister(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& serialIn,
                   const Bus& taps, LogicSignal* rstn = nullptr,
@@ -123,6 +136,9 @@ public:
 
     /// Overwrites the contents and propagates (SEU injection).
     void setState(std::uint64_t v);
+
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
 
 private:
     void propagate();
@@ -135,7 +151,7 @@ private:
 
 /// Fibonacci LFSR with a caller-supplied tap mask; a classic campaign target
 /// because one bit-flip changes the whole future sequence.
-class Lfsr : public Component {
+class Lfsr : public Component, public snapshot::Snapshottable {
 public:
     /// @param taps  XOR feedback tap mask (bit i set = stage i feeds back).
     Lfsr(Circuit& c, std::string name, LogicSignal& clk, const Bus& q, std::uint64_t taps,
@@ -146,6 +162,9 @@ public:
 
     /// Overwrites the state and propagates (SEU injection).
     void setState(std::uint64_t v);
+
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
 
 private:
     void propagate();
@@ -160,7 +179,7 @@ private:
 };
 
 /// Free-running clock generator (testbench stimulus, and the PLL reference).
-class ClockGen : public Component {
+class ClockGen : public Component, public snapshot::Snapshottable {
 public:
     /// @param period    full clock period.
     /// @param dutyHigh  fraction of the period spent high, default 50 %.
@@ -171,13 +190,22 @@ public:
     /// The configured period.
     [[nodiscard]] SimTime period() const noexcept { return period_; }
 
+    /// Captures the pending edge times (next rise, pending fall); restore
+    /// re-arms the scheduled actions from them, since scheduler snapshots
+    /// carry only data transactions, not action closures.
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
+
 private:
     void riseAt(SimTime t);
+    void fallAt(SimTime t);
 
     Scheduler* sched_;
     LogicSignal* clk_;
     SimTime period_;
     SimTime highTime_;
+    SimTime nextRise_ = 0; ///< time of the armed rising-edge action
+    SimTime fallAt_ = -1;  ///< time of the armed falling-edge action, -1 if none
 };
 
 } // namespace gfi::digital

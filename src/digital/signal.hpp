@@ -55,6 +55,20 @@ public:
     /// The scheduler this signal lives in.
     [[nodiscard]] Scheduler& scheduler() const noexcept { return *sched_; }
 
+    /// Applies the pending transaction @p id (phase 1 of a wave). Called by
+    /// the scheduler, which stores transactions as (signal, id) data so the
+    /// pending queue can be snapshotted.
+    virtual void applyTxn(std::uint64_t id) = 0;
+
+    /// Serializes the full signal state: value, last value, event bookkeeping
+    /// and the pending-transaction list (fixed field order, see Snapshottable).
+    virtual void captureState(snapshot::Writer& w) const = 0;
+
+    /// Restores the members written by captureState() directly — no events
+    /// are raised and nothing is scheduled (the scheduler re-inserts pending
+    /// queue entries itself, preserving their original sequence numbers).
+    virtual void restoreState(snapshot::Reader& r) = 0;
+
 protected:
     void noteEvent()
     {
@@ -151,6 +165,43 @@ public:
         return n;
     }
 
+    void applyTxn(std::uint64_t id) override { apply(id); }
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(value_));
+        w.u64(static_cast<std::uint64_t>(previous_));
+        w.i64(lastEventTime_);
+        w.u64(lastEventStamp_);
+        w.u64(nextTxnId_);
+        w.u64(pending_.size());
+        for (const Txn& t : pending_) {
+            w.i64(t.due);
+            w.u64(t.id);
+            w.u64(static_cast<std::uint64_t>(t.value));
+            w.boolean(t.canceled);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        value_ = static_cast<T>(r.u64());
+        previous_ = static_cast<T>(r.u64());
+        lastEventTime_ = r.i64();
+        lastEventStamp_ = r.u64();
+        nextTxnId_ = r.u64();
+        pending_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Txn t{};
+            t.due = r.i64();
+            t.id = r.u64();
+            t.value = static_cast<T>(r.u64());
+            t.canceled = r.boolean();
+            pending_.push_back(t);
+        }
+    }
+
 private:
     struct Txn {
         SimTime due;
@@ -163,7 +214,7 @@ private:
     {
         const std::uint64_t id = nextTxnId_++;
         pending_.push_back(Txn{sched_->now() + delay, id, v, false});
-        sched_->scheduleTransaction(sched_->now() + delay, [this, id] { apply(id); });
+        sched_->scheduleTransaction(sched_->now() + delay, *this, id);
     }
 
     void apply(std::uint64_t id)

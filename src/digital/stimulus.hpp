@@ -1,0 +1,77 @@
+#pragma once
+// One-shot testbench stimulus schedule.
+//
+// Testbenches used to force reset releases and start strobes through raw
+// scheduler actions — closures the snapshot subsystem cannot serialize.
+// StimulusSchedule owns those one-shot forceValue events as data: each item
+// records (time, signal, value, fired), so a snapshot captures exactly which
+// stimuli have been delivered and restore re-arms the remaining ones.
+
+#include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace gfi::digital {
+
+/// A list of one-shot forceValue events with snapshot support.
+class StimulusSchedule : public Component, public snapshot::Snapshottable {
+public:
+    StimulusSchedule(Circuit& c, std::string name)
+        : Component(std::move(name)), sched_(&c.scheduler())
+    {
+    }
+
+    /// Schedules forcing @p s to @p v at absolute time @p t. The caller keeps
+    /// responsibility for declaring @p s externally driven.
+    void at(SimTime t, LogicSignal& s, Logic v)
+    {
+        const std::size_t i = items_.size();
+        items_.push_back(Item{t, &s, v, false});
+        arm(i);
+    }
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(items_.size());
+        for (const Item& it : items_) {
+            w.boolean(it.fired);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        const std::uint64_t n = r.u64();
+        if (n != items_.size()) {
+            throw snapshot::SnapshotFormatError(
+                "StimulusSchedule '" + name() + "': stream has " + std::to_string(n) +
+                " items, testbench registered " + std::to_string(items_.size()));
+        }
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            items_[i].fired = r.boolean();
+            if (!items_[i].fired) {
+                arm(i); // re-arm: the restored queue carries no actions
+            }
+        }
+    }
+
+private:
+    struct Item {
+        SimTime time;
+        LogicSignal* signal;
+        Logic value;
+        bool fired;
+    };
+
+    void arm(std::size_t i)
+    {
+        sched_->scheduleAction(items_[i].time, [this, i] {
+            Item& it = items_[i];
+            it.fired = true;
+            it.signal->forceValue(it.value);
+        });
+    }
+
+    Scheduler* sched_;
+    std::vector<Item> items_;
+};
+
+} // namespace gfi::digital

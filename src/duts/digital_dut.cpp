@@ -1,6 +1,7 @@
 #include "duts/digital_dut.hpp"
 
 #include "core/saboteur.hpp"
+#include "digital/stimulus.hpp"
 
 namespace gfi::duts {
 
@@ -15,9 +16,9 @@ DigitalDutTestbench::DigitalDutTestbench(DigitalDutConfig config) : config_(conf
     dig.add<ClockGen>(dig, "dut/clkgen", clk, period);
 
     auto& rstn = dig.logicSignal("dut/rstn", Logic::Zero);
-    dig.noteExternalDriver(rstn); // released by the scheduled action below
-    dig.scheduler().scheduleAction(3 * period / 2,
-                                   [&rstn] { rstn.forceValue(Logic::One); });
+    dig.noteExternalDriver(rstn); // released by the stimulus schedule below
+    auto& stimuli = dig.add<StimulusSchedule>(dig, "dut/stimuli");
+    stimuli.at(3 * period / 2, rstn, Logic::One);
 
     // --- stimulus: 8-bit LFSR -------------------------------------------------
     Bus lfsrQ = dig.bus("dut/lfsr_q", 8, Logic::Zero);

@@ -21,6 +21,7 @@
 #include "core/testbench.hpp"
 #include "digital/memory.hpp"
 #include "digital/sequential.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::duts {
 
@@ -34,7 +35,7 @@ enum class Op : std::uint8_t { Nop = 0, Ldi, Add, Sta, Lda, Jnz, Out, Hlt };
 }
 
 /// The single-cycle CPU core (PC + ACC + decode/execute).
-class TinyCpu : public digital::Component {
+class TinyCpu : public digital::Component, public snapshot::Snapshottable {
 public:
     /// @param instr    instruction bus from the program ROM.
     /// @param romAddr  PC output to the ROM address bus.
@@ -50,6 +51,22 @@ public:
     [[nodiscard]] int pc() const noexcept { return pc_; }
     [[nodiscard]] std::uint64_t acc() const noexcept { return acc_; }
     [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(static_cast<std::uint64_t>(pc_));
+        w.u64(acc_);
+        w.u64(portValue_);
+        w.boolean(halted_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        pc_ = static_cast<int>(r.u64());
+        acc_ = r.u64();
+        portValue_ = r.u64();
+        halted_ = r.boolean();
+    }
 
 private:
     void driveFetch();

@@ -6,11 +6,12 @@
 
 #include "digital/circuit.hpp"
 #include "harden/hamming.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::harden {
 
 /// Synchronous-write, asynchronous-read ECC RAM.
-class EccRam : public digital::Component {
+class EccRam : public digital::Component, public snapshot::Snapshottable {
 public:
     /// Same port shape as digital::Ram plus an uncorrectable-error flag that
     /// follows the read port.
@@ -45,6 +46,25 @@ public:
     /// Scrubs one word: decode, correct, re-encode, write back. Returns true
     /// if a correction happened. (Scrubbing engines call this periodically.)
     bool scrub(int address);
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(storage_.size());
+        for (std::uint64_t word : storage_) {
+            w.u64(word);
+        }
+        w.u64(static_cast<std::uint64_t>(corrections_));
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        const std::uint64_t n = r.u64();
+        storage_.assign(n, 0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            storage_[i] = r.u64();
+        }
+        corrections_ = static_cast<int>(r.u64());
+    }
 
 private:
     void refreshRead();

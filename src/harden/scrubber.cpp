@@ -3,14 +3,15 @@
 namespace gfi::harden {
 
 Scrubber::Scrubber(digital::Circuit& c, std::string name, EccRam& ram, SimTime period)
-    : digital::Component(std::move(name)), ram_(&ram), period_(period)
+    : digital::Component(std::move(name)), circuit_(&c), ram_(&ram), period_(period)
 {
-    scheduleNext(c);
+    scheduleAt(c.scheduler().now() + period_);
 }
 
-void Scrubber::scheduleNext(digital::Circuit& c)
+void Scrubber::scheduleAt(SimTime t)
 {
-    c.scheduler().scheduleAction(c.scheduler().now() + period_, [this, &c] {
+    nextFireAt_ = t;
+    circuit_->scheduler().scheduleAction(t, [this] {
         if (ram_->scrub(next_)) {
             ++repairs_;
         }
@@ -18,8 +19,24 @@ void Scrubber::scheduleNext(digital::Circuit& c)
         if (next_ == 0) {
             ++sweeps_;
         }
-        scheduleNext(c);
+        scheduleAt(circuit_->scheduler().now() + period_);
     });
+}
+
+void Scrubber::captureState(snapshot::Writer& w) const
+{
+    w.u64(static_cast<std::uint64_t>(next_));
+    w.u64(static_cast<std::uint64_t>(repairs_));
+    w.u64(static_cast<std::uint64_t>(sweeps_));
+    w.i64(nextFireAt_);
+}
+
+void Scrubber::restoreState(snapshot::Reader& r)
+{
+    next_ = static_cast<int>(r.u64());
+    repairs_ = static_cast<int>(r.u64());
+    sweeps_ = static_cast<int>(r.u64());
+    scheduleAt(r.i64()); // re-arm: the restored queue carries no actions
 }
 
 } // namespace gfi::harden

@@ -12,7 +12,7 @@
 namespace gfi::harden {
 
 /// Walks an EccRam cyclically, scrubbing one word per period.
-class Scrubber : public digital::Component {
+class Scrubber : public digital::Component, public snapshot::Snapshottable {
 public:
     /// @param period  time between word scrubs (full-array sweep takes
     ///                depth * period).
@@ -24,11 +24,18 @@ public:
     /// Number of full array sweeps completed.
     [[nodiscard]] int sweeps() const noexcept { return sweeps_; }
 
-private:
-    void scheduleNext(digital::Circuit& c);
+    /// Captures the walk position plus the armed fire time; restore re-arms
+    /// the periodic scrub action from it.
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
 
+private:
+    void scheduleAt(SimTime t);
+
+    digital::Circuit* circuit_;
     EccRam* ram_;
     SimTime period_;
+    SimTime nextFireAt_ = 0;
     int next_ = 0;
     int repairs_ = 0;
     int sweeps_ = 0;

@@ -10,6 +10,7 @@
 
 #include "digital/circuit.hpp"
 #include "harden/hamming.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <array>
 
@@ -19,7 +20,7 @@ namespace gfi::harden {
 /// majority voter on the output, and (by construction) re-synchronization at
 /// every load. Instrumentation: three hooks "<name>/copy{0,1,2}" so an SEU
 /// flips exactly one copy.
-class TmrRegister : public digital::Component {
+class TmrRegister : public digital::Component, public snapshot::Snapshottable {
 public:
     TmrRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
                 const digital::Bus& d, const digital::Bus& q,
@@ -39,6 +40,20 @@ public:
     /// Overwrites one copy and re-votes (SEU injection path).
     void setCopy(int i, std::uint64_t v);
 
+    void captureState(snapshot::Writer& w) const override
+    {
+        for (std::uint64_t c : copies_) {
+            w.u64(c);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        for (std::uint64_t& c : copies_) {
+            c = r.u64();
+        }
+    }
+
 private:
     void propagate();
 
@@ -50,7 +65,7 @@ private:
 
 /// Duplication-with-comparison register: two copies, primary drives the
 /// output, any mismatch raises the error flag (detection, not correction).
-class DwcRegister : public digital::Component {
+class DwcRegister : public digital::Component, public snapshot::Snapshottable {
 public:
     DwcRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
                 const digital::Bus& d, const digital::Bus& q, digital::LogicSignal& error,
@@ -58,6 +73,20 @@ public:
 
     /// Overwrites one copy, updates the output/error flag (SEU injection).
     void setCopy(int i, std::uint64_t v);
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        for (std::uint64_t c : copies_) {
+            w.u64(c);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        for (std::uint64_t& c : copies_) {
+            c = r.u64();
+        }
+    }
 
 private:
     void propagate();
@@ -73,7 +102,7 @@ private:
 /// read path decodes (and corrects) on every propagation. Instrumentation
 /// targets the raw codeword ("<name>/code"), so single flips are absorbed
 /// and double flips are flagged on the uncorrectable output.
-class EccRegister : public digital::Component {
+class EccRegister : public digital::Component, public snapshot::Snapshottable {
 public:
     EccRegister(digital::Circuit& c, std::string name, digital::LogicSignal& clk,
                 const digital::Bus& d, const digital::Bus& q,
@@ -88,6 +117,18 @@ public:
 
     /// Overwrites the stored codeword (SEU injection path).
     void setCodeword(std::uint64_t v);
+
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.u64(code_);
+        w.u64(static_cast<std::uint64_t>(corrections_));
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        code_ = r.u64();
+        corrections_ = static_cast<int>(r.u64());
+    }
 
 private:
     void propagate();

@@ -1,6 +1,7 @@
 #include "lint/preflight.hpp"
 
 #include "core/testbench.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/units.hpp"
 
 #include <set>
@@ -171,6 +172,25 @@ Report preflightCampaign(const Testbench& tb, const std::vector<FaultSpec>& faul
                        "duplicate fault at index " + std::to_string(i),
                        "every run re-simulates; drop the duplicate");
         }
+    }
+    return report;
+}
+
+Report preflightSnapshot(const Testbench& tb)
+{
+    Report report;
+    for (const auto& comp : tb.sim().digital().components()) {
+        if (comp->snapshotExempt()) {
+            continue; // declared stateless (gates, ROMs, structural shells)
+        }
+        if (dynamic_cast<const snapshot::Snapshottable*>(comp.get()) != nullptr) {
+            continue;
+        }
+        report.add("PRE006", Severity::Error, comp->name(),
+                   "component '" + comp->name() +
+                       "' holds state but does not implement snapshot::Snapshottable",
+                   "implement captureState/restoreState (or mark it snapshotExempt() "
+                   "if stateless) before enabling fork-from-golden checkpoints");
     }
     return report;
 }

@@ -12,6 +12,9 @@
 //   PRE003 (error)   injection time outside the simulation window.
 //   PRE004 (error)   current-pulse fault without a pulse shape.
 //   PRE005 (warning) duplicate fault in the list (same description twice).
+//   PRE006 (error)   fork-from-golden enabled, but the testbench registers a
+//                    stateful digital component that is not Snapshottable —
+//                    restoring a checkpoint would silently resume it stale.
 
 #include "core/fault.hpp"
 #include "lint/diagnostic.hpp"
@@ -33,6 +36,12 @@ namespace gfi::lint {
 /// Validates a whole campaign fault list (per-fault checks + duplicates).
 [[nodiscard]] Report preflightCampaign(const fault::Testbench& tb,
                                        const std::vector<fault::FaultSpec>& faults);
+
+/// Snapshot readiness (PRE006): every digital component of @p tb must either
+/// implement snapshot::Snapshottable or declare itself snapshotExempt()
+/// (stateless). CampaignRunner runs this check only while fork-from-golden
+/// checkpointing is enabled; each offending component is named.
+[[nodiscard]] Report preflightSnapshot(const fault::Testbench& tb);
 
 /// Thrown by CampaignRunner when the preflight phase finds errors; carries
 /// the full report.

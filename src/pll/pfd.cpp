@@ -56,16 +56,23 @@ void PhaseFreqDetector::maybeScheduleReset()
     }
     // AND reset: both flags clear after the anti-backlash window. A token
     // guards against stale resets if state was overwritten meanwhile.
-    const std::uint64_t token = ++resetToken_;
-    circuit_->scheduler().scheduleAction(circuit_->scheduler().now() + resetDelay_,
-                                         [this, token] {
-                                             if (token != resetToken_) {
-                                                 return;
-                                             }
-                                             up_ = false;
-                                             down_ = false;
-                                             drive();
-                                         });
+    ++resetToken_;
+    scheduleResetAt(circuit_->scheduler().now() + resetDelay_);
+}
+
+void PhaseFreqDetector::scheduleResetAt(SimTime t)
+{
+    pendingResetAt_ = t;
+    const std::uint64_t token = resetToken_;
+    circuit_->scheduler().scheduleAction(t, [this, token] {
+        if (token != resetToken_) {
+            return;
+        }
+        pendingResetAt_ = -1;
+        up_ = false;
+        down_ = false;
+        drive();
+    });
 }
 
 void PhaseFreqDetector::setState(bool up, bool down)
@@ -73,8 +80,30 @@ void PhaseFreqDetector::setState(bool up, bool down)
     up_ = up;
     down_ = down;
     ++resetToken_; // cancel any in-flight reset
+    pendingResetAt_ = -1;
     drive();
     maybeScheduleReset();
+}
+
+void PhaseFreqDetector::captureState(snapshot::Writer& w) const
+{
+    w.boolean(up_);
+    w.boolean(down_);
+    w.u64(resetToken_);
+    w.i64(pendingResetAt_);
+}
+
+void PhaseFreqDetector::restoreState(snapshot::Reader& r)
+{
+    up_ = r.boolean();
+    down_ = r.boolean();
+    resetToken_ = r.u64();
+    const SimTime pending = r.i64();
+    if (pending >= 0) {
+        scheduleResetAt(pending); // re-arm with the restored (current) token
+    } else {
+        pendingResetAt_ = -1;
+    }
 }
 
 } // namespace gfi::pll

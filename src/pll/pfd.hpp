@@ -9,11 +9,12 @@
 // sequential element (SEUs in the PLL's digital part).
 
 #include "digital/circuit.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace gfi::pll {
 
 /// Behavioral tri-state phase-frequency detector.
-class PhaseFreqDetector : public digital::Component {
+class PhaseFreqDetector : public digital::Component, public snapshot::Snapshottable {
 public:
     /// @param resetDelay  width of the simultaneous UP/DOWN pulse when the
     ///                    internal AND reset fires (anti-backlash window).
@@ -31,9 +32,15 @@ public:
     /// Overwrites the stored flags and re-drives the outputs (SEU injection).
     void setState(bool up, bool down);
 
+    /// Captures the flags, the reset token and the armed reset fire time;
+    /// restore re-arms the in-flight reset action from it.
+    void captureState(snapshot::Writer& w) const override;
+    void restoreState(snapshot::Reader& r) override;
+
 private:
     void drive();
     void maybeScheduleReset();
+    void scheduleResetAt(SimTime t);
 
     digital::Circuit* circuit_;
     digital::LogicSignal* upSig_;
@@ -42,7 +49,8 @@ private:
     bool down_ = false;
     SimTime resetDelay_;
     SimTime delay_;
-    std::uint64_t resetToken_ = 0; // invalidates stale scheduled resets
+    std::uint64_t resetToken_ = 0;  // invalidates stale scheduled resets
+    SimTime pendingResetAt_ = -1;   // armed reset fire time, -1 if none
 };
 
 } // namespace gfi::pll

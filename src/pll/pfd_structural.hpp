@@ -32,6 +32,10 @@ public:
 
     /// The internal DOWN flip-flop's instrumentation hook name.
     [[nodiscard]] std::string downFlopHook() const { return name() + "/ff_down"; }
+
+    /// Structural shell: all state lives in the DFF/gate components it
+    /// registered, which snapshot themselves.
+    [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 };
 
 } // namespace gfi::pll

@@ -45,6 +45,18 @@ public:
     void acceptStep(const analog::Solution& x, double t, double dt) override;
     [[nodiscard]] double maxStep(double t) const override;
 
+    void captureState(snapshot::Writer& w) const override
+    {
+        w.f64(phase_);
+        w.f64(vctrl0_);
+    }
+
+    void restoreState(snapshot::Reader& r) override
+    {
+        phase_ = r.f64();
+        vctrl0_ = r.f64();
+    }
+
 private:
     analog::NodeId ctrl_;
     analog::NodeId out_;

@@ -1,0 +1,77 @@
+#include "snapshot/snapshot.hpp"
+
+namespace gfi::snapshot {
+
+void SnapshotRegistry::capture(Writer& w) const
+{
+    w.u64(entries_.size());
+    for (const auto& [name, obj] : entries_) {
+        w.str(name);
+        Writer payload;
+        obj->captureState(payload);
+        w.blob(payload.bytes());
+    }
+}
+
+void SnapshotRegistry::restore(Reader& r) const
+{
+    const std::uint64_t n = r.u64();
+    if (n != entries_.size()) {
+        throw SnapshotFormatError("snapshot: registry entry count mismatch (stream has " +
+                                  std::to_string(n) + ", simulator has " +
+                                  std::to_string(entries_.size()) + ")");
+    }
+    for (const auto& [name, obj] : entries_) {
+        const std::string streamName = r.str();
+        if (streamName != name) {
+            throw SnapshotFormatError("snapshot: registry entry '" + streamName +
+                                      "' does not match simulator entry '" + name + "'");
+        }
+        const std::vector<std::uint8_t> payload = r.blob();
+        Reader sub(payload);
+        obj->restoreState(sub);
+        if (!sub.atEnd()) {
+            throw SnapshotFormatError("snapshot: registry entry '" + name + "' left " +
+                                      std::to_string(sub.remaining()) +
+                                      " unread payload bytes");
+        }
+    }
+}
+
+void CheckpointStore::put(const std::string& testbenchId, std::shared_ptr<const Snapshot> snap)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const SimTime t = snap->time;
+    store_[testbenchId][t] = std::move(snap);
+}
+
+std::shared_ptr<const Snapshot> CheckpointStore::nearestBefore(const std::string& testbenchId,
+                                                               SimTime t) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto byTb = store_.find(testbenchId);
+    if (byTb == store_.end() || byTb->second.empty()) {
+        return nullptr;
+    }
+    auto it = byTb->second.lower_bound(t); // first entry >= t
+    if (it == byTb->second.begin()) {
+        return nullptr; // every checkpoint is at or after t
+    }
+    --it;
+    return it->second;
+}
+
+std::size_t CheckpointStore::count(const std::string& testbenchId) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto byTb = store_.find(testbenchId);
+    return byTb == store_.end() ? 0 : byTb->second.size();
+}
+
+void CheckpointStore::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    store_.clear();
+}
+
+} // namespace gfi::snapshot

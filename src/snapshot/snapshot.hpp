@@ -1,0 +1,85 @@
+#pragma once
+// Snapshot subsystem: versioned, deterministic capture/restore of full
+// mixed-signal simulator state, plus the in-memory checkpoint cache behind
+// the campaign engine's fork-from-golden mode.
+//
+// Capture walks the simulator in a fixed structural order (scheduler, then
+// signals in creation order, then components in registration order, then
+// bridges, then the analog solver) and serializes every piece through
+// snapshot::Writer, so identical state yields identical bytes. Restore never
+// replays instrumentation setters — those propagate (schedule transactions)
+// and would perturb the delta-cycle count; instead every stateful component
+// implements Snapshottable and writes its members back directly, re-arming
+// any self-scheduled actions from recorded fire times.
+
+#include "sim/time.hpp"
+#include "snapshot/serialize.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfi::snapshot {
+
+/// Implemented by every stateful simulation object that participates in
+/// snapshot capture/restore. captureState() must serialize all mutable
+/// members (in a fixed order); restoreState() must read them back in the same
+/// order and write them directly — never through setters that propagate —
+/// re-arming self-scheduled actions from recorded fire times where needed.
+class Snapshottable {
+public:
+    virtual ~Snapshottable() = default;
+
+    virtual void captureState(Writer& w) const = 0;
+    virtual void restoreState(Reader& r) = 0;
+};
+
+/// One captured simulator state: the byte stream plus the capture times
+/// needed to pick a checkpoint and preload trace prefixes without parsing.
+struct Snapshot {
+    SimTime time = 0;       ///< digital kernel time at capture (fs)
+    double analogTime = 0;  ///< analog solver time at capture (s); 0 if no analog
+    std::vector<std::uint8_t> bytes;
+};
+
+/// Named Snapshottables outside the digital component list (AMS bridges).
+/// Capture/restore iterate registration order; each payload is length-
+/// prefixed and name-checked so a schema drift fails loudly.
+class SnapshotRegistry {
+public:
+    void add(std::string name, Snapshottable* s) { entries_.emplace_back(std::move(name), s); }
+
+    void capture(Writer& w) const;
+    void restore(Reader& r) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+private:
+    std::vector<std::pair<std::string, Snapshottable*>> entries_;
+};
+
+/// In-memory checkpoint cache keyed by (testbench id, sim time). put() runs
+/// during the (serial) golden phase; lookups run concurrently from campaign
+/// workers, so entries are immutable shared_ptrs behind a mutex.
+class CheckpointStore {
+public:
+    void put(const std::string& testbenchId, std::shared_ptr<const Snapshot> snap);
+
+    /// Latest checkpoint strictly before @p t, or nullptr. Strict: restoring
+    /// a checkpoint taken exactly at the injection time would re-run the
+    /// injection wave and break byte-identity with a from-scratch run.
+    [[nodiscard]] std::shared_ptr<const Snapshot> nearestBefore(const std::string& testbenchId,
+                                                                SimTime t) const;
+
+    [[nodiscard]] std::size_t count(const std::string& testbenchId) const;
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::map<SimTime, std::shared_ptr<const Snapshot>>> store_;
+};
+
+} // namespace gfi::snapshot

@@ -22,6 +22,14 @@ DigitalDiff compareDigital(const DigitalTrace& golden, const DigitalTrace& test,
     std::sort(times.begin(), times.end());
     times.erase(std::unique(times.begin(), times.end()), times.end());
 
+    // Monotone cursors over both event lists: the merged timeline is
+    // ascending, so each trace is walked once (valueAt per point would make
+    // this quadratic in the event count — clock traces have thousands).
+    std::size_t gi = 0;
+    std::size_t ti = 0;
+    digital::Logic gv = golden.initial;
+    digital::Logic tv = test.initial;
+
     DigitalDiff diff;
     bool inMismatch = false;
     SimTime windowStart = 0;
@@ -29,8 +37,13 @@ DigitalDiff compareDigital(const DigitalTrace& golden, const DigitalTrace& test,
         if (t > tEnd) {
             break;
         }
-        const bool differs =
-            digital::toX01(golden.valueAt(t)) != digital::toX01(test.valueAt(t));
+        while (gi < golden.events.size() && golden.events[gi].first <= t) {
+            gv = golden.events[gi++].second;
+        }
+        while (ti < test.events.size() && test.events[ti].first <= t) {
+            tv = test.events[ti++].second;
+        }
+        const bool differs = digital::toX01(gv) != digital::toX01(tv);
         if (differs && !inMismatch) {
             inMismatch = true;
             windowStart = t;
@@ -63,23 +76,67 @@ DigitalDiff compareDigital(const DigitalTrace& golden, const DigitalTrace& test,
 AnalogDiff compareAnalog(const AnalogTrace& golden, const AnalogTrace& test, double absTol,
                          double relTol)
 {
-    std::vector<double> times;
-    times.reserve(golden.samples.size() + test.samples.size());
+    // Sample lists are recorded in ascending time order, so the merged
+    // timeline comes from a linear merge; a full sort over millions of
+    // analog samples would dominate the whole classification.
+    std::vector<double> ga;
+    std::vector<double> ta;
+    ga.reserve(golden.samples.size());
+    ta.reserve(test.samples.size());
     for (const auto& [t, v] : golden.samples) {
-        times.push_back(t);
+        ga.push_back(t);
     }
     for (const auto& [t, v] : test.samples) {
-        times.push_back(t);
+        ta.push_back(t);
     }
-    std::sort(times.begin(), times.end());
+    std::vector<double> times(ga.size() + ta.size());
+    if (std::is_sorted(ga.begin(), ga.end()) && std::is_sorted(ta.begin(), ta.end())) {
+        std::merge(ga.begin(), ga.end(), ta.begin(), ta.end(), times.begin());
+    } else {
+        times.clear();
+        times.insert(times.end(), ga.begin(), ga.end());
+        times.insert(times.end(), ta.begin(), ta.end());
+        std::sort(times.begin(), times.end());
+    }
     times.erase(std::unique(times.begin(), times.end()), times.end());
+
+    // Monotone interpolation cursor per trace (ascending queries walk each
+    // sample list once; identical to AnalogTrace::valueAt's interpolation).
+    struct Cursor {
+        const std::vector<std::pair<double, double>>& s;
+        std::size_t i = 1; ///< candidate upper interval bound
+
+        double at(double t)
+        {
+            if (s.empty()) {
+                return 0.0;
+            }
+            if (t <= s.front().first) {
+                return s.front().second;
+            }
+            if (t >= s.back().first) {
+                return s.back().second;
+            }
+            while (i < s.size() && s[i].first < t) {
+                ++i;
+            }
+            const auto& [t1, v1] = s[i];
+            const auto& [t0, v0] = s[i - 1];
+            if (t1 <= t0) {
+                return v1;
+            }
+            return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+        }
+    };
+    Cursor goldenCur{golden.samples};
+    Cursor testCur{test.samples};
 
     AnalogDiff diff;
     bool outside = false;
     double outsideStart = 0.0;
     for (double t : times) {
-        const double g = golden.valueAt(t);
-        const double v = test.valueAt(t);
+        const double g = goldenCur.at(t);
+        const double v = testCur.at(t);
         const double dev = std::fabs(v - g);
         if (dev > diff.maxDeviation) {
             diff.maxDeviation = dev;

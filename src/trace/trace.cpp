@@ -81,6 +81,41 @@ std::pair<double, double> AnalogTrace::minmax(double t0, double t1) const
 // ---------------------------------------------------------------------------
 // Recorder
 
+void Recorder::preloadPrefix(const Recorder& golden, SimTime tDigital, double tAnalog)
+{
+    for (auto& [name, tr] : digital_) {
+        const auto it = golden.digital_.find(name);
+        if (it == golden.digital_.end()) {
+            throw std::logic_error("Recorder::preloadPrefix: golden run did not record '" +
+                                   name + "'");
+        }
+        const DigitalTrace& g = it->second;
+        tr.initial = g.initial;
+        tr.events.clear();
+        for (const auto& ev : g.events) {
+            if (ev.first > tDigital) {
+                break;
+            }
+            tr.events.push_back(ev);
+        }
+    }
+    for (auto& [name, tr] : analog_) {
+        const auto it = golden.analog_.find(name);
+        if (it == golden.analog_.end()) {
+            throw std::logic_error("Recorder::preloadPrefix: golden run did not record '" +
+                                   name + "'");
+        }
+        const AnalogTrace& g = it->second;
+        tr.samples.clear();
+        for (const auto& sample : g.samples) {
+            if (sample.first > tAnalog) {
+                break;
+            }
+            tr.samples.push_back(sample);
+        }
+    }
+}
+
 void Recorder::recordDigital(const std::string& signalName)
 {
     auto& sig = sim_->digital().findLogic(signalName);

@@ -52,6 +52,15 @@ public:
     /// Records the named analog node at every accepted solver step.
     void recordAnalog(const std::string& nodeName);
 
+    /// Fork-from-golden support: overwrites every recorded trace with the
+    /// golden recorder's history up to the checkpoint — digital events at or
+    /// before @p tDigital (fs), analog samples at or before @p tAnalog (s) —
+    /// discarding anything this recorder captured during elaboration. Call
+    /// right after MixedSimulator::restoreSnapshot(); the resumed run then
+    /// appends only post-checkpoint history, so the combined traces are
+    /// byte-identical to an uninterrupted run's.
+    void preloadPrefix(const Recorder& golden, SimTime tDigital, double tAnalog);
+
     /// Recorded digital trace (throws std::out_of_range if not recorded).
     [[nodiscard]] const DigitalTrace& digitalTrace(const std::string& name) const;
 

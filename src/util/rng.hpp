@@ -7,6 +7,8 @@
 // std::mt19937_64 distributions are not portable across implementations, so we
 // carry our own xoshiro256** generator and our own uniform mappings.
 
+#include "snapshot/serialize.hpp"
+
 #include <cstdint>
 
 namespace gfi {
@@ -86,6 +88,22 @@ public:
 
     /// True with probability @p p.
     bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Serializes the stream position so a snapshot resumes the exact same
+    /// pseudo-random sequence.
+    void captureState(snapshot::Writer& w) const
+    {
+        for (std::uint64_t word : state_) {
+            w.u64(word);
+        }
+    }
+
+    void restoreState(snapshot::Reader& r)
+    {
+        for (std::uint64_t& word : state_) {
+            word = r.u64();
+        }
+    }
 
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept

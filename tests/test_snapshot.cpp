@@ -1,0 +1,631 @@
+// Snapshot/restore subsystem and fork-from-golden campaign execution.
+//
+// The contract under test, layer by layer:
+//   * serialize: byte-stable primitives, header versioning, truncation safety;
+//   * CheckpointStore: nearest checkpoint *strictly before* a time;
+//   * capture -> restore -> run is bit-identical to an uninterrupted run for
+//     the digital DUT, the PLL and the SAR ADC (traces, wave counts, solver
+//     stats) — the determinism contract of DESIGN.md §9;
+//   * fork-from-golden campaigns produce byte-identical journals, reports and
+//     summary tables to from-scratch execution, serial and at 8 workers,
+//     including mid-campaign journal resume and the retry interaction;
+//   * watchdog budgets meter only post-restore work in fork mode;
+//   * PRE006 rejects fork mode when a stateful component is not Snapshottable.
+
+#include "adc/sar.hpp"
+#include "core/campaign.hpp"
+#include "core/journal.hpp"
+#include "core/report.hpp"
+#include "digital/sequential.hpp"
+#include "duts/digital_dut.hpp"
+#include "lint/lint.hpp"
+#include "pll/pll.hpp"
+#include "snapshot/serialize.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+
+namespace gfi {
+namespace {
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// serialize: primitives, header, truncation
+
+TEST(SnapshotSerialize, RoundTripsEveryPrimitive)
+{
+    snapshot::Writer w;
+    w.u8(0xAB);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    w.f64(-1.25e-9);
+    w.boolean(true);
+    w.boolean(false);
+    w.str("pll/vctrl");
+    w.blob({1, 2, 3, 255});
+
+    snapshot::Reader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), -1.25e-9);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.str(), "pll/vctrl");
+    EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3, 255}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapshotSerialize, HeaderRejectsWrongMagicAndVersion)
+{
+    snapshot::Writer good;
+    snapshot::writeHeader(good);
+    {
+        snapshot::Reader r(good.bytes());
+        EXPECT_NO_THROW(snapshot::readHeader(r));
+    }
+    {
+        std::vector<std::uint8_t> bytes = good.bytes();
+        bytes[0] ^= 0xFF; // corrupt the magic
+        snapshot::Reader r(bytes);
+        EXPECT_THROW(snapshot::readHeader(r), snapshot::SnapshotFormatError);
+    }
+    {
+        std::vector<std::uint8_t> bytes = good.bytes();
+        bytes[8] += 1; // bump the (little-endian) format version
+        snapshot::Reader r(bytes);
+        EXPECT_THROW(snapshot::readHeader(r), snapshot::SnapshotFormatError);
+    }
+}
+
+TEST(SnapshotSerialize, TruncatedStreamThrowsInsteadOfReadingGarbage)
+{
+    snapshot::Writer w;
+    w.u64(7);
+    w.str("a-signal-name");
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes.resize(bytes.size() - 5);
+    snapshot::Reader r(bytes);
+    EXPECT_EQ(r.u64(), 7u);
+    EXPECT_THROW(r.str(), snapshot::SnapshotFormatError);
+}
+
+TEST(SnapshotSerialize, RngResumesExactSequence)
+{
+    Rng a(12345);
+    for (int i = 0; i < 100; ++i) {
+        (void)a.next();
+    }
+    snapshot::Writer w;
+    a.captureState(w);
+
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 32; ++i) {
+        expected.push_back(a.next());
+    }
+
+    Rng b(999); // different seed: restore must fully overwrite it
+    snapshot::Reader r(w.bytes());
+    b.restoreState(r);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(b.next(), expected[static_cast<std::size_t>(i)]) << "draw " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+
+TEST(SnapshotStore, NearestBeforeIsStrictlyBefore)
+{
+    snapshot::CheckpointStore store;
+    for (SimTime t : {10, 20, 30}) {
+        auto snap = std::make_shared<snapshot::Snapshot>();
+        snap->time = t;
+        store.put("tb", std::move(snap));
+    }
+    EXPECT_EQ(store.count("tb"), 3u);
+    EXPECT_EQ(store.nearestBefore("tb", 5), nullptr);
+    EXPECT_EQ(store.nearestBefore("tb", 10), nullptr); // strictly before
+    ASSERT_NE(store.nearestBefore("tb", 11), nullptr);
+    EXPECT_EQ(store.nearestBefore("tb", 11)->time, 10);
+    EXPECT_EQ(store.nearestBefore("tb", 30)->time, 20);
+    EXPECT_EQ(store.nearestBefore("tb", 1000)->time, 30);
+    EXPECT_EQ(store.nearestBefore("other", 1000), nullptr);
+    store.clear();
+    EXPECT_EQ(store.count("tb"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// capture -> restore -> run == uninterrupted run (per testbench)
+
+/// Advances @p tb event by event and captures at the first scheduled digital
+/// event at or after @p t. Event times are where an uninterrupted run's
+/// kernels stop anyway, so stopping there perturbs nothing.
+snapshot::Snapshot captureAtOrAfter(fault::Testbench& tb, SimTime t)
+{
+    auto& sim = tb.sim();
+    sim.elaborate();
+    while (true) {
+        const SimTime ev = sim.digital().scheduler().nextEventTime();
+        if (ev >= tb.duration()) {
+            throw std::logic_error("captureAtOrAfter: no event before the duration");
+        }
+        sim.run(ev);
+        if (ev >= t) {
+            return sim.captureSnapshot();
+        }
+    }
+}
+
+void expectIdenticalRuns(fault::Testbench& reference, fault::Testbench& resumed,
+                         const char* tag)
+{
+    for (const auto& [name, ref] : reference.recorder().digitalTraces()) {
+        const trace::DigitalTrace& got = resumed.recorder().digitalTrace(name);
+        EXPECT_EQ(got.initial, ref.initial) << tag << ": " << name;
+        EXPECT_EQ(got.events, ref.events) << tag << ": digital trace " << name;
+    }
+    for (const auto& [name, ref] : reference.recorder().analogTraces()) {
+        const trace::AnalogTrace& got = resumed.recorder().analogTrace(name);
+        EXPECT_EQ(got.samples, ref.samples) << tag << ": analog trace " << name;
+    }
+    EXPECT_EQ(resumed.sim().digital().scheduler().deltaCycles(),
+              reference.sim().digital().scheduler().deltaCycles())
+        << tag << ": wave counts differ";
+    if (reference.sim().analog().unknownCount() > 0) {
+        const auto& a = reference.sim().solver().stats();
+        const auto& b = resumed.sim().solver().stats();
+        EXPECT_EQ(b.acceptedSteps, a.acceptedSteps) << tag;
+        EXPECT_EQ(b.rejectedSteps, a.rejectedSteps) << tag;
+        EXPECT_EQ(b.newtonIterations, a.newtonIterations) << tag;
+    }
+}
+
+void expectCaptureRestoreBitIdentical(const fault::TestbenchFactory& factory,
+                                      SimTime captureAt, const char* tag)
+{
+    // Reference: one uninterrupted run.
+    auto reference = factory();
+    reference->run();
+
+    // Donor: event-stepped to the capture point, then run to completion —
+    // must already equal the reference (segmentation is transparent).
+    auto donor = factory();
+    const snapshot::Snapshot snap = captureAtOrAfter(*donor, captureAt);
+    EXPECT_GE(snap.time, captureAt);
+    EXPECT_LT(snap.time, donor->duration());
+    EXPECT_FALSE(snap.bytes.empty());
+    donor->sim().run(donor->duration());
+    expectIdenticalRuns(*reference, *donor, (std::string(tag) + "/segmented").c_str());
+
+    // Resumed: a fresh structural twin restored from the snapshot, traces
+    // preloaded with the golden prefix, then run only over the suffix.
+    auto resumed = factory();
+    resumed->sim().restoreSnapshot(snap);
+    resumed->recorder().preloadPrefix(reference->recorder(), snap.time, snap.analogTime);
+    EXPECT_EQ(resumed->sim().now(), snap.time);
+    resumed->run();
+    expectIdenticalRuns(*reference, *resumed, (std::string(tag) + "/resumed").c_str());
+}
+
+TEST(SnapshotRestore, DigitalDutBitIdentical)
+{
+    expectCaptureRestoreBitIdentical(
+        [] { return std::make_unique<duts::DigitalDutTestbench>(); },
+        2 * kMicrosecond + 3 * kNanosecond, "digital");
+}
+
+TEST(SnapshotRestore, PllBitIdentical)
+{
+    pll::PllConfig cfg;
+    cfg.duration = 20 * kMicrosecond;
+    expectCaptureRestoreBitIdentical(
+        [cfg] { return std::make_unique<pll::PllTestbench>(cfg); }, 8 * kMicrosecond,
+        "pll");
+}
+
+TEST(SnapshotRestore, AdcBitIdentical)
+{
+    adc::SarConfig cfg;
+    cfg.inputLevels = {1.7, 2.9};
+    expectCaptureRestoreBitIdentical(
+        [cfg] { return std::make_unique<adc::SarAdcTestbench>(cfg); }, 9 * kMicrosecond,
+        "adc");
+}
+
+TEST(SnapshotRestore, RestoreRejectsStructuralMismatch)
+{
+    duts::DigitalDutTestbench donor;
+    const snapshot::Snapshot snap = captureAtOrAfter(donor, kMicrosecond);
+
+    pll::PllConfig cfg;
+    cfg.duration = 20 * kMicrosecond;
+    pll::PllTestbench other(cfg);
+    EXPECT_THROW(other.sim().restoreSnapshot(snap), snapshot::SnapshotFormatError);
+}
+
+// ---------------------------------------------------------------------------
+// fork-from-golden campaigns == from-scratch campaigns, byte for byte
+
+struct CampaignOutput {
+    std::string journal;
+    std::string summary;
+    std::string json;
+    campaign::CampaignReport report;
+};
+
+CampaignOutput runCampaign(const fault::TestbenchFactory& factory,
+                           const std::vector<fault::FaultSpec>& faults, unsigned workers,
+                           SimTime cadence, const std::string& tag,
+                           const std::function<void(campaign::CampaignRunner&)>& configure = {})
+{
+    const std::string path = ::testing::TempDir() + "gfi_snapshot_" + tag + ".jsonl";
+    std::remove(path.c_str());
+    campaign::CampaignRunner runner(factory);
+    runner.setWorkers(workers);
+    runner.setRecordTiming(false); // zero wall clock AND checkpoint bookkeeping
+    runner.setCheckpointCadence(cadence > 0 ? cadence : -1);
+    runner.setJournalPath(path);
+    if (configure) {
+        configure(runner);
+    }
+    CampaignOutput out;
+    out.report = runner.run(faults);
+    out.journal = slurp(path);
+    out.summary = out.report.summaryTable();
+    out.json = reportToJson(out.report);
+    if (cadence > 0) {
+        EXPECT_GT(runner.checkpointCount(), 0u) << tag << ": fork mode captured nothing";
+    }
+    std::remove(path.c_str());
+    return out;
+}
+
+void expectForkEqualsScratch(const fault::TestbenchFactory& factory,
+                             const std::vector<fault::FaultSpec>& faults, SimTime cadence,
+                             const std::string& tag,
+                             const std::function<void(campaign::CampaignRunner&)>& configure = {})
+{
+    const CampaignOutput scratch =
+        runCampaign(factory, faults, 1, 0, tag + "_scratch", configure);
+    ASSERT_EQ(scratch.report.runs.size(), faults.size());
+    EXPECT_FALSE(scratch.journal.empty());
+
+    const CampaignOutput forked =
+        runCampaign(factory, faults, 1, cadence, tag + "_forked", configure);
+    EXPECT_EQ(forked.journal, scratch.journal) << tag << ": forked journal differs";
+    EXPECT_EQ(forked.summary, scratch.summary) << tag << ": forked summary differs";
+    EXPECT_EQ(forked.json, scratch.json) << tag << ": forked JSON differs";
+
+    const CampaignOutput wide =
+        runCampaign(factory, faults, 8, cadence, tag + "_forked8", configure);
+    EXPECT_EQ(wide.journal, scratch.journal) << tag << ": 8-worker forked journal differs";
+    EXPECT_EQ(wide.summary, scratch.summary) << tag << ": 8-worker summary differs";
+    EXPECT_EQ(wide.json, scratch.json) << tag << ": 8-worker JSON differs";
+}
+
+TEST(ForkFromGolden, DigitalCampaignByteIdentical)
+{
+    const auto factory = [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+    const duts::DigitalDutTestbench probe;
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    const SimTime t = 2 * kMicrosecond + 7 * kNanosecond;
+    for (const auto& [name, hook] : probe.sim().digital().instrumentation().all()) {
+        faults.emplace_back(fault::BitFlipFault{name, 0, t});
+        if (hook.width > 1) {
+            faults.emplace_back(
+                fault::BitFlipFault{name, hook.width - 1, 3 * kMicrosecond + 13 * kNanosecond});
+        }
+    }
+    for (const std::string& sab : probe.digitalSaboteurNames()) {
+        faults.emplace_back(fault::DigitalPulseFault{sab, t, 25 * kNanosecond});
+        faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::One, t, 0});
+    }
+    ASSERT_GE(faults.size(), 10u);
+    expectForkEqualsScratch(factory, faults, 500 * kNanosecond, "digital");
+}
+
+TEST(ForkFromGolden, PllCampaignByteIdentical)
+{
+    pll::PllConfig cfg;
+    cfg.duration = 20 * kMicrosecond;
+    const auto factory = [cfg] { return std::make_unique<pll::PllTestbench>(cfg); };
+    auto pulse = std::make_shared<fault::TrapezoidPulse>(2e-3, 300e-12, 300e-12, 1e-9);
+    const pll::PllTestbench probe(cfg);
+    const std::string reg = probe.sim().digital().instrumentation().names().front();
+    const std::vector<fault::FaultSpec> faults{
+        fault::FaultSpec{},
+        fault::CurrentPulseFault{pll::names::kSabFilter, 8e-6, pulse},
+        fault::CurrentPulseFault{pll::names::kSabVcoOut, 14e-6, pulse},
+        fault::BitFlipFault{reg, 0, 12 * kMicrosecond},
+        fault::ParametricFault{"pll/kvco", 1.15, 10 * kMicrosecond},
+    };
+    expectForkEqualsScratch(factory, faults, 4 * kMicrosecond, "pll",
+                            [](campaign::CampaignRunner& r) {
+                                r.setRetryPolicy(campaign::RetryPolicy{.maxAttempts = 2});
+                            });
+}
+
+TEST(ForkFromGolden, AdcCampaignByteIdentical)
+{
+    adc::SarConfig cfg;
+    cfg.inputLevels = {1.7, 2.9};
+    const auto factory = [cfg] { return std::make_unique<adc::SarAdcTestbench>(cfg); };
+    auto pulse = std::make_shared<fault::TrapezoidPulse>(5e-3, 500e-12, 500e-12, 1e-9);
+    const adc::SarAdcTestbench probe(cfg);
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    const auto names = probe.sim().digital().instrumentation().names();
+    for (std::size_t i = 0; i < names.size() && i < 3; ++i) {
+        faults.emplace_back(fault::BitFlipFault{names[i], 0, 12 * kMicrosecond});
+    }
+    faults.emplace_back(fault::CurrentPulseFault{"sab/dac_out", 14e-6, pulse});
+    expectForkEqualsScratch(factory, faults, 5 * kMicrosecond, "adc");
+}
+
+// A forked run must record which checkpoint it used and how much it re-ran
+// (when timing recording is on), and the summary table must show the savings.
+TEST(ForkFromGolden, RecordsCheckpointDiagnostics)
+{
+    campaign::CampaignRunner runner([] { return std::make_unique<duts::DigitalDutTestbench>(); });
+    runner.setCheckpointCadence(kMicrosecond);
+
+    const duts::DigitalDutTestbench probe;
+    const std::string target = probe.sim().digital().instrumentation().names().front();
+    const std::vector<fault::FaultSpec> faults{
+        fault::FaultSpec{},                                            // golden: never forks
+        fault::BitFlipFault{target, 0, 3 * kMicrosecond + 100 * kNanosecond},
+        fault::BitFlipFault{target, 0, 10 * kNanosecond},              // before 1st checkpoint
+    };
+    const campaign::CampaignReport report = runner.run(faults);
+    ASSERT_EQ(report.runs.size(), 3u);
+
+    EXPECT_EQ(report.runs[0].diagnostics.checkpointTime, 0);
+    EXPECT_EQ(report.runs[2].diagnostics.checkpointTime, 0) << "no checkpoint before t_inj";
+
+    const auto& forked = report.runs[1].diagnostics;
+    EXPECT_GT(forked.checkpointTime, 0);
+    EXPECT_LT(forked.checkpointTime, 3 * kMicrosecond + 100 * kNanosecond);
+    EXPECT_GT(forked.resimulatedTime, 0);
+    EXPECT_EQ(forked.checkpointTime + forked.resimulatedTime, probe.duration());
+
+    const std::string summary = report.summaryTable();
+    EXPECT_NE(summary.find("forked runs"), std::string::npos) << summary;
+
+    // The journal/CSV rows surface the same numbers.
+    const std::string line = campaign::CampaignJournal::entryToJson(1, report.runs[1]);
+    EXPECT_NE(line.find("\"checkpoint_fs\": " + std::to_string(forked.checkpointTime)),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"resim_fs\": " + std::to_string(forked.resimulatedTime)),
+              std::string::npos)
+        << line;
+    const auto parsed = campaign::CampaignJournal::parseLine(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->result.diagnostics.checkpointTime, forked.checkpointTime);
+    EXPECT_EQ(parsed->result.diagnostics.resimulatedTime, forked.resimulatedTime);
+}
+
+TEST(ForkFromGolden, EnvVarEnablesAndExplicitOptOutWins)
+{
+    ::setenv("GFI_CHECKPOINT", "1e-6", 1);
+    {
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        runner.runGolden(); // cadence 0 defers to GFI_CHECKPOINT
+        EXPECT_GE(runner.checkpointCount(), 3u);
+    }
+    {
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        runner.setCheckpointCadence(-1); // explicit opt-out beats the environment
+        runner.runGolden();
+        EXPECT_EQ(runner.checkpointCount(), 0u);
+    }
+    ::unsetenv("GFI_CHECKPOINT");
+}
+
+// Mid-campaign journal resume interacts with forking: phase 1 journals the
+// first k runs under fork mode and dies; phase 2 restores them and forks the
+// rest. The converged journal must equal the from-scratch serial reference.
+TEST(ForkFromGolden, JournalResumeConvergesToScratchBytes)
+{
+    const auto factory = [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+    const duts::DigitalDutTestbench probe;
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    const auto names = probe.sim().digital().instrumentation().names();
+    for (std::size_t i = 0; i < names.size() && i < 6; ++i) {
+        faults.emplace_back(
+            fault::BitFlipFault{names[i], 0, 2 * kMicrosecond + static_cast<SimTime>(i) * 37});
+    }
+    ASSERT_GE(faults.size(), 5u);
+
+    const CampaignOutput reference = runCampaign(factory, faults, 1, 0, "resume_ref");
+
+    const std::string path = ::testing::TempDir() + "gfi_snapshot_resume.jsonl";
+    std::remove(path.c_str());
+    const std::size_t k = faults.size() / 2;
+    {
+        campaign::CampaignRunner partial(factory);
+        partial.setRecordTiming(false);
+        partial.setCheckpointCadence(kMicrosecond);
+        partial.setJournalPath(path);
+        (void)partial.run({faults.begin(), faults.begin() + static_cast<long>(k)});
+    }
+    campaign::CampaignRunner resumed(factory);
+    resumed.setRecordTiming(false);
+    resumed.setCheckpointCadence(kMicrosecond);
+    resumed.setJournalPath(path);
+    resumed.setWorkers(2);
+    const campaign::CampaignReport report = resumed.run(faults);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_TRUE(report.runs[i].diagnostics.fromJournal) << i;
+    }
+    EXPECT_EQ(slurp(path), reference.journal);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// watchdog: budgets meter only post-restore work in fork mode
+
+TEST(ForkFromGolden, WatchdogBudgetCountsOnlyTheSuffix)
+{
+    const auto factory = [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+    std::uint64_t goldenWaves = 0;
+    {
+        campaign::CampaignRunner probe(factory);
+        probe.runGolden();
+        goldenWaves = probe.golden().sim().digital().scheduler().deltaCycles();
+    }
+    ASSERT_GT(goldenWaves, 100u);
+
+    const duts::DigitalDutTestbench probeTb;
+    const std::string target = probeTb.sim().digital().instrumentation().names().front();
+    // Inject late: the fork resumes from ~3 us of 4 us, so the suffix costs
+    // roughly a quarter of the golden wave count.
+    const fault::FaultSpec fault =
+        fault::BitFlipFault{target, 0, 3 * kMicrosecond + 500 * kNanosecond};
+    WatchdogConfig budget;
+    budget.digitalWaves = goldenWaves * 6 / 10;
+
+    campaign::CampaignRunner scratch(factory);
+    scratch.setWatchdogConfig(budget);
+    const campaign::RunResult fromScratch = scratch.runOne(fault);
+    EXPECT_EQ(fromScratch.outcome, campaign::Outcome::Timeout)
+        << "budget sized to trip a full-length run";
+
+    campaign::CampaignRunner forked(factory);
+    forked.setWatchdogConfig(budget);
+    forked.setCheckpointCadence(kMicrosecond);
+    const campaign::RunResult fromFork = forked.runOne(fault);
+    EXPECT_NE(fromFork.outcome, campaign::Outcome::Timeout)
+        << "forked run must be charged only for the post-restore suffix: "
+        << fromFork.diagnostics.error;
+    EXPECT_GT(fromFork.diagnostics.checkpointTime, 0);
+}
+
+// Retries must fall back to from-scratch simulation (a tightened solver step
+// invalidates captured integrator history), and their diagnostics must say so.
+TEST(ForkFromGolden, RetriesRunFromScratch)
+{
+    const auto factory = [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+    std::uint64_t goldenWaves = 0;
+    {
+        campaign::CampaignRunner probe(factory);
+        probe.runGolden();
+        goldenWaves = probe.golden().sim().digital().scheduler().deltaCycles();
+    }
+    const duts::DigitalDutTestbench probeTb;
+    const std::string target = probeTb.sim().digital().instrumentation().names().front();
+    const fault::FaultSpec fault =
+        fault::BitFlipFault{target, 0, 3 * kMicrosecond + 500 * kNanosecond};
+
+    // Budget below even the forked suffix: attempt 1 (forked) times out, the
+    // retry re-simulates from scratch and times out again.
+    WatchdogConfig budget;
+    budget.digitalWaves = goldenWaves / 20;
+    campaign::CampaignRunner runner(factory);
+    runner.setWatchdogConfig(budget);
+    runner.setCheckpointCadence(kMicrosecond);
+    runner.setRetryPolicy(
+        campaign::RetryPolicy{.maxAttempts = 2, .retryTimeout = true});
+    const campaign::RunResult result = runner.runOne(fault);
+    EXPECT_EQ(result.outcome, campaign::Outcome::Timeout);
+    EXPECT_EQ(result.diagnostics.attempts, 2);
+    EXPECT_EQ(result.diagnostics.checkpointTime, 0)
+        << "the final (retried) attempt must not have forked";
+}
+
+// ---------------------------------------------------------------------------
+// PRE006: fork mode requires Snapshottable stateful components
+
+namespace {
+
+/// Deliberately stateful and NOT Snapshottable: restoring a checkpoint would
+/// silently resume it with a stale counter.
+class ShadowCounter : public digital::Component {
+public:
+    ShadowCounter(digital::Circuit& c, std::string name, digital::LogicSignal& clk)
+        : digital::Component(std::move(name))
+    {
+        c.process(this->name() + "/count", [this] { ++count_; }, {&clk});
+    }
+
+private:
+    std::uint64_t count_ = 0;
+};
+
+fault::TestbenchFactory shadowedFactory()
+{
+    return [] {
+        auto tb = std::make_unique<fault::Testbench>();
+        auto& dig = tb->sim().digital();
+        auto& clk = dig.logicSignal("tb/clk", digital::Logic::Zero);
+        dig.add<digital::ClockGen>(dig, "tb/clkgen", clk, 100 * kNanosecond);
+        dig.add<ShadowCounter>(dig, "tb/shadow", clk);
+        tb->observeDigital("tb/clk");
+        tb->setDuration(2 * kMicrosecond);
+        return tb;
+    };
+}
+
+} // namespace
+
+TEST(ForkFromGolden, Pre006RejectsNonSnapshottableStatefulComponents)
+{
+    {
+        auto tb = shadowedFactory()();
+        const lint::Report rep = lint::preflightSnapshot(*tb);
+        EXPECT_GT(rep.count(lint::Severity::Error), 0u);
+        EXPECT_NE(rep.table().find("PRE006"), std::string::npos) << rep.table();
+        EXPECT_NE(rep.table().find("tb/shadow"), std::string::npos) << rep.table();
+    }
+    // The campaign preflight only applies the rule while forking is enabled.
+    {
+        campaign::CampaignRunner runner(shadowedFactory());
+        runner.setCheckpointCadence(kMicrosecond);
+        try {
+            (void)runner.run({fault::FaultSpec{}});
+            FAIL() << "fork-from-golden accepted a non-Snapshottable stateful component";
+        } catch (const lint::PreflightError& e) {
+            EXPECT_NE(std::string(e.what()).find("PRE006"), std::string::npos) << e.what();
+            EXPECT_NE(std::string(e.what()).find("tb/shadow"), std::string::npos) << e.what();
+        }
+    }
+    {
+        campaign::CampaignRunner runner(shadowedFactory());
+        runner.setCheckpointCadence(-1); // forking off: the design is acceptable
+        const campaign::CampaignReport report = runner.run({fault::FaultSpec{}});
+        EXPECT_EQ(report.runs.size(), 1u);
+    }
+    // All shipped testbenches must pass PRE006.
+    {
+        duts::DigitalDutTestbench dut;
+        EXPECT_EQ(lint::preflightSnapshot(dut).count(lint::Severity::Error), 0u);
+        pll::PllConfig cfg;
+        pll::PllTestbench pllTb(cfg);
+        EXPECT_EQ(lint::preflightSnapshot(pllTb).count(lint::Severity::Error), 0u);
+        adc::SarAdcTestbench adcTb;
+        EXPECT_EQ(lint::preflightSnapshot(adcTb).count(lint::Severity::Error), 0u);
+    }
+}
+
+} // namespace
+} // namespace gfi
