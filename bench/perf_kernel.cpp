@@ -12,7 +12,11 @@
 #include "core/saboteur.hpp"
 #include "digital/gates.hpp"
 #include "digital/sequential.hpp"
+#include "duts/digital_dut.hpp"
+#include "obs/telemetry.hpp"
 #include "pll/pll.hpp"
+
+#include "pll_bench_common.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -171,6 +175,48 @@ void BM_PllMixedSimulation(benchmark::State& state)
 }
 BENCHMARK(BM_PllMixedSimulation)->Unit(benchmark::kMillisecond);
 
+// --- telemetry overhead ---------------------------------------------------------
+
+void BM_TelemetryOverhead(benchmark::State& state)
+{
+    // The observability contract: an attached metrics sink must cost under a
+    // percent on a digital campaign (the kernel probes themselves are
+    // always-on member increments; the sink only adds the per-run commit
+    // fold). Arg 0 = no telemetry, arg 1 = metrics registry attached.
+    const bool withTelemetry = state.range(0) != 0;
+    std::vector<fault::FaultSpec> faults;
+    {
+        const duts::DigitalDutTestbench probe;
+        const SimTime tInj = kMicrosecond + 7 * kNanosecond;
+        for (const auto& [name, hook] : probe.sim().digital().instrumentation().all()) {
+            for (int bit = 0; bit < hook.width; ++bit) {
+                faults.emplace_back(fault::BitFlipFault{name, bit, tInj});
+            }
+        }
+    }
+    for (auto _ : state) {
+        obs::Telemetry telemetry;
+        campaign::CampaignRunner runner(
+            [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+        runner.setWorkers(1);
+        runner.setRecordTiming(false);
+        if (withTelemetry) {
+            runner.setTelemetry(telemetry);
+        }
+        const campaign::CampaignReport report = runner.run(faults);
+        benchmark::DoNotOptimize(report.runs.size());
+        if (withTelemetry) {
+            benchmark::DoNotOptimize(
+                telemetry.metrics().counterValue("gfi_digital_delta_cycles_total"));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int>(faults.size()));
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    return gfi::bench::runBenchmarksToJson(argc, argv, "perf_kernel");
+}

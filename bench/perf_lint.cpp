@@ -8,6 +8,8 @@
 #include "lint/lint.hpp"
 #include "pll/pll.hpp"
 
+#include "pll_bench_common.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -92,4 +94,7 @@ BENCHMARK(BM_NoPreflight100BadFaultsSimulated)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    return gfi::bench::runBenchmarksToJson(argc, argv, "perf_lint");
+}

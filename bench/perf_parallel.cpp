@@ -9,6 +9,8 @@
 #include "core/campaign.hpp"
 #include "duts/digital_dut.hpp"
 
+#include "pll_bench_common.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -85,4 +87,7 @@ BENCHMARK(BM_ExhaustiveDigitalCampaign)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    return gfi::bench::runBenchmarksToJson(argc, argv, "perf_parallel");
+}

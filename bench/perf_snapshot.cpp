@@ -95,11 +95,17 @@ int main()
     const double speedup =
         forked.wallSeconds > 0 ? scratch.wallSeconds / forked.wallSeconds : 0.0;
 
-    std::printf("{\"benchmark\": \"perf_snapshot\", \"experiment\": \"fig8_pulse_sweep\", "
-                "\"runs\": %zu, \"checkpoints\": %zu, \"scratch_s\": %.3f, "
-                "\"fork_s\": %.3f, \"speedup\": %.2f, \"identical\": %s}\n",
-                faults.size(), forked.checkpoints, scratch.wallSeconds,
-                forked.wallSeconds, speedup, identical ? "true" : "false");
+    char jsonLine[512];
+    std::snprintf(jsonLine, sizeof jsonLine,
+                  "{\"benchmark\": \"perf_snapshot\", \"experiment\": \"fig8_pulse_sweep\", "
+                  "\"runs\": %zu, \"checkpoints\": %zu, \"scratch_s\": %.3f, "
+                  "\"fork_s\": %.3f, \"speedup\": %.2f, \"identical\": %s}\n",
+                  faults.size(), forked.checkpoints, scratch.wallSeconds,
+                  forked.wallSeconds, speedup, identical ? "true" : "false");
+    std::fputs(jsonLine, stdout);
+    if (!writeTextFile("BENCH_perf_snapshot.json", jsonLine)) {
+        std::fprintf(stderr, "warning: cannot write BENCH_perf_snapshot.json\n");
+    }
 
     if (!identical) {
         std::fprintf(stderr, "FAIL: forked campaign output differs from scratch\n");

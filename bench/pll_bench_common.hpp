@@ -1,11 +1,14 @@
 #pragma once
-// Shared helpers for the PLL figure-reproduction benches.
+// Shared helpers for the PLL figure-reproduction benches and the perf_*
+// engineering benchmarks (machine-readable BENCH_<tool>.json output).
 
 #include "core/campaign.hpp"
 #include "pll/pll.hpp"
 #include "trace/metrics.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
@@ -34,6 +37,94 @@ inline std::unique_ptr<fault::Testbench> runFaulty(campaign::CampaignRunner& run
     fault::armFault(*tb, f);
     tb->run();
     return tb;
+}
+
+// --- machine-readable bench output ------------------------------------------
+
+/// Writes @p content to @p path, overwriting; false on I/O failure.
+inline bool writeTextFile(const std::string& path, const std::string& content)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+/// Console reporter that additionally accumulates every iteration run into a
+/// compact JSON summary — per-benchmark wall milliseconds plus all user
+/// counters (runs_per_s, items_per_second, speedups) — so CI can collect and
+/// chart performance without scraping console tables.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred) {
+                continue;
+            }
+            const double wallSec = r.iterations > 0
+                                       ? r.real_accumulated_time /
+                                             static_cast<double>(r.iterations)
+                                       : r.real_accumulated_time;
+            std::string e = "  {\"name\": \"" + jsonId(r.benchmark_name()) + "\"";
+            e += ", \"wall_ms\": " + formatDouble(wallSec * 1e3, 6);
+            e += ", \"iterations\": " + std::to_string(r.iterations);
+            for (const auto& [key, counter] : r.counters) {
+                e += ", \"" + jsonId(key) + "\": " + formatDouble(counter, 6);
+            }
+            e += "}";
+            entries_.push_back(std::move(e));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /// The accumulated summary as one JSON object.
+    [[nodiscard]] std::string json(const std::string& tool) const
+    {
+        std::string out = "{\"tool\": \"" + tool + "\", \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            out += entries_[i] + (i + 1 < entries_.size() ? ",\n" : "\n");
+        }
+        out += "]}\n";
+        return out;
+    }
+
+private:
+    /// Benchmark/counter names are identifier-plus-slash shaped; quote and
+    /// backslash are escaped anyway so the output always parses.
+    static std::string jsonId(const std::string& s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    std::vector<std::string> entries_;
+};
+
+/// Drop-in BENCHMARK_MAIN() replacement: identical console output, plus a
+/// BENCH_<tool>.json summary written to the working directory.
+inline int runBenchmarksToJson(int argc, char** argv, const std::string& tool)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    JsonTeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const std::string path = "BENCH_" + tool + ".json";
+    if (!writeTextFile(path, reporter.json(tool))) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+    benchmark::Shutdown();
+    return 0;
 }
 
 /// Prints a compact waveform series: golden vs faulty VCO-control voltage at

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -57,5 +58,15 @@ int main()
     const bool identical = serial.summaryTable() == parallel.summaryTable();
     std::printf("\nclassification identical to serial: %s\n", identical ? "yes" : "NO");
     std::printf("%s\n", parallel.summaryTable().c_str());
+
+    // With GFI_TRACE / GFI_METRICS set, each campaign wrote its telemetry on
+    // completion (the parallel run's files are the ones left behind). Load
+    // the trace in https://ui.perfetto.dev to see the per-worker timeline.
+    if (const char* trace = std::getenv("GFI_TRACE")) {
+        std::printf("telemetry: Chrome trace written to %s\n", trace);
+    }
+    if (const char* metrics = std::getenv("GFI_METRICS")) {
+        std::printf("telemetry: metrics dump written to %s\n", metrics);
+    }
     return identical ? 0 : 1;
 }

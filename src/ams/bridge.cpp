@@ -33,6 +33,7 @@ void AtoDBridge::fire(MixedSimulator& sim, double tCross, bool rising)
         return; // hysteresis: already in that state
     }
     high_ = rising;
+    ++sim.bridgeCounters().atodCrossings;
     auto& sched = sim.digital().scheduler();
     const SimTime tFs = fromSeconds(tCross);
     // No digital events exist before tCross (the synchronizer guarantees it),
@@ -70,6 +71,7 @@ void DtoABridge::drive(MixedSimulator& sim)
     if (target == currentLevel_) {
         return;
     }
+    ++sim.bridgeCounters().dtoaEvents;
     if (!sim.elaborated()) {
         currentLevel_ = target;
         source_->setLevel(target);
@@ -129,6 +131,7 @@ void DigitalVoltageDriver::drive(MixedSimulator& sim)
     if (target == currentLevel_) {
         return;
     }
+    ++sim.bridgeCounters().dtoaEvents;
     currentLevel_ = target;
     source_->setLevel(target);
     if (sim.elaborated()) {
@@ -164,6 +167,7 @@ void DigitalCurrentDriver::drive(MixedSimulator& sim)
     if (target == currentLevel_) {
         return;
     }
+    ++sim.bridgeCounters().dtoaEvents;
     currentLevel_ = target;
     source_->setLevel(target);
     if (sim.elaborated()) {

@@ -167,6 +167,29 @@ void MixedSimulator::restoreSnapshot(const snapshot::Snapshot& snap)
     }
 }
 
+obs::ProbeSnapshot MixedSimulator::sampleProbes() const
+{
+    obs::ProbeSnapshot p;
+    p.valid = true;
+    const auto& sched = digital_.scheduler();
+    p.digitalEvents = sched.eventsDispatched();
+    p.deltaCycles = sched.deltaCycles();
+    p.queueHighWater = sched.queueHighWater();
+    p.pendingEvents = sched.pendingEvents();
+    if (solver_) {
+        const analog::SolverStats& s = solver_->stats();
+        p.analogAcceptedSteps = s.acceptedSteps;
+        p.analogRejectedSteps = s.rejectedSteps;
+        p.newtonIterations = s.newtonIterations;
+        p.companionRebuilds = s.companionRebuilds;
+        p.minAcceptedDt = s.minAcceptedDt;
+        p.lastAcceptedDt = s.lastAcceptedDt;
+    }
+    p.atodCrossings = bridgeCounters_.atodCrossings;
+    p.dtoaEvents = bridgeCounters_.dtoaEvents;
+    return p;
+}
+
 void MixedSimulator::run(SimTime until)
 {
     elaborate();

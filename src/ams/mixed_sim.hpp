@@ -14,6 +14,7 @@
 
 #include "analog/solver.hpp"
 #include "digital/circuit.hpp"
+#include "obs/probe.hpp"
 #include "sim/watchdog.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -21,6 +22,13 @@
 #include <memory>
 
 namespace gfi::ams {
+
+/// Always-on counters of AMS bridge activity (bumped by the bridges in
+/// bridge.cpp; cost: one increment per domain crossing).
+struct BridgeCounters {
+    std::uint64_t atodCrossings = 0; ///< analog->digital threshold firings
+    std::uint64_t dtoaEvents = 0;    ///< digital->analog drive-level updates
+};
 
 /// Owns one digital circuit, one analog system, and the glue between them.
 class MixedSimulator {
@@ -66,6 +74,20 @@ public:
     /// Current co-simulation time (the digital kernel's clock).
     [[nodiscard]] SimTime now() const noexcept { return digital_.scheduler().now(); }
 
+    // --- kernel probes ------------------------------------------------------
+
+    /// Bridge-crossing counters (the bridges increment these).
+    [[nodiscard]] BridgeCounters& bridgeCounters() noexcept { return bridgeCounters_; }
+    [[nodiscard]] const BridgeCounters& bridgeCounters() const noexcept
+    {
+        return bridgeCounters_;
+    }
+
+    /// One coherent reading of every kernel probe: scheduler dispatch/queue
+    /// counters, solver step statistics, bridge crossings. Cheap (plain field
+    /// reads); safe at any point, including after a watchdog unwind.
+    [[nodiscard]] obs::ProbeSnapshot sampleProbes() const;
+
     // --- snapshot/restore ---------------------------------------------------
 
     /// Registry the AMS bridges add themselves to at construction; their
@@ -109,6 +131,7 @@ private:
     std::vector<std::function<void(analog::TransientSolver&)>> elaborationHooks_;
     Watchdog* watchdog_ = nullptr;
     double stepScale_ = 1.0;
+    BridgeCounters bridgeCounters_;
 };
 
 } // namespace gfi::ams

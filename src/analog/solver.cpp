@@ -162,6 +162,10 @@ void TransientSolver::acceptStep(const std::vector<double>& x, double dt)
     sys_->state() = x;
     time_ += dt;
     ++stats_.acceptedSteps;
+    stats_.lastAcceptedDt = dt;
+    if (stats_.minAcceptedDt == 0.0 || dt < stats_.minAcceptedDt) {
+        stats_.minAcceptedDt = dt;
+    }
     for (const auto& probe : probes_) {
         probe(time_);
     }
@@ -169,6 +173,7 @@ void TransientSolver::acceptStep(const std::vector<double>& x, double dt)
 
 void TransientSolver::markDiscontinuity()
 {
+    ++stats_.companionRebuilds;
     for (const auto& comp : sys_->components()) {
         comp->notifyDiscontinuity();
     }

@@ -84,12 +84,19 @@ private:
 };
 
 /// Cumulative solver statistics (performance benches report these).
+/// The first five fields are snapshot-captured; the probe fields below them
+/// are telemetry-only (billed per run by baseline delta, never serialized).
 struct SolverStats {
     std::uint64_t acceptedSteps = 0;
     std::uint64_t rejectedSteps = 0;
     std::uint64_t newtonIterations = 0;
     std::uint64_t linearSolves = 0;
     std::uint64_t crossingsLocated = 0;
+
+    // Kernel probes.
+    std::uint64_t companionRebuilds = 0; ///< discontinuity restarts
+    double minAcceptedDt = 0.0;          ///< smallest accepted step (s); 0 = none yet
+    double lastAcceptedDt = 0.0;         ///< most recent accepted step (s)
 };
 
 /// The transient engine.

@@ -1,12 +1,15 @@
 #include "core/campaign.hpp"
 
 #include "core/journal.hpp"
+#include "core/report.hpp"
 #include "lint/lint.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/errors.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -198,6 +201,8 @@ CampaignRunner::CampaignRunner(fault::TestbenchFactory factory, Tolerance tolera
 {
 }
 
+CampaignRunner::~CampaignRunner() = default;
+
 SimTime CampaignRunner::effectiveCheckpointCadence() const
 {
     if (checkpointCadence_ > 0) {
@@ -251,6 +256,11 @@ void CampaignRunner::runGolden()
                 checkpoints_.put(kGoldenCheckpoints, std::make_shared<const snapshot::Snapshot>(
                                                          sim.captureSnapshot()));
                 nextMark = ev + cadence;
+                if (obs::Telemetry* tel = activeTelemetry();
+                    tel != nullptr && tel->trace() != nullptr) {
+                    tel->trace()->instantEvent("checkpoint", "golden",
+                                               "{\"sim_time\": \"" + formatTime(ev) + "\"}");
+                }
             }
         }
         sim.run(duration);
@@ -365,13 +375,19 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
     }
 
     Watchdog watchdog(watchdogConfig_.scaledFor(activeWorkers_));
+    obs::Telemetry* const tel = activeTelemetry();
     std::unique_ptr<fault::Testbench> tb;
+    obs::ProbeSnapshot baseline;
     try {
-        tb = factory_();
+        {
+            obs::Span span(tel, "build", "run");
+            tb = factory_();
+        }
         if (attempt > 1 && retryPolicy_.stepTighten > 0.0 && retryPolicy_.stepTighten < 1.0) {
             tb->sim().setSolverStepScale(std::pow(retryPolicy_.stepTighten, attempt - 1));
         }
         if (cp) {
+            obs::Span span(tel, "restore", "run");
             tb->sim().restoreSnapshot(*cp);
             tb->recorder().preloadPrefix(golden_->recorder(), cp->time, cp->analogTime);
             // Re-arm so the wave/step/wall budgets meter only the post-restore
@@ -380,9 +396,20 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
             watchdog.arm();
         }
         tb->sim().setWatchdog(&watchdog);
+        // Probe baseline AFTER a possible restore: restored kernels carry the
+        // golden prefix's counters, which must not be billed to this run —
+        // that subtraction is what makes per-run deltas agree between forked
+        // and from-scratch execution.
+        baseline = tb->sim().sampleProbes();
         fault::armFault(*tb, fault);
-        tb->run();
-        result = classify(*tb, fault);
+        {
+            obs::Span span(tel, "simulate", "run");
+            tb->run();
+        }
+        {
+            obs::Span span(tel, "classify", "run");
+            result = classify(*tb, fault);
+        }
     } catch (const WatchdogTimeout& e) {
         result.outcome = Outcome::Timeout;
         result.diagnostics.error = e.what();
@@ -402,6 +429,11 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
         if (tb->sim().elaborated()) {
             const auto& stats = tb->sim().solver().stats();
             result.diagnostics.analogSteps = stats.acceptedSteps + stats.rejectedSteps;
+        }
+        if (baseline.valid) {
+            // Sampled even after a watchdog unwind — the final queue depth
+            // and solver step sizes are the stall picture for Timeout runs.
+            result.diagnostics.probes = tb->sim().sampleProbes().delta(baseline);
         }
     }
     result.diagnostics.wallSeconds = recordTiming_ ? watchdog.elapsedSeconds() : 0.0;
@@ -426,6 +458,16 @@ RunResult CampaignRunner::runContained(const fault::FaultSpec& fault)
             !retryPolicy_.shouldRetry(result.outcome)) {
             return result;
         }
+        // Counted at decision time because only the final outcome survives
+        // into the result — the cause label would otherwise be lost when a
+        // retry succeeds.
+        if (obs::Telemetry* tel = activeTelemetry()) {
+            tel->metrics()
+                .counter(std::string("gfi_run_retries_total{cause=\"") +
+                             toString(result.outcome) + "\"}",
+                         "Retried attempts by the abnormal outcome that triggered them")
+                .inc();
+        }
     }
 }
 
@@ -447,13 +489,80 @@ std::size_t CampaignRunner::completedRuns() const
     return liveCompleted_;
 }
 
+void CampaignRunner::recordRunMetrics(const RunResult& r)
+{
+    obs::Telemetry* const tel = activeTelemetry();
+    if (tel == nullptr) {
+        return;
+    }
+    obs::MetricsRegistry& m = tel->metrics();
+    m.counter(std::string("gfi_runs_total{outcome=\"") + toString(r.outcome) + "\"}",
+              "Classified campaign runs by outcome")
+        .inc();
+    m.counter("gfi_run_attempts_total", "Contained run attempts, including retries")
+        .inc(static_cast<std::uint64_t>(std::max(1, r.diagnostics.attempts)));
+
+    const obs::ProbeSnapshot& p = r.diagnostics.probes;
+    if (!p.valid) {
+        return; // never sampled (restored from a pre-telemetry journal)
+    }
+    m.counter("gfi_digital_events_total", "Digital event-queue entries executed")
+        .inc(p.digitalEvents);
+    m.counter("gfi_digital_delta_cycles_total", "Delta-cycle waves run").inc(p.deltaCycles);
+    m.gauge("gfi_digital_queue_high_water", "Deepest pending event queue of any run")
+        .foldMax(static_cast<double>(p.queueHighWater));
+    m.counter("gfi_analog_steps_accepted_total", "Accepted analog integration steps")
+        .inc(p.analogAcceptedSteps);
+    m.counter("gfi_analog_steps_rejected_total", "Rejected analog integration steps")
+        .inc(p.analogRejectedSteps);
+    m.counter("gfi_analog_newton_iterations_total", "Newton iterations across all steps")
+        .inc(p.newtonIterations);
+    m.counter("gfi_analog_companion_rebuilds_total",
+              "Companion-model restarts after discontinuities")
+        .inc(p.companionRebuilds);
+    m.gauge("gfi_analog_min_step_seconds", "Smallest accepted analog step of any run")
+        .foldMinNonzero(p.minAcceptedDt);
+    m.counter("gfi_bridge_atod_crossings_total", "Analog->digital threshold crossings")
+        .inc(p.atodCrossings);
+    m.counter("gfi_bridge_dtoa_events_total", "Digital->analog drive-level updates")
+        .inc(p.dtoaEvents);
+
+    // Per-run distributions of the deterministic resource counters.
+    m.histogram("gfi_run_digital_waves", {10, 100, 1000, 10000, 100000, 1000000},
+                "Delta-cycle waves per run")
+        .observe(static_cast<double>(p.deltaCycles));
+    m.histogram("gfi_run_analog_steps", {10, 100, 1000, 10000, 100000, 1000000},
+                "Analog step attempts per run")
+        .observe(static_cast<double>(p.analogAcceptedSteps + p.analogRejectedSteps));
+
+    if (r.diagnostics.checkpointTime > 0) {
+        m.counter("gfi_snapshot_skipped_fs_total",
+                  "Simulated time skipped by forking from golden checkpoints")
+            .inc(static_cast<std::uint64_t>(r.diagnostics.checkpointTime));
+        m.counter("gfi_snapshot_resimulated_fs_total",
+                  "Simulated time re-run after restoring a checkpoint")
+            .inc(static_cast<std::uint64_t>(std::max<SimTime>(r.diagnostics.resimulatedTime, 0)));
+    }
+}
+
 CampaignReport CampaignRunner::run(
     const std::vector<fault::FaultSpec>& faults,
     const std::function<void(std::size_t, const RunResult&)>& progress)
 {
+    // Resolve the telemetry sink once per campaign: the attached one wins,
+    // else GFI_TRACE/GFI_METRICS builds a campaign-owned one (kept across
+    // run() calls so repeated campaigns accumulate into one dump). tel ==
+    // nullptr leaves every instrumentation site a no-op.
+    if (telemetry_ == nullptr && !envTelemetry_) {
+        envTelemetry_ = obs::Telemetry::fromEnv();
+    }
+    obs::Telemetry* const tel = activeTelemetry();
+    const auto campaignStart = std::chrono::steady_clock::now();
+
     // Static-analysis phase: a broken design or malformed fault list fails
     // here in O(1), before the golden run and before any journal restore.
     if (preflight_) {
+        obs::Span span(tel, "preflight", "campaign");
         lint::Report rep = preflightReport(faults);
         if (effectiveCheckpointCadence() > 0) {
             // Fork-from-golden restores component state through the
@@ -465,7 +574,13 @@ CampaignReport CampaignRunner::run(
             throw lint::PreflightError(std::move(rep));
         }
     }
-    runGolden();
+    {
+        obs::Span span(tel, "golden", "campaign");
+        if (tel != nullptr && tel->trace() != nullptr) {
+            tel->trace()->nameCurrentTrack("campaign");
+        }
+        runGolden();
+    }
 
     // Resume: index -> journal entry of an earlier (possibly killed) campaign.
     std::map<std::size_t, JournalEntry> done;
@@ -475,12 +590,17 @@ CampaignReport CampaignRunner::run(
             done[e.index] = std::move(e); // later duplicates win
         }
         journal = std::make_unique<CampaignJournal>(journalPath_);
+        // With a sink attached, journal lines carry the per-run kernel deltas
+        // so a resumed campaign rebuilds the same metric totals from restored
+        // entries. Without one the line format stays exactly historical.
+        journal->setEmbedProbes(tel != nullptr);
     }
 
     // Decide up front (serially — preflightFault is cheap registry lookups)
     // which journal entries are restorable, so the worker phase only ever
     // simulates.
     std::map<std::size_t, RunResult> restored;
+    const bool forking = effectiveCheckpointCadence() > 0;
     for (std::size_t i = 0; i < faults.size(); ++i) {
         const auto it = done.find(i);
         bool restorable =
@@ -494,6 +614,14 @@ CampaignReport CampaignRunner::run(
         if (restorable) {
             RunResult r = it->second.result;
             r.fault = faults[i];
+            if (!forking) {
+                // A journal written by an earlier fork-mode campaign carries
+                // fork bookkeeping; resurrecting it into a non-forking
+                // campaign would print a "forked runs" summary footer for a
+                // campaign that forked nothing.
+                r.diagnostics.checkpointTime = 0;
+                r.diagnostics.resimulatedTime = 0;
+            }
             restored.emplace(i, std::move(r));
         }
     }
@@ -520,7 +648,14 @@ CampaignReport CampaignRunner::run(
                 r = it->second;
                 fromJournal = true;
             } else {
+                if (tel != nullptr && tel->trace() != nullptr) {
+                    tel->trace()->nameCurrentTrack(
+                        "worker " + std::to_string(obs::TraceWriter::currentTrackId()));
+                }
+                obs::Span span(tel, "run #" + std::to_string(i), "campaign");
                 r = runContained(faults[i]);
+                span.setArgs("{\"fault\": \"" + jsonEscape(fault::describe(faults[i])) +
+                             "\", \"outcome\": \"" + toString(r.outcome) + "\"}");
             }
             return [this, &report, &journal, &progress, i, fromJournal,
                     r = std::move(r)]() mutable {
@@ -532,6 +667,11 @@ CampaignReport CampaignRunner::run(
                     ++liveHistogram_[r.outcome];
                     ++liveCompleted_;
                 }
+                // Commit-order metric application: counters only see the
+                // deterministic per-run deltas, so totals match at any
+                // worker width; restored entries re-apply their journaled
+                // deltas, reproducing the interrupted campaign's telemetry.
+                recordRunMetrics(r);
                 report.runs[i] = std::move(r);
                 if (progress) {
                     progress(i, report.runs[i]);
@@ -542,7 +682,33 @@ CampaignReport CampaignRunner::run(
         activeWorkers_ = 1;
         throw;
     }
+    const unsigned usedWorkers = activeWorkers_;
     activeWorkers_ = 1;
+
+    if (tel != nullptr) {
+        // Campaign-level readings. The checkpoint-store counters bill only
+        // this run()'s usage (difference against the last application), so
+        // repeated campaigns on one runner accumulate without double counting.
+        obs::MetricsRegistry& m = tel->metrics();
+        const snapshot::CheckpointStore::Stats st = checkpoints_.stats();
+        m.counter("gfi_snapshot_checkpoints_total", "Golden checkpoints captured")
+            .inc(st.puts - statsApplied_.puts);
+        m.counter("gfi_snapshot_checkpoint_hits_total",
+                  "Fork lookups that found a usable golden checkpoint")
+            .inc(st.hits - statsApplied_.hits);
+        m.counter("gfi_snapshot_checkpoint_misses_total",
+                  "Fork lookups with no checkpoint before the injection time")
+            .inc(st.misses - statsApplied_.misses);
+        m.gauge("gfi_snapshot_bytes", "Serialized bytes held by the checkpoint store")
+            .set(static_cast<double>(st.bytes));
+        statsApplied_ = st;
+        m.gauge("gfi_campaign_workers", "Resolved worker-thread count of the last campaign")
+            .set(static_cast<double>(usedWorkers));
+        m.gauge("gfi_campaign_wall_seconds", "Wall-clock time of the last campaign")
+            .set(std::chrono::duration<double>(std::chrono::steady_clock::now() - campaignStart)
+                     .count());
+        tel->flush();
+    }
     return report;
 }
 

@@ -23,13 +23,19 @@
 #include "core/executor.hpp"
 #include "core/testbench.hpp"
 #include "lint/diagnostic.hpp"
+#include "obs/probe.hpp"
 #include "sim/watchdog.hpp"
 #include "snapshot/snapshot.hpp"
 #include "trace/compare.hpp"
 
 #include <array>
 #include <map>
+#include <memory>
 #include <mutex>
+
+namespace gfi::obs {
+class Telemetry;
+}
 
 namespace gfi::campaign {
 
@@ -85,6 +91,15 @@ struct RunDiagnostics {
                                     ///< (0 = simulated from scratch)
     SimTime resimulatedTime = 0;    ///< simulated time actually re-run after the
                                     ///< fork (0 when from scratch)
+
+    /// The run's own kernel-counter consumption (final reading minus the
+    /// post-restore baseline): how many events/steps/crossings THIS run cost,
+    /// plus the final queue depth and step sizes — populated even when the
+    /// run ended on a watchdog unwind, which is when the stall picture
+    /// matters most. Deterministic (simulated work only), so equal-width and
+    /// cross-width campaigns agree. In-memory only unless a telemetry sink
+    /// asks the journal to embed it.
+    obs::ProbeSnapshot probes;
 };
 
 /// Result of one injection run.
@@ -179,6 +194,7 @@ class CampaignRunner {
 public:
     /// @param factory  builds a fresh instrumented testbench per run.
     explicit CampaignRunner(fault::TestbenchFactory factory, Tolerance tolerance = {});
+    ~CampaignRunner(); // out of line: owns a fwd-declared obs::Telemetry
 
     /// Runs the golden reference (idempotent; run() calls it automatically).
     /// The golden run is NOT contained: a design that cannot complete its
@@ -291,6 +307,18 @@ public:
     void setJournalPath(std::string path) { journalPath_ = std::move(path); }
     [[nodiscard]] const std::string& journalPath() const noexcept { return journalPath_; }
 
+    /// Attaches a telemetry sink (not owned; must outlive run()). run() then
+    /// records campaign metrics into its registry, emits Chrome-trace spans
+    /// when tracing is enabled, and embeds per-run kernel deltas into the
+    /// journal so a resumed campaign reproduces the same metric counts.
+    /// Without a sink, run() consults the GFI_TRACE / GFI_METRICS environment
+    /// variables and, when either is set, builds a campaign-owned sink and
+    /// flushes it to the named files at the end. No sink and no environment:
+    /// every instrumentation site is a null-check no-op and all outputs are
+    /// byte-identical to an unobserved campaign.
+    void setTelemetry(obs::Telemetry& telemetry) noexcept { telemetry_ = &telemetry; }
+    [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+
     /// Re-classifies a finished faulty testbench against the golden traces
     /// (used by tolerance-sweep ablations without re-simulating).
     [[nodiscard]] RunResult classify(fault::Testbench& tb, const fault::FaultSpec& fault) const;
@@ -308,6 +336,18 @@ private:
     /// positive, else GFI_CHECKPOINT (seconds), else 0 (disabled).
     [[nodiscard]] SimTime effectiveCheckpointCadence() const;
 
+    /// The sink instrumentation sites use: the attached one, else the
+    /// environment-built one while run() executes, else nullptr (no-op).
+    [[nodiscard]] obs::Telemetry* activeTelemetry() const noexcept
+    {
+        return telemetry_ != nullptr ? telemetry_ : envTelemetry_.get();
+    }
+
+    /// Applies one committed run to the metrics registry (outcome/attempt
+    /// counters, kernel-probe deltas, fork savings). Called in commit order;
+    /// only counter/gauge folds, so totals are worker-width invariant.
+    void recordRunMetrics(const RunResult& r);
+
     fault::TestbenchFactory factory_;
     Tolerance tolerance_;
     WatchdogConfig watchdogConfig_;
@@ -322,6 +362,9 @@ private:
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
     snapshot::CheckpointStore checkpoints_; ///< golden snapshots, fork mode only
+    obs::Telemetry* telemetry_ = nullptr;   ///< attached sink (not owned)
+    std::unique_ptr<obs::Telemetry> envTelemetry_; ///< GFI_TRACE/GFI_METRICS sink
+    snapshot::CheckpointStore::Stats statsApplied_; ///< store stats already billed
 
     mutable std::mutex liveMutex_;           ///< guards the live counters
     std::map<Outcome, int> liveHistogram_;   ///< committed-run outcome counts

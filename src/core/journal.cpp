@@ -143,7 +143,8 @@ CampaignJournal::~CampaignJournal()
     }
 }
 
-std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r)
+std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r,
+                                         bool embedProbes)
 {
     std::string json = "{";
     json += "\"index\": " + std::to_string(index) + ", ";
@@ -163,13 +164,32 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r)
     json += "\"analog_time_outside_tol_s\": " + formatDouble(r.analogTimeOutsideTol, 9) + ", ";
     json += "\"erred_signals\": " + stringArray(r.erredSignals) + ", ";
     json += "\"corrupted_state\": " + stringArray(r.corruptedState);
+    // Appended after every historical key so lines without probes remain
+    // byte-identical to pre-observability journals.
+    if (embedProbes && r.diagnostics.probes.valid) {
+        const obs::ProbeSnapshot& p = r.diagnostics.probes;
+        json += ", \"probes\": {";
+        json += "\"digital_events\": " + std::to_string(p.digitalEvents) + ", ";
+        json += "\"delta_cycles\": " + std::to_string(p.deltaCycles) + ", ";
+        json += "\"queue_high_water\": " + std::to_string(p.queueHighWater) + ", ";
+        json += "\"pending_events\": " + std::to_string(p.pendingEvents) + ", ";
+        json += "\"analog_accepted\": " + std::to_string(p.analogAcceptedSteps) + ", ";
+        json += "\"analog_rejected\": " + std::to_string(p.analogRejectedSteps) + ", ";
+        json += "\"newton_iterations\": " + std::to_string(p.newtonIterations) + ", ";
+        json += "\"companion_rebuilds\": " + std::to_string(p.companionRebuilds) + ", ";
+        json += "\"min_dt_s\": " + formatDouble(p.minAcceptedDt, 12) + ", ";
+        json += "\"last_dt_s\": " + formatDouble(p.lastAcceptedDt, 12) + ", ";
+        json += "\"atod_crossings\": " + std::to_string(p.atodCrossings) + ", ";
+        json += "\"dtoa_events\": " + std::to_string(p.dtoaEvents);
+        json += "}";
+    }
     json += "}";
     return json;
 }
 
 void CampaignJournal::append(std::size_t index, const RunResult& result)
 {
-    const std::string line = entryToJson(index, result) + "\n";
+    const std::string line = entryToJson(index, result, embedProbes_) + "\n";
     const std::lock_guard<std::mutex> lock(mutex_);
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
@@ -234,6 +254,37 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     }
     (void)getStringArray(line, "erred_signals", e.result.erredSignals);
     (void)getStringArray(line, "corrupted_state", e.result.corruptedState);
+
+    // Optional probes object (lines written with a telemetry sink attached).
+    // Keys are globally unique within a line, so the flat key scan works on
+    // the nested object too.
+    std::size_t probesAt = 0;
+    if (findKey(line, "probes", probesAt)) {
+        obs::ProbeSnapshot& p = e.result.diagnostics.probes;
+        p.valid = true;
+        auto u64 = [&](const char* key, std::uint64_t& out) {
+            long long v = 0;
+            if (getInt(line, key, v) && v >= 0) {
+                out = static_cast<std::uint64_t>(v);
+            }
+        };
+        u64("digital_events", p.digitalEvents);
+        u64("delta_cycles", p.deltaCycles);
+        u64("queue_high_water", p.queueHighWater);
+        u64("pending_events", p.pendingEvents);
+        u64("analog_accepted", p.analogAcceptedSteps);
+        u64("analog_rejected", p.analogRejectedSteps);
+        u64("newton_iterations", p.newtonIterations);
+        u64("companion_rebuilds", p.companionRebuilds);
+        u64("atod_crossings", p.atodCrossings);
+        u64("dtoa_events", p.dtoaEvents);
+        if (getDouble(line, "min_dt_s", d)) {
+            p.minAcceptedDt = d;
+        }
+        if (getDouble(line, "last_dt_s", d)) {
+            p.lastAcceptedDt = d;
+        }
+    }
     e.result.diagnostics.fromJournal = true;
     return e;
 }

@@ -44,8 +44,18 @@ public:
     /// The journal file path.
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
-    /// Renders one journal line (without trailing newline).
-    [[nodiscard]] static std::string entryToJson(std::size_t index, const RunResult& result);
+    /// When enabled, appended lines carry the run's kernel-probe deltas in a
+    /// "probes" object, so a resumed campaign can rebuild the same telemetry
+    /// counts from restored entries. Off by default: without a telemetry sink
+    /// the line format stays byte-identical to pre-observability journals.
+    void setEmbedProbes(bool on) noexcept { embedProbes_ = on; }
+    [[nodiscard]] bool embedProbes() const noexcept { return embedProbes_; }
+
+    /// Renders one journal line (without trailing newline). With
+    /// @p embedProbes the line gains a "probes" object when the result
+    /// carries a valid probe snapshot.
+    [[nodiscard]] static std::string entryToJson(std::size_t index, const RunResult& result,
+                                                 bool embedProbes = false);
 
     /// Parses one journal line; std::nullopt on malformed input.
     [[nodiscard]] static std::optional<JournalEntry> parseLine(const std::string& line);
@@ -58,6 +68,7 @@ private:
     std::mutex mutex_;
     std::string path_;
     std::FILE* file_ = nullptr;
+    bool embedProbes_ = false;
 };
 
 } // namespace gfi::campaign

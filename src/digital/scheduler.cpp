@@ -11,6 +11,9 @@ void Scheduler::scheduleTransaction(SimTime t, SignalBase& sig, std::uint64_t tx
         t = now_; // defensive: never schedule in the past
     }
     queue_.push(Entry{t, seq_++, true, {}, &sig, txnId});
+    if (queue_.size() > queueHighWater_) {
+        queueHighWater_ = queue_.size();
+    }
 }
 
 void Scheduler::scheduleAction(SimTime t, std::function<void()> action)
@@ -19,6 +22,9 @@ void Scheduler::scheduleAction(SimTime t, std::function<void()> action)
         t = now_;
     }
     queue_.push(Entry{t, seq_++, false, std::move(action), nullptr, 0});
+    if (queue_.size() > queueHighWater_) {
+        queueHighWater_ = queue_.size();
+    }
 }
 
 void Scheduler::wake(Process* p)
@@ -80,6 +86,7 @@ void Scheduler::runWave()
             actions.push_back(std::move(e.fn));
         }
     }
+    dispatched_ += transactions.size() + actions.size();
     for (const Entry& e : transactions) {
         e.signal->applyTxn(e.txnId);
     }
@@ -184,6 +191,12 @@ void Scheduler::restoreState(snapshot::Reader& r,
         // in the captured order; fresh entries (re-armed actions, new faults)
         // draw from the restored seq_ counter and sort after these.
         queue_.push(Entry{t, seq, true, {}, &sig, txnId});
+    }
+    // Probe counters are not part of the snapshot format: the campaign layer
+    // samples a post-restore baseline and bills runs by delta, so they only
+    // need to keep counting monotonically from here.
+    if (queue_.size() > queueHighWater_) {
+        queueHighWater_ = queue_.size();
     }
 }
 

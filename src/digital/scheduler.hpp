@@ -71,6 +71,19 @@ public:
     /// Total number of waves (delta cycles) executed — diagnostic metric.
     [[nodiscard]] std::uint64_t deltaCycles() const noexcept { return deltasRun_; }
 
+    // --- kernel probes (always-on counters; cost: one increment each) -------
+
+    /// Queue entries executed so far (transactions applied + actions run).
+    [[nodiscard]] std::uint64_t eventsDispatched() const noexcept { return dispatched_; }
+
+    /// Largest pending-queue depth ever observed (a growing high-water mark
+    /// is the signature of a run that schedules faster than it retires —
+    /// the usual cause of a wall-clock watchdog timeout).
+    [[nodiscard]] std::uint64_t queueHighWater() const noexcept { return queueHighWater_; }
+
+    /// Pending-queue depth right now.
+    [[nodiscard]] std::uint64_t pendingEvents() const noexcept { return queue_.size(); }
+
     /// Caps the number of delta cycles at one simulation time before the
     /// kernel declares a combinational loop (SchedulerLimitError).
     void setDeltaLimit(std::uint64_t limit) noexcept
@@ -177,6 +190,8 @@ private:
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t deltasRun_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t queueHighWater_ = 0;
     std::uint64_t waveId_ = 0;
     std::uint64_t deltaLimit_ = kDefaultDeltaLimit;
     Watchdog* watchdog_ = nullptr;

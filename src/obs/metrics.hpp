@@ -1,0 +1,173 @@
+#pragma once
+// Metrics registry: thread-safe counters, gauges and fixed-bucket histograms
+// with Prometheus-style text and JSON exposition.
+//
+// Design constraints, in order:
+//   1. Hot-path cost is one relaxed atomic RMW per update — instruments are
+//      looked up once (registration) and then updated lock-free, so kernels
+//      and campaign workers can hammer them concurrently.
+//   2. Deterministic exposition: instruments render in name order and values
+//      carry no timestamps, so two campaigns that do the same simulated work
+//      produce byte-identical dumps (the worker-width invariance contract).
+//   3. Labels ride inside the instrument name ("gfi_runs_total{outcome=
+//      \"silent\"}"): the registry stays a flat map and the text exposition
+//      is already in Prometheus form; the TYPE/HELP header is emitted once
+//      per base name (the part before '{').
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gfi::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or min/max-folded) measurement. Stored as double so it can
+/// hold both counts (queue depths) and physical quantities (step sizes).
+class Gauge {
+public:
+    void set(double v) noexcept { bits_.store(pack(v), std::memory_order_relaxed); }
+
+    /// Folds in a candidate maximum (high-water marks).
+    void foldMax(double v) noexcept
+    {
+        std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+        while (unpack(cur) < v &&
+               !bits_.compare_exchange_weak(cur, pack(v), std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Folds in a candidate minimum, ignoring the initial 0 ("unset") state.
+    void foldMinNonzero(double v) noexcept
+    {
+        if (v <= 0.0) {
+            return;
+        }
+        std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+        while ((unpack(cur) == 0.0 || unpack(cur) > v) &&
+               !bits_.compare_exchange_weak(cur, pack(v), std::memory_order_relaxed)) {
+        }
+    }
+
+    [[nodiscard]] double value() const noexcept
+    {
+        return unpack(bits_.load(std::memory_order_relaxed));
+    }
+
+private:
+    static std::uint64_t pack(double v) noexcept
+    {
+        std::uint64_t raw = 0;
+        static_assert(sizeof raw == sizeof v);
+        __builtin_memcpy(&raw, &v, sizeof raw);
+        return raw;
+    }
+    static double unpack(std::uint64_t raw) noexcept
+    {
+        double v = 0;
+        __builtin_memcpy(&v, &raw, sizeof v);
+        return v;
+    }
+
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: cumulative bucket counts in Prometheus "le"
+/// convention (each bucket counts observations <= its upper bound, plus an
+/// implicit +Inf bucket). Bounds are fixed at construction; observe() is one
+/// linear scan plus two relaxed increments.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> upperBounds);
+
+    void observe(double v) noexcept;
+
+    [[nodiscard]] const std::vector<double>& upperBounds() const noexcept { return bounds_; }
+
+    /// Count of observations in bucket @p i (non-cumulative; i == size() is
+    /// the overflow/+Inf bucket).
+    [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const noexcept
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept;
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bucketStorage_;
+    std::atomic<std::uint64_t>* buckets_; // bounds_.size() + 1 entries
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumBits_{0}; // CAS-folded double
+};
+
+/// Named instruments plus exposition. Registration (counter()/gauge()/
+/// histogram()) takes a mutex and returns a stable reference; updates on the
+/// returned instrument are lock-free. Instrument names may embed Prometheus
+/// labels: `name{key="value"}`.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Returns the named counter, creating it on first use. @p help is kept
+    /// from the first registration.
+    Counter& counter(const std::string& name, const std::string& help = "");
+
+    Gauge& gauge(const std::string& name, const std::string& help = "");
+
+    /// Returns the named histogram, creating it with @p upperBounds on first
+    /// use (later calls ignore the bounds argument).
+    Histogram& histogram(const std::string& name, std::vector<double> upperBounds,
+                         const std::string& help = "");
+
+    /// True when an instrument of any kind is registered under @p name.
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    /// Value of a registered counter; 0 when absent (dashboards and tests).
+    [[nodiscard]] std::uint64_t counterValue(const std::string& name) const;
+
+    /// All counters as name -> value, in name order. This is the worker-width
+    /// invariant slice of the registry (gauges may hold timings).
+    [[nodiscard]] std::map<std::string, std::uint64_t> counterValues() const;
+
+    /// Prometheus text exposition format (one block per instrument, name
+    /// order, TYPE/HELP emitted once per base name).
+    [[nodiscard]] std::string prometheusText() const;
+
+    /// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+    [[nodiscard]] std::string json() const;
+
+private:
+    struct Instrument {
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace gfi::obs

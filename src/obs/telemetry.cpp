@@ -1,0 +1,64 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gfi::obs {
+
+std::unique_ptr<Telemetry> Telemetry::fromEnv()
+{
+    const char* tracePath = std::getenv("GFI_TRACE");
+    const char* metricsPath = std::getenv("GFI_METRICS");
+    const bool wantTrace = tracePath != nullptr && *tracePath != '\0';
+    const bool wantMetrics = metricsPath != nullptr && *metricsPath != '\0';
+    if (!wantTrace && !wantMetrics) {
+        return nullptr;
+    }
+    auto t = std::make_unique<Telemetry>();
+    if (wantTrace) {
+        t->setTracePath(tracePath);
+    }
+    if (wantMetrics) {
+        t->setMetricsPath(metricsPath);
+    }
+    return t;
+}
+
+namespace {
+
+void writeWhole(const std::string& path, const std::string& body, const char* what)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        throw std::runtime_error(std::string(what) + ": cannot open " + path);
+    }
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (!ok) {
+        throw std::runtime_error(std::string(what) + ": write failed on " + path);
+    }
+}
+
+bool endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+void Telemetry::flush() const
+{
+    if (!tracePath_.empty() && trace_) {
+        trace_->writeFile(tracePath_);
+    }
+    if (!metricsPath_.empty()) {
+        writeWhole(metricsPath_,
+                   endsWith(metricsPath_, ".json") ? metrics_.json()
+                                                   : metrics_.prometheusText(),
+                   "Telemetry");
+    }
+}
+
+} // namespace gfi::obs

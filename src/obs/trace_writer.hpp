@@ -1,0 +1,87 @@
+#pragma once
+// Chrome trace-event JSON writer: collects duration ("X"), instant ("i") and
+// metadata ("M") events and serializes them in the Trace Event Format that
+// chrome://tracing and Perfetto load directly, so a parallel fault-injection
+// campaign renders as one flame timeline with a track per worker thread.
+//
+// Track model: every thread that emits an event gets a small dense track id
+// on first use (thread_local lookup, one atomic increment per thread ever);
+// the campaign layer names the tracks ("worker 0", "campaign") with metadata
+// events. Timestamps are microseconds of wall clock since the writer was
+// constructed — relative, so traces are small and diff-friendly modulo the
+// timings themselves.
+//
+// Thread safety: emit calls append to a mutex-guarded buffer (spans are rare
+// events — per run, not per kernel wave — so a mutex is fine); write() is a
+// one-shot serialization at campaign end.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gfi::obs {
+
+class TraceWriter {
+public:
+    TraceWriter() : epoch_(std::chrono::steady_clock::now()) {}
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /// Microseconds since the writer's construction (event timestamps).
+    [[nodiscard]] double nowMicros() const
+    {
+        return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                         epoch_)
+            .count();
+    }
+
+    /// A dense per-thread track id, assigned on the calling thread's first
+    /// emit and stable for the thread's lifetime.
+    [[nodiscard]] static int currentTrackId();
+
+    /// Emits one complete ("X") duration event on the calling thread's track.
+    /// @p args is a ready-made JSON object body ("{...}"), or empty.
+    void completeEvent(const std::string& name, const std::string& category, double startUs,
+                       double durationUs, const std::string& args = {});
+
+    /// Emits an instant ("i") event on the calling thread's track.
+    void instantEvent(const std::string& name, const std::string& category,
+                      const std::string& args = {});
+
+    /// Names the calling thread's track (a "thread_name" metadata event).
+    /// Deduplicated per track, so callers may invoke it once per unit of work
+    /// instead of tracking first-use themselves.
+    void nameCurrentTrack(const std::string& name);
+
+    /// Number of buffered events (tests).
+    [[nodiscard]] std::size_t eventCount() const;
+
+    /// Serializes all buffered events as {"traceEvents": [...], ...} JSON.
+    [[nodiscard]] std::string json() const;
+
+    /// Writes json() to @p path; throws std::runtime_error on I/O failure.
+    void writeFile(const std::string& path) const;
+
+private:
+    struct Event {
+        char phase;           // 'X', 'i' or 'M'
+        int tid;
+        double tsUs;
+        double durUs;         // X only
+        std::string name;
+        std::string category; // empty for M
+        std::string args;     // JSON object body or empty
+    };
+
+    void push(Event e);
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::vector<int> namedTracks_; // tids with a thread_name event already
+
+};
+
+} // namespace gfi::obs

@@ -66,6 +66,16 @@ private:
 /// workers, so entries are immutable shared_ptrs behind a mutex.
 class CheckpointStore {
 public:
+    /// Usage counters (telemetry probes), maintained under the store mutex.
+    struct Stats {
+        std::uint64_t puts = 0;       ///< checkpoints stored
+        std::uint64_t bytes = 0;      ///< serialized bytes currently held
+        std::uint64_t hits = 0;       ///< nearestBefore() lookups that found one
+        std::uint64_t misses = 0;     ///< lookups against a populated store that
+                                      ///< found none before the requested time
+                                      ///< (empty-store probes are not tracked)
+    };
+
     void put(const std::string& testbenchId, std::shared_ptr<const Snapshot> snap);
 
     /// Latest checkpoint strictly before @p t, or nullptr. Strict: restoring
@@ -75,11 +85,13 @@ public:
                                                                 SimTime t) const;
 
     [[nodiscard]] std::size_t count(const std::string& testbenchId) const;
+    [[nodiscard]] Stats stats() const;
     void clear();
 
 private:
     mutable std::mutex mutex_;
     std::map<std::string, std::map<SimTime, std::shared_ptr<const Snapshot>>> store_;
+    mutable Stats stats_;
 };
 
 } // namespace gfi::snapshot

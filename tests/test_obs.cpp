@@ -1,0 +1,634 @@
+// Observability subsystem: metrics registry semantics under concurrency,
+// histogram edge conventions, Chrome-trace span collection, the
+// GFI_TRACE/GFI_METRICS environment switches, and the campaign-level
+// determinism contract — telemetry off leaves every output byte-identical,
+// telemetry on produces counter totals that are invariant across worker
+// widths and reproducible from a journal resume.
+
+#include "core/campaign.hpp"
+#include "core/journal.hpp"
+#include "core/report.hpp"
+#include "duts/digital_dut.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace gfi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Structural JSON check: braces/brackets balance outside string literals and
+/// the text is one complete value. Catches the classic emitter bugs (trailing
+/// comma-free truncation, unescaped quotes) without a JSON parser dependency.
+bool balancedJson(const std::string& text)
+{
+    int depth = 0;
+    bool inString = false;
+    bool sawValue = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (inString) {
+            if (c == '\\') {
+                ++i; // skip the escaped character
+            } else if (c == '"') {
+                inString = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+            sawValue = true;
+        } else if (c == '}' || c == ']') {
+            if (--depth < 0) {
+                return false;
+            }
+        }
+    }
+    return depth == 0 && !inString && sawValue;
+}
+
+std::size_t countOccurrences(const std::string& haystack, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = haystack.find(needle); at != std::string::npos;
+         at = haystack.find(needle, at + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+/// Exhaustive bit-flip list over the digital DUT's stored state (the same
+/// enumeration the examples use), sized so an 8-worker campaign keeps every
+/// worker busy.
+std::vector<fault::FaultSpec> digitalDutFaults()
+{
+    const duts::DigitalDutTestbench probe;
+    const std::vector<SimTime> times{kMicrosecond + 7 * kNanosecond,
+                                     3 * kMicrosecond + 3 * kNanosecond};
+    std::vector<fault::FaultSpec> faults;
+    for (const auto& [name, hook] : probe.sim().digital().instrumentation().all()) {
+        for (int bit = 0; bit < hook.width; ++bit) {
+            for (SimTime t : times) {
+                faults.emplace_back(fault::BitFlipFault{name, bit, t});
+            }
+        }
+    }
+    return faults;
+}
+
+fault::TestbenchFactory dutFactory()
+{
+    return [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+}
+
+void configureDutRunner(campaign::CampaignRunner& runner, unsigned workers)
+{
+    runner.setWorkers(workers);
+    runner.setRecordTiming(false);
+}
+
+struct ScopedUnsetEnv {
+    ~ScopedUnsetEnv()
+    {
+        ::unsetenv("GFI_TRACE");
+        ::unsetenv("GFI_METRICS");
+    }
+};
+
+/// Campaign-level tests assert exact byte/count identity, so the ambient
+/// environment must not sneak a sink or a fork cadence into the runner.
+void clearTelemetryEnv()
+{
+    ::unsetenv("GFI_TRACE");
+    ::unsetenv("GFI_METRICS");
+    ::unsetenv("GFI_CHECKPOINT");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(ObsMetrics, CounterGaugeBasics)
+{
+    obs::MetricsRegistry m;
+    obs::Counter& c = m.counter("gfi_test_total", "help text");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(m.counterValue("gfi_test_total"), 5u);
+    EXPECT_EQ(m.counterValue("absent"), 0u);
+    EXPECT_TRUE(m.has("gfi_test_total"));
+    EXPECT_FALSE(m.has("absent"));
+    EXPECT_EQ(&m.counter("gfi_test_total"), &c) << "registration must be idempotent";
+
+    obs::Gauge& g = m.gauge("gfi_test_level");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.foldMax(1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5) << "foldMax must keep the larger value";
+    g.foldMax(7.0);
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+
+    obs::Gauge& mn = m.gauge("gfi_test_min");
+    mn.foldMinNonzero(0.0);
+    EXPECT_DOUBLE_EQ(mn.value(), 0.0) << "zero must not count as a minimum";
+    mn.foldMinNonzero(3.0);
+    mn.foldMinNonzero(5.0);
+    EXPECT_DOUBLE_EQ(mn.value(), 3.0);
+    mn.foldMinNonzero(1.0);
+    EXPECT_DOUBLE_EQ(mn.value(), 1.0);
+
+    // One name, one kind: re-registering as another kind is a logic error.
+    EXPECT_THROW(m.gauge("gfi_test_total"), std::logic_error);
+    EXPECT_THROW(m.histogram("gfi_test_level", {1.0}), std::logic_error);
+}
+
+TEST(ObsMetrics, RegistryConcurrency)
+{
+    obs::MetricsRegistry m;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIncrements = 20000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            // Shared counter, per-thread labeled counter, shared histogram and
+            // max-folded gauge — all hammered concurrently, registration
+            // included (every thread calls the lookup on each iteration).
+            const std::string mine =
+                "gfi_thread_total{tid=\"" + std::to_string(t) + "\"}";
+            for (std::uint64_t i = 0; i < kIncrements; ++i) {
+                m.counter("gfi_shared_total").inc();
+                m.counter(mine).inc();
+                m.histogram("gfi_shared_hist", {10.0, 100.0}).observe(1.0);
+                m.gauge("gfi_shared_max").foldMax(static_cast<double>(t));
+            }
+        });
+    }
+    for (std::thread& th : threads) {
+        th.join();
+    }
+
+    EXPECT_EQ(m.counterValue("gfi_shared_total"), kThreads * kIncrements);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(m.counterValue("gfi_thread_total{tid=\"" + std::to_string(t) + "\"}"),
+                  kIncrements);
+    }
+    const obs::Histogram& h = m.histogram("gfi_shared_hist", {10.0, 100.0});
+    EXPECT_EQ(h.count(), kThreads * kIncrements);
+    EXPECT_EQ(h.bucketCount(0), kThreads * kIncrements);
+    EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kIncrements));
+    EXPECT_DOUBLE_EQ(m.gauge("gfi_shared_max").value(), kThreads - 1.0);
+}
+
+TEST(ObsMetrics, HistogramBucketEdges)
+{
+    obs::Histogram h({10.0, 100.0, 1000.0});
+
+    h.observe(10.0);     // exactly on a bound: counts in that bucket (le)
+    h.observe(10.0001);  // just past it: next bucket
+    h.observe(100.0);    // on the second bound
+    h.observe(1000.0);   // on the last bound
+    h.observe(1000.5);   // past every bound: overflow/+Inf bucket
+    h.observe(-3.0);     // below everything: first bucket
+
+    EXPECT_EQ(h.bucketCount(0), 2u) << "<= 10";
+    EXPECT_EQ(h.bucketCount(1), 2u) << "(10, 100]";
+    EXPECT_EQ(h.bucketCount(2), 1u) << "(100, 1000]";
+    EXPECT_EQ(h.bucketCount(3), 1u) << "overflow";
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_NEAR(h.sum(), 10.0 + 10.0001 + 100.0 + 1000.0 + 1000.5 - 3.0, 1e-9);
+
+    EXPECT_THROW(obs::Histogram({5.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsMetrics, PrometheusTextExposition)
+{
+    obs::MetricsRegistry m;
+    m.counter("gfi_runs_total{outcome=\"silent\"}", "Completed runs").inc(3);
+    m.counter("gfi_runs_total{outcome=\"failure\"}", "Completed runs").inc(1);
+    m.gauge("gfi_workers", "Worker threads").set(4);
+    obs::Histogram& h = m.histogram("gfi_waves", {10.0, 100.0}, "Waves per run");
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(500.0);
+
+    const std::string text = m.prometheusText();
+
+    // TYPE/HELP once per base name, even with two labeled series.
+    EXPECT_EQ(countOccurrences(text, "# TYPE gfi_runs_total counter"), 1u) << text;
+    EXPECT_EQ(countOccurrences(text, "# HELP gfi_runs_total Completed runs"), 1u);
+    EXPECT_NE(text.find("gfi_runs_total{outcome=\"silent\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("gfi_runs_total{outcome=\"failure\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE gfi_workers gauge"), std::string::npos);
+    EXPECT_NE(text.find("gfi_workers 4\n"), std::string::npos);
+
+    // Histogram buckets are cumulative and close with +Inf/sum/count.
+    EXPECT_NE(text.find("# TYPE gfi_waves histogram"), std::string::npos);
+    EXPECT_NE(text.find("gfi_waves_bucket{le=\"10\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("gfi_waves_bucket{le=\"100\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("gfi_waves_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("gfi_waves_sum 555\n"), std::string::npos);
+    EXPECT_NE(text.find("gfi_waves_count 3\n"), std::string::npos);
+
+    // Exposition is deterministic: same registry, same bytes.
+    EXPECT_EQ(text, m.prometheusText());
+    EXPECT_TRUE(balancedJson(m.json())) << m.json();
+    // Labeled names embed quotes; the JSON exposition must escape them when
+    // the name becomes an object key.
+    EXPECT_NE(m.json().find("\"gfi_runs_total{outcome=\\\"silent\\\"}\": 3"),
+              std::string::npos)
+        << m.json();
+}
+
+// ---------------------------------------------------------------------------
+// Trace writer / spans
+
+TEST(ObsTrace, SpanNestingAndJsonShape)
+{
+    obs::Telemetry telemetry;
+    telemetry.enableTracing();
+    ASSERT_NE(telemetry.trace(), nullptr);
+
+    telemetry.trace()->nameCurrentTrack("main");
+    telemetry.trace()->nameCurrentTrack("main"); // deduplicated
+    {
+        obs::Span outer(&telemetry, "outer", "test");
+        {
+            obs::Span inner(&telemetry, "inner", "test");
+            inner.setArgs("{\"k\": 1}");
+        }
+        telemetry.trace()->instantEvent("marker", "test");
+    }
+    // 1 metadata + 2 spans + 1 instant; the second nameCurrentTrack is a no-op.
+    EXPECT_EQ(telemetry.trace()->eventCount(), 4u);
+
+    const std::string json = telemetry.trace()->json();
+    EXPECT_TRUE(balancedJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(countOccurrences(json, "\"thread_name\""), 1u) << json;
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"X\""), 2u) << json;
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"i\""), 1u) << json;
+    EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"k\": 1"), std::string::npos) << "span args must survive";
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos) << "X events carry a duration";
+}
+
+TEST(ObsTrace, DisabledSpansAreNoops)
+{
+    // Null telemetry: must not crash, must not allocate a writer.
+    {
+        obs::Span span(nullptr, "ghost", "test");
+        span.setArgs("{}");
+    }
+    // Telemetry without tracing enabled: spans are dropped.
+    obs::Telemetry telemetry;
+    EXPECT_EQ(telemetry.trace(), nullptr);
+    {
+        obs::Span span(&telemetry, "dropped", "test");
+    }
+    EXPECT_EQ(telemetry.trace(), nullptr);
+}
+
+TEST(ObsTelemetry, FromEnvAndFlush)
+{
+    const ScopedUnsetEnv cleanup;
+    ::unsetenv("GFI_TRACE");
+    ::unsetenv("GFI_METRICS");
+    EXPECT_EQ(obs::Telemetry::fromEnv(), nullptr);
+
+    const std::string tracePath = ::testing::TempDir() + "gfi_obs_trace.json";
+    const std::string metricsPath = ::testing::TempDir() + "gfi_obs_metrics.json";
+    ::setenv("GFI_TRACE", tracePath.c_str(), 1);
+    ::setenv("GFI_METRICS", metricsPath.c_str(), 1);
+
+    const std::unique_ptr<obs::Telemetry> telemetry = obs::Telemetry::fromEnv();
+    ASSERT_NE(telemetry, nullptr);
+    EXPECT_EQ(telemetry->tracePath(), tracePath);
+    EXPECT_EQ(telemetry->metricsPath(), metricsPath);
+    ASSERT_NE(telemetry->trace(), nullptr) << "GFI_TRACE must enable span collection";
+
+    telemetry->metrics().counter("gfi_env_total").inc(2);
+    {
+        obs::Span span(telemetry.get(), "work", "test");
+    }
+    telemetry->flush();
+
+    const std::string trace = slurp(tracePath);
+    const std::string metrics = slurp(metricsPath);
+    EXPECT_TRUE(balancedJson(trace)) << trace;
+    EXPECT_NE(trace.find("\"name\": \"work\""), std::string::npos);
+    EXPECT_TRUE(balancedJson(metrics)) << ".json path selects JSON exposition";
+    EXPECT_NE(metrics.find("\"gfi_env_total\": 2"), std::string::npos) << metrics;
+
+    std::remove(tracePath.c_str());
+    std::remove(metricsPath.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism contract
+
+TEST(ObsCampaign, TelemetryOffIsByteIdentical)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+    const std::string plainPath = ::testing::TempDir() + "gfi_obs_plain.jsonl";
+    const std::string obsPath = ::testing::TempDir() + "gfi_obs_observed.jsonl";
+    std::remove(plainPath.c_str());
+    std::remove(obsPath.c_str());
+
+    campaign::CampaignRunner plain(dutFactory());
+    configureDutRunner(plain, 2);
+    plain.setJournalPath(plainPath);
+    const campaign::CampaignReport plainReport = plain.run(faults);
+
+    obs::Telemetry telemetry;
+    telemetry.enableTracing();
+    campaign::CampaignRunner observed(dutFactory());
+    configureDutRunner(observed, 2);
+    observed.setJournalPath(obsPath);
+    observed.setTelemetry(telemetry);
+    const campaign::CampaignReport obsReport = observed.run(faults);
+
+    // Classification, summary and report are identical with and without the
+    // sink; the journal gains exactly one trailing "probes" object per line.
+    EXPECT_EQ(plainReport.summaryTable(), obsReport.summaryTable());
+    EXPECT_EQ(campaign::reportToJson(plainReport), campaign::reportToJson(obsReport));
+
+    const std::string plainJournal = slurp(plainPath);
+    ASSERT_FALSE(plainJournal.empty());
+    EXPECT_EQ(plainJournal.find("\"probes\""), std::string::npos)
+        << "no sink -> historical journal format";
+
+    std::istringstream plainLines(plainJournal);
+    std::istringstream obsLines(slurp(obsPath));
+    std::string plainLine;
+    std::string obsLine;
+    while (std::getline(plainLines, plainLine)) {
+        ASSERT_TRUE(static_cast<bool>(std::getline(obsLines, obsLine)));
+        const std::size_t probesAt = obsLine.find(", \"probes\": {");
+        ASSERT_NE(probesAt, std::string::npos) << obsLine;
+        // Strip the probes object (last key before the closing brace).
+        const std::string stripped =
+            obsLine.substr(0, probesAt) + obsLine.substr(obsLine.size() - 1);
+        EXPECT_EQ(stripped, plainLine);
+        EXPECT_TRUE(balancedJson(obsLine)) << obsLine;
+    }
+    EXPECT_FALSE(static_cast<bool>(std::getline(obsLines, obsLine)));
+
+    EXPECT_GT(telemetry.trace()->eventCount(), faults.size())
+        << "one span per run plus the campaign phases";
+    EXPECT_EQ(telemetry.metrics().counterValue("gfi_run_attempts_total"), faults.size());
+
+    std::remove(plainPath.c_str());
+    std::remove(obsPath.c_str());
+}
+
+TEST(ObsCampaign, CounterTotalsInvariantAcrossWorkerWidths)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+    ASSERT_GE(faults.size(), 8u);
+
+    std::map<std::string, std::uint64_t> baseline;
+    for (const unsigned workers : {1u, 4u, 8u}) {
+        obs::Telemetry telemetry;
+        campaign::CampaignRunner runner(dutFactory());
+        configureDutRunner(runner, workers);
+        runner.setTelemetry(telemetry);
+        runner.run(faults);
+
+        const auto counts = telemetry.metrics().counterValues();
+        std::uint64_t runsTotal = 0;
+        for (const auto& [name, value] : counts) {
+            if (name.rfind("gfi_runs_total{", 0) == 0) {
+                runsTotal += value;
+            }
+        }
+        EXPECT_EQ(runsTotal, faults.size());
+        EXPECT_GT(counts.at("gfi_digital_events_total"), 0u);
+        EXPECT_GT(counts.at("gfi_digital_delta_cycles_total"), 0u);
+
+        if (workers == 1u) {
+            baseline = counts;
+        } else {
+            EXPECT_EQ(counts, baseline)
+                << "counter totals must not depend on worker width (" << workers
+                << " workers)";
+        }
+    }
+}
+
+TEST(ObsCampaign, JournalResumeReproducesCounterTotals)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+    const std::string path = ::testing::TempDir() + "gfi_obs_resume.jsonl";
+    std::remove(path.c_str());
+
+    obs::Telemetry first;
+    campaign::CampaignRunner runner(dutFactory());
+    configureDutRunner(runner, 2);
+    runner.setJournalPath(path);
+    runner.setTelemetry(first);
+    runner.run(faults);
+
+    // A fresh runner restores every run from the journal; the embedded probe
+    // deltas must rebuild the exact same counter totals without simulating.
+    obs::Telemetry second;
+    campaign::CampaignRunner resumed(dutFactory());
+    configureDutRunner(resumed, 2);
+    resumed.setJournalPath(path);
+    resumed.setTelemetry(second);
+    const campaign::CampaignReport report = resumed.run(faults);
+    for (const campaign::RunResult& r : report.runs) {
+        EXPECT_TRUE(r.diagnostics.fromJournal);
+    }
+    EXPECT_EQ(second.metrics().counterValues(), first.metrics().counterValues());
+
+    std::remove(path.c_str());
+}
+
+TEST(ObsCampaign, TimeoutRunCarriesProbeSnapshot)
+{
+    clearTelemetryEnv();
+    auto faults = digitalDutFaults();
+    faults.resize(1);
+
+    campaign::CampaignRunner runner(dutFactory());
+    configureDutRunner(runner, 1);
+    WatchdogConfig watchdog;
+    watchdog.digitalWaves = 50; // far below a full run; golden is unaffected
+    runner.setWatchdogConfig(watchdog);
+    const campaign::CampaignReport report = runner.run(faults);
+
+    ASSERT_EQ(report.runs.size(), 1u);
+    const campaign::RunResult& r = report.runs[0];
+    EXPECT_EQ(r.outcome, campaign::Outcome::Timeout);
+    ASSERT_TRUE(r.diagnostics.probes.valid)
+        << "the stall picture must survive the watchdog unwind";
+    EXPECT_GT(r.diagnostics.probes.deltaCycles, 0u);
+    EXPECT_GT(r.diagnostics.probes.digitalEvents, 0u);
+    EXPECT_NE(r.diagnostics.probes.stallSummary().find("waves"), std::string::npos);
+}
+
+TEST(ObsCampaign, NonForkResumeSuppressesForkFooter)
+{
+    clearTelemetryEnv();
+    auto faults = digitalDutFaults();
+    faults.resize(4);
+    const std::string path = ::testing::TempDir() + "gfi_obs_footer.jsonl";
+    std::remove(path.c_str());
+
+    // Fork-mode campaign with timing on: forked runs carry checkpoint
+    // bookkeeping into the journal and the summary prints the fork footer.
+    campaign::CampaignRunner forked(
+        [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+    forked.setWorkers(1);
+    forked.setJournalPath(path);
+    forked.setCheckpointCadence(kMicrosecond);
+    const campaign::CampaignReport forkedReport = forked.run(faults);
+    EXPECT_NE(forkedReport.summaryTable().find("forked runs"), std::string::npos);
+
+    // Resuming that journal with forking disabled must not resurrect the
+    // footer: this campaign forked nothing.
+    campaign::CampaignRunner scratch(
+        [] { return std::make_unique<duts::DigitalDutTestbench>(); });
+    scratch.setWorkers(1);
+    scratch.setJournalPath(path);
+    scratch.setCheckpointCadence(-1);
+    const campaign::CampaignReport resumedReport = scratch.run(faults);
+    for (const campaign::RunResult& r : resumedReport.runs) {
+        EXPECT_TRUE(r.diagnostics.fromJournal);
+        EXPECT_EQ(r.diagnostics.checkpointTime, 0);
+        EXPECT_EQ(r.diagnostics.resimulatedTime, 0);
+    }
+    EXPECT_EQ(resumedReport.summaryTable().find("forked runs"), std::string::npos)
+        << resumedReport.summaryTable();
+
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Journal probe embedding
+
+TEST(ObsJournal, ProbesRoundTrip)
+{
+    campaign::RunResult r;
+    r.outcome = campaign::Outcome::Latent;
+    r.diagnostics.probes.valid = true;
+    r.diagnostics.probes.digitalEvents = 123;
+    r.diagnostics.probes.deltaCycles = 45;
+    r.diagnostics.probes.queueHighWater = 7;
+    r.diagnostics.probes.pendingEvents = 2;
+    r.diagnostics.probes.analogAcceptedSteps = 900;
+    r.diagnostics.probes.analogRejectedSteps = 11;
+    r.diagnostics.probes.newtonIterations = 2345;
+    r.diagnostics.probes.companionRebuilds = 3;
+    r.diagnostics.probes.minAcceptedDt = 1.25e-12;
+    r.diagnostics.probes.lastAcceptedDt = 5e-10;
+    r.diagnostics.probes.atodCrossings = 17;
+    r.diagnostics.probes.dtoaEvents = 19;
+
+    // Without the opt-in (or without a valid snapshot) the line format stays
+    // exactly historical.
+    EXPECT_EQ(campaign::CampaignJournal::entryToJson(0, r).find("probes"),
+              std::string::npos);
+    campaign::RunResult bare;
+    EXPECT_EQ(campaign::CampaignJournal::entryToJson(0, bare, true).find("probes"),
+              std::string::npos);
+
+    const std::string line = campaign::CampaignJournal::entryToJson(9, r, true);
+    EXPECT_TRUE(balancedJson(line)) << line;
+    const auto parsed = campaign::CampaignJournal::parseLine(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+
+    const obs::ProbeSnapshot& p = parsed->result.diagnostics.probes;
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.digitalEvents, 123u);
+    EXPECT_EQ(p.deltaCycles, 45u);
+    EXPECT_EQ(p.queueHighWater, 7u);
+    EXPECT_EQ(p.pendingEvents, 2u);
+    EXPECT_EQ(p.analogAcceptedSteps, 900u);
+    EXPECT_EQ(p.analogRejectedSteps, 11u);
+    EXPECT_EQ(p.newtonIterations, 2345u);
+    EXPECT_EQ(p.companionRebuilds, 3u);
+    EXPECT_NEAR(p.minAcceptedDt, 1.25e-12, 1e-18);
+    EXPECT_NEAR(p.lastAcceptedDt, 5e-10, 1e-16);
+    EXPECT_EQ(p.atodCrossings, 17u);
+    EXPECT_EQ(p.dtoaEvents, 19u);
+
+    const auto plain = campaign::CampaignJournal::parseLine(
+        campaign::CampaignJournal::entryToJson(9, r, false));
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_FALSE(plain->result.diagnostics.probes.valid);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-store usage counters
+
+TEST(ObsStore, CheckpointStoreStats)
+{
+    snapshot::CheckpointStore store;
+    const auto zero = store.stats();
+    EXPECT_EQ(zero.puts, 0u);
+    EXPECT_EQ(zero.bytes, 0u);
+
+    // Probing an empty store (fork mode off) is untracked by design.
+    EXPECT_EQ(store.nearestBefore("tb", 100), nullptr);
+    EXPECT_EQ(store.stats().misses, 0u);
+
+    auto snap = [](SimTime t, std::size_t bytes) {
+        auto s = std::make_shared<snapshot::Snapshot>();
+        s->time = t;
+        s->bytes.resize(bytes);
+        return s;
+    };
+    store.put("tb", snap(10, 100));
+    store.put("tb", snap(20, 50));
+    EXPECT_EQ(store.stats().puts, 2u);
+    EXPECT_EQ(store.stats().bytes, 150u);
+
+    EXPECT_EQ(store.nearestBefore("tb", 10), nullptr) << "strictly-before lookup";
+    EXPECT_EQ(store.stats().misses, 1u);
+    ASSERT_NE(store.nearestBefore("tb", 25), nullptr);
+    EXPECT_EQ(store.stats().hits, 1u);
+
+    // Replacing a checkpoint at the same instant swaps its byte accounting.
+    store.put("tb", snap(20, 80));
+    EXPECT_EQ(store.stats().puts, 3u);
+    EXPECT_EQ(store.stats().bytes, 180u);
+
+    store.clear();
+    const auto cleared = store.stats();
+    EXPECT_EQ(cleared.puts, 0u);
+    EXPECT_EQ(cleared.hits, 0u);
+    EXPECT_EQ(cleared.misses, 0u);
+    EXPECT_EQ(cleared.bytes, 0u);
+}
+
+} // namespace
+} // namespace gfi
