@@ -95,6 +95,13 @@ std::string CampaignReport::summaryTable() const
         t.addSeparator();
         t.addRow({"forked runs", std::to_string(forked), formatTime(skipped) + " skipped"});
     }
+    // Lossy-resume footer — only when the journal actually lost lines, so
+    // clean campaigns keep the exact historical table.
+    if (journalSkippedLines > 0) {
+        t.addSeparator();
+        t.addRow({"journal lines skipped", std::to_string(journalSkippedLines),
+                  "torn/corrupt"});
+    }
     return t.str();
 }
 
@@ -585,8 +592,11 @@ CampaignReport CampaignRunner::run(
     // Resume: index -> journal entry of an earlier (possibly killed) campaign.
     std::map<std::size_t, JournalEntry> done;
     std::unique_ptr<CampaignJournal> journal;
+    std::size_t journalSkipped = 0;
     if (!journalPath_.empty()) {
-        for (JournalEntry& e : CampaignJournal::load(journalPath_)) {
+        CampaignJournal::LoadResult loaded = CampaignJournal::loadWithStats(journalPath_);
+        journalSkipped = loaded.skippedLines;
+        for (JournalEntry& e : loaded.entries) {
             done[e.index] = std::move(e); // later duplicates win
         }
         journal = std::make_unique<CampaignJournal>(journalPath_);
@@ -625,6 +635,21 @@ CampaignReport CampaignRunner::run(
             restored.emplace(i, std::move(r));
         }
     }
+    // Resume log line: operators must be able to tell a clean resume from a
+    // lossy one (skipped lines mean those runs re-simulate).
+    if (!done.empty() || journalSkipped > 0) {
+        std::fprintf(stderr,
+                     "gfi: journal %s: %zu entr%s loaded, %zu restorable, %zu "
+                     "torn/corrupt line%s skipped\n",
+                     journalPath_.c_str(), done.size(), done.size() == 1 ? "y" : "ies",
+                     restored.size(), journalSkipped, journalSkipped == 1 ? "" : "s");
+    }
+    if (tel != nullptr && journalSkipped > 0) {
+        tel->metrics()
+            .counter("gfi_journal_skipped_lines_total",
+                     "Torn/corrupt journal lines skipped on resume")
+            .inc(journalSkipped);
+    }
     {
         const std::lock_guard<std::mutex> lock(liveMutex_);
         liveHistogram_.clear();
@@ -632,6 +657,7 @@ CampaignReport CampaignRunner::run(
     }
 
     CampaignReport report;
+    report.journalSkippedLines = journalSkipped;
     report.runs.resize(faults.size());
 
     // Worker phase: simulations run concurrently, commits (journal append,

@@ -154,6 +154,11 @@ struct RetryPolicy {
 struct CampaignReport {
     std::vector<RunResult> runs;
 
+    /// Torn/corrupt journal lines skipped while resuming (0 for a fresh or
+    /// clean campaign). Non-zero means the journal lost data — typically a
+    /// line torn by a mid-append kill — and the affected runs re-simulated.
+    std::size_t journalSkippedLines = 0;
+
     /// Count of runs per outcome.
     [[nodiscard]] std::map<Outcome, int> histogram() const;
 

@@ -289,34 +289,43 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     return e;
 }
 
-std::vector<JournalEntry> CampaignJournal::load(const std::string& path)
+CampaignJournal::LoadResult CampaignJournal::loadWithStats(const std::string& path)
 {
-    std::vector<JournalEntry> entries;
+    LoadResult result;
     std::FILE* f = std::fopen(path.c_str(), "r");
     if (f == nullptr) {
-        return entries; // no journal yet: fresh campaign
+        return result; // no journal yet: fresh campaign
     }
+    const auto consume = [&result](const std::string& line) {
+        if (line.empty()) {
+            return; // blank lines are separators, not lost data
+        }
+        if (auto e = parseLine(line)) {
+            result.entries.push_back(std::move(*e));
+        } else {
+            ++result.skippedLines;
+        }
+    };
     std::string line;
     int c = 0;
     while ((c = std::fgetc(f)) != EOF) {
         if (c == '\n') {
-            if (auto e = parseLine(line)) {
-                entries.push_back(std::move(*e));
-            }
+            consume(line);
             line.clear();
         } else {
             line += static_cast<char>(c);
         }
     }
-    if (!line.empty()) {
-        // Final line without a newline: complete if the flush made it out
-        // before the kill, torn otherwise — parseLine tells them apart.
-        if (auto e = parseLine(line)) {
-            entries.push_back(std::move(*e));
-        }
-    }
+    // Final line without a newline: complete if the flush made it out before
+    // the kill, torn otherwise — parseLine tells them apart.
+    consume(line);
     std::fclose(f);
-    return entries;
+    return result;
+}
+
+std::vector<JournalEntry> CampaignJournal::load(const std::string& path)
+{
+    return loadWithStats(path).entries;
 }
 
 } // namespace gfi::campaign

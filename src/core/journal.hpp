@@ -60,8 +60,21 @@ public:
     /// Parses one journal line; std::nullopt on malformed input.
     [[nodiscard]] static std::optional<JournalEntry> parseLine(const std::string& line);
 
+    /// What loadWithStats() found: the well-formed entries plus how many
+    /// non-empty lines failed to parse (torn by a kill mid-append, or
+    /// corrupted on disk) and were skipped.
+    struct LoadResult {
+        std::vector<JournalEntry> entries;
+        std::size_t skippedLines = 0;
+    };
+
     /// Loads every well-formed entry of @p path; empty when the file does not
     /// exist. Later duplicates of an index win (a retried/rewritten run).
+    /// Unparseable lines are skipped but counted, so a resume can tell a
+    /// clean journal from a lossy one.
+    [[nodiscard]] static LoadResult loadWithStats(const std::string& path);
+
+    /// loadWithStats() without the skip count (compatibility shorthand).
     [[nodiscard]] static std::vector<JournalEntry> load(const std::string& path);
 
 private:

@@ -48,20 +48,27 @@ ProtectedDutTestbench::ProtectedDutTestbench(ProtectedDutConfig config) : config
         auto& err = dig.logicSignal("dut/err", Logic::U);
         dig.add<harden::DwcRegister>(dig, "dut/store", clk, cnt, q, err);
         storageTargets_ = {"dut/store/copy0", "dut/store/copy1"};
+        flagSignal_ = "dut/err";
         break;
     }
     case Protection::Ecc: {
         auto& ue = dig.logicSignal("dut/ue", Logic::U);
         dig.add<harden::EccRegister>(dig, "dut/store", clk, cnt, q, &ue);
         storageTargets_ = {"dut/store/code"};
+        flagSignal_ = "dut/ue";
         break;
     }
     }
 
-    // Observe the payload DATA only: the campaign's question is "did the
-    // protected value reach the output wrong?", not "did a flag rise?".
+    // Observe the payload DATA by default: the campaign's baseline question
+    // is "did the protected value reach the output wrong?". With observeFlag
+    // the error flag joins the observed set, so a report can attribute
+    // detected-but-masked upsets separately from data corruption.
     for (int b = 0; b < config_.width; ++b) {
         observeDigital("dut/q[" + std::to_string(b) + "]");
+    }
+    if (config_.observeFlag && !flagSignal_.empty()) {
+        observeDigital(flagSignal_);
     }
     setDuration(config_.duration);
 }

@@ -26,6 +26,12 @@ struct ProtectedDutConfig {
     int width = 8;             ///< payload width
     double clockHz = 50e6;     ///< system clock
     SimTime duration = 4 * kMicrosecond;
+    /// Also observe the mechanism's error flag (DWC mismatch / ECC
+    /// uncorrectable) so campaigns can attribute "detected" separately from
+    /// "data reached the output wrong". Off by default: observing the flag
+    /// makes detected-only upsets count as divergence, which changes the
+    /// Outcome distribution of existing campaigns.
+    bool observeFlag = false;
 };
 
 /// The elaborated experiment: counter -> protected register -> output bus.
@@ -43,9 +49,14 @@ public:
         return storageTargets_;
     }
 
+    /// Name of the mechanism's error-flag signal ("dut/err" for DWC,
+    /// "dut/ue" for ECC), empty when the variant has none.
+    [[nodiscard]] const std::string& flagSignal() const noexcept { return flagSignal_; }
+
 private:
     ProtectedDutConfig config_;
     std::vector<std::string> storageTargets_;
+    std::string flagSignal_;
 };
 
 } // namespace gfi::duts

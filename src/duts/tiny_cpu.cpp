@@ -70,8 +70,7 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
                       port_.scheduleUint(portValue_, delay_);
                       break;
                   case Op::Hlt:
-                      halted_ = true;
-                      haltedSig_->scheduleInertial(Logic::One, delay_);
+                      setHalted(true);
                       break;
                   }
                   pc_ = nextPc;
@@ -107,6 +106,14 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
         this->name() + "/acc", 8, [this] { return acc_; },
         [this](std::uint64_t v) { acc_ = v & 0xFF; },
         [this](int bit) { acc_ ^= 1ull << bit; }});
+    // RUN/HALT control state: the CPU's one-bit FSM. An upset here either
+    // stops a running program dead or resumes a halted one at the
+    // instruction after the HLT.
+    c.instrumentation().add(StateHook{
+        this->name() + "/halt", 1,
+        [this] { return static_cast<std::uint64_t>(halted_ ? 1 : 0); },
+        [this](std::uint64_t v) { setHalted((v & 1) != 0); },
+        [this](int) { setHalted(!halted_); }});
 
     haltedSig_->scheduleInertial(Logic::Zero, 0);
     driveFetch();
@@ -115,6 +122,20 @@ TinyCpu::TinyCpu(Circuit& c, std::string name, LogicSignal& clk, const Bus& inst
 void TinyCpu::driveFetch()
 {
     romAddr_.scheduleUint(static_cast<std::uint64_t>(pc_), delay_);
+}
+
+void TinyCpu::setHalted(bool h)
+{
+    if (halted_ == h) {
+        return;
+    }
+    halted_ = h;
+    haltedSig_->scheduleInertial(fromBool(h), delay_);
+    if (!h) {
+        // Resuming: re-issue the fetch so the decode settles for the
+        // instruction PC points at (the one after the HLT).
+        driveFetch();
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -70,6 +70,7 @@ public:
 
 private:
     void driveFetch();
+    void setHalted(bool h);
 
     int pc_ = 0;
     std::uint64_t acc_ = 0;

@@ -39,6 +39,13 @@ public:
     /// Total single-bit corrections performed by reads so far.
     [[nodiscard]] int correctionCount() const noexcept { return corrections_; }
 
+    /// True while the stored codeword of @p address carries an upset beyond
+    /// SEC-DED's correction capability (>= 2 flipped bits).
+    [[nodiscard]] bool wordUncorrectable(int address) const
+    {
+        return hammingDecode(codeword(address), width_).uncorrectable;
+    }
+
     /// Overwrites a raw codeword (SEU injection path; also used by the
     /// per-word hooks "<name>/w<addr>").
     void setCodeword(int address, std::uint64_t value);

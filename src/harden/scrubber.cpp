@@ -12,7 +12,9 @@ void Scrubber::scheduleAt(SimTime t)
 {
     nextFireAt_ = t;
     circuit_->scheduler().scheduleAction(t, [this] {
-        if (ram_->scrub(next_)) {
+        if (ram_->wordUncorrectable(next_)) {
+            ++uncorrectables_; // beyond SEC-DED: flag it, leave the word alone
+        } else if (ram_->scrub(next_)) {
             ++repairs_;
         }
         next_ = (next_ + 1) % ram_->depth();
@@ -28,6 +30,7 @@ void Scrubber::captureState(snapshot::Writer& w) const
     w.u64(static_cast<std::uint64_t>(next_));
     w.u64(static_cast<std::uint64_t>(repairs_));
     w.u64(static_cast<std::uint64_t>(sweeps_));
+    w.u64(static_cast<std::uint64_t>(uncorrectables_));
     w.i64(nextFireAt_);
 }
 
@@ -36,6 +39,7 @@ void Scrubber::restoreState(snapshot::Reader& r)
     next_ = static_cast<int>(r.u64());
     repairs_ = static_cast<int>(r.u64());
     sweeps_ = static_cast<int>(r.u64());
+    uncorrectables_ = static_cast<int>(r.u64());
     scheduleAt(r.i64()); // re-arm: the restored queue carries no actions
 }
 

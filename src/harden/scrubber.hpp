@@ -24,6 +24,12 @@ public:
     /// Number of full array sweeps completed.
     [[nodiscard]] int sweeps() const noexcept { return sweeps_; }
 
+    /// Number of uncorrectable (>= 2-bit) words encountered while walking.
+    /// The scrubber cannot repair these — it flags and skips them, so a
+    /// supervisor can classify the run as Detected instead of Corrected. A
+    /// word that stays broken is counted again on every later visit.
+    [[nodiscard]] int uncorrectables() const noexcept { return uncorrectables_; }
+
     /// Captures the walk position plus the armed fire time; restore re-arms
     /// the periodic scrub action from it.
     void captureState(snapshot::Writer& w) const override;
@@ -39,6 +45,7 @@ private:
     int next_ = 0;
     int repairs_ = 0;
     int sweeps_ = 0;
+    int uncorrectables_ = 0;
 };
 
 } // namespace gfi::harden

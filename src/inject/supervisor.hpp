@@ -1,0 +1,157 @@
+#pragma once
+// Processor-injection supervisor: architectural SEU campaigns over
+// TinyCpu-based systems, à la COAST (ROADMAP open item).
+//
+// The signal-level campaign engine answers "did the outputs diverge?". For a
+// processor that is the wrong question — the software-visible effect of a
+// flipped architectural bit is what matters: did the program compute the
+// wrong result (silent data corruption), never finish (hang), trip a
+// protection mechanism (detected), get transparently repaired (corrected) or
+// shrug the upset off entirely (masked)? The supervisor samples (cycle,
+// target, bit) triples deterministically, injects through the ordinary
+// scheduler/saboteur machinery and derives the architectural verdict purely
+// from the journaled RunResult — erredSignals plus the CpuSystemTestbench
+// supervisor hooks in corruptedState — so journal resume, parallel ordered
+// commits and fork-from-golden execution apply unchanged.
+
+#include "core/campaign.hpp"
+#include "core/stats.hpp"
+#include "duts/cpu_system.hpp"
+
+#include <array>
+
+namespace gfi::inject {
+
+/// Architectural (software-visible) outcome of one injected run. Layered on
+/// top of campaign::Outcome: containment outcomes (SimError / Timeout /
+/// Diverged) map to Contained, every normally-completed run gets one of the
+/// COAST-style classes.
+enum class CpuClass {
+    Masked,               ///< program behaved exactly like golden
+    Corrected,            ///< golden-identical, but ECC/scrubber had to repair
+    Detected,             ///< a protection mechanism raised an error flag
+    SilentDataCorruption, ///< wrong OUT stream or wrong memory image, no flag
+    Hang,                 ///< the program never reached HLT (no-halt detector)
+    Contained             ///< the simulation itself misbehaved (abnormal run)
+};
+
+/// Every class, in report order.
+inline constexpr std::array<CpuClass, 6> kAllCpuClasses{
+    CpuClass::Masked, CpuClass::Corrected, CpuClass::Detected,
+    CpuClass::SilentDataCorruption, CpuClass::Hang, CpuClass::Contained};
+
+/// Short name for reports.
+[[nodiscard]] const char* toString(CpuClass c);
+
+/// Architectural target classes the supervisor aggregates cross-sections by.
+enum class TargetClass {
+    Pc,     ///< program counter (control flow)
+    Acc,    ///< accumulator (datapath)
+    Ctrl,   ///< CPU control state (RUN/HALT FSM)
+    Ram,    ///< data-memory words (raw or ECC codewords)
+    OutReg, ///< output-port register internals (copies / codeword / plain)
+    Other   ///< everything else (supervisor meta-hooks excluded from sampling)
+};
+
+/// Target classes that appear in reports, in order.
+inline constexpr std::array<TargetClass, 5> kReportTargetClasses{
+    TargetClass::Pc, TargetClass::Acc, TargetClass::Ctrl, TargetClass::Ram,
+    TargetClass::OutReg};
+
+/// Short name for reports.
+[[nodiscard]] const char* toString(TargetClass t);
+
+/// Maps an instrumentation-hook name onto its architectural target class.
+[[nodiscard]] TargetClass targetClassOf(const std::string& hookName);
+
+/// One enumerable injection target of the system.
+struct ArchTarget {
+    std::string hook; ///< instrumentation-hook name
+    int width = 0;    ///< state bits
+    TargetClass cls = TargetClass::Other;
+};
+
+/// Per-target-class, per-outcome-class cross-section statistics of one
+/// supervisor campaign.
+struct SupervisorReport {
+    campaign::CampaignReport campaign; ///< the underlying signal-level report
+    std::vector<CpuClass> classes;     ///< per run, campaign order
+
+    std::map<TargetClass, std::map<CpuClass, int>> byTarget;
+    std::map<CpuClass, int> totals;
+
+    /// Recomputes classes / byTarget / totals from `campaign`.
+    void rebuild();
+
+    /// Runs recorded against @p t.
+    [[nodiscard]] int runsFor(TargetClass t) const;
+
+    /// Cross-section of @p c within target class @p t, with its Wilson
+    /// interval (campaign::wilsonInterval).
+    [[nodiscard]] campaign::Proportion rate(TargetClass t, CpuClass c,
+                                            double z = 1.96) const;
+
+    /// Printable target-class x outcome-class table ("count (rate [CI])").
+    [[nodiscard]] std::string table() const;
+
+    /// CSV rows: target_class,cpu_class,count,runs,rate,low,high.
+    [[nodiscard]] std::string csv() const;
+
+    /// JSON object with totals and per-target-class rates.
+    [[nodiscard]] std::string json() const;
+};
+
+/// Runs architectural SEU campaigns over a CpuSystemTestbench configuration.
+class InjectionSupervisor {
+public:
+    explicit InjectionSupervisor(duts::CpuSystemConfig config = {});
+
+    /// The underlying campaign runner: configure workers, journal path,
+    /// watchdog, telemetry, fork cadence... before calling run().
+    [[nodiscard]] campaign::CampaignRunner& runner() noexcept { return runner_; }
+
+    /// Configuration used.
+    [[nodiscard]] const duts::CpuSystemConfig& config() const noexcept { return config_; }
+
+    /// One system clock period.
+    [[nodiscard]] SimTime clockPeriod() const;
+
+    /// Time of the golden program's HLT, measured once on a probe run.
+    /// Throws std::invalid_argument when the golden program does not halt
+    /// before the hang deadline — the taxonomy is undefined for a golden
+    /// hang, so it is a configuration error.
+    [[nodiscard]] SimTime goldenHaltTime();
+
+    /// Every architectural injection target (supervisor meta-hooks excluded),
+    /// in deterministic (sorted-name) order.
+    [[nodiscard]] std::vector<ArchTarget> targets() const;
+
+    /// Deterministic seeded sampling of @p n (cycle, target, bit) triples:
+    /// the target is weighted by bit count, the cycle is uniform in
+    /// [1, golden halt cycle), the injection lands mid-cycle. Same seed, same
+    /// fault list — on any platform (util::Rng).
+    [[nodiscard]] std::vector<fault::FaultSpec> sampleFaults(std::size_t n,
+                                                             std::uint64_t seed);
+
+    /// Exhaustive single-bit flips over one target class, each bit injected
+    /// at every time in @p times (cross-section baselines for small classes).
+    [[nodiscard]] std::vector<fault::FaultSpec>
+    exhaustiveFaults(TargetClass cls, const std::vector<SimTime>& times) const;
+
+    /// Runs the campaign and aggregates the architectural taxonomy. With a
+    /// telemetry sink attached to the runner, per-class counters
+    /// (gfi_cpu_class_total{class="..."}) are recorded in commit order.
+    SupervisorReport run(const std::vector<fault::FaultSpec>& faults);
+
+    /// The architectural verdict of one classified run — a pure function of
+    /// the journaled fields, so restored runs classify identically.
+    /// Precedence: Contained > Hang > Detected > SDC > Corrected > Masked.
+    [[nodiscard]] static CpuClass classifyRun(const campaign::RunResult& r);
+
+private:
+    duts::CpuSystemConfig config_;
+    campaign::CampaignRunner runner_;
+    SimTime goldenHalt_ = -1; ///< lazily measured; -1 = not yet
+};
+
+} // namespace gfi::inject

@@ -1,0 +1,61 @@
+#pragma once
+// Hardening sweep: the same architectural SEU campaign (same seed, same
+// sample count) against every hardening variant of the CPU system, reporting
+// per-variant outcome-class cross-sections side by side — the paper's second
+// goal ("validate the efficiency of the implemented mechanisms") lifted from
+// a single register to a whole processor.
+
+#include "inject/supervisor.hpp"
+#include "sim/watchdog.hpp"
+
+namespace gfi::obs {
+class Telemetry;
+}
+
+namespace gfi::inject {
+
+/// Parameters of a hardening sweep.
+struct SweepOptions {
+    std::size_t samples = 200;        ///< sampled faults per variant
+    std::uint64_t seed = 0x5EEDu;     ///< sampling seed (shared by variants)
+    unsigned workers = 0;             ///< CampaignRunner::setWorkers
+    bool recordTiming = true;         ///< false = byte-stable reports
+    WatchdogConfig watchdog{};        ///< per-run budgets
+    obs::Telemetry* telemetry = nullptr; ///< optional sink (not owned)
+};
+
+/// One variant's result.
+struct SweepEntry {
+    duts::HardeningMode mode = duts::HardeningMode::None;
+    SupervisorReport report;
+};
+
+/// All variants side by side.
+struct SweepReport {
+    std::vector<SweepEntry> entries;
+
+    /// Convenience lookup (throws std::out_of_range when absent).
+    [[nodiscard]] const SupervisorReport& report(duts::HardeningMode mode) const;
+
+    /// Cross-section of @p c within target class @p t for @p mode.
+    [[nodiscard]] campaign::Proportion rate(duts::HardeningMode mode, TargetClass t,
+                                            CpuClass c) const;
+
+    /// Printable variant x outcome-class comparison table.
+    [[nodiscard]] std::string table() const;
+
+    /// CSV rows: mode,target_class,cpu_class,count,runs,rate,low,high.
+    [[nodiscard]] std::string csv() const;
+
+    /// JSON object: {"sweep": [{"mode": ..., "report": {...}}, ...]}.
+    [[nodiscard]] std::string json() const;
+};
+
+/// Runs the supervisor campaign once per mode in @p modes, with
+/// @p base.hardening replaced by each mode's preset. Each variant samples its
+/// own fault list (the target space differs per variant) from the same seed.
+[[nodiscard]] SweepReport runHardeningSweep(const duts::CpuSystemConfig& base,
+                                            const std::vector<duts::HardeningMode>& modes,
+                                            const SweepOptions& options = {});
+
+} // namespace gfi::inject

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 namespace gfi::campaign {
@@ -302,6 +303,52 @@ TEST(CampaignRobustness, JournalResumeSkipsCompletedFaults)
     EXPECT_EQ(builds3->load(), 2); // golden + changed fault #0
     EXPECT_FALSE(revised.runs[0].diagnostics.fromJournal);
     EXPECT_TRUE(revised.runs[1].diagnostics.fromJournal);
+
+    std::remove(path.c_str());
+}
+
+TEST(CampaignRobustness, TornJournalLinesAreCountedAndSkipped)
+{
+    const std::string path = ::testing::TempDir() + "gfi_torn_journal.jsonl";
+    std::remove(path.c_str());
+
+    const std::vector<fault::FaultSpec> faults{
+        fault::BitFlipFault{"dut/out_reg", 0, 2 * kMicrosecond},
+        fault::BitFlipFault{"dut/out_reg", 1, 2 * kMicrosecond},
+        fault::BitFlipFault{"dut/cnt", 2, 2 * kMicrosecond},
+    };
+    const auto factory = [] { return std::make_unique<duts::DigitalDutTestbench>(); };
+    {
+        CampaignRunner first(factory);
+        first.setJournalPath(path);
+        (void)first.run({faults.begin(), faults.begin() + 2});
+        EXPECT_EQ(first.run({faults.begin(), faults.begin() + 2}).journalSkippedLines,
+                  0u); // a clean journal reports no skips
+    }
+
+    // Corrupt the checkpoint: one line torn mid-record (a kill between write
+    // and flush) and one line of on-disk garbage. Blank lines don't count.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"index\": 2, \"fault\": \"torn-off-mid-rec\n"
+            << "\n"
+            << "%%% not a journal line %%%\n";
+    }
+    const auto loaded = CampaignJournal::loadWithStats(path);
+    EXPECT_EQ(loaded.entries.size(), 2u); // restored runs are never re-appended
+    EXPECT_EQ(loaded.skippedLines, 2u);
+
+    CampaignRunner resumed(factory);
+    resumed.setJournalPath(path);
+    const CampaignReport report = resumed.run(faults);
+    ASSERT_EQ(report.runs.size(), 3u);
+    EXPECT_EQ(report.journalSkippedLines, 2u);
+    EXPECT_TRUE(report.runs[0].diagnostics.fromJournal);
+    EXPECT_TRUE(report.runs[1].diagnostics.fromJournal);
+    EXPECT_FALSE(report.runs[2].diagnostics.fromJournal);
+    // The summary footer surfaces the loss to the operator.
+    EXPECT_NE(report.summaryTable().find("journal lines skipped"), std::string::npos);
+    EXPECT_NE(report.summaryTable().find("torn/corrupt"), std::string::npos);
 
     std::remove(path.c_str());
 }

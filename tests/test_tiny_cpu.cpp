@@ -86,6 +86,81 @@ TEST(TinyCpuTest, PcSeuDisturbsControlFlow)
     EXPECT_GE(nonSilent, 3);
 }
 
+TEST(TinyCpuTest, JnzBackwardBranchLoopTerminates)
+{
+    // Backward JNZ: sum a stride of 16 until the 8-bit accumulator wraps to
+    // zero (16 iterations), then fall through and halt.
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 16), asm1(Op::Sta, 16), asm1(Op::Ldi, 0),
+                   asm1(Op::Add, 16), asm1(Op::Out),     asm1(Op::Jnz, 3),
+                   asm1(Op::Hlt)};
+    cfg.duration = 3 * kMicrosecond;
+    TinyCpuTestbench tb(cfg);
+    tb.run();
+    EXPECT_TRUE(tb.cpu().halted());
+    EXPECT_EQ(tb.cpu().acc(), 0u);
+    // The stream passed through nonzero multiples of 16 before wrapping.
+    const std::uint64_t mid = portAt(tb, 400 * kNanosecond);
+    EXPECT_NE(mid, 0u);
+    EXPECT_EQ(mid % 16, 0u);
+    EXPECT_EQ(portAt(tb, cfg.duration), 0u); // the final OUT streamed the wrap
+}
+
+TEST(TinyCpuTest, AccFlipAfterHltStaysLatent)
+{
+    // An upset landing after the machine halted can never reach an output:
+    // the campaign must classify it Latent (state diff only), not Silent.
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 7), asm1(Op::Out), asm1(Op::Hlt)};
+    cfg.duration = kMicrosecond;
+    campaign::CampaignRunner runner(
+        [cfg] { return std::make_unique<TinyCpuTestbench>(cfg); });
+    const auto r = runner.runOne(
+        fault::FaultSpec{fault::BitFlipFault{"cpu/core/acc", 4, 500 * kNanosecond}});
+    EXPECT_EQ(r.outcome, campaign::Outcome::Latent);
+    EXPECT_TRUE(r.erredSignals.empty());
+    ASSERT_EQ(r.corruptedState.size(), 1u);
+    EXPECT_EQ(r.corruptedState.front(), "cpu/core/acc");
+}
+
+TEST(TinyCpuTest, HaltStateFlipResumesAtTheNextInstruction)
+{
+    // Flipping the RUN/HALT state bit un-halts the core: it resumes at the
+    // instruction after HLT, streams 1, runs off into the ROM's NOP padding,
+    // wraps the 5-bit PC and re-executes the program from 0 until HLT again.
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 7), asm1(Op::Out), asm1(Op::Hlt), asm1(Op::Ldi, 1),
+                   asm1(Op::Out)};
+    cfg.duration = 2 * kMicrosecond;
+    TinyCpuTestbench tb(cfg);
+    tb.sim().digital().scheduler().scheduleAction(500 * kNanosecond, [&tb] {
+        tb.sim().digital().instrumentation().hook("cpu/core/halt").flipBit(0);
+    });
+    tb.run();
+    EXPECT_EQ(portAt(tb, 450 * kNanosecond), 7u); // halted with 7 on the port
+    EXPECT_EQ(portAt(tb, 700 * kNanosecond), 1u); // resumed: the post-HLT OUT ran
+    EXPECT_TRUE(tb.cpu().halted());               // wrapped around and re-halted
+    EXPECT_EQ(portAt(tb, cfg.duration), 7u);      // after re-running from PC 0
+}
+
+TEST(TinyCpuTest, PcWrapAroundRunsTheRomCyclically)
+{
+    // No HLT anywhere: the PC walks the whole 32-word ROM (the tail is NOP
+    // padding) and wraps back to 0, incrementing RAM[17] once per pass.
+    TinyCpuConfig cfg;
+    cfg.program = {asm1(Op::Ldi, 1),  asm1(Op::Sta, 16), asm1(Op::Lda, 17),
+                   asm1(Op::Add, 16), asm1(Op::Sta, 17), asm1(Op::Out)};
+    cfg.duration = 6 * kMicrosecond;
+    TinyCpuTestbench tb(cfg);
+    tb.run();
+    EXPECT_FALSE(tb.cpu().halted());
+    const std::uint64_t v1 = portAt(tb, 2 * kMicrosecond);
+    const std::uint64_t v2 = portAt(tb, 4 * kMicrosecond);
+    EXPECT_GT(v2, v1);
+    // One wrap = 32 instructions x 20 ns = 640 ns -> ~3.1 passes per 2 us.
+    EXPECT_NEAR(static_cast<double>(v2 - v1), 2e-6 / 640e-9, 1.5);
+}
+
 } // namespace
 } // namespace gfi::duts
 
@@ -117,6 +192,32 @@ TEST(ScrubberTest, RepairsInjectedUpsetsDuringSweep)
     // Storage is clean again.
     EXPECT_EQ(ram.codeword(1), hammingEncode(0, 8));
     EXPECT_EQ(ram.codeword(3), hammingEncode(0, 8));
+}
+
+TEST(ScrubberTest, FlagsUncorrectableWordsInsteadOfScrubbing)
+{
+    // A double-bit upset is beyond SEC-DED: the scrubber must not "repair" it
+    // (a miscorrecting write-back would silently corrupt the word further) —
+    // it counts the word as uncorrectable and leaves it alone.
+    Circuit c;
+    auto& clk = c.logicSignal("clk", Logic::Zero);
+    auto& we = c.logicSignal("we", Logic::Zero);
+    Bus addr = c.bus("addr", 2, Logic::Zero);
+    Bus wdata = c.bus("wdata", 8, Logic::Zero);
+    Bus rdata = c.bus("rdata", 8, Logic::U);
+    auto& ram = c.add<EccRam>(c, "eram", clk, we, addr, wdata, rdata);
+    auto& scrubber = c.add<Scrubber>(c, "scrub", ram, 10 * kMicrosecond);
+
+    c.scheduler().scheduleAction(kMicrosecond, [&c] {
+        c.instrumentation().hook("eram/w2").flipBit(1);
+        c.instrumentation().hook("eram/w2").flipBit(6);
+    });
+    const auto poisoned = hammingEncode(0, 8) ^ (1ull << 1) ^ (1ull << 6);
+    c.runUntil(60 * kMicrosecond);
+    EXPECT_TRUE(ram.wordUncorrectable(2));
+    EXPECT_GE(scrubber.uncorrectables(), 1);
+    EXPECT_EQ(scrubber.repairs(), 0);
+    EXPECT_EQ(ram.codeword(2), poisoned); // untouched, not miscorrected
 }
 
 TEST(ScrubberTest, PreventsDoubleErrorAccumulation)
