@@ -1,0 +1,66 @@
+#include "analyze/analyze.hpp"
+
+#include "analyze/graph.hpp"
+#include "util/table.hpp"
+
+namespace gfi::analyze {
+
+AnalysisReport analyzeTestbench(const fault::Testbench& tb)
+{
+    const SignalGraph g(tb);
+
+    AnalysisReport r;
+    r.signals = g.nodes().size();
+    r.processes = g.processes().size();
+    for (const digital::ProcessConnectivity* p : g.processes()) {
+        if (p->sequential) {
+            ++r.seqProcesses;
+        } else {
+            ++r.combProcesses;
+        }
+    }
+    r.maxLevel = g.maxLevel();
+    r.cyclicSignals = g.cyclicSignals();
+    for (const NodeInfo& n : g.nodes()) {
+        if (n.observable) {
+            ++r.observableSignals;
+        } else {
+            ++r.unobservableSignals;
+        }
+    }
+    r.testability = scoreTestability(g);
+    return r;
+}
+
+std::string AnalysisReport::table(std::size_t topN) const
+{
+    TextTable t;
+    t.setHeader({"metric", "value"});
+    t.addRow({"signals", std::to_string(signals)});
+    t.addRow({"processes", std::to_string(processes)});
+    t.addRow({"combinational", std::to_string(combProcesses)});
+    t.addRow({"sequential", std::to_string(seqProcesses)});
+    t.addRow({"max comb level", std::to_string(maxLevel)});
+    t.addRow({"cyclic signals", std::to_string(cyclicSignals)});
+    t.addRow({"observable signals", std::to_string(observableSignals)});
+    t.addRow({"unobservable signals", std::to_string(unobservableSignals)});
+    return t.str() + "\n" + testability.table(topN);
+}
+
+std::string AnalysisReport::json() const
+{
+    std::string out = "{\n  \"graph\": {";
+    out += "\"signals\": " + std::to_string(signals);
+    out += ", \"processes\": " + std::to_string(processes);
+    out += ", \"combinational\": " + std::to_string(combProcesses);
+    out += ", \"sequential\": " + std::to_string(seqProcesses);
+    out += ", \"max_level\": " + std::to_string(maxLevel);
+    out += ", \"cyclic_signals\": " + std::to_string(cyclicSignals);
+    out += ", \"observable_signals\": " + std::to_string(observableSignals);
+    out += ", \"unobservable_signals\": " + std::to_string(unobservableSignals);
+    out += "},\n  \"testability\": " + testability.json();
+    out += "}\n";
+    return out;
+}
+
+} // namespace gfi::analyze

@@ -1,0 +1,44 @@
+#pragma once
+// Facade of the static fault-space analyzer: builds the SignalGraph, runs
+// the SCOAP scorer and summarizes the structural facts a campaign designer
+// wants before burning simulation time — netlist size, combinational depth,
+// cycles, and how much of the fault space is statically unobservable.
+//
+// The analysis never executes a process callback; it reads only the
+// declared connectivity, the saboteur/instrumentation registries and the
+// testbench's observation configuration.
+
+#include "analyze/scoap.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace gfi::fault {
+class Testbench;
+}
+
+namespace gfi::analyze {
+
+/// Structural summary + testability ranking of one testbench.
+struct AnalysisReport {
+    std::size_t signals = 0;             ///< known nets
+    std::size_t processes = 0;           ///< declared processes
+    std::size_t combProcesses = 0;       ///< combinational processes
+    std::size_t seqProcesses = 0;        ///< sequential processes
+    int maxLevel = 0;                    ///< deepest combinational level
+    std::size_t cyclicSignals = 0;       ///< nets inside combinational cycles
+    std::size_t observableSignals = 0;   ///< nets with a path to a sink
+    std::size_t unobservableSignals = 0; ///< the statically-masked cone
+    TestabilityReport testability;       ///< per-net SCOAP ranking
+
+    /// Printable summary + the @p topN most sensitive nets (0 = all).
+    [[nodiscard]] std::string table(std::size_t topN = 10) const;
+
+    /// JSON document { "graph": {...}, "testability": [...] }.
+    [[nodiscard]] std::string json() const;
+};
+
+/// Runs all three analyzer passes over @p tb.
+[[nodiscard]] AnalysisReport analyzeTestbench(const fault::Testbench& tb);
+
+} // namespace gfi::analyze

@@ -1,0 +1,102 @@
+#include "analyze/collapse.hpp"
+
+#include "analyze/graph.hpp"
+#include "lint/preflight.hpp"
+
+#include <map>
+
+namespace gfi::analyze {
+
+namespace {
+
+/// The equivalence-class key of one fault. "i|<index>" keys are unique per
+/// fault and therefore always singletons.
+std::string classKeyOf(const SignalGraph& g, const fault::Testbench& tb,
+                       const fault::FaultSpec& fault, std::size_t index)
+{
+    const std::string singleton = "i|" + std::to_string(index);
+    if (fault::isGolden(fault)) {
+        return singleton;
+    }
+    // Faults the preflight rejects keep their own SimError verdict: expanding
+    // a healthy representative's outcome onto them would hide the error.
+    if (lint::preflightFault(tb, fault, index).count(lint::Severity::Error) != 0) {
+        return singleton;
+    }
+    if (const auto* pulse = std::get_if<fault::DigitalPulseFault>(&fault)) {
+        if (pulse->width <= 0) {
+            // Zero-width invert/restore land in the same delta cycle; the
+            // scheduler's action ordering decides what happens, which the
+            // static model does not capture.
+            return singleton;
+        }
+    }
+    if (!g.faultObservable(fault)) {
+        return "masked";
+    }
+    if (const auto* pulse = std::get_if<fault::DigitalPulseFault>(&fault)) {
+        // Inverting for [t, t+w) commutes with every zero-delay buffer or
+        // inverter on the chain, so the pulse key ignores parity.
+        const SignalGraph::ChainTerminal term = g.chainTerminalOf(pulse->saboteur);
+        return "pulse|" + term.saboteur + "|" + std::to_string(pulse->time) + "|" +
+               std::to_string(pulse->width);
+    }
+    if (const auto* stuck = std::get_if<fault::StuckAtFault>(&fault)) {
+        if (stuck->value != digital::Logic::Zero && stuck->value != digital::Logic::One) {
+            // U/X stuck values are not parity-normalizable: gates map U to X
+            // (toX01) while the saboteur pass-through forwards them raw.
+            return singleton;
+        }
+        const SignalGraph::ChainTerminal term = g.chainTerminalOf(stuck->saboteur);
+        bool one = stuck->value == digital::Logic::One;
+        if (term.inverted) {
+            one = !one;
+        }
+        return "stuck|" + term.saboteur + "|" + (one ? "1" : "0") + "|" +
+               std::to_string(stuck->time) + "|" + std::to_string(stuck->duration);
+    }
+    return singleton;
+}
+
+} // namespace
+
+std::size_t CollapsePlan::classes() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < repOf.size(); ++i) {
+        if (repOf[i] == i) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t CollapsePlan::collapsedRuns() const
+{
+    return repOf.size() - classes();
+}
+
+CollapsePlan collapseFaults(const SignalGraph& g, const fault::Testbench& tb,
+                            const std::vector<fault::FaultSpec>& faults)
+{
+    CollapsePlan plan;
+    plan.repOf.resize(faults.size());
+    plan.classKey.resize(faults.size());
+    std::map<std::string, std::size_t> firstOf;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        std::string key = classKeyOf(g, tb, faults[i], i);
+        const auto [it, inserted] = firstOf.emplace(key, i);
+        plan.repOf[i] = it->second;
+        plan.classKey[i] = std::move(key);
+    }
+    return plan;
+}
+
+CollapsePlan collapseFaults(const fault::Testbench& tb,
+                            const std::vector<fault::FaultSpec>& faults)
+{
+    const SignalGraph g(tb);
+    return collapseFaults(g, tb, faults);
+}
+
+} // namespace gfi::analyze

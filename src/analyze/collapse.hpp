@@ -1,0 +1,73 @@
+#pragma once
+// Structural fault collapsing — pass 2 of the static fault-space analyzer.
+// Partitions a campaign fault list into equivalence classes whose members
+// provably produce the same classification, so the campaign simulates one
+// representative per class and expands its verdict to the other members:
+//
+//   - masked:      every *valid* fault with no structural path from its
+//                  injection site to a compared output, watched signal or
+//                  compared state hook (SignalGraph::faultObservable). All
+//                  such faults land in one class — they cannot perturb
+//                  anything the classifier looks at.
+//   - chain:       SET pulses and stuck-at-0/1 faults on saboteurs that sit
+//                  on the same zero-delay buffer/inverter chain collapse
+//                  onto the chain terminal (SignalGraph::chainTerminalOf);
+//                  pulses are parity-invariant, stuck values normalize by
+//                  XOR with the accumulated inverter parity.
+//   - singleton:   everything else — golden specs, faults the preflight
+//                  rejects (they must keep their own SimError verdict),
+//                  non-0/1 stuck values (U/X propagate differently through
+//                  gates and raw saboteur pass-through), zero/negative
+//                  pulse widths (delta-glitch ordering is not modeled).
+//
+// The plan is purely structural: it never runs a process callback, so
+// building it costs microseconds even for campaigns with thousands of runs.
+
+#include "core/fault.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gfi::fault {
+class Testbench;
+}
+
+namespace gfi::analyze {
+
+class SignalGraph;
+
+/// The collapse partition of one campaign fault list.
+struct CollapsePlan {
+    /// repOf[i] is the index of the fault whose simulated result stands in
+    /// for fault i; repOf[i] == i marks a representative (simulated) fault.
+    std::vector<std::size_t> repOf;
+
+    /// The equivalence-class key of each fault (diagnostic; stable strings:
+    /// "masked", "pulse|…", "stuck|…", "i|<index>" for singletons).
+    std::vector<std::string> classKey;
+
+    /// Number of simulated representatives (== distinct classes).
+    [[nodiscard]] std::size_t classes() const;
+
+    /// Number of runs saved: members whose verdict is expanded, not run.
+    [[nodiscard]] std::size_t collapsedRuns() const;
+
+    /// True when fault @p i is simulated rather than expanded.
+    [[nodiscard]] bool isRepresentative(std::size_t i) const
+    {
+        return repOf[i] == i;
+    }
+};
+
+/// Partitions @p faults into equivalence classes against @p g. The first
+/// member of each class (in list order) becomes its representative.
+[[nodiscard]] CollapsePlan collapseFaults(const SignalGraph& g,
+                                          const fault::Testbench& tb,
+                                          const std::vector<fault::FaultSpec>& faults);
+
+/// Convenience overload: builds the SignalGraph internally.
+[[nodiscard]] CollapsePlan collapseFaults(const fault::Testbench& tb,
+                                          const std::vector<fault::FaultSpec>& faults);
+
+} // namespace gfi::analyze

@@ -1,0 +1,95 @@
+#pragma once
+// Strongly connected components over small index graphs. Shared by the lint
+// subsystem (DIG001 combinational-loop detection) and the fault-space
+// analyzer (levelization of the combinational drive/trigger graph) — one
+// Tarjan, two consumers.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace gfi::analyze {
+
+/// Iterative Tarjan SCC over an adjacency list of vertex indices. Returns
+/// the strongly connected components in reverse topological order: every
+/// component is emitted after all components it has edges into, so iterating
+/// the result forward visits sinks first and iterating it backward visits
+/// sources first (the levelization order).
+inline std::vector<std::vector<int>> tarjanScc(const std::vector<std::vector<int>>& adj)
+{
+    const int n = static_cast<int>(adj.size());
+    std::vector<int> index(static_cast<std::size_t>(n), -1);
+    std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+    std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int nextIndex = 0;
+
+    struct Frame {
+        int v;
+        std::size_t edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (index[static_cast<std::size_t>(root)] != -1) {
+            continue;
+        }
+        std::vector<Frame> call{{root, 0}};
+        while (!call.empty()) {
+            Frame& f = call.back();
+            const auto v = static_cast<std::size_t>(f.v);
+            if (f.edge == 0) {
+                index[v] = lowlink[v] = nextIndex++;
+                stack.push_back(f.v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (f.edge < adj[v].size()) {
+                const int w = adj[v][f.edge++];
+                const auto wi = static_cast<std::size_t>(w);
+                if (index[wi] == -1) {
+                    call.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[wi]) {
+                    lowlink[v] = std::min(lowlink[v], index[wi]);
+                }
+            }
+            if (descended) {
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                std::vector<int> scc;
+                int w = -1;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    onStack[static_cast<std::size_t>(w)] = false;
+                    scc.push_back(w);
+                } while (w != f.v);
+                sccs.push_back(std::move(scc));
+            }
+            const int done = f.v;
+            call.pop_back();
+            if (!call.empty()) {
+                const auto p = static_cast<std::size_t>(call.back().v);
+                lowlink[p] = std::min(lowlink[p], lowlink[static_cast<std::size_t>(done)]);
+            }
+        }
+    }
+    return sccs;
+}
+
+/// True when @p scc is an actual cycle: more than one vertex, or a single
+/// vertex with a self-edge in @p adj.
+inline bool sccIsCyclic(const std::vector<int>& scc, const std::vector<std::vector<int>>& adj)
+{
+    if (scc.size() > 1) {
+        return true;
+    }
+    const int v = scc.front();
+    const auto& edges = adj[static_cast<std::size_t>(v)];
+    return std::find(edges.begin(), edges.end(), v) != edges.end();
+}
+
+} // namespace gfi::analyze

@@ -1,0 +1,67 @@
+#pragma once
+// SCOAP-style testability scoring — pass 3 of the static fault-space
+// analyzer. Classic SCOAP assigns every net a combinational controllability
+// (how hard it is to set from the inputs) and observability (how hard it is
+// to propagate to an output); here both run over the declared connectivity
+// graph, with opaque processes treated as worst-case gates:
+//
+//   CC  forward, in level order: external or undriven nets cost 1, outputs
+//       of sequential processes cost kSeqCost (a clock cycle), outputs of
+//       combinational processes cost 1 + sum of their input CCs (minimum
+//       over drivers), nets inside combinational cycles are unscorable.
+//   CO  shortest path to an observed sink (Dijkstra on the reversed graph):
+//       sinks cost 0, crossing a process costs 1 plus one per side input
+//       plus kSeqCost when the process is sequential; nets with no path are
+//       unobservable (CO = -1, the DIG004 cone).
+//
+// The ranking (ascending CC + CO, unobservable nets last) is the paper's
+// sensitivity ordering: nets near the top are the cheapest places for an
+// SEU to both happen and matter, so campaigns target them first.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfi::analyze {
+
+class SignalGraph;
+
+/// Cost of crossing a sequential element (one clock cycle) in SCOAP units.
+inline constexpr std::int64_t kSeqCost = 10;
+
+/// Combinational-cycle / overflow sentinel for controllability.
+inline constexpr std::int64_t kInfCost = 1'000'000'000;
+
+/// Testability scores of one signal.
+struct NodeScore {
+    std::string signal;        ///< hierarchical signal name
+    std::int64_t cc = 0;       ///< controllability (kInfCost = unscorable)
+    std::int64_t co = -1;      ///< observability (-1 = no path to a sink)
+    int level = 0;             ///< combinational depth
+    int fanout = 0;            ///< reader count
+    bool observable = false;   ///< structural path to an observed sink
+
+    /// Combined sensitivity cost (lower = easier to hit and see).
+    [[nodiscard]] std::int64_t score() const
+    {
+        return co < 0 ? kInfCost : cc + co;
+    }
+};
+
+/// Ranked testability scores of a whole testbench.
+struct TestabilityReport {
+    /// Every known signal, ascending score, unobservable nets last; ties
+    /// broken by name so the ranking is deterministic.
+    std::vector<NodeScore> ranked;
+
+    /// Printable ranking table of the @p topN most sensitive nets (0 = all).
+    [[nodiscard]] std::string table(std::size_t topN = 0) const;
+
+    /// JSON array of every score (machine-readable sensitivity ranking).
+    [[nodiscard]] std::string json() const;
+};
+
+/// Scores every signal of @p g.
+[[nodiscard]] TestabilityReport scoreTestability(const SignalGraph& g);
+
+} // namespace gfi::analyze

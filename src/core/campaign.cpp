@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include "analyze/collapse.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "lint/lint.hpp"
@@ -20,6 +21,26 @@ namespace {
 
 /// CheckpointStore key of the (single) golden testbench.
 constexpr const char* kGoldenCheckpoints = "golden";
+
+/// The result of an expanded (not simulated) member of a collapse class:
+/// the representative's classification verbatim, zero resource consumption,
+/// provenance in diagnostics.collapsedFrom.
+RunResult expandCollapsed(const RunResult& rep, const fault::FaultSpec& member)
+{
+    RunResult r;
+    r.fault = member;
+    r.outcome = rep.outcome;
+    r.firstOutputError = rep.firstOutputError;
+    r.lastOutputErrorEnd = rep.lastOutputErrorEnd;
+    r.totalOutputErrorTime = rep.totalOutputErrorTime;
+    r.maxAnalogDeviation = rep.maxAnalogDeviation;
+    r.analogTimeOutsideTol = rep.analogTimeOutsideTol;
+    r.erredSignals = rep.erredSignals;
+    r.corruptedState = rep.corruptedState;
+    r.diagnostics.error = rep.diagnostics.error;
+    r.diagnostics.collapsedFrom = fault::describe(rep.fault);
+    return r;
+}
 
 } // namespace
 
@@ -94,6 +115,18 @@ std::string CampaignReport::summaryTable() const
     if (forked > 0) {
         t.addSeparator();
         t.addRow({"forked runs", std::to_string(forked), formatTime(skipped) + " skipped"});
+    }
+    // Collapse footer — only when at least one verdict was statically
+    // expanded, so non-collapsed campaigns keep the exact historical table.
+    int collapsed = 0;
+    for (const RunResult& r : runs) {
+        if (!r.diagnostics.collapsedFrom.empty()) {
+            ++collapsed;
+        }
+    }
+    if (collapsed > 0) {
+        t.addSeparator();
+        t.addRow({"collapsed runs", std::to_string(collapsed), "statically expanded"});
     }
     // Lossy-resume footer — only when the journal actually lost lines, so
     // clean campaigns keep the exact historical table.
@@ -231,6 +264,15 @@ SimTime CampaignRunner::effectiveCheckpointCadence() const
 std::size_t CampaignRunner::checkpointCount() const
 {
     return checkpoints_.count(kGoldenCheckpoints);
+}
+
+bool CampaignRunner::faultCollapsingEnabled() const
+{
+    if (collapseMode_ != 0) {
+        return collapseMode_ > 0;
+    }
+    const char* env = std::getenv("GFI_COLLAPSE");
+    return env != nullptr && *env != '\0' && *env != '0';
 }
 
 void CampaignRunner::runGolden()
@@ -589,6 +631,32 @@ CampaignReport CampaignRunner::run(
         runGolden();
     }
 
+    // Static fault collapsing: partition the list into provably-equivalent
+    // classes; only class representatives simulate, members expand at commit
+    // time. Purely structural (declared connectivity only), so the plan
+    // costs microseconds even for thousands of faults.
+    const bool collapsing = faultCollapsingEnabled();
+    std::unique_ptr<analyze::CollapsePlan> plan;
+    if (collapsing) {
+        obs::Span span(tel, "collapse", "campaign");
+        plan = std::make_unique<analyze::CollapsePlan>(
+            analyze::collapseFaults(*golden_, faults));
+        if (plan->collapsedRuns() == 0) {
+            plan.reset(); // nothing to save: identical to a full campaign
+        } else {
+            std::fprintf(stderr, "gfi: fault collapsing: %zu fault%s -> %zu class%s\n",
+                         faults.size(), faults.size() == 1 ? "" : "s", plan->classes(),
+                         plan->classes() == 1 ? "" : "es");
+            if (tel != nullptr) {
+                tel->metrics()
+                    .counter("gfi_runs_collapsed_total",
+                             "Campaign runs expanded from a collapse representative "
+                             "instead of simulated")
+                    .inc(plan->collapsedRuns());
+            }
+        }
+    }
+
     // Resume: index -> journal entry of an earlier (possibly killed) campaign.
     std::map<std::size_t, JournalEntry> done;
     std::unique_ptr<CampaignJournal> journal;
@@ -632,6 +700,11 @@ CampaignReport CampaignRunner::run(
                 r.diagnostics.checkpointTime = 0;
                 r.diagnostics.resimulatedTime = 0;
             }
+            if (!collapsing) {
+                // Same for collapse provenance: a non-collapsing campaign
+                // must not print a "collapsed runs" footer.
+                r.diagnostics.collapsedFrom.clear();
+            }
             restored.emplace(i, std::move(r));
         }
     }
@@ -669,10 +742,17 @@ CampaignReport CampaignRunner::run(
         exec.forEachOrdered(faults.size(), [&](std::size_t i) -> core::CommitFn {
             RunResult r;
             bool fromJournal = false;
+            bool expand = false;
             if (const auto it = restored.find(i); it != restored.end()) {
                 // Already classified by a previous invocation: restore only.
                 r = it->second;
                 fromJournal = true;
+            } else if (plan && !plan->isRepresentative(i)) {
+                // Collapse-class member: its representative (an earlier
+                // index) commits first, so the verdict is expanded inside
+                // the ordered commit, where the representative's slot is
+                // guaranteed populated.
+                expand = true;
             } else {
                 if (tel != nullptr && tel->trace() != nullptr) {
                     tel->trace()->nameCurrentTrack(
@@ -683,8 +763,11 @@ CampaignReport CampaignRunner::run(
                 span.setArgs("{\"fault\": \"" + jsonEscape(fault::describe(faults[i])) +
                              "\", \"outcome\": \"" + toString(r.outcome) + "\"}");
             }
-            return [this, &report, &journal, &progress, i, fromJournal,
-                    r = std::move(r)]() mutable {
+            return [this, &report, &journal, &progress, &faults, plan = plan.get(), i,
+                    fromJournal, expand, r = std::move(r)]() mutable {
+                if (expand) {
+                    r = expandCollapsed(report.runs[plan->repOf[i]], faults[i]);
+                }
                 if (journal && !fromJournal) {
                     journal->append(i, r);
                 }

@@ -87,6 +87,9 @@ struct RunDiagnostics {
     std::uint64_t digitalWaves = 0; ///< delta cycles consumed by the final attempt
     std::uint64_t analogSteps = 0;  ///< analog step attempts of the final attempt
     bool fromJournal = false;       ///< restored from a checkpoint, not simulated
+    std::string collapsedFrom;      ///< fault description of the simulated
+                                    ///< representative this verdict was
+                                    ///< expanded from (empty = simulated)
     SimTime checkpointTime = 0;     ///< golden checkpoint this run forked from
                                     ///< (0 = simulated from scratch)
     SimTime resimulatedTime = 0;    ///< simulated time actually re-run after the
@@ -259,6 +262,20 @@ public:
     /// Golden checkpoints captured so far (0 until runGolden() in fork mode).
     [[nodiscard]] std::size_t checkpointCount() const;
 
+    /// Static fault collapsing: when enabled, run() partitions the fault
+    /// list into provably-equivalent classes (analyze::collapseFaults) and
+    /// simulates one representative per class; the other members' results
+    /// are expanded from the representative's at commit time, with
+    /// diagnostics.collapsedFrom naming the simulated fault. Per-fault
+    /// classifications are byte-identical to a full campaign (that is the
+    /// soundness contract of the collapser); resource diagnostics of
+    /// expanded members are zero and their journal lines carry the
+    /// "collapsed_from" provenance key. By default (unset) the GFI_COLLAPSE
+    /// environment variable decides ("1"/non-empty = on); setFaultCollapsing
+    /// beats the environment either way.
+    void setFaultCollapsing(bool on) noexcept { collapseMode_ = on ? 1 : -1; }
+    [[nodiscard]] bool faultCollapsingEnabled() const;
+
     /// When disabled, diagnostics.wallSeconds, checkpointTime and
     /// resimulatedTime are recorded as 0 so journals and reports are
     /// byte-stable across runs, worker counts and fork-from-golden modes
@@ -364,6 +381,7 @@ private:
     bool preflight_ = true;
     bool goldenRan_ = false;
     SimTime checkpointCadence_ = 0; ///< 0 = GFI_CHECKPOINT env, negative = off
+    int collapseMode_ = 0;          ///< 0 = GFI_COLLAPSE env, 1 = on, -1 = off
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
     snapshot::CheckpointStore checkpoints_; ///< golden snapshots, fork mode only

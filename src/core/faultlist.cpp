@@ -1,6 +1,7 @@
 #include "core/faultlist.hpp"
 
 #include <cmath>
+#include <set>
 
 namespace gfi::fault {
 
@@ -97,6 +98,19 @@ std::vector<FaultSpec> randomCurrentPulses(const std::vector<std::string>& sabot
         const double edge = pw / 3.0;
         out.emplace_back(CurrentPulseFault{
             sab, t, std::make_shared<TrapezoidPulse>(pa, edge, edge, pw)});
+    }
+    return out;
+}
+
+std::vector<FaultSpec> dedupe(std::vector<FaultSpec> faults)
+{
+    std::set<std::string> seen;
+    std::vector<FaultSpec> out;
+    out.reserve(faults.size());
+    for (FaultSpec& f : faults) {
+        if (seen.insert(describe(f)).second) {
+            out.push_back(std::move(f));
+        }
     }
     return out;
 }

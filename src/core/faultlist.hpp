@@ -49,4 +49,9 @@ namespace gfi::fault {
     std::pair<double, double> windowSeconds, std::pair<double, double> paRange,
     std::pair<double, double> pwRange, Rng& rng);
 
+/// Removes exact duplicates (same describe() string — random generators and
+/// concatenated sweeps can repeat a spec), keeping the first occurrence of
+/// each fault in list order. Golden entries dedupe like any other spec.
+[[nodiscard]] std::vector<FaultSpec> dedupe(std::vector<FaultSpec> faults);
+
 } // namespace gfi::fault

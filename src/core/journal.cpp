@@ -164,6 +164,11 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r,
     json += "\"analog_time_outside_tol_s\": " + formatDouble(r.analogTimeOutsideTol, 9) + ", ";
     json += "\"erred_signals\": " + stringArray(r.erredSignals) + ", ";
     json += "\"corrupted_state\": " + stringArray(r.corruptedState);
+    // Collapse provenance — only when set, so lines of non-collapsed runs
+    // remain byte-identical to pre-collapse journals.
+    if (!r.diagnostics.collapsedFrom.empty()) {
+        json += ", \"collapsed_from\": " + quoted(r.diagnostics.collapsedFrom);
+    }
     // Appended after every historical key so lines without probes remain
     // byte-identical to pre-observability journals.
     if (embedProbes && r.diagnostics.probes.valid) {
@@ -254,6 +259,7 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     }
     (void)getStringArray(line, "erred_signals", e.result.erredSignals);
     (void)getStringArray(line, "corrupted_state", e.result.corruptedState);
+    (void)getString(line, "collapsed_from", e.result.diagnostics.collapsedFrom);
 
     // Optional probes object (lines written with a telemetry sink attached).
     // Keys are globally unique within a line, so the flat key scan works on

@@ -37,7 +37,7 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                   "total_output_error_fs", "max_analog_deviation_v",
                   "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
                   "attempts", "wall_s", "checkpoint_fs", "resim_fs", "from_journal",
-                  "error"});
+                  "error", "collapsed_from"});
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -56,7 +56,8 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                       formatDouble(r.diagnostics.wallSeconds, 6),
                       std::to_string(r.diagnostics.checkpointTime),
                       std::to_string(r.diagnostics.resimulatedTime),
-                      r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error});
+                      r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error,
+                      r.diagnostics.collapsedFrom});
     }
 }
 
@@ -100,6 +101,13 @@ std::string reportToJson(const CampaignReport& report)
         }
         if (!r.diagnostics.error.empty()) {
             json += ", \"error\": \"" + jsonEscape(r.diagnostics.error) + "\"";
+        }
+        // Expanded collapse-class members name their simulated
+        // representative; simulated runs omit the key so pre-collapse
+        // reports keep their exact shape.
+        if (!r.diagnostics.collapsedFrom.empty()) {
+            json += ", \"collapsed_from\": \"" + jsonEscape(r.diagnostics.collapsedFrom) +
+                    "\"";
         }
         json += "}";
         json += i + 1 < report.runs.size() ? ",\n" : "\n";

@@ -73,6 +73,9 @@ DigitalSaboteur::DigitalSaboteur(digital::Circuit& c, std::string name,
 {
     digital::Process& p = c.process(this->name() + "/pass", [this] { drive(); }, {&in});
     c.noteDrives(p, {&out});
+    // Transparent mode is a pure pass-through; mode changes are the faults
+    // themselves, so the golden structure is a buffer.
+    c.noteCombKind(p, digital::CombKind::Buffer, delay_);
 }
 
 void DigitalSaboteur::drive()

@@ -130,6 +130,13 @@ void Circuit::noteSequential(Process& p, SignalBase* clock)
     conn.clock = clock;
 }
 
+void Circuit::noteCombKind(Process& p, CombKind kind, SimTime delay)
+{
+    ProcessConnectivity& conn = connOf(p);
+    conn.combKind = kind;
+    conn.combDelay = delay;
+}
+
 std::vector<SignalBase*> busSignals(const Bus& bus)
 {
     return {bus.bits().begin(), bus.bits().end()};

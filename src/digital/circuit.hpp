@@ -15,6 +15,15 @@
 
 namespace gfi::digital {
 
+/// Declared combinational shape of a process, for static fault collapsing.
+/// Buffer/Inverter name single-input processes whose output is exactly the
+/// (possibly inverted) input — the chains classic fault collapsing folds.
+enum class CombKind {
+    Opaque,   ///< arbitrary logic (default)
+    Buffer,   ///< out follows the single input
+    Inverter, ///< out is the complement of the single input
+};
+
 /// Declared static connectivity of one process. The sensitivity list is
 /// recorded automatically at process creation; components declare the rest
 /// (driven signals, non-triggering reads, sequential/clock role) so the lint
@@ -27,6 +36,9 @@ struct ProcessConnectivity {
     bool sequential = false;           ///< clock-edge triggered: breaks
                                        ///< combinational cycles
     SignalBase* clock = nullptr;       ///< the clock, when sequential
+    CombKind combKind = CombKind::Opaque; ///< declared via noteCombKind()
+    SimTime combDelay = -1;            ///< propagation delay when declared
+                                       ///< (-1 = unknown/undeclared)
 };
 
 /// Base class for structural component instances. Components register their
@@ -150,6 +162,11 @@ public:
     /// participate in combinational cycles. @p clock may be null for
     /// processes without a single clock (multi-edge detectors).
     void noteSequential(Process& p, SignalBase* clock);
+
+    /// Declares that @p p is a pure buffer/inverter with propagation delay
+    /// @p delay — metadata the static fault-space analyzer uses to collapse
+    /// equivalent faults through interconnect chains.
+    void noteCombKind(Process& p, CombKind kind, SimTime delay);
 
     /// Declares that @p s is driven from outside the process network: clock
     /// generators, analog-to-digital bridges and testbench stimuli that force

@@ -27,6 +27,11 @@ Gate::Gate(Circuit& c, std::string name, GateKind kind, std::vector<LogicSignal*
                            },
                            sens);
     c.noteDrives(p, {output_});
+    if (kind_ == GateKind::Buf) {
+        c.noteCombKind(p, CombKind::Buffer, delay_);
+    } else if (kind_ == GateKind::Not) {
+        c.noteCombKind(p, CombKind::Inverter, delay_);
+    }
 }
 
 Logic Gate::evaluate(GateKind kind, const std::vector<Logic>& values)

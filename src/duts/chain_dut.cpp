@@ -1,0 +1,67 @@
+#include "duts/chain_dut.hpp"
+
+#include "core/saboteur.hpp"
+#include "digital/gates.hpp"
+#include "digital/sequential.hpp"
+#include "digital/stimulus.hpp"
+
+namespace gfi::duts {
+
+using namespace digital;
+
+ChainDutTestbench::ChainDutTestbench(ChainDutConfig config) : config_(config)
+{
+    auto& dig = sim().digital();
+    const SimTime period = fromSeconds(1.0 / config_.clockHz);
+
+    auto& clk = dig.logicSignal("chain/clk", Logic::Zero);
+    dig.add<ClockGen>(dig, "chain/clkgen", clk, period);
+
+    auto& rstn = dig.logicSignal("chain/rstn", Logic::Zero);
+    dig.noteExternalDriver(rstn);
+    auto& stimuli = dig.add<StimulusSchedule>(dig, "chain/stimuli");
+    stimuli.at(3 * period / 2, rstn, Logic::One);
+
+    // --- stimulus: 8-bit LFSR, bit 0 feeds the chain, bit 1 the dead branch
+    Bus lfsrQ = dig.bus("chain/lfsr_q", 8, Logic::Zero);
+    dig.add<Lfsr>(dig, "chain/lfsr", clk, lfsrQ, /*taps=*/0xB8, config_.lfsrSeed, &rstn);
+
+    // --- the chain: six zero-delay saboteurs, a buffer and an inverter ----
+    // s0 -> s1 -> buf -> s2 -> inv -> s3 -> s4 -> s5 -> observed flip-flop.
+    // Zero delay everywhere on the route keeps every stage waveform-
+    // equivalent to the terminal, which is exactly what the collapser's
+    // chain walk requires.
+    std::array<LogicSignal*, 8> nets{};
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        nets[i] = &dig.logicSignal("chain/n" + std::to_string(i), Logic::Zero);
+    }
+    const auto sab = [&](const std::string& name, LogicSignal& in, LogicSignal& out) {
+        addDigitalSaboteur(dig.add<fault::DigitalSaboteur>(dig, name, in, out));
+    };
+    sab("sab/c0", lfsrQ.bit(0), *nets[0]);
+    sab("sab/c1", *nets[0], *nets[1]);
+    dig.add<BufGate>(dig, "chain/buf", *nets[1], *nets[2], /*delay=*/0);
+    sab("sab/c2", *nets[2], *nets[3]);
+    dig.add<NotGate>(dig, "chain/inv", *nets[3], *nets[4], /*delay=*/0);
+    sab("sab/c3", *nets[4], *nets[5]);
+    sab("sab/c4", *nets[5], *nets[6]);
+    sab("sab/c5", *nets[6], *nets[7]);
+
+    auto& q = dig.logicSignal("chain/q", Logic::Zero);
+    dig.add<DFlipFlop>(dig, "chain/ff", clk, *nets[7], q, &rstn);
+
+    // --- dead branch: saboteur -> buffer -> unobserved flip-flop ----------
+    auto& d0 = dig.logicSignal("chain/d0", Logic::Zero);
+    auto& d1 = dig.logicSignal("chain/d1", Logic::Zero);
+    auto& deadQ = dig.logicSignal("chain/dead_q", Logic::Zero);
+    sab("sab/dead", lfsrQ.bit(1), d0);
+    dig.add<BufGate>(dig, "chain/dead_buf", d0, d1, /*delay=*/0);
+    dig.add<DFlipFlop>(dig, "chain/dead_ff", clk, d1, deadQ, &rstn);
+
+    // --- observation: the chain endpoint only (dead branch stays dark) ----
+    observeDigital("chain/q");
+    observeState("chain/ff");
+    setDuration(config_.duration);
+}
+
+} // namespace gfi::duts

@@ -1,0 +1,55 @@
+#pragma once
+// Interconnect-chain design-under-test: the reference workload of the static
+// fault-space analyzer and the fault-collapsing campaign mode.
+//
+// Structure: an LFSR stimulus bit runs through six directly-chained
+// zero-delay digital saboteurs with one zero-delay buffer and one zero-delay
+// inverter between them, ending in an observed flip-flop — every SET/stuck-at
+// on the chain is provably equivalent to the same fault at the chain's last
+// saboteur, so the collapser shrinks a Figure-8-style sweep over all six
+// saboteurs to one representative per (time, width/value) point. A second
+// LFSR bit feeds a dead branch (saboteur -> buffer -> unobserved flip-flop)
+// whose faults have no structural path to anything observed: the statically
+// masked population.
+//
+// Observation is deliberately selective (the chain flip-flop's output and
+// state hook only, no observeAllState) — the analyzer needs genuinely
+// unobservable cones to prove anything interesting.
+
+#include "core/testbench.hpp"
+
+#include <array>
+#include <string>
+
+namespace gfi::duts {
+
+/// Parameters of the chain DUT.
+struct ChainDutConfig {
+    double clockHz = 50e6;               ///< system clock
+    SimTime duration = 2 * kMicrosecond; ///< observation window (~100 cycles)
+    std::uint64_t lfsrSeed = 0xA7;       ///< stimulus seed
+};
+
+/// The elaborated, instrumented chain experiment.
+class ChainDutTestbench : public fault::Testbench {
+public:
+    explicit ChainDutTestbench(ChainDutConfig config = {});
+
+    /// Configuration used.
+    [[nodiscard]] const ChainDutConfig& config() const noexcept { return config_; }
+
+    /// The six chain saboteurs, upstream first ("sab/c0".."sab/c5");
+    /// "sab/c5" is every chain fault's collapse terminal.
+    [[nodiscard]] static std::array<std::string, 6> chainSaboteurs()
+    {
+        return {"sab/c0", "sab/c1", "sab/c2", "sab/c3", "sab/c4", "sab/c5"};
+    }
+
+    /// The dead-branch saboteur ("sab/dead"): statically unobservable.
+    [[nodiscard]] static std::string deadSaboteur() { return "sab/dead"; }
+
+private:
+    ChainDutConfig config_;
+};
+
+} // namespace gfi::duts

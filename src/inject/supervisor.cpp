@@ -118,19 +118,15 @@ campaign::Proportion SupervisorReport::rate(TargetClass t, CpuClass c, double z)
     return campaign::wilsonInterval(successes, trials, z);
 }
 
-namespace {
-
-std::string rateCell(const campaign::Proportion& p)
+std::string formatRateCell(const campaign::Proportion& p)
 {
     if (p.trials == 0) {
-        return "-";
+        return "n/a";
     }
     return std::to_string(p.successes) + " (" + formatDouble(100.0 * p.estimate, 3) +
            " % [" + formatDouble(100.0 * p.low, 3) + ", " +
            formatDouble(100.0 * p.high, 3) + "])";
 }
-
-} // namespace
 
 std::string SupervisorReport::table() const
 {
@@ -147,7 +143,7 @@ std::string SupervisorReport::table() const
         }
         std::vector<std::string> row{toString(tc), std::to_string(runs)};
         for (CpuClass c : kAllCpuClasses) {
-            row.push_back(rateCell(rate(tc, c)));
+            row.push_back(formatRateCell(rate(tc, c)));
         }
         t.addRow(row);
     }
@@ -157,7 +153,7 @@ std::string SupervisorReport::table() const
     for (CpuClass c : kAllCpuClasses) {
         const auto it = totals.find(c);
         totalRow.push_back(
-            rateCell(campaign::wilsonInterval(it == totals.end() ? 0 : it->second, all)));
+            formatRateCell(campaign::wilsonInterval(it == totals.end() ? 0 : it->second, all)));
     }
     t.addRow(totalRow);
     return t.str();
@@ -174,9 +170,13 @@ std::string SupervisorReport::csv() const
         for (CpuClass c : kAllCpuClasses) {
             const campaign::Proportion p = rate(tc, c);
             out += std::string(toString(tc)) + "," + toString(c) + "," +
-                   std::to_string(p.successes) + "," + std::to_string(p.trials) + "," +
-                   formatDouble(p.estimate, 6) + "," + formatDouble(p.low, 6) + "," +
-                   formatDouble(p.high, 6) + "\n";
+                   std::to_string(p.successes) + "," + std::to_string(p.trials) + ",";
+            if (p.trials == 0) {
+                out += "n/a,n/a,n/a\n";
+            } else {
+                out += formatDouble(p.estimate, 6) + "," + formatDouble(p.low, 6) + "," +
+                       formatDouble(p.high, 6) + "\n";
+            }
         }
     }
     return out;
@@ -185,6 +185,12 @@ std::string SupervisorReport::csv() const
 std::string SupervisorReport::json() const
 {
     const auto prop = [](const campaign::Proportion& p) {
+        if (p.trials == 0) {
+            // No samples: the Wilson interval is undefined, so the estimate
+            // fields are null rather than a misleading 0-width interval.
+            return std::string("{\"count\": ") + std::to_string(p.successes) +
+                   ", \"runs\": 0, \"rate\": null, \"low\": null, \"high\": null}";
+        }
         return std::string("{\"count\": ") + std::to_string(p.successes) +
                ", \"runs\": " + std::to_string(p.trials) +
                ", \"rate\": " + formatDouble(p.estimate, 6) +

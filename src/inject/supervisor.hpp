@@ -64,6 +64,12 @@ inline constexpr std::array<TargetClass, 5> kReportTargetClasses{
 /// Maps an instrumentation-hook name onto its architectural target class.
 [[nodiscard]] TargetClass targetClassOf(const std::string& hookName);
 
+/// Renders one cross-section cell: "count (rate % [low, high])". A class
+/// with zero samples has no estimate at all — the Wilson interval is
+/// undefined at n = 0 — so it renders "n/a" instead of a degenerate
+/// 0% [0, 0] interval. Shared by the supervisor and sweep tables.
+[[nodiscard]] std::string formatRateCell(const campaign::Proportion& p);
+
 /// One enumerable injection target of the system.
 struct ArchTarget {
     std::string hook; ///< instrumentation-hook name

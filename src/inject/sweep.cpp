@@ -37,12 +37,10 @@ std::string SweepReport::table() const
         std::vector<std::string> row{duts::toString(e.mode), std::to_string(all)};
         for (CpuClass c : kAllCpuClasses) {
             const auto it = e.report.totals.find(c);
-            const campaign::Proportion p =
-                campaign::wilsonInterval(it == e.report.totals.end() ? 0 : it->second, all);
-            row.push_back(std::to_string(p.successes) + " (" +
-                          formatDouble(100.0 * p.estimate, 3) + " % [" +
-                          formatDouble(100.0 * p.low, 3) + ", " +
-                          formatDouble(100.0 * p.high, 3) + "])");
+            // Shared cell formatter: a zero-sample sweep entry renders "n/a"
+            // instead of a degenerate 0% [0, 0] interval.
+            row.push_back(formatRateCell(
+                campaign::wilsonInterval(it == e.report.totals.end() ? 0 : it->second, all)));
         }
         t.addRow(row);
     }

@@ -1,5 +1,6 @@
 #include "lint/digital_lint.hpp"
 
+#include "analyze/scc.hpp"
 #include "digital/circuit.hpp"
 
 #include <algorithm>
@@ -15,73 +16,6 @@ using digital::Circuit;
 using digital::Process;
 using digital::ProcessConnectivity;
 using digital::SignalBase;
-
-/// Iterative Tarjan SCC over a process-index adjacency list. Returns the
-/// strongly connected components in reverse topological order.
-std::vector<std::vector<int>> tarjanScc(const std::vector<std::vector<int>>& adj)
-{
-    const int n = static_cast<int>(adj.size());
-    std::vector<int> index(static_cast<std::size_t>(n), -1);
-    std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
-    std::vector<bool> onStack(static_cast<std::size_t>(n), false);
-    std::vector<int> stack;
-    std::vector<std::vector<int>> sccs;
-    int nextIndex = 0;
-
-    struct Frame {
-        int v;
-        std::size_t edge;
-    };
-    for (int root = 0; root < n; ++root) {
-        if (index[static_cast<std::size_t>(root)] != -1) {
-            continue;
-        }
-        std::vector<Frame> call{{root, 0}};
-        while (!call.empty()) {
-            Frame& f = call.back();
-            const auto v = static_cast<std::size_t>(f.v);
-            if (f.edge == 0) {
-                index[v] = lowlink[v] = nextIndex++;
-                stack.push_back(f.v);
-                onStack[v] = true;
-            }
-            bool descended = false;
-            while (f.edge < adj[v].size()) {
-                const int w = adj[v][f.edge++];
-                const auto wi = static_cast<std::size_t>(w);
-                if (index[wi] == -1) {
-                    call.push_back({w, 0});
-                    descended = true;
-                    break;
-                }
-                if (onStack[wi]) {
-                    lowlink[v] = std::min(lowlink[v], index[wi]);
-                }
-            }
-            if (descended) {
-                continue;
-            }
-            if (lowlink[v] == index[v]) {
-                std::vector<int> scc;
-                int w = -1;
-                do {
-                    w = stack.back();
-                    stack.pop_back();
-                    onStack[static_cast<std::size_t>(w)] = false;
-                    scc.push_back(w);
-                } while (w != f.v);
-                sccs.push_back(std::move(scc));
-            }
-            const int done = f.v;
-            call.pop_back();
-            if (!call.empty()) {
-                const auto p = static_cast<std::size_t>(call.back().v);
-                lowlink[p] = std::min(lowlink[p], lowlink[static_cast<std::size_t>(done)]);
-            }
-        }
-    }
-    return sccs;
-}
 
 std::string joinNames(const std::vector<std::string>& names)
 {
@@ -147,14 +81,8 @@ Report lintDigital(const Circuit& circuit)
             }
         }
     }
-    for (const std::vector<int>& scc : tarjanScc(adj)) {
-        bool cyclic = scc.size() > 1;
-        if (scc.size() == 1) {
-            const int v = scc.front();
-            const auto& edges = adj[static_cast<std::size_t>(v)];
-            cyclic = std::find(edges.begin(), edges.end(), v) != edges.end();
-        }
-        if (!cyclic) {
+    for (const std::vector<int>& scc : analyze::tarjanScc(adj)) {
+        if (!analyze::sccIsCyclic(scc, adj)) {
             continue;
         }
         std::set<int> inScc(scc.begin(), scc.end());

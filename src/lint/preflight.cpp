@@ -1,5 +1,6 @@
 #include "lint/preflight.hpp"
 
+#include "analyze/graph.hpp"
 #include "core/testbench.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/units.hpp"
@@ -171,6 +172,24 @@ Report preflightCampaign(const Testbench& tb, const std::vector<FaultSpec>& faul
             report.add("PRE005", Severity::Warning, desc,
                        "duplicate fault at index " + std::to_string(i),
                        "every run re-simulates; drop the duplicate");
+        }
+    }
+    // PRE007: faults with no structural path to anything the classifier
+    // observes. The graph is built once for the whole list (it depends only
+    // on the netlist), and only statically-valid faults are scored — a
+    // typo'd target is a PRE001, not an unobservable fault.
+    const analyze::SignalGraph graph(tb);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (fault::isGolden(faults[i]) ||
+            preflightFault(tb, faults[i], i).count(Severity::Error) != 0) {
+            continue;
+        }
+        if (!graph.faultObservable(faults[i])) {
+            report.add("PRE007", Severity::Warning, fault::describe(faults[i]),
+                       "fault target has no structural path to any observed "
+                       "output, watched signal or compared state",
+                       "the run will classify Silent; observe the cone or drop "
+                       "the fault (see analyze::SignalGraph)");
         }
     }
     return report;

@@ -15,6 +15,10 @@
 //   PRE006 (error)   fork-from-golden enabled, but the testbench registers a
 //                    stateful digital component that is not Snapshottable —
 //                    restoring a checkpoint would silently resume it stale.
+//   PRE007 (warning) fault targets a dead/unobservable cone: no structural
+//                    path from the injection site to any observed output,
+//                    watched signal or compared state hook (the static
+//                    fault-space analyzer proves the run classifies Silent).
 
 #include "core/fault.hpp"
 #include "lint/diagnostic.hpp"

@@ -1,0 +1,461 @@
+// Static fault-space analyzer: signal graph, fault collapsing, SCOAP
+// testability, and the collapsed campaign mode.
+//
+// The contract under test, layer by layer:
+//   * SignalGraph levelization and observability over the chain DUT — the
+//     observed chain is live, the dead branch provably dark;
+//   * chainTerminalOf: zero-delay buffer/inverter chains collapse onto the
+//     terminal saboteur with the right inverter parity;
+//   * collapseFaults: chain sweeps shrink, dead faults pool into "masked",
+//     golden/U-stuck/zero-width stay singletons;
+//   * SCOAP scores: monotone controllability along the chain, "n/a"
+//     observability in the dead cone;
+//   * collapsed campaigns report byte-identical per-fault classifications to
+//     full campaigns (chain DUT, digital DUT, CPU system), serial and at 8
+//     workers, including mid-campaign journal resume;
+//   * PRE007 warns on statically-unobservable fault targets.
+
+#include "analyze/analyze.hpp"
+#include "analyze/collapse.hpp"
+#include "analyze/graph.hpp"
+#include "core/campaign.hpp"
+#include "core/journal.hpp"
+#include "core/report.hpp"
+#include "duts/chain_dut.hpp"
+#include "duts/cpu_system.hpp"
+#include "duts/digital_dut.hpp"
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace gfi {
+namespace {
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SignalGraph: levels and observability on the chain DUT
+
+TEST(AnalyzeGraph, ChainLevelsAndObservability)
+{
+    duts::ChainDutTestbench tb;
+    const analyze::SignalGraph g(tb);
+    const auto& dig = tb.sim().digital();
+
+    EXPECT_EQ(g.cyclicSignals(), 0u);
+    EXPECT_GT(g.maxLevel(), 0);
+
+    // The observed chain is live end to end.
+    for (int i = 0; i < 8; ++i) {
+        const std::string name = "chain/n" + std::to_string(i);
+        EXPECT_TRUE(g.signalObservable(&dig.findSignal(name))) << name;
+    }
+    EXPECT_TRUE(g.signalObservable(&dig.findSignal("chain/q")));
+
+    // The dead branch has no structural path to anything observed.
+    EXPECT_FALSE(g.signalObservable(&dig.findSignal("chain/d0")));
+    EXPECT_FALSE(g.signalObservable(&dig.findSignal("chain/d1")));
+    EXPECT_FALSE(g.signalObservable(&dig.findSignal("chain/dead_q")));
+
+    // Levels grow monotonically along the zero-delay chain.
+    const auto level = [&](const std::string& name) {
+        const int idx = g.indexOf(&dig.findSignal(name));
+        EXPECT_GE(idx, 0) << name;
+        return g.nodes()[static_cast<std::size_t>(idx)].level;
+    };
+    int prev = level("chain/n0");
+    for (int i = 1; i < 8; ++i) {
+        const int cur = level("chain/n" + std::to_string(i));
+        EXPECT_GT(cur, prev) << "chain/n" << i;
+        prev = cur;
+    }
+    // The flip-flop output is a sequential source again: level 0.
+    EXPECT_EQ(level("chain/q"), 0);
+}
+
+TEST(AnalyzeGraph, ChainTerminalTracksInverterParity)
+{
+    duts::ChainDutTestbench tb;
+    const analyze::SignalGraph g(tb);
+
+    // c0..c2 sit upstream of the inverter, c3..c5 downstream.
+    for (const char* name : {"sab/c0", "sab/c1", "sab/c2"}) {
+        const auto t = g.chainTerminalOf(name);
+        EXPECT_EQ(t.saboteur, "sab/c5") << name;
+        EXPECT_TRUE(t.inverted) << name;
+    }
+    for (const char* name : {"sab/c3", "sab/c4", "sab/c5"}) {
+        const auto t = g.chainTerminalOf(name);
+        EXPECT_EQ(t.saboteur, "sab/c5") << name;
+        EXPECT_FALSE(t.inverted) << name;
+    }
+    // The dead saboteur's chain ends at itself (flip-flop downstream).
+    const auto dead = g.chainTerminalOf("sab/dead");
+    EXPECT_EQ(dead.saboteur, "sab/dead");
+    EXPECT_FALSE(dead.inverted);
+    // Unknown names resolve to themselves.
+    EXPECT_EQ(g.chainTerminalOf("sab/nope").saboteur, "sab/nope");
+}
+
+// ---------------------------------------------------------------------------
+// SCOAP testability
+
+TEST(AnalyzeScoap, ChainScoresAreFiniteAndDeadConeUnobservable)
+{
+    duts::ChainDutTestbench tb;
+    const analyze::AnalysisReport rep = analyze::analyzeTestbench(tb);
+
+    EXPECT_GT(rep.signals, 10u);
+    EXPECT_EQ(rep.cyclicSignals, 0u);
+    EXPECT_GT(rep.observableSignals, 0u);
+    EXPECT_GT(rep.unobservableSignals, 0u) << "the dead branch must show up";
+
+    bool sawChain = false;
+    bool sawDead = false;
+    for (const analyze::NodeScore& s : rep.testability.ranked) {
+        if (s.signal == "chain/n7") {
+            sawChain = true;
+            EXPECT_TRUE(s.observable);
+            EXPECT_LT(s.cc, analyze::kInfCost);
+            EXPECT_GE(s.co, 0);
+        }
+        if (s.signal == "chain/dead_q") {
+            sawDead = true;
+            EXPECT_FALSE(s.observable);
+            EXPECT_LT(s.co, 0) << "no path to a sink: CO must be the n/a marker";
+        }
+    }
+    EXPECT_TRUE(sawChain);
+    EXPECT_TRUE(sawDead);
+
+    // Renderings stay consistent with the structural facts.
+    const std::string table = rep.table(0);
+    EXPECT_NE(table.find("chain/dead_q"), std::string::npos);
+    EXPECT_NE(table.find("n/a"), std::string::npos);
+    const std::string json = rep.json();
+    EXPECT_NE(json.find("\"observable\": false"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// collapseFaults: the partition itself
+
+TEST(AnalyzeCollapse, ChainSweepPartition)
+{
+    duts::ChainDutTestbench tb;
+    const auto sabs = duts::ChainDutTestbench::chainSaboteurs();
+
+    std::vector<fault::FaultSpec> faults;
+    faults.emplace_back(fault::FaultSpec{}); // golden: always its own class
+    for (const std::string& sab : sabs) {
+        faults.emplace_back(fault::DigitalPulseFault{sab, kMicrosecond, 2 * kNanosecond});
+    }
+    const std::size_t stuck0AtC0 = faults.size();
+    faults.emplace_back(
+        fault::StuckAtFault{sabs[0], digital::Logic::Zero, kMicrosecond, 0});
+    const std::size_t stuck1AtC5 = faults.size();
+    faults.emplace_back(
+        fault::StuckAtFault{sabs[5], digital::Logic::One, kMicrosecond, 0});
+    const std::size_t stuckXAtC0 = faults.size();
+    faults.emplace_back(
+        fault::StuckAtFault{sabs[0], digital::Logic::X, kMicrosecond, 0});
+    const std::size_t deadPulse = faults.size();
+    faults.emplace_back(fault::DigitalPulseFault{duts::ChainDutTestbench::deadSaboteur(),
+                                                 kMicrosecond, 2 * kNanosecond});
+    const std::size_t deadStuck = faults.size();
+    faults.emplace_back(fault::StuckAtFault{duts::ChainDutTestbench::deadSaboteur(),
+                                            digital::Logic::One, kMicrosecond, 0});
+    const std::size_t zeroWidth = faults.size();
+    faults.emplace_back(fault::DigitalPulseFault{sabs[0], kMicrosecond, 0});
+
+    const analyze::CollapsePlan plan = analyze::collapseFaults(tb, faults);
+    ASSERT_EQ(plan.repOf.size(), faults.size());
+
+    // Golden stands alone.
+    EXPECT_TRUE(plan.isRepresentative(0));
+
+    // All six same-(time,width) chain pulses share the first one's class.
+    for (std::size_t i = 1; i <= 6; ++i) {
+        EXPECT_EQ(plan.repOf[i], 1u) << "pulse " << i;
+    }
+
+    // stuck-at-0 upstream of the inverter == stuck-at-1 at the terminal.
+    EXPECT_EQ(plan.classKey[stuck0AtC0], plan.classKey[stuck1AtC5]);
+    EXPECT_EQ(plan.repOf[stuck1AtC5], stuck0AtC0);
+
+    // Stuck-at-X does not ride the chain (U/X pass-through differs).
+    EXPECT_TRUE(plan.isRepresentative(stuckXAtC0));
+
+    // Dead-branch faults pool into the one statically-masked class.
+    EXPECT_EQ(plan.classKey[deadPulse], "masked");
+    EXPECT_EQ(plan.classKey[deadStuck], "masked");
+    EXPECT_EQ(plan.repOf[deadStuck], deadPulse);
+
+    // Zero-width pulses stay singletons (delta-glitch ordering not modeled).
+    EXPECT_TRUE(plan.isRepresentative(zeroWidth));
+
+    EXPECT_EQ(plan.classes() + plan.collapsedRuns(), faults.size());
+    EXPECT_GE(plan.collapsedRuns(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// collapsed campaigns == full campaigns, per-fault classification for
+// classification, byte for byte
+
+struct CampaignOutput {
+    std::string journal;
+    std::string detail;
+    std::string summary;
+    std::string json;
+    campaign::CampaignReport report;
+};
+
+CampaignOutput runCampaign(const fault::TestbenchFactory& factory,
+                           const std::vector<fault::FaultSpec>& faults, unsigned workers,
+                           bool collapse, const std::string& tag)
+{
+    const std::string path = ::testing::TempDir() + "gfi_analyze_" + tag + ".jsonl";
+    std::remove(path.c_str());
+    campaign::CampaignRunner runner(factory);
+    runner.setWorkers(workers);
+    runner.setRecordTiming(false); // keep reports byte-comparable across modes
+    runner.setFaultCollapsing(collapse);
+    runner.setJournalPath(path);
+    CampaignOutput out;
+    out.report = runner.run(faults);
+    out.journal = slurp(path);
+    out.detail = out.report.detailTable();
+    out.summary = out.report.summaryTable();
+    out.json = campaign::reportToJson(out.report);
+    std::remove(path.c_str());
+    return out;
+}
+
+void expectCollapsedEqualsFull(const fault::TestbenchFactory& factory,
+                               const std::vector<fault::FaultSpec>& faults,
+                               const std::string& tag, bool expectCollapse)
+{
+    const CampaignOutput full = runCampaign(factory, faults, 1, false, tag + "_full");
+    ASSERT_EQ(full.report.runs.size(), faults.size());
+
+    const CampaignOutput collapsed =
+        runCampaign(factory, faults, 1, true, tag + "_collapsed");
+    ASSERT_EQ(collapsed.report.runs.size(), faults.size());
+
+    // The per-fault classification listing is byte-identical across modes.
+    EXPECT_EQ(collapsed.detail, full.detail) << tag << ": classifications diverge";
+
+    std::size_t expanded = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_EQ(collapsed.report.runs[i].outcome, full.report.runs[i].outcome) << i;
+        if (!collapsed.report.runs[i].diagnostics.collapsedFrom.empty()) {
+            ++expanded;
+        }
+    }
+    if (expectCollapse) {
+        EXPECT_GT(expanded, 0u) << tag << ": nothing collapsed";
+        EXPECT_NE(collapsed.summary.find("collapsed runs"), std::string::npos)
+            << collapsed.summary;
+        EXPECT_NE(collapsed.journal.find("\"collapsed_from\""), std::string::npos);
+        EXPECT_NE(collapsed.json.find("\"collapsed_from\""), std::string::npos);
+    }
+
+    // Within collapsed mode, 8 workers are byte-identical to serial.
+    const CampaignOutput wide = runCampaign(factory, faults, 8, true, tag + "_wide");
+    EXPECT_EQ(wide.journal, collapsed.journal) << tag << ": 8-worker journal differs";
+    EXPECT_EQ(wide.summary, collapsed.summary) << tag << ": 8-worker summary differs";
+    EXPECT_EQ(wide.json, collapsed.json) << tag << ": 8-worker JSON differs";
+}
+
+std::vector<fault::FaultSpec> chainSweep()
+{
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    for (const std::string& sab : duts::ChainDutTestbench::chainSaboteurs()) {
+        faults.emplace_back(fault::DigitalPulseFault{sab, kMicrosecond, 2 * kNanosecond});
+        faults.emplace_back(
+            fault::StuckAtFault{sab, digital::Logic::One, kMicrosecond, 40 * kNanosecond});
+    }
+    faults.emplace_back(fault::DigitalPulseFault{duts::ChainDutTestbench::deadSaboteur(),
+                                                 kMicrosecond, 2 * kNanosecond});
+    faults.emplace_back(fault::StuckAtFault{duts::ChainDutTestbench::deadSaboteur(),
+                                            digital::Logic::Zero, kMicrosecond, 0});
+    return faults;
+}
+
+TEST(AnalyzeCollapse, ChainCampaignByteIdentical)
+{
+    expectCollapsedEqualsFull([] { return std::make_unique<duts::ChainDutTestbench>(); },
+                              chainSweep(), "chain", /*expectCollapse=*/true);
+}
+
+TEST(AnalyzeCollapse, DigitalDutCampaignByteIdentical)
+{
+    const duts::DigitalDutTestbench probe;
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    const SimTime t = 2 * kMicrosecond + 7 * kNanosecond;
+    for (const auto& [name, hook] : probe.sim().digital().instrumentation().all()) {
+        faults.emplace_back(fault::BitFlipFault{name, 0, t});
+        (void)hook;
+    }
+    for (const std::string& sab : probe.digitalSaboteurNames()) {
+        faults.emplace_back(fault::DigitalPulseFault{sab, t, 25 * kNanosecond});
+        faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::One, t, 0});
+    }
+    ASSERT_GE(faults.size(), 6u);
+    // The digital DUT observes its whole cone: nothing may collapse, and the
+    // collapsed mode must degrade to a plain campaign.
+    expectCollapsedEqualsFull([] { return std::make_unique<duts::DigitalDutTestbench>(); },
+                              faults, "dut", /*expectCollapse=*/false);
+}
+
+TEST(AnalyzeCollapse, CpuSystemCampaignByteIdentical)
+{
+    duts::CpuSystemConfig cfg;
+    const duts::CpuSystemTestbench probe(cfg);
+    std::vector<fault::FaultSpec> faults{fault::FaultSpec{}};
+    const auto names = probe.sim().digital().instrumentation().names();
+    std::size_t added = 0;
+    for (const std::string& name : names) {
+        if (added == 8) {
+            break;
+        }
+        faults.emplace_back(
+            fault::BitFlipFault{name, 0, 2 * kMicrosecond + static_cast<SimTime>(added) * 41});
+        ++added;
+    }
+    ASSERT_GE(faults.size(), 5u);
+    expectCollapsedEqualsFull(
+        [cfg] { return std::make_unique<duts::CpuSystemTestbench>(cfg); }, faults, "cpu",
+        /*expectCollapse=*/false);
+}
+
+// Mid-campaign journal resume under collapsing: phase 1 journals the first k
+// runs (representatives AND expansions) and dies; phase 2 restores them and
+// finishes. The converged journal must equal the uninterrupted one.
+TEST(AnalyzeCollapse, JournalResumeConvergesToCollapsedBytes)
+{
+    const auto factory = [] { return std::make_unique<duts::ChainDutTestbench>(); };
+    const std::vector<fault::FaultSpec> faults = chainSweep();
+
+    const CampaignOutput reference = runCampaign(factory, faults, 1, true, "resume_ref");
+
+    const std::string path = ::testing::TempDir() + "gfi_analyze_resume.jsonl";
+    std::remove(path.c_str());
+    const std::size_t k = faults.size() / 2;
+    {
+        campaign::CampaignRunner partial(factory);
+        partial.setRecordTiming(false);
+        partial.setFaultCollapsing(true);
+        partial.setJournalPath(path);
+        (void)partial.run({faults.begin(), faults.begin() + static_cast<long>(k)});
+    }
+    campaign::CampaignRunner resumed(factory);
+    resumed.setRecordTiming(false);
+    resumed.setFaultCollapsing(true);
+    resumed.setJournalPath(path);
+    resumed.setWorkers(2);
+    const campaign::CampaignReport report = resumed.run(faults);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_TRUE(report.runs[i].diagnostics.fromJournal) << i;
+    }
+    EXPECT_EQ(slurp(path), reference.journal);
+    std::remove(path.c_str());
+}
+
+// The GFI_COLLAPSE environment variable enables collapsing; the explicit
+// setter wins in both directions.
+TEST(AnalyzeCollapse, EnvVarEnablesAndExplicitOptOutWins)
+{
+    const std::vector<fault::FaultSpec> faults = chainSweep();
+    const auto factory = [] { return std::make_unique<duts::ChainDutTestbench>(); };
+
+    ::setenv("GFI_COLLAPSE", "1", 1);
+    {
+        campaign::CampaignRunner runner(factory);
+        runner.setRecordTiming(false);
+        const campaign::CampaignReport report = runner.run(faults);
+        std::size_t expanded = 0;
+        for (const campaign::RunResult& r : report.runs) {
+            expanded += r.diagnostics.collapsedFrom.empty() ? 0 : 1;
+        }
+        EXPECT_GT(expanded, 0u);
+    }
+    {
+        campaign::CampaignRunner runner(factory);
+        runner.setRecordTiming(false);
+        runner.setFaultCollapsing(false); // explicit opt-out beats the environment
+        const campaign::CampaignReport report = runner.run(faults);
+        for (const campaign::RunResult& r : report.runs) {
+            EXPECT_TRUE(r.diagnostics.collapsedFrom.empty());
+        }
+    }
+    ::unsetenv("GFI_COLLAPSE");
+}
+
+// ---------------------------------------------------------------------------
+// journal round-trip of the provenance field
+
+TEST(AnalyzeCollapse, JournalRoundTripsCollapsedFrom)
+{
+    campaign::RunResult r;
+    r.fault = fault::DigitalPulseFault{"sab/c1", kMicrosecond, 2 * kNanosecond};
+    r.outcome = campaign::Outcome::TransientError;
+    r.diagnostics.collapsedFrom = "pulse sab/c5 @1us width 2ns";
+    const std::string line = campaign::CampaignJournal::entryToJson(3, r);
+    EXPECT_NE(line.find("\"collapsed_from\""), std::string::npos) << line;
+    const auto parsed = campaign::CampaignJournal::parseLine(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->result.diagnostics.collapsedFrom, r.diagnostics.collapsedFrom);
+
+    // Absent field parses to empty (old journals stay readable).
+    campaign::RunResult plain;
+    plain.outcome = campaign::Outcome::Silent;
+    const auto reparsed =
+        campaign::CampaignJournal::parseLine(campaign::CampaignJournal::entryToJson(0, plain));
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_TRUE(reparsed->result.diagnostics.collapsedFrom.empty());
+}
+
+// ---------------------------------------------------------------------------
+// PRE007: statically-unobservable fault targets
+
+TEST(AnalyzePreflight, Pre007WarnsOnDeadTargets)
+{
+    duts::ChainDutTestbench tb;
+    const std::vector<fault::FaultSpec> faults{
+        fault::DigitalPulseFault{duts::ChainDutTestbench::deadSaboteur(), kMicrosecond,
+                                 2 * kNanosecond},
+        fault::DigitalPulseFault{"sab/c2", kMicrosecond, 2 * kNanosecond},
+    };
+    const lint::Report rep = lint::preflightCampaign(tb, faults);
+    EXPECT_EQ(rep.count(lint::Severity::Error), 0u) << rep.table();
+    EXPECT_GT(rep.count(lint::Severity::Warning), 0u);
+    EXPECT_NE(rep.table().find("PRE007"), std::string::npos) << rep.table();
+    EXPECT_NE(rep.table().find("sab/dead"), std::string::npos) << rep.table();
+    EXPECT_EQ(rep.table().find("sab/c2"), std::string::npos)
+        << "live targets must not warn:\n"
+        << rep.table();
+
+    // Warnings never block the campaign.
+    campaign::CampaignRunner runner([] { return std::make_unique<duts::ChainDutTestbench>(); });
+    runner.setRecordTiming(false);
+    const campaign::CampaignReport report = runner.run(faults);
+    EXPECT_EQ(report.runs.size(), 2u);
+    EXPECT_EQ(report.runs[0].outcome, campaign::Outcome::Silent)
+        << "a dead-branch fault cannot reach the observed outputs";
+}
+
+} // namespace
+} // namespace gfi

@@ -97,6 +97,31 @@ TEST(FaultList, RandomCurrentPulsesRespectRanges)
     }
 }
 
+TEST(FaultList, DedupeDropsRepeatsKeepsOrder)
+{
+    const BitFlipFault flip{"dut/out_reg", 2, kMicrosecond};
+    const DigitalPulseFault pulse{"sab/a", kMicrosecond, kNanosecond};
+    const std::vector<FaultSpec> faults{
+        FaultSpec{},       // golden
+        FaultSpec{flip},   // kept
+        FaultSpec{pulse},  // kept
+        FaultSpec{flip},   // duplicate of [1]
+        FaultSpec{},       // duplicate golden
+        FaultSpec{BitFlipFault{"dut/out_reg", 3, kMicrosecond}}, // distinct bit
+        FaultSpec{pulse},  // duplicate of [2]
+    };
+    const auto unique = dedupe(faults);
+    ASSERT_EQ(unique.size(), 4u);
+    EXPECT_TRUE(std::holds_alternative<std::monostate>(unique[0]));
+    EXPECT_EQ(describe(unique[1]), describe(FaultSpec{flip}));
+    EXPECT_EQ(describe(unique[2]), describe(FaultSpec{pulse}));
+    EXPECT_EQ(std::get<BitFlipFault>(unique[3]).bit, 3);
+
+    // Already-unique lists pass through untouched; empty stays empty.
+    EXPECT_EQ(dedupe(unique).size(), 4u);
+    EXPECT_TRUE(dedupe({}).empty());
+}
+
 TEST(FaultList, DoubleFlipArmsAndRuns)
 {
     campaign::CampaignRunner runner(

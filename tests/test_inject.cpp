@@ -432,6 +432,39 @@ TEST(InjectReport, TableCsvJsonCarryTheCrossSections)
     }
 }
 
+// A class with zero samples has no rate estimate: every rendering must say
+// "n/a" / null instead of the degenerate 0 % [0, 0] Wilson interval.
+TEST(InjectReport, ZeroSampleClassesRenderNotAvailable)
+{
+    EXPECT_EQ(formatRateCell(campaign::wilsonInterval(0, 0)), "n/a");
+    EXPECT_NE(formatRateCell(campaign::wilsonInterval(0, 10)), "n/a")
+        << "zero count over real trials keeps its interval";
+
+    // An empty report: every cross-section cell is a zero-sample cell.
+    SupervisorReport empty;
+    empty.rebuild();
+    const std::string table = empty.table();
+    EXPECT_NE(table.find("n/a"), std::string::npos) << table;
+    EXPECT_EQ(table.find("[0.0, 0.0]"), std::string::npos) << table;
+
+    const std::string json = empty.json();
+    EXPECT_NE(json.find("\"rate\": null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"low\": null"), std::string::npos) << json;
+
+    const std::string csv = empty.csv();
+    if (csv.find('\n') != csv.rfind('\n')) { // any data rows at all
+        EXPECT_NE(csv.find(",n/a,n/a,n/a"), std::string::npos) << csv;
+    }
+
+    // The sweep table shares the formatter: an empty entry renders n/a, not
+    // a fake 0 % certainty.
+    SweepReport sweep;
+    SweepEntry entry;
+    entry.mode = duts::HardeningMode::None;
+    sweep.entries.push_back(entry);
+    EXPECT_NE(sweep.table().find("n/a"), std::string::npos) << sweep.table();
+}
+
 TEST(InjectSweep, HardeningSweepComparesModes)
 {
     duts::CpuSystemConfig base;
