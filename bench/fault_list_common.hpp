@@ -1,0 +1,115 @@
+#pragma once
+// Shared fault-list builders (and the wall-clock helper) for the perf_*
+// engineering benchmarks. Each perf tool measures a different campaign
+// optimisation — static collapsing, fork-from-golden, the bit-parallel batch
+// backend — but they sweep the same canonical fault populations; keeping the
+// sweeps here means a benchmarked population can never drift between tools.
+
+#include "core/fault.hpp"
+#include "duts/chain_dut.hpp"
+#include "duts/digital_dut.hpp"
+#include "pll/pll.hpp"
+#include "util/units.hpp"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gfi::bench {
+
+/// Wall-clock seconds spent inside @p fn.
+inline double seconds(const std::function<void()>& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    return dt.count();
+}
+
+/// The paper's SET parameter sweep restated for the digital chain: every
+/// chain saboteur x injection times x pulse widths, plus permanent and
+/// transient stuck-at-0/1, plus the dead branch (statically masked). This is
+/// perf_collapse's population: the chained zero-delay saboteurs are provably
+/// equivalent injection sites, so it collapses hard.
+inline std::vector<fault::FaultSpec> chainSetSweepFaults()
+{
+    const std::vector<SimTime> injectTimes{600 * kNanosecond, kMicrosecond,
+                                           1400 * kNanosecond};
+    const std::vector<SimTime> widths{kNanosecond, 5 * kNanosecond, 25 * kNanosecond};
+
+    std::vector<fault::FaultSpec> faults;
+    const auto chain = duts::ChainDutTestbench::chainSaboteurs();
+    std::vector<std::string> sabs(chain.begin(), chain.end());
+    sabs.push_back(duts::ChainDutTestbench::deadSaboteur());
+    for (const std::string& sab : sabs) {
+        for (SimTime t : injectTimes) {
+            for (SimTime w : widths) {
+                faults.emplace_back(fault::DigitalPulseFault{sab, t, w});
+            }
+            faults.emplace_back(
+                fault::StuckAtFault{sab, digital::Logic::Zero, t, /*duration=*/0});
+            faults.emplace_back(
+                fault::StuckAtFault{sab, digital::Logic::One, t, 40 * kNanosecond});
+        }
+    }
+    return faults;
+}
+
+/// Figure 8's pulse parameter sets (PA, RT, FT, PW) on the PLL filter input,
+/// each injected at two late instants — the regime the paper sweeps once the
+/// PLL is locked. This is perf_snapshot's population: every run shares the
+/// long lock-in prefix that fork-from-golden amortises.
+inline std::vector<fault::FaultSpec> pllFigure8PulseFaults()
+{
+    struct ParamSet {
+        double pa, rt, ft, pw;
+    };
+    const std::vector<ParamSet> sets{
+        {2e-3, 100e-12, 100e-12, 300e-12},
+        {8e-3, 100e-12, 100e-12, 300e-12},
+        {10e-3, 40e-12, 40e-12, 120e-12},
+        {10e-3, 180e-12, 180e-12, 540e-12},
+    };
+    const std::vector<double> injectTimes{30e-6, 36e-6};
+
+    std::vector<fault::FaultSpec> faults;
+    for (const ParamSet& p : sets) {
+        auto shape = std::make_shared<fault::TrapezoidPulse>(p.pa, p.rt, p.ft, p.pw);
+        for (double t : injectTimes) {
+            faults.emplace_back(fault::CurrentPulseFault{pll::names::kSabFilter, t, shape});
+        }
+    }
+    return faults;
+}
+
+/// A dense batch-eligible SEU population on the DigitalDut: bit flips over
+/// every state hook x bit x injection instant, plus permanent and windowed
+/// stuck-ats on every interconnect saboteur — at least @p minFaults faults,
+/// all word-simulable. This is perf_batch's population: with 63 fault lanes
+/// per word run the batch backend retires it in ceil(n/63) group simulations.
+inline std::vector<fault::FaultSpec> digitalDutBatchFaults(std::size_t minFaults,
+                                                           SimTime duration)
+{
+    const duts::DigitalDutTestbench probe;
+    const auto& hooks = probe.sim().digital().instrumentation().all();
+    const std::vector<std::string> sabs = probe.digitalSaboteurNames();
+
+    std::vector<fault::FaultSpec> faults;
+    for (int round = 0; faults.size() < minFaults && round < 64; ++round) {
+        const SimTime t = duration / 4 + round * (duration / 128) + 7 * kNanosecond;
+        for (const auto& [name, hook] : hooks) {
+            for (int b = 0; b < hook.width && b < 8; ++b) {
+                faults.emplace_back(fault::BitFlipFault{name, b, t});
+            }
+        }
+        for (const std::string& sab : sabs) {
+            faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::One, t, 0});
+            faults.emplace_back(fault::StuckAtFault{sab, digital::Logic::Zero, t,
+                                                    duration / 16});
+        }
+    }
+    return faults;
+}
+
+} // namespace gfi::bench

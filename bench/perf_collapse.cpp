@@ -10,13 +10,13 @@
 // speedup, and whether the two campaigns produced byte-identical per-fault
 // classifications.
 
+#include "fault_list_common.hpp"
 #include "pll_bench_common.hpp"
 
 #include "analyze/collapse.hpp"
 #include "core/report.hpp"
 #include "duts/chain_dut.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 
@@ -24,14 +24,6 @@ using namespace gfi;
 using namespace gfi::bench;
 
 namespace {
-
-double seconds(const std::function<void()>& fn)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-    return dt.count();
-}
 
 struct CampaignResult {
     double wallSeconds = 0;
@@ -62,31 +54,9 @@ CampaignResult runCampaign(const std::vector<fault::FaultSpec>& faults, bool col
 
 int main()
 {
-    // The paper's SET parameter sweep, restated for the digital chain: every
-    // chain saboteur x injection times x pulse widths, plus permanent and
-    // transient stuck-at-0/1, plus the dead branch (statically masked).
-    const std::vector<SimTime> injectTimes{600 * kNanosecond, kMicrosecond,
-                                           1400 * kNanosecond};
-    const std::vector<SimTime> widths{kNanosecond, 5 * kNanosecond, 25 * kNanosecond};
-
-    std::vector<fault::FaultSpec> faults;
-    auto forEachSab = [&](const std::function<void(const std::string&)>& fn) {
-        for (const std::string& sab : duts::ChainDutTestbench::chainSaboteurs()) {
-            fn(sab);
-        }
-        fn(duts::ChainDutTestbench::deadSaboteur());
-    };
-    forEachSab([&](const std::string& sab) {
-        for (SimTime t : injectTimes) {
-            for (SimTime w : widths) {
-                faults.emplace_back(fault::DigitalPulseFault{sab, t, w});
-            }
-            faults.emplace_back(
-                fault::StuckAtFault{sab, digital::Logic::Zero, t, /*duration=*/0});
-            faults.emplace_back(
-                fault::StuckAtFault{sab, digital::Logic::One, t, 40 * kNanosecond});
-        }
-    });
+    // The paper's SET parameter sweep, restated for the digital chain (shared
+    // with the other perf tools via fault_list_common.hpp).
+    const std::vector<fault::FaultSpec> faults = chainSetSweepFaults();
 
     duts::ChainDutConfig probeCfg;
     probeCfg.duration = kDuration;

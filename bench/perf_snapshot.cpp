@@ -9,11 +9,11 @@
 // scratch and forked campaign wall-clock times, the speedup, and whether the
 // two campaigns produced byte-identical reports.
 
+#include "fault_list_common.hpp"
 #include "pll_bench_common.hpp"
 
 #include "core/report.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 
@@ -21,14 +21,6 @@ using namespace gfi;
 using namespace gfi::bench;
 
 namespace {
-
-double seconds(const std::function<void()>& fn)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-    return dt.count();
-}
 
 struct CampaignResult {
     double wallSeconds = 0;
@@ -59,26 +51,9 @@ int main()
     pll::PllConfig cfg;
     cfg.duration = 40 * kMicrosecond;
 
-    // Figure 8's pulse parameter sets (PA, RT, FT, PW), each injected at two
-    // late instants — the regime the paper sweeps once the PLL is locked.
-    struct ParamSet {
-        double pa, rt, ft, pw;
-    };
-    const std::vector<ParamSet> sets{
-        {2e-3, 100e-12, 100e-12, 300e-12},
-        {8e-3, 100e-12, 100e-12, 300e-12},
-        {10e-3, 40e-12, 40e-12, 120e-12},
-        {10e-3, 180e-12, 180e-12, 540e-12},
-    };
-    const std::vector<double> injectTimes{30e-6, 36e-6};
-
-    std::vector<fault::FaultSpec> faults;
-    for (const ParamSet& p : sets) {
-        auto shape = std::make_shared<fault::TrapezoidPulse>(p.pa, p.rt, p.ft, p.pw);
-        for (double t : injectTimes) {
-            faults.emplace_back(fault::CurrentPulseFault{pll::names::kSabFilter, t, shape});
-        }
-    }
+    // Figure 8's pulse parameter sweep (shared with the other perf tools via
+    // fault_list_common.hpp).
+    const std::vector<fault::FaultSpec> faults = pllFigure8PulseFaults();
 
     std::fprintf(stderr, "perf_snapshot: %zu faults, duration %s\n", faults.size(),
                  formatTime(cfg.duration).c_str());

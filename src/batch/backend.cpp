@@ -1,0 +1,322 @@
+#include "batch/backend.hpp"
+
+#include "batch/word_sim.hpp"
+#include "core/executor.hpp"
+#include "trace/compare.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gfi::batch {
+
+namespace {
+
+/// Faults per word simulation: 63 (lane 0 carries the golden circuit).
+constexpr std::size_t kLanesPerGroup = 63;
+
+/// A digital trace collapsed to settled values: one entry per event time
+/// point, carrying the last value recorded at that time. This is exactly what
+/// the word kernel records per lane (glitches within one time point settle
+/// before the flush), so collapsed scalar traces and word traces compare
+/// elementwise.
+struct CollapsedTrace {
+    bool twoValued = true;
+    bool initial = false;
+    std::vector<std::pair<SimTime, bool>> events;
+};
+
+CollapsedTrace collapse(const trace::DigitalTrace& t)
+{
+    CollapsedTrace c;
+    if (t.initial != digital::Logic::Zero && t.initial != digital::Logic::One) {
+        c.twoValued = false;
+        return c;
+    }
+    c.initial = t.initial == digital::Logic::One;
+    for (const auto& [time, value] : t.events) {
+        if (value != digital::Logic::Zero && value != digital::Logic::One) {
+            c.twoValued = false;
+            return c;
+        }
+        const bool bit = value == digital::Logic::One;
+        if (!c.events.empty() && c.events.back().first == time) {
+            c.events.back().second = bit; // same-time glitch: keep the settled value
+        } else {
+            c.events.emplace_back(time, bit);
+        }
+    }
+    return c;
+}
+
+/// Lane @p lane of the word simulation's observed slot @p obs as a
+/// DigitalTrace the production comparator understands.
+trace::DigitalTrace laneTrace(const WordSim& sim, int obs, int lane,
+                              const std::string& name)
+{
+    trace::DigitalTrace t;
+    t.name = name;
+    t.initial = sim.initialBit(obs) ? digital::Logic::One : digital::Logic::Zero;
+    const std::uint64_t laneBit = 1ull << lane;
+    for (const TracePoint& p : sim.points(obs)) {
+        if ((p.changed & laneBit) != 0) {
+            t.events.emplace_back(p.time, (p.value & laneBit) != 0
+                                              ? digital::Logic::One
+                                              : digital::Logic::Zero);
+        }
+    }
+    return t;
+}
+
+/// True when lane 0 of @p sim replayed the golden run exactly: same settled
+/// trace on every observed signal, same wave count, same end-of-run state in
+/// every observed hook. Any mismatch means the word compilation missed a
+/// semantic detail of this particular design, and the whole group must fall
+/// back to the event-driven kernel rather than emit unsound verdicts.
+bool goldenCrossCheck(const WordSim& sim, const WordModel& model, const BatchRequest& req)
+{
+    if (sim.waveCount(0) != req.goldenWaves) {
+        return false;
+    }
+    const std::vector<std::string>& observed = req.golden->observedDigital();
+    for (std::size_t k = 0; k < observed.size(); ++k) {
+        const CollapsedTrace g =
+            collapse(req.golden->recorder().digitalTrace(observed[k]));
+        if (!g.twoValued) {
+            return false;
+        }
+        const trace::DigitalTrace lane0 = laneTrace(sim, static_cast<int>(k), 0, observed[k]);
+        if ((lane0.initial == digital::Logic::One) != g.initial ||
+            lane0.events.size() != g.events.size()) {
+            return false;
+        }
+        for (std::size_t e = 0; e < g.events.size(); ++e) {
+            if (lane0.events[e].first != g.events[e].first ||
+                (lane0.events[e].second == digital::Logic::One) != g.events[e].second) {
+                return false;
+            }
+        }
+    }
+    for (const std::string& name : req.golden->observedState()) {
+        const auto hook = model.hooks.find(name);
+        const auto gold = req.goldenState->find(name);
+        if (hook == model.hooks.end() || gold == req.goldenState->end() ||
+            sim.hookValue(hook->second, 0) != gold->second) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Classifies one faulty lane against the golden reference — a word-level
+/// mirror of CampaignRunner::classify() (digital and state comparisons; the
+/// analog loop is vacuous because eligible designs observe no analog nodes).
+campaign::RunResult classifyLane(const WordSim& sim, const WordModel& model,
+                                 const BatchRequest& req, int lane,
+                                 const fault::FaultSpec& fault)
+{
+    campaign::RunResult result;
+    result.fault = fault;
+
+    const SimTime tEnd = model.duration;
+    bool anyOutputError = false;
+    bool recoveredEverywhere = true;
+
+    const std::vector<std::string>& observed = req.golden->observedDigital();
+    for (std::size_t k = 0; k < observed.size(); ++k) {
+        const trace::DigitalTrace test =
+            laneTrace(sim, static_cast<int>(k), lane, observed[k]);
+        const auto diff =
+            trace::compareDigital(req.golden->recorder().digitalTrace(observed[k]), test,
+                                  tEnd, req.tolerance.digitalJitter);
+        if (!diff.identical()) {
+            anyOutputError = true;
+            result.erredSignals.push_back(observed[k]);
+            if (result.firstOutputError < 0 || diff.firstMismatch < result.firstOutputError) {
+                result.firstOutputError = diff.firstMismatch;
+            }
+            if (diff.lastMismatchEnd > result.lastOutputErrorEnd) {
+                result.lastOutputErrorEnd = diff.lastMismatchEnd;
+            }
+            result.totalOutputErrorTime += diff.totalMismatch;
+            recoveredEverywhere = recoveredEverywhere && diff.matchesAt(tEnd);
+        }
+    }
+
+    for (const std::string& name : req.golden->observedState()) {
+        const auto hook = model.hooks.find(name);
+        const auto gold = req.goldenState->find(name);
+        if (hook != model.hooks.end() && gold != req.goldenState->end() &&
+            sim.hookValue(hook->second, lane) != gold->second) {
+            result.corruptedState.push_back(name);
+        }
+    }
+
+    if (anyOutputError) {
+        result.outcome = recoveredEverywhere ? campaign::Outcome::TransientError
+                                             : campaign::Outcome::Failure;
+    } else if (!result.corruptedState.empty()) {
+        result.outcome = campaign::Outcome::Latent;
+    } else {
+        result.outcome = campaign::Outcome::Silent;
+    }
+
+    result.diagnostics.digitalWaves = sim.waveCount(lane);
+    result.diagnostics.analogSteps = req.goldenAnalogSteps;
+    result.diagnostics.batchLane = lane;
+    return result;
+}
+
+/// One word-simulation group and its per-group outcome.
+struct GroupOutcome {
+    std::map<std::size_t, campaign::RunResult> results;
+    std::vector<std::pair<std::size_t, std::string>> fallbacks;
+    bool ran = false;
+    bool crossCheckFailed = false;
+};
+
+GroupOutcome runGroup(const BatchRequest& req, const std::vector<std::size_t>& members,
+                      const std::vector<char>& need)
+{
+    GroupOutcome out;
+    const auto fallBackAll = [&](const std::string& reason) {
+        out.results.clear();
+        for (const std::size_t idx : members) {
+            out.fallbacks.emplace_back(idx, reason);
+        }
+    };
+
+    const auto started = std::chrono::steady_clock::now();
+    const std::unique_ptr<fault::Testbench> tb = (*req.factory)();
+    CompileResult compiled = compileWordModel(*tb);
+    if (!compiled.model) {
+        // The scout compile succeeded for this factory, so this is a
+        // nondeterministic-design anomaly; fall back rather than guess.
+        fallBackAll("word compilation failed: " + compiled.reason);
+        return out;
+    }
+    const WordModel& model = *compiled.model;
+
+    WordSim sim(model);
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+        const int lane = static_cast<int>(pos) + 1;
+        if (!sim.armFault(lane, (*req.faults)[members[pos]])) {
+            // Eligibility already vetted these; an arm failure leaves the
+            // lane golden, so it must not be classified.
+            out.fallbacks.emplace_back(members[pos], "word kernel could not arm the fault");
+        }
+    }
+    if (!sim.run()) {
+        fallBackAll("delta-cycle runaway in the word kernel");
+        return out;
+    }
+    out.ran = true;
+
+    if (!goldenCrossCheck(sim, model, req)) {
+        out.crossCheckFailed = true;
+        fallBackAll("golden cross-check mismatch (word kernel diverged from "
+                    "the event-driven golden run)");
+        return out;
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+        const std::size_t idx = members[pos];
+        const bool armFailed =
+            std::any_of(out.fallbacks.begin(), out.fallbacks.end(),
+                        [idx](const auto& f) { return f.first == idx; });
+        if (armFailed || need[pos] == 0) {
+            continue; // restored from a journal: no result wanted
+        }
+        campaign::RunResult r =
+            classifyLane(sim, model, req, static_cast<int>(pos) + 1, (*req.faults)[idx]);
+        r.diagnostics.wallSeconds = req.recordTiming ? elapsed : 0.0;
+        out.results.emplace(idx, std::move(r));
+    }
+    return out;
+}
+
+} // namespace
+
+BatchStats runBatchedCampaign(const BatchRequest& req,
+                              std::map<std::size_t, campaign::RunResult>& out)
+{
+    BatchStats stats;
+
+    // Scout pass: compile once to decide design eligibility, then vet each
+    // candidate fault against the compiled netlist.
+    const std::unique_ptr<fault::Testbench> scout = (*req.factory)();
+    CompileResult compiled = compileWordModel(*scout);
+    if (!compiled.model) {
+        stats.designReason = compiled.reason;
+        return stats;
+    }
+    stats.designEligible = true;
+
+    std::vector<std::size_t> eligible;     // candidate positions, ascending
+    for (std::size_t c = 0; c < req.candidates.size(); ++c) {
+        const std::size_t idx = req.candidates[c];
+        const FaultEligibility e = faultEligibility(*compiled.model, (*req.faults)[idx]);
+        if (e.eligible) {
+            eligible.push_back(c);
+        } else {
+            stats.fallbacks.emplace_back(idx, e.reason);
+        }
+    }
+
+    // Fixed-size grouping over the eligible candidates (restoration-blind,
+    // so lanes are resume-invariant); a group only runs when at least one
+    // member still needs a result.
+    struct Group {
+        std::vector<std::size_t> members; ///< fault-list indices, lane = pos+1
+        std::vector<char> need;           ///< per member: emit a result
+        bool needed = false;
+    };
+    std::vector<Group> groups;
+    for (std::size_t at = 0; at < eligible.size(); at += kLanesPerGroup) {
+        Group g;
+        const std::size_t end = std::min(at + kLanesPerGroup, eligible.size());
+        for (std::size_t e = at; e < end; ++e) {
+            const std::size_t c = eligible[e];
+            const bool need = req.needSim.empty() || req.needSim[c] != 0;
+            g.members.push_back(req.candidates[c]);
+            g.need.push_back(need ? 1 : 0);
+            g.needed = g.needed || need;
+        }
+        groups.push_back(std::move(g));
+    }
+
+    std::vector<const Group*> toRun;
+    for (const Group& g : groups) {
+        if (g.needed) {
+            toRun.push_back(&g);
+        }
+    }
+
+    // Groups are independent word simulations; commits merge in group order
+    // so stats and the result map are deterministic at any worker width.
+    core::Executor exec(req.workers);
+    exec.forEachOrdered(toRun.size(), [&](std::size_t g) -> core::CommitFn {
+        GroupOutcome outcome = runGroup(req, toRun[g]->members, toRun[g]->need);
+        return [&stats, &out, outcome = std::move(outcome)]() mutable {
+            if (outcome.ran) {
+                ++stats.groups;
+            }
+            if (outcome.crossCheckFailed) {
+                ++stats.crossCheckFailures;
+            }
+            stats.batched += outcome.results.size();
+            for (auto& [idx, r] : outcome.results) {
+                out.emplace(idx, std::move(r));
+            }
+            stats.fallbacks.insert(stats.fallbacks.end(), outcome.fallbacks.begin(),
+                                   outcome.fallbacks.end());
+        };
+    });
+
+    std::sort(stats.fallbacks.begin(), stats.fallbacks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return stats;
+}
+
+} // namespace gfi::batch

@@ -1,0 +1,74 @@
+#pragma once
+// Bit-parallel campaign backend.
+//
+// runBatchedCampaign() takes the slice of a campaign's fault list that still
+// needs simulating, packs eligible faults into 64-lane word-simulation groups
+// (lane 0 golden, lanes 1..63 one fault each) and classifies every lane by
+// its divergence against the golden reference — producing RunResults that are
+// byte-identical to what the event-driven kernel would have produced for the
+// same faults. Ineligible faults (and whole designs the word compiler cannot
+// lift) are simply absent from the output map; the campaign runner simulates
+// those through the ordinary contained path.
+//
+// Lane assignment is deliberately resume-invariant: a fault's lane depends
+// only on its position among the batch-eligible candidates of the fault list,
+// never on which entries happen to be restored from a journal, so the
+// batch_lane provenance recorded in journals is stable across interrupted and
+// resumed campaigns.
+
+#include "batch/word_model.hpp"
+#include "core/campaign.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfi::batch {
+
+/// What the campaign runner hands the batch backend.
+struct BatchRequest {
+    const fault::TestbenchFactory* factory = nullptr; ///< fresh testbench per group
+    const fault::Testbench* golden = nullptr;         ///< finished golden run
+    const std::map<std::string, std::uint64_t>* goldenState = nullptr;
+    std::uint64_t goldenWaves = 0;       ///< golden run's delta-cycle count
+    std::uint64_t goldenAnalogSteps = 0; ///< golden run's analog step attempts
+    const std::vector<fault::FaultSpec>* faults = nullptr;
+
+    /// Fault-list indices to consider, ascending: collapse representatives
+    /// when a plan is active, else every non-golden fault — restoration
+    /// status excluded on purpose (lane stability across resume).
+    std::vector<std::size_t> candidates;
+
+    /// Parallel to candidates: false when the index is restored from a
+    /// journal and needs no result. Groups whose members are all restored
+    /// are skipped entirely.
+    std::vector<char> needSim;
+
+    campaign::Tolerance tolerance;
+    unsigned workers = 0;     ///< Executor worker count (0 = auto)
+    bool recordTiming = true; ///< false zeroes diagnostics.wallSeconds
+};
+
+/// What happened, for the campaign's log line and telemetry.
+struct BatchStats {
+    bool designEligible = false;
+    std::string designReason; ///< why not, when ineligible
+    std::size_t batched = 0;  ///< results produced by the word kernel
+    std::size_t groups = 0;   ///< word simulations executed
+    /// Faults that fell back to the event-driven kernel: (index, reason).
+    std::vector<std::pair<std::size_t, std::string>> fallbacks;
+    /// Groups whose lane-0 replay failed the golden cross-check (all their
+    /// members fell back). Always 0 for in-library designs; a nonzero count
+    /// means a design construct escaped the compiler's eligibility net.
+    std::size_t crossCheckFailures = 0;
+};
+
+/// Runs the word-level batches and fills @p out (fault-list index ->
+/// classified result) for every candidate that was word-simulated. Indices
+/// absent from @p out must be simulated by the event-driven kernel.
+BatchStats runBatchedCampaign(const BatchRequest& req,
+                              std::map<std::size_t, campaign::RunResult>& out);
+
+} // namespace gfi::batch

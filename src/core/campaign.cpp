@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include "analyze/collapse.hpp"
+#include "batch/backend.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "lint/lint.hpp"
@@ -272,6 +273,15 @@ bool CampaignRunner::faultCollapsingEnabled() const
         return collapseMode_ > 0;
     }
     const char* env = std::getenv("GFI_COLLAPSE");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+bool CampaignRunner::batchBackendEnabled() const
+{
+    if (batchMode_ != 0) {
+        return batchMode_ > 0;
+    }
+    const char* env = std::getenv("GFI_BATCH");
     return env != nullptr && *env != '\0' && *env != '0';
 }
 
@@ -657,6 +667,23 @@ CampaignReport CampaignRunner::run(
         }
     }
 
+    // Bit-parallel backend availability. Per-run watchdog budgets cannot be
+    // metered inside a shared 64-lane word run, and fork-from-golden restores
+    // event-kernel snapshots the word kernel cannot consume — either feature
+    // falls the whole campaign back to the event-driven kernel, loudly.
+    bool batching = batchBackendEnabled();
+    if (batching && (watchdogConfig_.wallClockSeconds > 0.0 ||
+                     watchdogConfig_.digitalWaves != 0 || watchdogConfig_.analogSteps != 0)) {
+        std::fprintf(stderr, "gfi: batch: disabled (per-run watchdog budgets require "
+                             "the event-driven kernel)\n");
+        batching = false;
+    }
+    if (batching && effectiveCheckpointCadence() > 0) {
+        std::fprintf(stderr, "gfi: batch: disabled (fork-from-golden uses event-kernel "
+                             "checkpoints)\n");
+        batching = false;
+    }
+
     // Resume: index -> journal entry of an earlier (possibly killed) campaign.
     std::map<std::size_t, JournalEntry> done;
     std::unique_ptr<CampaignJournal> journal;
@@ -705,6 +732,11 @@ CampaignReport CampaignRunner::run(
                 // must not print a "collapsed runs" footer.
                 r.diagnostics.collapsedFrom.clear();
             }
+            if (!batching) {
+                // And for batch provenance: a journal written by a batched
+                // campaign must restore cleanly into an event-driven one.
+                r.diagnostics.batchLane = 0;
+            }
             restored.emplace(i, std::move(r));
         }
     }
@@ -733,6 +765,62 @@ CampaignReport CampaignRunner::run(
     report.journalSkippedLines = journalSkipped;
     report.runs.resize(faults.size());
 
+    // Bit-parallel pre-phase: pack the batch-eligible faults that still need
+    // simulating into 64-lane word runs. Whatever the word kernel classifies
+    // lands in `batched`; everything else (ineligible faults, ineligible
+    // designs, cross-check fallbacks) flows through the ordinary contained
+    // path below. Lane assignment ignores restoration status, so journals of
+    // interrupted batched campaigns resume with identical batch_lane keys.
+    std::map<std::size_t, RunResult> batched;
+    if (batching) {
+        obs::Span span(tel, "batch", "campaign");
+        batch::BatchRequest breq;
+        breq.factory = &factory_;
+        breq.golden = golden_.get();
+        breq.goldenState = &goldenState_;
+        breq.goldenWaves = golden_->sim().digital().scheduler().deltaCycles();
+        if (golden_->sim().elaborated()) {
+            const auto& stats = golden_->sim().solver().stats();
+            breq.goldenAnalogSteps = stats.acceptedSteps + stats.rejectedSteps;
+        }
+        breq.faults = &faults;
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (fault::isGolden(faults[i]) || (plan && !plan->isRepresentative(i))) {
+                continue;
+            }
+            breq.candidates.push_back(i);
+            breq.needSim.push_back(restored.count(i) == 0 ? 1 : 0);
+        }
+        breq.tolerance = tolerance_;
+        breq.workers = workers_;
+        breq.recordTiming = recordTiming_;
+        const batch::BatchStats bstats = batch::runBatchedCampaign(breq, batched);
+        if (!bstats.designEligible) {
+            std::fprintf(stderr, "gfi: batch: event-driven fallback (%s)\n",
+                         bstats.designReason.c_str());
+        } else if (bstats.groups > 0 || !bstats.fallbacks.empty()) {
+            std::fprintf(stderr,
+                         "gfi: batch: %zu run%s word-simulated in %zu group%s, %zu "
+                         "event-driven fallback%s\n",
+                         bstats.batched, bstats.batched == 1 ? "" : "s", bstats.groups,
+                         bstats.groups == 1 ? "" : "s", bstats.fallbacks.size(),
+                         bstats.fallbacks.size() == 1 ? "" : "s");
+        }
+        if (bstats.crossCheckFailures > 0) {
+            std::fprintf(stderr,
+                         "gfi: batch: %zu group%s failed the golden cross-check and "
+                         "re-ran event-driven\n",
+                         bstats.crossCheckFailures,
+                         bstats.crossCheckFailures == 1 ? "" : "s");
+        }
+        if (tel != nullptr && bstats.batched > 0) {
+            tel->metrics()
+                .counter("gfi_runs_batched_total",
+                         "Campaign runs classified by the bit-parallel word kernel")
+                .inc(bstats.batched);
+        }
+    }
+
     // Worker phase: simulations run concurrently, commits (journal append,
     // live counters, progress callback, report slot) run serialized in
     // fault-list order — byte-identical observable output at any width.
@@ -747,6 +835,9 @@ CampaignReport CampaignRunner::run(
                 // Already classified by a previous invocation: restore only.
                 r = it->second;
                 fromJournal = true;
+            } else if (const auto bt = batched.find(i); bt != batched.end()) {
+                // Classified by the bit-parallel pre-phase: commit as-is.
+                r = bt->second;
             } else if (plan && !plan->isRepresentative(i)) {
                 // Collapse-class member: its representative (an earlier
                 // index) commits first, so the verdict is expanded inside

@@ -94,6 +94,8 @@ struct RunDiagnostics {
                                     ///< (0 = simulated from scratch)
     SimTime resimulatedTime = 0;    ///< simulated time actually re-run after the
                                     ///< fork (0 when from scratch)
+    int batchLane = 0;              ///< word-simulation lane (1..63) this verdict
+                                    ///< came from; 0 = event-driven kernel
 
     /// The run's own kernel-counter consumption (final reading minus the
     /// post-restore baseline): how many events/steps/crossings THIS run cost,
@@ -276,6 +278,25 @@ public:
     void setFaultCollapsing(bool on) noexcept { collapseMode_ = on ? 1 : -1; }
     [[nodiscard]] bool faultCollapsingEnabled() const;
 
+    /// Bit-parallel batch backend: when enabled, run() packs batch-eligible
+    /// digital faults into 64-lane word simulations (lane 0 golden, lanes
+    /// 1..63 one fault each — src/batch) and classifies each lane by its
+    /// divergence against the golden reference; only faults the word kernel
+    /// cannot replay bit-exactly (timing-dependent SET pulses, analog/AMS
+    /// faults, components outside the word-compiled library) run through the
+    /// event-driven kernel. Classifications, journals and reports are
+    /// byte-identical to an event-driven campaign at any worker width; the
+    /// only journal difference is the "batch_lane" provenance key on
+    /// word-simulated lines. Composes with fault collapsing (representatives
+    /// batch, members expand), journal resume and the worker pool. Per-run
+    /// watchdog budgets disable batching for the campaign (a shared word run
+    /// cannot meter per-fault budgets), as does fork-from-golden cadence
+    /// (checkpointed prefixes are event-kernel snapshots). By default
+    /// (unset) the GFI_BATCH environment variable decides ("1"/non-empty =
+    /// on); setBatchBackend beats the environment either way.
+    void setBatchBackend(bool on) noexcept { batchMode_ = on ? 1 : -1; }
+    [[nodiscard]] bool batchBackendEnabled() const;
+
     /// When disabled, diagnostics.wallSeconds, checkpointTime and
     /// resimulatedTime are recorded as 0 so journals and reports are
     /// byte-stable across runs, worker counts and fork-from-golden modes
@@ -382,6 +403,7 @@ private:
     bool goldenRan_ = false;
     SimTime checkpointCadence_ = 0; ///< 0 = GFI_CHECKPOINT env, negative = off
     int collapseMode_ = 0;          ///< 0 = GFI_COLLAPSE env, 1 = on, -1 = off
+    int batchMode_ = 0;             ///< 0 = GFI_BATCH env, 1 = on, -1 = off
     std::unique_ptr<fault::Testbench> golden_;
     std::map<std::string, std::uint64_t> goldenState_;
     snapshot::CheckpointStore checkpoints_; ///< golden snapshots, fork mode only

@@ -169,6 +169,11 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r,
     if (!r.diagnostics.collapsedFrom.empty()) {
         json += ", \"collapsed_from\": " + quoted(r.diagnostics.collapsedFrom);
     }
+    // Batch provenance — only on word-simulated runs, so event-driven lines
+    // remain byte-identical to pre-batch journals.
+    if (r.diagnostics.batchLane > 0) {
+        json += ", \"batch_lane\": " + std::to_string(r.diagnostics.batchLane);
+    }
     // Appended after every historical key so lines without probes remain
     // byte-identical to pre-observability journals.
     if (embedProbes && r.diagnostics.probes.valid) {
@@ -260,6 +265,9 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     (void)getStringArray(line, "erred_signals", e.result.erredSignals);
     (void)getStringArray(line, "corrupted_state", e.result.corruptedState);
     (void)getString(line, "collapsed_from", e.result.diagnostics.collapsedFrom);
+    if (getInt(line, "batch_lane", ll)) {
+        e.result.diagnostics.batchLane = static_cast<int>(ll);
+    }
 
     // Optional probes object (lines written with a telemetry sink attached).
     // Keys are globally unique within a line, so the flat key scan works on

@@ -37,7 +37,7 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                   "total_output_error_fs", "max_analog_deviation_v",
                   "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
                   "attempts", "wall_s", "checkpoint_fs", "resim_fs", "from_journal",
-                  "error", "collapsed_from"});
+                  "error", "collapsed_from", "batch_lane"});
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -57,7 +57,10 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
                       std::to_string(r.diagnostics.checkpointTime),
                       std::to_string(r.diagnostics.resimulatedTime),
                       r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error,
-                      r.diagnostics.collapsedFrom});
+                      r.diagnostics.collapsedFrom,
+                      r.diagnostics.batchLane > 0
+                          ? std::to_string(r.diagnostics.batchLane)
+                          : ""});
     }
 }
 
@@ -108,6 +111,11 @@ std::string reportToJson(const CampaignReport& report)
         if (!r.diagnostics.collapsedFrom.empty()) {
             json += ", \"collapsed_from\": \"" + jsonEscape(r.diagnostics.collapsedFrom) +
                     "\"";
+        }
+        // Word-simulated runs name their fault lane (>= 1); event-driven
+        // runs omit the key so pre-batch reports keep their exact shape.
+        if (r.diagnostics.batchLane > 0) {
+            json += ", \"batch_lane\": " + std::to_string(r.diagnostics.batchLane);
         }
         json += "}";
         json += i + 1 < report.runs.size() ? ",\n" : "\n";

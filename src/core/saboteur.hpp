@@ -75,6 +75,11 @@ public:
 
     [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const digital::LogicSignal* input() const noexcept { return in_; }
+    [[nodiscard]] const digital::LogicSignal* output() const noexcept { return out_; }
+    [[nodiscard]] SimTime delay() const noexcept { return delay_; }
+
     /// Golden runs always capture the saboteur Transparent (faults arm only
     /// after restore), but the mode is serialized anyway for completeness.
     void captureState(snapshot::Writer& w) const override

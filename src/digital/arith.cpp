@@ -27,7 +27,8 @@ std::vector<SignalBase*> busSensitivity(std::initializer_list<const Bus*> buses,
 
 Adder::Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus& sum,
              LogicSignal* cin, LogicSignal* cout, SimTime delay)
-    : Component(std::move(name))
+    : Component(std::move(name)), a_(a), b_(b), sum_(sum), cin_(cin), cout_(cout),
+      delay_(delay)
 {
     if (a.width() != b.width() || a.width() != sum.width()) {
         throw std::invalid_argument("Adder '" + this->name() + "': width mismatch");
@@ -68,7 +69,7 @@ Adder::Adder(Circuit& c, std::string name, const Bus& a, const Bus& b, const Bus
 
 EqComparator::EqComparator(Circuit& c, std::string name, const Bus& a, const Bus& b,
                            LogicSignal& eq, SimTime delay)
-    : Component(std::move(name))
+    : Component(std::move(name)), a_(a), b_(b), eq_(&eq), delay_(delay)
 {
     if (a.width() != b.width()) {
         throw std::invalid_argument("EqComparator '" + this->name() + "': width mismatch");

@@ -13,6 +13,22 @@ public:
           SimTime delay = 300 * kPicosecond);
 
     [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
+
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const Bus& a() const noexcept { return a_; }
+    [[nodiscard]] const Bus& b() const noexcept { return b_; }
+    [[nodiscard]] const Bus& sum() const noexcept { return sum_; }
+    [[nodiscard]] const LogicSignal* cin() const noexcept { return cin_; }
+    [[nodiscard]] const LogicSignal* cout() const noexcept { return cout_; }
+    [[nodiscard]] SimTime delay() const noexcept { return delay_; }
+
+private:
+    Bus a_;
+    Bus b_;
+    Bus sum_;
+    LogicSignal* cin_;
+    LogicSignal* cout_;
+    SimTime delay_;
 };
 
 /// Combinational equality comparator: eq = (a == b), X if any input unknown.
@@ -22,6 +38,18 @@ public:
                  SimTime delay = 200 * kPicosecond);
 
     [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
+
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const Bus& a() const noexcept { return a_; }
+    [[nodiscard]] const Bus& b() const noexcept { return b_; }
+    [[nodiscard]] const LogicSignal* eq() const noexcept { return eq_; }
+    [[nodiscard]] SimTime delay() const noexcept { return delay_; }
+
+private:
+    Bus a_;
+    Bus b_;
+    LogicSignal* eq_;
+    SimTime delay_;
 };
 
 /// Two-to-one bus multiplexer: y = sel ? b : a.

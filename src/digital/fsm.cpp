@@ -8,8 +8,8 @@ TableFsm::TableFsm(Circuit& c, std::string name, LogicSignal& clk, LogicSignal* 
                    const Bus& in, const Bus& out, int numStates, int resetState,
                    TransitionFn nextState, OutputFn output, SimTime clkToQ)
     : Component(std::move(name)), state_(resetState), numStates_(numStates),
-      nextState_(std::move(nextState)), output_(std::move(output)), in_(in), out_(out),
-      clkToQ_(clkToQ)
+      resetState_(resetState), clk_(&clk), rstn_(rstn), nextState_(std::move(nextState)),
+      output_(std::move(output)), in_(in), out_(out), clkToQ_(clkToQ)
 {
     if (numStates < 2 || resetState < 0 || resetState >= numStates) {
         throw std::invalid_argument("TableFsm '" + this->name() + "': bad state config");

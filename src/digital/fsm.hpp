@@ -51,6 +51,17 @@ public:
     /// Number of state bits (hook width).
     [[nodiscard]] int stateBits() const noexcept { return stateBits_; }
 
+    /// Structural ports and tables (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] const Bus& inBus() const noexcept { return in_; }
+    [[nodiscard]] const Bus& outBus() const noexcept { return out_; }
+    [[nodiscard]] int numStates() const noexcept { return numStates_; }
+    [[nodiscard]] int resetState() const noexcept { return resetState_; }
+    [[nodiscard]] const TransitionFn& transitionFn() const noexcept { return nextState_; }
+    [[nodiscard]] const OutputFn& outputFn() const noexcept { return output_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override
     {
         w.u64(static_cast<std::uint64_t>(state_));
@@ -70,9 +81,12 @@ private:
 
     int state_;
     int numStates_;
+    int resetState_;
     int stateBits_;
     int forcedNext_ = 0;
     bool hasForcedNext_ = false;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
     TransitionFn nextState_;
     OutputFn output_;
     Bus in_;

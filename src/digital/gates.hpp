@@ -30,6 +30,12 @@ public:
     /// Pure combinational: outputs re-derive from restored inputs.
     [[nodiscard]] bool snapshotExempt() const noexcept override { return true; }
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] GateKind kind() const noexcept { return kind_; }
+    [[nodiscard]] const std::vector<LogicSignal*>& inputs() const noexcept { return inputs_; }
+    [[nodiscard]] const LogicSignal* output() const noexcept { return output_; }
+    [[nodiscard]] SimTime delay() const noexcept { return delay_; }
+
 private:
     GateKind kind_;
     std::vector<LogicSignal*> inputs_;

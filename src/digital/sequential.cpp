@@ -23,7 +23,8 @@ bool resetActive(const LogicSignal* rstn)
 
 DFlipFlop::DFlipFlop(Circuit& c, std::string name, LogicSignal& clk, LogicSignal& d,
                      LogicSignal& q, LogicSignal* rstn, LogicSignal* qn, SimTime clkToQ)
-    : Component(std::move(name)), q_(&q), qn_(qn), clkToQ_(clkToQ)
+    : Component(std::move(name)), clk_(&clk), d_(&d), rstn_(rstn), q_(&q), qn_(qn),
+      clkToQ_(clkToQ)
 {
     std::vector<SignalBase*> sens{&clk};
     if (rstn != nullptr) {
@@ -84,7 +85,8 @@ void DFlipFlop::restoreState(snapshot::Reader& r)
 
 Register::Register(Circuit& c, std::string name, LogicSignal& clk, const Bus& d, const Bus& q,
                    LogicSignal* en, LogicSignal* rstn, std::uint64_t resetValue, SimTime clkToQ)
-    : Component(std::move(name)), mask_(widthMask(q.width())), q_(q), clkToQ_(clkToQ)
+    : Component(std::move(name)), mask_(widthMask(q.width())), clk_(&clk), en_(en),
+      rstn_(rstn), resetValue_(resetValue), d_(d), q_(q), clkToQ_(clkToQ)
 {
     if (d.width() != q.width()) {
         throw std::invalid_argument("Register '" + this->name() + "': d/q width mismatch");
@@ -148,7 +150,8 @@ Counter::Counter(Circuit& c, std::string name, LogicSignal& clk, const Bus& q,
                  LogicSignal* rstn, LogicSignal* en, std::uint64_t modulo, LogicSignal* tc,
                  SimTime clkToQ)
     : Component(std::move(name)), modulo_(modulo == 0 ? (widthMask(q.width()) + 1) : modulo),
-      mask_(widthMask(q.width())), q_(q), tc_(tc), clkToQ_(clkToQ)
+      mask_(widthMask(q.width())), clk_(&clk), rstn_(rstn), en_(en), q_(q), tc_(tc),
+      clkToQ_(clkToQ)
 {
     if (q.width() >= 64 && modulo == 0) {
         throw std::invalid_argument("Counter '" + this->name() + "': width must be < 64");
@@ -294,7 +297,8 @@ void ClockDivider::restoreState(snapshot::Reader& r)
 ShiftRegister::ShiftRegister(Circuit& c, std::string name, LogicSignal& clk,
                              LogicSignal& serialIn, const Bus& taps, LogicSignal* rstn,
                              SimTime clkToQ)
-    : Component(std::move(name)), width_(taps.width()), taps_(taps), clkToQ_(clkToQ)
+    : Component(std::move(name)), width_(taps.width()), clk_(&clk), serialIn_(&serialIn),
+      rstn_(rstn), taps_(taps), clkToQ_(clkToQ)
 {
     std::vector<SignalBase*> sens{&clk};
     if (rstn != nullptr) {
@@ -351,7 +355,8 @@ void ShiftRegister::restoreState(snapshot::Reader& r)
 Lfsr::Lfsr(Circuit& c, std::string name, LogicSignal& clk, const Bus& q, std::uint64_t taps,
            std::uint64_t seed, LogicSignal* rstn, SimTime clkToQ)
     : Component(std::move(name)), state_(seed), taps_(taps), seed_(seed),
-      mask_(widthMask(q.width())), width_(q.width()), q_(q), clkToQ_(clkToQ)
+      mask_(widthMask(q.width())), width_(q.width()), clk_(&clk), rstn_(rstn), q_(q),
+      clkToQ_(clkToQ)
 {
     state_ &= mask_;
     std::vector<SignalBase*> sens{&clk};

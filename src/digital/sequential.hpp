@@ -30,6 +30,14 @@ public:
     /// Overwrites the stored bit and propagates to the outputs (SEU injection).
     void setState(Logic v);
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const LogicSignal* d() const noexcept { return d_; }
+    [[nodiscard]] const LogicSignal* q() const noexcept { return q_; }
+    [[nodiscard]] const LogicSignal* qn() const noexcept { return qn_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override;
     void restoreState(snapshot::Reader& r) override;
 
@@ -37,6 +45,9 @@ private:
     void propagate();
 
     Logic state_ = Logic::U;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* d_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
     LogicSignal* q_;
     LogicSignal* qn_;
     SimTime clkToQ_;
@@ -57,6 +68,15 @@ public:
     /// Overwrites the stored value and propagates (SEU injection).
     void setState(std::uint64_t v);
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const Bus& d() const noexcept { return d_; }
+    [[nodiscard]] const Bus& q() const noexcept { return q_; }
+    [[nodiscard]] const LogicSignal* en() const noexcept { return en_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] std::uint64_t resetValue() const noexcept { return resetValue_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override;
     void restoreState(snapshot::Reader& r) override;
 
@@ -65,6 +85,11 @@ private:
 
     std::uint64_t state_ = 0;
     std::uint64_t mask_;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* en_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
+    std::uint64_t resetValue_ = 0;
+    Bus d_;
     Bus q_;
     SimTime clkToQ_;
 };
@@ -85,6 +110,15 @@ public:
     /// Overwrites the count and propagates (SEU injection).
     void setCount(std::uint64_t v);
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const Bus& q() const noexcept { return q_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] const LogicSignal* en() const noexcept { return en_; }
+    [[nodiscard]] const LogicSignal* tc() const noexcept { return tc_; }
+    [[nodiscard]] std::uint64_t modulo() const noexcept { return modulo_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override;
     void restoreState(snapshot::Reader& r) override;
 
@@ -94,6 +128,9 @@ private:
     std::uint64_t count_ = 0;
     std::uint64_t modulo_;
     std::uint64_t mask_;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
+    LogicSignal* en_ = nullptr;
     Bus q_;
     LogicSignal* tc_;
     SimTime clkToQ_;
@@ -137,6 +174,13 @@ public:
     /// Overwrites the contents and propagates (SEU injection).
     void setState(std::uint64_t v);
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const LogicSignal* serialIn() const noexcept { return serialIn_; }
+    [[nodiscard]] const Bus& taps() const noexcept { return taps_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override;
     void restoreState(snapshot::Reader& r) override;
 
@@ -145,6 +189,9 @@ private:
 
     std::uint64_t state_ = 0;
     int width_;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* serialIn_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
     Bus taps_;
     SimTime clkToQ_;
 };
@@ -163,6 +210,14 @@ public:
     /// Overwrites the state and propagates (SEU injection).
     void setState(std::uint64_t v);
 
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] const Bus& q() const noexcept { return q_; }
+    [[nodiscard]] const LogicSignal* rstn() const noexcept { return rstn_; }
+    [[nodiscard]] std::uint64_t taps() const noexcept { return taps_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+    [[nodiscard]] SimTime clkToQ() const noexcept { return clkToQ_; }
+
     void captureState(snapshot::Writer& w) const override;
     void restoreState(snapshot::Reader& r) override;
 
@@ -174,6 +229,8 @@ private:
     std::uint64_t seed_;
     std::uint64_t mask_;
     int width_;
+    LogicSignal* clk_ = nullptr;
+    LogicSignal* rstn_ = nullptr;
     Bus q_;
     SimTime clkToQ_;
 };
@@ -189,6 +246,11 @@ public:
 
     /// The configured period.
     [[nodiscard]] SimTime period() const noexcept { return period_; }
+
+    /// Structural ports (word-level netlist compilation).
+    [[nodiscard]] const LogicSignal* clk() const noexcept { return clk_; }
+    [[nodiscard]] SimTime highTime() const noexcept { return highTime_; }
+    [[nodiscard]] SimTime nextRise() const noexcept { return nextRise_; }
 
     /// Captures the pending edge times (next rise, pending fall); restore
     /// re-arms the scheduled actions from them, since scheduler snapshots

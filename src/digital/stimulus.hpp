@@ -29,6 +29,17 @@ public:
         arm(i);
     }
 
+    /// One scheduled one-shot stimulus event.
+    struct Item {
+        SimTime time;
+        LogicSignal* signal;
+        Logic value;
+        bool fired;
+    };
+
+    /// Registered stimuli in registration order (word-level netlist compilation).
+    [[nodiscard]] const std::vector<Item>& items() const noexcept { return items_; }
+
     void captureState(snapshot::Writer& w) const override
     {
         w.u64(items_.size());
@@ -54,13 +65,6 @@ public:
     }
 
 private:
-    struct Item {
-        SimTime time;
-        LogicSignal* signal;
-        Logic value;
-        bool fired;
-    };
-
     void arm(std::size_t i)
     {
         sched_->scheduleAction(items_[i].time, [this, i] {

@@ -1,6 +1,7 @@
 #include "lint/preflight.hpp"
 
 #include "analyze/graph.hpp"
+#include "batch/word_model.hpp"
 #include "core/testbench.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/units.hpp"
@@ -190,6 +191,36 @@ Report preflightCampaign(const Testbench& tb, const std::vector<FaultSpec>& faul
                        "output, watched signal or compared state",
                        "the run will classify Silent; observe the cone or drop "
                        "the fault (see analyze::SignalGraph)");
+        }
+    }
+    // PRE008: batch-backend eligibility. Only scored when the design itself
+    // word-compiles AND the list mixes batch-eligible with ineligible faults:
+    // a design the word kernel cannot lift, or a list that is uniformly
+    // event-driven, gains nothing from one warning per fault.
+    const batch::CompileResult compiled = batch::compileWordModel(tb);
+    if (compiled.model) {
+        bool anyEligible = false;
+        std::vector<std::pair<std::size_t, std::string>> ineligible;
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (fault::isGolden(faults[i]) ||
+                preflightFault(tb, faults[i], i).count(Severity::Error) != 0) {
+                continue;
+            }
+            const batch::FaultEligibility e =
+                batch::faultEligibility(*compiled.model, faults[i]);
+            if (e.eligible) {
+                anyEligible = true;
+            } else {
+                ineligible.emplace_back(i, e.reason);
+            }
+        }
+        if (anyEligible) {
+            for (const auto& [i, reason] : ineligible) {
+                report.add("PRE008", Severity::Warning, fault::describe(faults[i]),
+                           "fault is not batch-eligible: " + reason,
+                           "it falls back to the event-driven kernel when the "
+                           "bit-parallel backend is on (see DESIGN.md §13)");
+            }
         }
     }
     return report;

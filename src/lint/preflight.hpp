@@ -19,6 +19,11 @@
 //                    path from the injection site to any observed output,
 //                    watched signal or compared state hook (the static
 //                    fault-space analyzer proves the run classifies Silent).
+//   PRE008 (warning) fault is not batch-eligible on a word-compilable design
+//                    (timing-dependent SET pulse, analog fault, target outside
+//                    the compiled netlist): with the bit-parallel backend on
+//                    it falls back to the event-driven kernel. Scored only
+//                    when the list also contains batch-eligible faults.
 
 #include "core/fault.hpp"
 #include "lint/diagnostic.hpp"

@@ -287,6 +287,50 @@ TEST(Preflight, DuplicateFaultIsPre005Warning)
     EXPECT_EQ(rep.count(lint::Severity::Error), 0u);
 }
 
+TEST(Preflight, BatchIneligibleFaultInMixedListIsPre008Warning)
+{
+    duts::DigitalDutTestbench tb;
+    const std::vector<fault::FaultSpec> faults{
+        fault::StuckAtFault{"sab/enable", digital::Logic::One, kMicrosecond, 0},
+        fault::DigitalPulseFault{"sab/data", kMicrosecond, 5 * kNanosecond},
+    };
+    const lint::Report rep = lint::preflightCampaign(tb, faults);
+    ASSERT_TRUE(rep.hasRule("PRE008"));
+    const auto& diags = rep.byRule("PRE008");
+    ASSERT_EQ(diags.size(), 1u); // only the pulse fault, not the stuck-at
+    EXPECT_EQ(diags.front().severity, lint::Severity::Warning);
+    // The diagnostic names the offending fault (its component) and the reason.
+    EXPECT_NE(diags.front().path.find("sab/data"), std::string::npos);
+    EXPECT_NE(diags.front().message.find("not batch-eligible"), std::string::npos);
+    EXPECT_EQ(rep.count(lint::Severity::Error), 0u);
+}
+
+TEST(Preflight, UniformlyIneligibleListSkipsPre008)
+{
+    // A list with no batch-eligible fault at all gains nothing from one
+    // warning per entry: the whole campaign simply runs event-driven.
+    duts::DigitalDutTestbench tb;
+    const std::vector<fault::FaultSpec> faults{
+        fault::DigitalPulseFault{"sab/enable", kMicrosecond, 5 * kNanosecond},
+        fault::DigitalPulseFault{"sab/data", kMicrosecond, 9 * kNanosecond},
+    };
+    EXPECT_FALSE(lint::preflightCampaign(tb, faults).hasRule("PRE008"));
+}
+
+TEST(Preflight, NonCompilableDesignSkipsPre008)
+{
+    // The PLL carries an analog domain, so the word compiler rejects the
+    // whole design — a mixed fault list must not be scored.
+    pll::PllTestbench tb;
+    const std::string reg = tb.sim().digital().instrumentation().names().front();
+    auto pulse = std::make_shared<fault::TrapezoidPulse>(2e-3, 300e-12, 300e-12, 1e-9);
+    const std::vector<fault::FaultSpec> faults{
+        fault::BitFlipFault{reg, 0, 10 * kMicrosecond},
+        fault::CurrentPulseFault{pll::names::kSabFilter, 8e-6, pulse},
+    };
+    EXPECT_FALSE(lint::preflightCampaign(tb, faults).hasRule("PRE008"));
+}
+
 TEST(Preflight, ValidFaultListPasses)
 {
     duts::DigitalDutTestbench tb;
