@@ -342,4 +342,36 @@ std::vector<JournalEntry> CampaignJournal::load(const std::string& path)
     return loadWithStats(path).entries;
 }
 
+CampaignReport reportFromEntries(const std::vector<fault::FaultSpec>& faults,
+                                 const std::vector<JournalEntry>& entries)
+{
+    std::vector<const JournalEntry*> byIndex(faults.size(), nullptr);
+    for (const JournalEntry& e : entries) {
+        if (e.index < byIndex.size()) {
+            byIndex[e.index] = &e; // later duplicates win, like journal resume
+        }
+    }
+    CampaignReport report;
+    report.runs.reserve(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const JournalEntry* e = byIndex[i];
+        if (e == nullptr) {
+            throw std::runtime_error("reportFromEntries: no entry for fault " +
+                                     std::to_string(i) + " (" + fault::describe(faults[i]) +
+                                     ")");
+        }
+        const std::string expected = fault::describe(faults[i]);
+        if (e->faultDescription != expected) {
+            throw std::runtime_error("reportFromEntries: entry " + std::to_string(i) +
+                                     " records '" + e->faultDescription +
+                                     "' but the fault list has '" + expected + "'");
+        }
+        RunResult r = e->result;
+        r.fault = faults[i];
+        r.diagnostics.fromJournal = false;
+        report.runs.push_back(std::move(r));
+    }
+    return report;
+}
+
 } // namespace gfi::campaign

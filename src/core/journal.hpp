@@ -84,4 +84,14 @@ private:
     bool embedProbes_ = false;
 };
 
+/// Rebuilds a complete CampaignReport from journal @p entries covering the
+/// whole of @p faults: every index 0..faults.size()-1 must be present (later
+/// duplicates win) with a description matching the fault at that index, which
+/// is then re-attached. The restored runs are indistinguishable from a live
+/// campaign (fromJournal is cleared), so a report rebuilt from a verified
+/// store entry renders byte-identically to the run that produced it. Throws
+/// std::runtime_error on a missing index or a description mismatch.
+[[nodiscard]] CampaignReport reportFromEntries(const std::vector<fault::FaultSpec>& faults,
+                                               const std::vector<JournalEntry>& entries);
+
 } // namespace gfi::campaign

@@ -31,6 +31,12 @@
 #include "core/stats.hpp"
 #include "core/testbench.hpp"
 
+// External design ingestion and the content-addressed golden store
+#include "io/golden_store.hpp"
+#include "io/ingest.hpp"
+#include "io/netlist.hpp"
+#include "io/sha256.hpp"
+
 // Traces and analysis
 #include "trace/compare.hpp"
 #include "trace/metrics.hpp"

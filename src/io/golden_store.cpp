@@ -1,0 +1,332 @@
+#include "io/golden_store.hpp"
+
+#include "core/report.hpp"
+#include "io/sha256.hpp"
+#include "lint/preflight.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gfi::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- tiny flat-JSON field scanners (same approach as the journal reader:
+// the writer below is the only producer, so only its exact shape matters) ---
+
+bool getJsonString(const std::string& doc, const std::string& key, std::string& out)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos) {
+        return false;
+    }
+    out.clear();
+    for (std::size_t i = at + needle.size(); i < doc.size(); ++i) {
+        const char c = doc[i];
+        if (c == '\\' && i + 1 < doc.size()) {
+            const char next = doc[++i];
+            out += next == 'n' ? '\n' : next;
+        } else if (c == '"') {
+            return true;
+        } else {
+            out += c;
+        }
+    }
+    return false; // unterminated
+}
+
+bool getJsonInt(const std::string& doc, const std::string& key, long long& out)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = doc.find(needle);
+    if (at == std::string::npos) {
+        return false;
+    }
+    out = std::strtoll(doc.c_str() + at + needle.size(), nullptr, 10);
+    return true;
+}
+
+std::string quoted(const std::string& s)
+{
+    return "\"" + campaign::jsonEscape(s) + "\"";
+}
+
+std::string readFileOrThrow(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw GoldenStoreError("golden store: cannot read " + path.string());
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void writeFileOrThrow(const fs::path& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << content) || !out.flush()) {
+        throw GoldenStoreError("golden store: cannot write " + path.string());
+    }
+}
+
+/// File-system-safe rendering of a circuit name (names/<circuit>.json).
+std::string sanitizeName(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        out += ok ? c : '_';
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
+} // namespace
+
+std::string CacheKey::combined() const
+{
+    Sha256 hash;
+    hash.update("key v1\n");
+    hash.update("netlist " + netlistDigest + "\n");
+    hash.update("stimulus " + stimulusDigest + "\n");
+    hash.update("faults " + faultDigest + "\n");
+    return hash.finishHex();
+}
+
+CacheKey CacheKey::of(const IngestWorkload& workload)
+{
+    return CacheKey{workload.netlistDigest, workload.stimulusDigest, workload.faultDigest};
+}
+
+GoldenStore::GoldenStore(std::string root) : root_(std::move(root))
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / "objects", ec);
+    fs::create_directories(fs::path(root_) / "names", ec);
+    fs::create_directories(fs::path(root_) / "tmp", ec);
+    if (ec) {
+        throw GoldenStoreError("golden store: cannot create store root " + root_);
+    }
+}
+
+std::string GoldenStore::entryDir(const std::string& combinedKey) const
+{
+    if (!looksLikeSha256(combinedKey)) {
+        throw GoldenStoreError("golden store: malformed entry key '" + combinedKey + "'");
+    }
+    return (fs::path(root_) / "objects" / combinedKey.substr(0, 2) / combinedKey).string();
+}
+
+std::string GoldenStore::namePath(const std::string& circuitName) const
+{
+    return (fs::path(root_) / "names" / (sanitizeName(circuitName) + ".json")).string();
+}
+
+bool GoldenStore::contains(const CacheKey& key) const
+{
+    return fs::exists(fs::path(entryDir(key.combined())) / "meta.json");
+}
+
+std::optional<StoreEntry> GoldenStore::lookup(const CacheKey& key) const
+{
+    const std::string combined = key.combined();
+    const fs::path dir = entryDir(combined);
+    if (!fs::exists(dir / "meta.json")) {
+        return std::nullopt;
+    }
+    const std::string meta = readFileOrThrow(dir / "meta.json");
+
+    StoreEntry entry;
+    std::string verdictsSha;
+    std::string reportSha;
+    long long runs = -1;
+    if (!getJsonString(meta, "netlist", entry.key.netlistDigest) ||
+        !getJsonString(meta, "stimulus", entry.key.stimulusDigest) ||
+        !getJsonString(meta, "faults", entry.key.faultDigest) ||
+        !getJsonString(meta, "circuit", entry.circuitName) ||
+        !getJsonString(meta, "verdicts_sha256", verdictsSha) ||
+        !getJsonString(meta, "report_sha256", reportSha) ||
+        !getJsonInt(meta, "runs", runs) || runs < 0) {
+        throw GoldenStoreError("golden store: malformed meta.json in entry " + combined);
+    }
+    // The entry must be the one this key addresses — a moved/tampered object
+    // directory is corruption, not a miss.
+    if (entry.key.netlistDigest != key.netlistDigest ||
+        entry.key.stimulusDigest != key.stimulusDigest ||
+        entry.key.faultDigest != key.faultDigest) {
+        throw GoldenStoreError("golden store: entry " + combined +
+                               " records a different digest triple than its address");
+    }
+
+    const std::string verdictsText = readFileOrThrow(dir / "verdicts.jsonl");
+    if (sha256Hex(verdictsText) != verdictsSha) {
+        throw GoldenStoreError("golden store: verdicts.jsonl of entry " + combined +
+                               " fails its recorded SHA-256 — refusing to replay "
+                               "corrupt verdicts");
+    }
+    entry.reportJson = readFileOrThrow(dir / "report.json");
+    if (sha256Hex(entry.reportJson) != reportSha) {
+        throw GoldenStoreError("golden store: report.json of entry " + combined +
+                               " fails its recorded SHA-256");
+    }
+
+    std::istringstream lines(verdictsText);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        auto parsed = campaign::CampaignJournal::parseLine(line);
+        if (!parsed) {
+            // The digest matched, so this is a writer bug, not bit rot — but
+            // it is still not replayable.
+            throw GoldenStoreError("golden store: unparseable verdict line in entry " +
+                                   combined);
+        }
+        entry.verdicts.push_back(std::move(*parsed));
+    }
+    if (entry.verdicts.size() != static_cast<std::size_t>(runs)) {
+        throw GoldenStoreError("golden store: entry " + combined + " records " +
+                               std::to_string(runs) + " runs but holds " +
+                               std::to_string(entry.verdicts.size()) + " verdicts");
+    }
+    return entry;
+}
+
+void GoldenStore::put(const CacheKey& key, const std::string& circuitName,
+                      const campaign::CampaignReport& report)
+{
+    const std::string combined = key.combined();
+
+    std::string verdictsText;
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        verdictsText += campaign::CampaignJournal::entryToJson(i, report.runs[i]) + "\n";
+    }
+    const std::string reportJson = campaign::reportToJson(report);
+
+    std::string meta = "{\n";
+    meta += "  \"version\": 1,\n";
+    meta += "  \"circuit\": " + quoted(circuitName) + ",\n";
+    meta += "  \"netlist\": " + quoted(key.netlistDigest) + ",\n";
+    meta += "  \"stimulus\": " + quoted(key.stimulusDigest) + ",\n";
+    meta += "  \"faults\": " + quoted(key.faultDigest) + ",\n";
+    meta += "  \"runs\": " + std::to_string(report.runs.size()) + ",\n";
+    meta += "  \"verdicts_sha256\": " + quoted(sha256Hex(verdictsText)) + ",\n";
+    meta += "  \"report_sha256\": " + quoted(sha256Hex(reportJson)) + "\n";
+    meta += "}\n";
+
+    // Stage the whole entry in tmp/, then swap it in with a rename — a killed
+    // process never leaves a half-written entry addressable.
+    const fs::path staged = fs::path(root_) / "tmp" / combined;
+    std::error_code ec;
+    fs::remove_all(staged, ec);
+    fs::create_directories(staged, ec);
+    if (ec) {
+        throw GoldenStoreError("golden store: cannot stage entry " + combined);
+    }
+    writeFileOrThrow(staged / "meta.json", meta);
+    writeFileOrThrow(staged / "verdicts.jsonl", verdictsText);
+    writeFileOrThrow(staged / "report.json", reportJson);
+
+    const fs::path dir = entryDir(combined);
+    fs::create_directories(dir.parent_path(), ec);
+    fs::remove_all(dir, ec);
+    fs::rename(staged, dir, ec);
+    if (ec) {
+        throw GoldenStoreError("golden store: cannot commit entry " + combined + ": " +
+                               ec.message());
+    }
+
+    // Repoint the circuit's name at the new entry (atomic file swap).
+    std::string pointer = "{\n";
+    pointer += "  \"circuit\": " + quoted(circuitName) + ",\n";
+    pointer += "  \"netlist\": " + quoted(key.netlistDigest) + ",\n";
+    pointer += "  \"key\": " + quoted(combined) + "\n";
+    pointer += "}\n";
+    const fs::path pointerPath = namePath(circuitName);
+    const fs::path pointerStaged = fs::path(root_) / "tmp" / (sanitizeName(circuitName) +
+                                                              ".name.json");
+    writeFileOrThrow(pointerStaged, pointer);
+    fs::rename(pointerStaged, pointerPath, ec);
+    if (ec) {
+        throw GoldenStoreError("golden store: cannot update name pointer for '" +
+                               circuitName + "': " + ec.message());
+    }
+}
+
+std::optional<NamePointer> GoldenStore::namePointer(const std::string& circuitName) const
+{
+    const fs::path path = namePath(circuitName);
+    if (!fs::exists(path)) {
+        return std::nullopt;
+    }
+    const std::string doc = readFileOrThrow(path);
+    NamePointer p;
+    if (!getJsonString(doc, "circuit", p.circuitName) ||
+        !getJsonString(doc, "netlist", p.netlistDigest) ||
+        !getJsonString(doc, "key", p.key)) {
+        throw GoldenStoreError("golden store: malformed name pointer " + path.string());
+    }
+    return p;
+}
+
+std::optional<StoreEntry> GoldenStore::lookupByName(
+    const std::string& circuitName, const std::string& currentNetlistDigest) const
+{
+    const auto pointer = namePointer(circuitName);
+    if (!pointer) {
+        return std::nullopt;
+    }
+    // PRE009: the stored entry was recorded for a different revision of this
+    // circuit — replaying it would attribute another design's verdicts here.
+    const lint::Report stale = lint::preflightStoredDigest(
+        "store:" + circuitName, pointer->netlistDigest, currentNetlistDigest);
+    if (stale.count(lint::Severity::Error) > 0) {
+        throw lint::PreflightError(stale);
+    }
+
+    const fs::path dir = entryDir(pointer->key);
+    if (!fs::exists(dir / "meta.json")) {
+        throw GoldenStoreError("golden store: name pointer for '" + circuitName +
+                               "' references missing entry " + pointer->key);
+    }
+    const std::string meta = readFileOrThrow(dir / "meta.json");
+    CacheKey key;
+    if (!getJsonString(meta, "netlist", key.netlistDigest) ||
+        !getJsonString(meta, "stimulus", key.stimulusDigest) ||
+        !getJsonString(meta, "faults", key.faultDigest)) {
+        throw GoldenStoreError("golden store: malformed meta.json in entry " +
+                               pointer->key);
+    }
+    return lookup(key);
+}
+
+CachedCampaign runCampaignCached(
+    campaign::CampaignRunner& runner, const IngestWorkload& workload, GoldenStore& store,
+    const std::function<void(std::size_t, const campaign::RunResult&)>& progress)
+{
+    const CacheKey key = CacheKey::of(workload);
+    CachedCampaign out;
+    out.key = key.combined();
+    if (auto entry = store.lookup(key)) {
+        // Digest-verified hit: rebuild the report from the stored verdicts
+        // without simulating anything. reportFromEntries() cross-checks every
+        // fault description, so the replay can never silently drift off the
+        // fault list that keyed the entry.
+        out.report = campaign::reportFromEntries(workload.faults, entry->verdicts);
+        out.hit = true;
+        return out;
+    }
+    out.report = runner.run(workload.faults, progress);
+    store.put(key, workload.netlist->name, out.report);
+    return out;
+}
+
+} // namespace gfi::io

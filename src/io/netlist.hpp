@@ -1,0 +1,99 @@
+#pragma once
+// External netlist ingestion: the parser front-end of the bring-your-own-
+// circuit flow. Two grammars produce the same neutral NetlistDesc:
+//
+//  * ISCAS-85 ".bench" netlists:
+//        # comment
+//        INPUT(G1)
+//        OUTPUT(G22)
+//        G10 = NAND(G1, G3)
+//        G22 = NOT(G10)
+//    Gate keywords: AND OR NAND NOR XOR XNOR NOT BUF/BUFF (case-insensitive).
+//
+//  * A small structural-Verilog subset:
+//        module c17 (N1, N2, ..., N22);
+//          input N1, N2;        // multi-name declaration lists
+//          output N22;
+//          wire N10;
+//          nand g1 (N10, N1, N3);   // output first, then inputs
+//        endmodule
+//    Primitives: and, nand, or, nor, xor, xnor, not, buf. Instance names are
+//    optional (anonymous instantiations get the output net's name). Exactly
+//    one module per file; no vectors, parameters, assigns or hierarchy.
+//
+// The parsed description is purely structural data — elaboration into an
+// instrumented digital::Circuit happens in io/ingest. canonicalText() renders
+// a normalized form (fixed ordering, whitespace and case) whose SHA-256 is
+// the design's identity in the golden store: two files that elaborate the
+// same circuit hash identically regardless of formatting, comments or the
+// grammar they were written in.
+
+#include "digital/gates.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gfi::io {
+
+/// One gate instantiation of the parsed design.
+struct NetlistGate {
+    std::string name;              ///< instance name (synthesized when absent)
+    digital::GateKind kind = digital::GateKind::Buf;
+    std::string output;            ///< driven net
+    std::vector<std::string> inputs;
+};
+
+/// A parsed, validated structural netlist.
+struct NetlistDesc {
+    std::string name;                     ///< module/circuit name
+    std::vector<std::string> inputs;      ///< primary inputs, declaration order
+    std::vector<std::string> outputs;     ///< primary outputs, declaration order
+    std::vector<NetlistGate> gates;       ///< gate instantiations, file order
+
+    /// Every net of the design (primary inputs first, then gate outputs), in
+    /// declaration order — the canonical net enumeration the ingest builder,
+    /// the fault-list builder and the digest all share.
+    [[nodiscard]] std::vector<std::string> nets() const;
+
+    /// Normalized rendering (sorted where order is semantically free, fixed
+    /// case and whitespace); sha256Hex() of this string is the netlist digest.
+    [[nodiscard]] std::string canonicalText() const;
+
+    /// SHA-256 hex digest of canonicalText().
+    [[nodiscard]] std::string digest() const;
+};
+
+/// Parse failure: grammar errors, undriven/multiply-driven nets, unknown
+/// gate keywords. what() carries "<source>:<line>: <reason>".
+class NetlistParseError : public std::runtime_error {
+public:
+    NetlistParseError(const std::string& source, int line, const std::string& reason);
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    int line_ = 0;
+};
+
+/// Netlist grammars parseNetlist() understands.
+enum class NetlistFormat {
+    Auto,    ///< detect: "module" keyword => Verilog, else ISCAS-85 bench
+    Bench,   ///< ISCAS-85 ".bench"
+    Verilog, ///< structural-Verilog subset
+};
+
+/// Parses @p text. @p sourceName is used in error messages and as the
+/// circuit name fallback for bench files (stem of the file name).
+[[nodiscard]] NetlistDesc parseNetlist(const std::string& text,
+                                       const std::string& sourceName = "<string>",
+                                       NetlistFormat format = NetlistFormat::Auto);
+
+/// Reads and parses @p path (format from the extension: .v/.sv => Verilog,
+/// else auto). Throws std::runtime_error when the file cannot be read.
+[[nodiscard]] NetlistDesc parseNetlistFile(const std::string& path);
+
+/// The gate keyword of @p kind in canonical (upper-case bench) spelling.
+[[nodiscard]] const char* gateKeyword(digital::GateKind kind) noexcept;
+
+} // namespace gfi::io

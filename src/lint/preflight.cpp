@@ -245,6 +245,21 @@ Report preflightSnapshot(const Testbench& tb)
     return report;
 }
 
+Report preflightStoredDigest(const std::string& entryName, const std::string& storedDigest,
+                             const std::string& currentDigest)
+{
+    Report report;
+    if (storedDigest != currentDigest) {
+        report.add("PRE009", Severity::Error, entryName,
+                   "stale golden-store entry: stored netlist digest " + storedDigest +
+                       " does not match the loaded circuit's digest " + currentDigest,
+                   "the design changed since this entry was recorded; re-run the "
+                   "campaign (or point the store at the matching netlist) instead of "
+                   "replaying another design's verdicts");
+    }
+    return report;
+}
+
 PreflightError::PreflightError(Report report)
     : std::runtime_error("campaign preflight failed: " + report.summary() + "\n" +
                          report.table()),

@@ -24,6 +24,11 @@
 //                    the compiled netlist): with the bit-parallel backend on
 //                    it falls back to the event-driven kernel. Scored only
 //                    when the list also contains batch-eligible faults.
+//   PRE009 (error)   stale golden-store entry: a stored campaign result is
+//                    keyed by a netlist digest that no longer matches the
+//                    circuit it is being replayed for. The diagnostic carries
+//                    both digests; replaying would attribute another design's
+//                    verdicts to this one.
 
 #include "core/fault.hpp"
 #include "lint/diagnostic.hpp"
@@ -51,6 +56,15 @@ namespace gfi::lint {
 /// (stateless). CampaignRunner runs this check only while fork-from-golden
 /// checkpointing is enabled; each offending component is named.
 [[nodiscard]] Report preflightSnapshot(const fault::Testbench& tb);
+
+/// Stale-cache check (PRE009): compares the digest a stored campaign entry
+/// was keyed under against the digest of the circuit about to replay it.
+/// Pure string comparison — lint stays dependency-free of io; the golden
+/// store calls this before trusting any cached verdicts. @p entryName names
+/// the offending store entry in the diagnostic path.
+[[nodiscard]] Report preflightStoredDigest(const std::string& entryName,
+                                           const std::string& storedDigest,
+                                           const std::string& currentDigest);
 
 /// Thrown by CampaignRunner when the preflight phase finds errors; carries
 /// the full report.

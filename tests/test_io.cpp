@@ -1,0 +1,487 @@
+// Tests for the external-netlist ingestion subsystem (src/io): the two
+// parser grammars, digest canonicalization, seeded pattern generation, the
+// instrumented elaboration (differential against a hand-built DUT and
+// between backends/worker widths), and the content-addressed golden store
+// (byte-identical replay, corruption hard errors, the PRE009 stale-cache
+// gate).
+
+#include "core/report.hpp"
+#include "digital/gates.hpp"
+#include "digital/stimulus.hpp"
+#include "core/saboteur.hpp"
+#include "io/golden_store.hpp"
+#include "io/ingest.hpp"
+#include "io/netlist.hpp"
+#include "io/sha256.hpp"
+#include "lint/preflight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace gfi::io {
+namespace {
+
+const char* kC17Bench = R"(# c17
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+)";
+
+const char* kC17Verilog = R"(// c17, structural verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g10 (N10, N1, N3);
+  nand g11 (N11, N3, N6);
+  nand g16 (N16, N2, N11);
+  nand g19 (N19, N11, N7);
+  nand g22 (N22, N10, N16);
+  nand g23 (N23, N16, N19);
+endmodule
+)";
+
+/// The classification text two campaigns must agree on byte-for-byte:
+/// per-run fault description, outcome and divergence metrics. Timing
+/// diagnostics and backend provenance (batch lane) are deliberately
+/// excluded — those legitimately differ between kernels.
+std::string classificationText(const campaign::CampaignReport& report)
+{
+    std::string out;
+    for (const campaign::RunResult& r : report.runs) {
+        out += fault::describe(r.fault);
+        out += '\t';
+        out += campaign::toString(r.outcome);
+        out += '\t';
+        out += std::to_string(r.firstOutputError);
+        out += '\t';
+        out += std::to_string(r.totalOutputErrorTime);
+        for (const std::string& s : r.erredSignals) {
+            out += '\t';
+            out += s;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string freshDir(const std::string& tag)
+{
+    const std::string path = ::testing::TempDir() + "gfi_io_" + tag;
+    std::filesystem::remove_all(path);
+    return path;
+}
+
+// --- SHA-256 ---------------------------------------------------------------
+
+TEST(Sha256, Fips180Vectors)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    // Multi-block: one million 'a' (streamed, exercises buffering).
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) {
+        h.update(chunk);
+    }
+    EXPECT_EQ(h.finishHex(),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, LooksLike)
+{
+    EXPECT_TRUE(looksLikeSha256(sha256Hex("x")));
+    EXPECT_FALSE(looksLikeSha256("deadbeef"));
+    EXPECT_FALSE(looksLikeSha256(std::string(64, 'g')));
+}
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(NetlistParse, BenchC17)
+{
+    const NetlistDesc d = parseNetlist(kC17Bench, "c17.bench");
+    EXPECT_EQ(d.name, "c17");
+    EXPECT_EQ(d.inputs, (std::vector<std::string>{"N1", "N2", "N3", "N6", "N7"}));
+    EXPECT_EQ(d.outputs, (std::vector<std::string>{"N22", "N23"}));
+    ASSERT_EQ(d.gates.size(), 6u);
+    EXPECT_EQ(d.gates[0].kind, digital::GateKind::Nand);
+    EXPECT_EQ(d.gates[0].output, "N10");
+    EXPECT_EQ(d.nets().size(), 11u); // 5 inputs + 6 gate outputs
+}
+
+TEST(NetlistParse, VerilogMatchesBenchDigest)
+{
+    const NetlistDesc bench = parseNetlist(kC17Bench, "c17.bench");
+    const NetlistDesc verilog = parseNetlist(kC17Verilog, "c17.v");
+    EXPECT_EQ(verilog.name, "c17");
+    EXPECT_EQ(bench.canonicalText(), verilog.canonicalText());
+    EXPECT_EQ(bench.digest(), verilog.digest());
+}
+
+TEST(NetlistParse, AutoDetectsFormat)
+{
+    EXPECT_EQ(parseNetlist(kC17Verilog, "x").name, "c17"); // "module" => verilog
+    EXPECT_EQ(parseNetlist(kC17Bench, "c17.bench").gates.size(), 6u);
+}
+
+TEST(NetlistParse, DigestInvariances)
+{
+    const std::string base = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+    const std::string digest = parseNetlist(base, "t").digest();
+    // Comments, whitespace, keyword case: no digest change.
+    EXPECT_EQ(parseNetlist("# hi\n INPUT( a )\nINPUT(b)\nOUTPUT(y)\n y  =  and ( a , b )\n", "t")
+                  .digest(),
+              digest);
+    // Commutative input order: no digest change.
+    EXPECT_EQ(parseNetlist("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(b, a)\n", "t").digest(),
+              digest);
+    // Renamed net: different design, different digest.
+    EXPECT_NE(parseNetlist("INPUT(a)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, c)\n", "t").digest(),
+              digest);
+    // Input declaration order is semantic (stimulus bit order): different.
+    EXPECT_NE(parseNetlist("INPUT(b)\nINPUT(a)\nOUTPUT(y)\ny = AND(a, b)\n", "t").digest(),
+              digest);
+}
+
+TEST(NetlistParse, GateOrderDoesNotChangeDigest)
+{
+    const std::string forward =
+        "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nm = NAND(a, b)\nz = NOT(m)\n";
+    const std::string reversed =
+        "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NOT(m)\nm = NAND(a, b)\n";
+    EXPECT_EQ(parseNetlist(forward, "t").digest(), parseNetlist(reversed, "t").digest());
+}
+
+TEST(NetlistParse, Errors)
+{
+    // Unknown gate keyword.
+    EXPECT_THROW((void)parseNetlist("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t"),
+                 NetlistParseError);
+    // Multiply-driven net.
+    EXPECT_THROW(
+        (void)parseNetlist("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", "t"),
+        NetlistParseError);
+    // Undriven read.
+    EXPECT_THROW((void)parseNetlist("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "t"),
+                 NetlistParseError);
+    // Self-loop.
+    EXPECT_THROW((void)parseNetlist("INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n", "t"),
+                 NetlistParseError);
+    // Arity: NOT takes exactly one input.
+    EXPECT_THROW((void)parseNetlist("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n", "t"),
+                 NetlistParseError);
+    // Undriven primary output.
+    EXPECT_THROW((void)parseNetlist("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\n", "t"),
+                 NetlistParseError);
+    // Error messages carry source and line.
+    try {
+        (void)parseNetlist("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "bad.bench");
+        FAIL() << "expected NetlistParseError";
+    } catch (const NetlistParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("bad.bench:3"), std::string::npos);
+    }
+}
+
+// --- patterns and fault lists ----------------------------------------------
+
+TEST(Patterns, DeterministicAndSeedSensitive)
+{
+    const NetlistDesc d = parseNetlist(kC17Bench, "c17.bench");
+    const PatternSet a = generatePatterns(d, 32, 7, 10 * kNanosecond);
+    const PatternSet b = generatePatterns(d, 32, 7, 10 * kNanosecond);
+    const PatternSet c = generatePatterns(d, 32, 8, 10 * kNanosecond);
+    ASSERT_EQ(a.rows.size(), 32u);
+    ASSERT_EQ(a.rows[0].size(), d.inputs.size());
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_NE(a.digest(), c.digest());
+    EXPECT_EQ(a.rows, b.rows);
+}
+
+TEST(Patterns, WorkloadDigestsCoverAllThreeAxes)
+{
+    NetlistDesc d = parseNetlist(kC17Bench, "c17.bench");
+    IngestConfig cfg;
+    cfg.patternCount = 8;
+    const IngestWorkload base = makeWorkload(d, cfg);
+    EXPECT_EQ(base.faults.size(), 2 * base.netlist->nets().size()); // SA0+SA1 per net
+
+    IngestConfig seeded = cfg;
+    seeded.patternSeed = 99;
+    EXPECT_NE(makeWorkload(d, seeded).stimulusDigest, base.stimulusDigest);
+    EXPECT_EQ(makeWorkload(d, seeded).netlistDigest, base.netlistDigest);
+
+    FaultListOptions withSet;
+    withSet.setPulses = true;
+    EXPECT_NE(makeWorkload(d, cfg, withSet).faultDigest, base.faultDigest);
+}
+
+// --- elaboration: differential and cross-backend identity -------------------
+
+/// Hand-built mirror of the 3-gate "mini" netlist below, written in the
+/// hand-authored DUT idiom (explicit signals, gates, saboteurs, stimulus) —
+/// the reference the ingested elaboration must match byte for byte.
+class MiniHandBuilt : public fault::Testbench {
+public:
+    explicit MiniHandBuilt(const PatternSet& patterns)
+    {
+        using digital::Logic;
+        auto& dig = sim().digital();
+        // Same canonical net order as NetlistDesc::nets(): inputs a, b, c,
+        // then gate outputs sorted: n1, y, z.
+        const std::vector<std::string> nets{"a", "b", "c", "n1", "y", "z"};
+        std::map<std::string, digital::LogicSignal*> driven;
+        std::map<std::string, digital::LogicSignal*> faulty;
+        for (const std::string& n : nets) {
+            driven[n] = &dig.logicSignal("mini/" + n, Logic::Zero);
+            faulty[n] = &dig.logicSignal("mini/" + n + "~f", Logic::Zero);
+        }
+        for (const std::string& n : nets) {
+            addDigitalSaboteur(
+                dig.add<fault::DigitalSaboteur>(dig, "sab/" + n, *driven[n], *faulty[n]));
+        }
+        dig.add<digital::Gate>(dig, "mini/n1", digital::GateKind::Nand,
+                               std::vector<digital::LogicSignal*>{faulty["a"], faulty["b"]},
+                               *driven["n1"]);
+        dig.add<digital::Gate>(dig, "mini/y", digital::GateKind::Xor,
+                               std::vector<digital::LogicSignal*>{faulty["c"], faulty["n1"]},
+                               *driven["y"]);
+        dig.add<digital::Gate>(dig, "mini/z", digital::GateKind::Not,
+                               std::vector<digital::LogicSignal*>{faulty["n1"]},
+                               *driven["z"]);
+        auto& stim = dig.add<digital::StimulusSchedule>(dig, "mini/stimuli");
+        const std::vector<std::string> pis{"a", "b", "c"};
+        std::vector<bool> prev(pis.size(), false);
+        for (std::size_t k = 0; k < patterns.rows.size(); ++k) {
+            for (std::size_t i = 0; i < pis.size(); ++i) {
+                if (patterns.rows[k][i] == prev[i]) {
+                    continue;
+                }
+                stim.at(static_cast<SimTime>(k) * patterns.period, *driven[pis[i]],
+                        patterns.rows[k][i] ? Logic::One : Logic::Zero);
+                prev[i] = patterns.rows[k][i];
+            }
+        }
+        for (const std::string& pi : pis) {
+            dig.noteExternalDriver(*driven[pi]);
+        }
+        observeDigital("mini/y~f");
+        observeDigital("mini/z~f");
+        setDuration(static_cast<SimTime>(patterns.rows.size()) * patterns.period);
+    }
+};
+
+IngestWorkload miniWorkload()
+{
+    NetlistDesc d = parseNetlist(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+        "n1 = NAND(a, b)\ny = XOR(c, n1)\nz = NOT(n1)\n",
+        "mini.bench");
+    IngestConfig cfg;
+    cfg.patternCount = 24;
+    return makeWorkload(std::move(d), cfg);
+}
+
+TEST(IngestDifferential, MatchesHandBuiltDut)
+{
+    const IngestWorkload w = miniWorkload();
+
+    campaign::CampaignRunner ingested(w.factory());
+    ingested.setRecordTiming(false);
+    const auto ingestedReport = ingested.run(w.faults);
+
+    auto patterns = w.patterns;
+    campaign::CampaignRunner hand(
+        [patterns] { return std::make_unique<MiniHandBuilt>(*patterns); });
+    hand.setRecordTiming(false);
+    const auto handReport = hand.run(w.faults);
+
+    ASSERT_EQ(ingestedReport.runs.size(), handReport.runs.size());
+    EXPECT_EQ(classificationText(ingestedReport), classificationText(handReport));
+    // Identical construction => identical reports down to the last byte.
+    EXPECT_EQ(campaign::reportToJson(ingestedReport), campaign::reportToJson(handReport));
+}
+
+TEST(IngestDifferential, BackendsAndWorkerWidthsAgree)
+{
+    const IngestWorkload w = miniWorkload();
+
+    auto runWith = [&](bool batch, unsigned workers, bool collapse) {
+        campaign::CampaignRunner runner(w.factory());
+        runner.setRecordTiming(false);
+        runner.setBatchBackend(batch);
+        runner.setWorkers(workers);
+        runner.setFaultCollapsing(collapse);
+        return runner.run(w.faults);
+    };
+
+    const std::string reference = classificationText(runWith(false, 1, false));
+    EXPECT_EQ(classificationText(runWith(false, 8, false)), reference)
+        << "8-worker event-driven diverged from serial";
+    EXPECT_EQ(classificationText(runWith(true, 1, false)), reference)
+        << "bit-parallel batch diverged from event-driven";
+    EXPECT_EQ(classificationText(runWith(true, 8, false)), reference)
+        << "8-worker batch diverged";
+    EXPECT_EQ(classificationText(runWith(false, 1, true)), reference)
+        << "fault collapsing changed classifications";
+}
+
+TEST(Ingest, PeriodTooShortForDepthThrows)
+{
+    NetlistDesc d = parseNetlist(kC17Bench, "c17.bench");
+    IngestConfig cfg;
+    cfg.patternCount = 4;
+    cfg.patternPeriod = 2 * digital::kDefaultGateDelay; // depth 3 cannot settle
+    EXPECT_THROW((void)makeWorkload(std::move(d), cfg).factory()(), std::invalid_argument);
+}
+
+// --- golden store ----------------------------------------------------------
+
+TEST(GoldenStoreTest, MissThenHitReplaysByteIdentically)
+{
+    const std::string root = freshDir("store_roundtrip");
+    GoldenStore store(root);
+    const IngestWorkload w = miniWorkload();
+
+    campaign::CampaignRunner runner(w.factory());
+    const CachedCampaign cold = runCampaignCached(runner, w, store);
+    EXPECT_FALSE(cold.hit);
+    EXPECT_TRUE(store.contains(CacheKey::of(w)));
+
+    // The warm pass must not simulate: give it a runner whose factory throws.
+    campaign::CampaignRunner poisoned([]() -> std::unique_ptr<fault::Testbench> {
+        throw std::logic_error("store hit must not build testbenches");
+    });
+    const CachedCampaign warm = runCampaignCached(poisoned, w, store);
+    EXPECT_TRUE(warm.hit);
+    EXPECT_EQ(warm.key, cold.key);
+    EXPECT_EQ(campaign::reportToJson(warm.report), campaign::reportToJson(cold.report));
+    EXPECT_EQ(renderAnsText(w, warm.report), renderAnsText(w, cold.report));
+}
+
+TEST(GoldenStoreTest, LookupMissIsNullopt)
+{
+    GoldenStore store(freshDir("store_miss"));
+    const CacheKey key{sha256Hex("n"), sha256Hex("s"), sha256Hex("f")};
+    EXPECT_FALSE(store.contains(key));
+    EXPECT_FALSE(store.lookup(key).has_value());
+}
+
+TEST(GoldenStoreTest, CorruptedVerdictsAreAHardError)
+{
+    const std::string root = freshDir("store_corrupt");
+    GoldenStore store(root);
+    const IngestWorkload w = miniWorkload();
+    campaign::CampaignRunner runner(w.factory());
+    const CachedCampaign cold = runCampaignCached(runner, w, store);
+
+    // Flip one byte of the stored verdicts; the recorded SHA-256 must now
+    // refuse the replay outright instead of returning doctored results.
+    const std::filesystem::path verdicts =
+        std::filesystem::path(store.entryDir(cold.key)) / "verdicts.jsonl";
+    std::string text;
+    {
+        std::ifstream in(verdicts, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    ASSERT_FALSE(text.empty());
+    const std::size_t at = text.find("stuck-at-0");
+    ASSERT_NE(at, std::string::npos);
+    text[at] = 'X';
+    {
+        std::ofstream out(verdicts, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+    EXPECT_THROW((void)store.lookup(CacheKey::of(w)), GoldenStoreError);
+}
+
+TEST(GoldenStoreTest, NamePointerAndStaleCachePre009)
+{
+    const std::string root = freshDir("store_stale");
+    GoldenStore store(root);
+    const IngestWorkload w = miniWorkload();
+    campaign::CampaignRunner runner(w.factory());
+    (void)runCampaignCached(runner, w, store);
+
+    // Same name, same digest: resolves to the verified entry.
+    const auto entry = store.lookupByName("mini", w.netlistDigest);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->key.netlistDigest, w.netlistDigest);
+    EXPECT_EQ(entry->verdicts.size(), w.faults.size());
+
+    // Same name, edited design: the stale-cache gate must fire with PRE009
+    // and both digests in the diagnostic.
+    const std::string editedDigest = sha256Hex("a different canonical netlist");
+    try {
+        (void)store.lookupByName("mini", editedDigest);
+        FAIL() << "expected lint::PreflightError";
+    } catch (const lint::PreflightError& e) {
+        EXPECT_TRUE(e.report().hasRule("PRE009"));
+        const std::string what = e.what();
+        EXPECT_NE(what.find(w.netlistDigest), std::string::npos)
+            << "diagnostic must name the stored digest";
+        EXPECT_NE(what.find(editedDigest), std::string::npos)
+            << "diagnostic must name the loaded circuit's digest";
+    }
+}
+
+TEST(Preflight, StoredDigestRule)
+{
+    const std::string d = sha256Hex("same");
+    EXPECT_TRUE(lint::preflightStoredDigest("store:x", d, d).clean());
+    const lint::Report stale = lint::preflightStoredDigest("store:x", sha256Hex("a"),
+                                                           sha256Hex("b"));
+    EXPECT_TRUE(stale.hasRule("PRE009"));
+    EXPECT_EQ(stale.count(lint::Severity::Error), 1u);
+}
+
+TEST(ReportFromEntries, RejectsMismatchedFaultList)
+{
+    const IngestWorkload w = miniWorkload();
+    campaign::CampaignRunner runner(w.factory());
+    runner.setRecordTiming(false);
+    const auto report = runner.run(w.faults);
+
+    std::vector<campaign::JournalEntry> entries;
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        const auto parsed = campaign::CampaignJournal::parseLine(
+            campaign::CampaignJournal::entryToJson(i, report.runs[i]));
+        ASSERT_TRUE(parsed.has_value());
+        entries.push_back(*parsed);
+    }
+    // Round trip reproduces the live report byte for byte.
+    const auto rebuilt = campaign::reportFromEntries(w.faults, entries);
+    EXPECT_EQ(campaign::reportToJson(rebuilt), campaign::reportToJson(report));
+
+    // A different fault list must be rejected, not silently replayed.
+    auto wrongFaults = w.faults;
+    std::swap(wrongFaults.front(), wrongFaults.back());
+    EXPECT_THROW((void)campaign::reportFromEntries(wrongFaults, entries),
+                 std::runtime_error);
+    // A truncated entry set must be rejected too.
+    entries.pop_back();
+    EXPECT_THROW((void)campaign::reportFromEntries(w.faults, entries), std::runtime_error);
+}
+
+} // namespace
+} // namespace gfi::io
