@@ -76,14 +76,15 @@ int main()
 
     char jsonLine[512];
     std::snprintf(jsonLine, sizeof jsonLine,
-                  "{\"benchmark\": \"perf_batch\", \"experiment\": "
+                  "\"benchmark\": \"perf_batch\", \"experiment\": "
                   "\"digital_dut_seu_sweep\", \"runs\": %zu, \"groups\": %zu, "
                   "\"event_s\": %.3f, \"batch_s\": %.3f, \"speedup\": %.2f, "
-                  "\"identical\": %s}\n",
+                  "\"identical\": %s",
                   faults.size(), groups, event.wallSeconds, batched.wallSeconds,
                   speedup, identical ? "true" : "false");
-    std::fputs(jsonLine, stdout);
-    if (!writeTextFile("BENCH_perf_batch.json", jsonLine)) {
+    const std::string doc = bench::benchJsonLine("perf_batch", jsonLine);
+    std::fputs(doc.c_str(), stdout);
+    if (!writeTextFile("BENCH_perf_batch.json", doc)) {
         std::fprintf(stderr, "warning: cannot write BENCH_perf_batch.json\n");
     }
 

@@ -81,14 +81,15 @@ int main()
 
     char jsonLine[512];
     std::snprintf(jsonLine, sizeof jsonLine,
-                  "{\"benchmark\": \"perf_collapse\", \"experiment\": "
+                  "\"benchmark\": \"perf_collapse\", \"experiment\": "
                   "\"chain_set_sweep\", \"runs\": %zu, \"classes\": %zu, "
                   "\"shrink\": %.2f, \"full_s\": %.3f, \"collapsed_s\": %.3f, "
-                  "\"speedup\": %.2f, \"identical\": %s}\n",
+                  "\"speedup\": %.2f, \"identical\": %s",
                   faults.size(), plan.classes(), shrink, full.wallSeconds,
                   collapsed.wallSeconds, speedup, identical ? "true" : "false");
-    std::fputs(jsonLine, stdout);
-    if (!writeTextFile("BENCH_perf_collapse.json", jsonLine)) {
+    const std::string doc = bench::benchJsonLine("perf_collapse", jsonLine);
+    std::fputs(doc.c_str(), stdout);
+    if (!writeTextFile("BENCH_perf_collapse.json", doc)) {
         std::fprintf(stderr, "warning: cannot write BENCH_perf_collapse.json\n");
     }
 

@@ -111,14 +111,15 @@ int main()
 
     char jsonLine[512];
     std::snprintf(jsonLine, sizeof jsonLine,
-                  "{\"benchmark\": \"perf_ingest\", \"gates\": %zu, \"faults\": %zu, "
+                  "\"benchmark\": \"perf_ingest\", \"gates\": %zu, \"faults\": %zu, "
                   "\"parse_mb_s\": %.1f, \"cold_s\": %.3f, \"warm_s\": %.4f, "
-                  "\"cache_speedup\": %.1f, \"hit\": %s, \"identical\": %s}\n",
+                  "\"cache_speedup\": %.1f, \"hit\": %s, \"identical\": %s",
                   desc.gates.size(), workload.faults.size(), mbPerSecond, coldSeconds,
                   warmSeconds, speedup, warm.hit ? "true" : "false",
                   identical ? "true" : "false");
-    std::fputs(jsonLine, stdout);
-    if (!writeTextFile("BENCH_perf_ingest.json", jsonLine)) {
+    const std::string doc = bench::benchJsonLine("perf_ingest", jsonLine);
+    std::fputs(doc.c_str(), stdout);
+    if (!writeTextFile("BENCH_perf_ingest.json", doc)) {
         std::fprintf(stderr, "warning: cannot write BENCH_perf_ingest.json\n");
     }
 

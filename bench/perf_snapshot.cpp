@@ -72,13 +72,14 @@ int main()
 
     char jsonLine[512];
     std::snprintf(jsonLine, sizeof jsonLine,
-                  "{\"benchmark\": \"perf_snapshot\", \"experiment\": \"fig8_pulse_sweep\", "
+                  "\"benchmark\": \"perf_snapshot\", \"experiment\": \"fig8_pulse_sweep\", "
                   "\"runs\": %zu, \"checkpoints\": %zu, \"scratch_s\": %.3f, "
-                  "\"fork_s\": %.3f, \"speedup\": %.2f, \"identical\": %s}\n",
+                  "\"fork_s\": %.3f, \"speedup\": %.2f, \"identical\": %s",
                   faults.size(), forked.checkpoints, scratch.wallSeconds,
                   forked.wallSeconds, speedup, identical ? "true" : "false");
-    std::fputs(jsonLine, stdout);
-    if (!writeTextFile("BENCH_perf_snapshot.json", jsonLine)) {
+    const std::string doc = bench::benchJsonLine("perf_snapshot", jsonLine);
+    std::fputs(doc.c_str(), stdout);
+    if (!writeTextFile("BENCH_perf_snapshot.json", doc)) {
         std::fprintf(stderr, "warning: cannot write BENCH_perf_snapshot.json\n");
     }
 

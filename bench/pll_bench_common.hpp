@@ -11,7 +11,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <ctime>
 #include <memory>
+
+// Build provenance, injected by bench/CMakeLists.txt; the fallbacks keep the
+// header compilable from other targets.
+#ifndef GFI_GIT_SHA
+#define GFI_GIT_SHA "unknown"
+#endif
+#ifndef GFI_BUILD_TYPE
+#define GFI_BUILD_TYPE "unknown"
+#endif
 
 namespace gfi::bench {
 
@@ -40,6 +50,37 @@ inline std::unique_ptr<fault::Testbench> runFaulty(campaign::CampaignRunner& run
 }
 
 // --- machine-readable bench output ------------------------------------------
+
+/// The shared metadata block stamped into every BENCH_*.json artifact, so
+/// regression tooling (tools/benchdiff) can refuse apples-to-oranges
+/// comparisons: schema version, emitting tool, source revision, build type,
+/// configured worker count (0 = auto — deliberately NOT the resolved thread
+/// count, so artifacts compare across machines with different core counts)
+/// and emission timestamp (informational only).
+inline std::string benchMetaJson(const std::string& tool, unsigned workers = 0)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm{}; gmtime_r(&now, &tm) != nullptr) {
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    }
+    std::string meta = "{\"schema\": 1";
+    meta += ", \"tool\": \"" + tool + "\"";
+    meta += ", \"git_sha\": \"" GFI_GIT_SHA "\"";
+    meta += ", \"build_type\": \"" GFI_BUILD_TYPE "\"";
+    meta += ", \"workers\": " + std::to_string(workers);
+    meta += ", \"timestamp\": \"" + std::string(stamp) + "\"";
+    meta += "}";
+    return meta;
+}
+
+/// Composes a one-line BENCH_<tool>.json document from the shared meta block
+/// plus the tool's own payload fields (braces stripped, "benchmark" first).
+inline std::string benchJsonLine(const std::string& tool, const std::string& payloadFields,
+                                 unsigned workers = 0)
+{
+    return "{\"meta\": " + benchMetaJson(tool, workers) + ", " + payloadFields + "}\n";
+}
 
 /// Writes @p content to @p path, overwriting; false on I/O failure.
 inline bool writeTextFile(const std::string& path, const std::string& content)
@@ -83,7 +124,8 @@ public:
     /// The accumulated summary as one JSON object.
     [[nodiscard]] std::string json(const std::string& tool) const
     {
-        std::string out = "{\"tool\": \"" + tool + "\", \"benchmarks\": [\n";
+        std::string out = "{\"meta\": " + benchMetaJson(tool) + ", \"tool\": \"" + tool +
+                          "\", \"benchmarks\": [\n";
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             out += entries_[i] + (i + 1 < entries_.size() ? ",\n" : "\n");
         }

@@ -9,13 +9,16 @@
 // Exit codes: 0 ok; 1 usage/parse/runtime error; 2 event-driven and batch
 // verdicts diverge; 3 verdict digest does not match --verify.
 
+#include "core/cost.hpp"
 #include "core/report.hpp"
 #include "io/golden_store.hpp"
 #include "io/ingest.hpp"
 #include "io/netlist.hpp"
 #include "io/sha256.hpp"
 #include "lint/preflight.hpp"
+#include "obs/telemetry.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +47,15 @@ int usage(const char* argv0)
                  "  --ans FILE        write the verdict (.ans) text\n"
                  "  --write-sha FILE  write the verdict SHA-256 (sha256sum format)\n"
                  "  --verify FILE     check the verdict SHA-256 against FILE\n"
+                 "  --progress        stream NDJSON progress heartbeats to stderr\n"
+                 "  --metrics FILE    write the campaign metrics dump (text or .json)\n"
+                 "  --trace FILE      write the Chrome-trace span timeline\n"
+                 "  --forensics DIR   dump flight-recorder forensics for abnormal runs\n"
+                 "  --max-waves N     per-run digital wave budget (0 = unlimited)\n"
+                 "  --cost            print the per-fault cost attribution table and\n"
+                 "                    add cost columns to the --csv report\n"
+                 "  --cost-csv FILE   write the cost attribution CSV\n"
+                 "  --cost-json FILE  write the cost attribution JSON\n"
                  "  --quiet           suppress the classification tables\n",
                  argv0);
     return 1;
@@ -75,6 +87,14 @@ int main(int argc, char** argv)
     std::string ansPath;
     std::string shaPath;
     std::string verifyPath;
+    bool progress = false;
+    std::string metricsPath;
+    std::string tracePath;
+    std::string forensicsDir;
+    std::uint64_t maxWaves = 0;
+    bool costTable = false;
+    std::string costCsvPath;
+    std::string costJsonPath;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -109,6 +129,22 @@ int main(int argc, char** argv)
             shaPath = value();
         } else if (arg == "--verify") {
             verifyPath = value();
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--metrics") {
+            metricsPath = value();
+        } else if (arg == "--trace") {
+            tracePath = value();
+        } else if (arg == "--forensics") {
+            forensicsDir = value();
+        } else if (arg == "--max-waves") {
+            maxWaves = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--cost") {
+            costTable = true;
+        } else if (arg == "--cost-csv") {
+            costCsvPath = value();
+        } else if (arg == "--cost-json") {
+            costJsonPath = value();
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -136,6 +172,24 @@ int main(int argc, char** argv)
         campaign::CampaignRunner runner(workload.factory());
         runner.setWorkers(workers);
         runner.setFaultCollapsing(collapse);
+        if (maxWaves > 0) {
+            WatchdogConfig wd;
+            wd.digitalWaves = maxWaves;
+            runner.setWatchdogConfig(wd);
+        }
+        if (!forensicsDir.empty()) {
+            runner.setForensics(forensicsDir);
+        }
+        obs::Telemetry telemetry;
+        if (!metricsPath.empty() || !tracePath.empty()) {
+            telemetry.setMetricsPath(metricsPath);
+            telemetry.setTracePath(tracePath);
+            runner.setTelemetry(telemetry);
+        }
+        if (progress) {
+            runner.setProgressSink(
+                [](const std::string& line) { std::fputs(line.c_str(), stderr); });
+        }
 
         campaign::CampaignReport report;
         if (!storeDir.empty()) {
@@ -181,10 +235,32 @@ int main(int argc, char** argv)
             }
         }
         if (!csvPath.empty()) {
-            campaign::writeReportCsv(report, csvPath);
+            campaign::CsvOptions csvOptions;
+            csvOptions.costColumns = costTable;
+            campaign::writeReportCsv(report, csvPath, csvOptions);
         }
         if (!jsonPath.empty()) {
             campaign::writeReportJson(report, jsonPath);
+        }
+        if (costTable || !costCsvPath.empty() || !costJsonPath.empty()) {
+            const campaign::CostReport cost = campaign::buildCostReport(report);
+            if (!costCsvPath.empty()) {
+                cost.writeCsv(costCsvPath);
+            }
+            if (!costJsonPath.empty()) {
+                std::ofstream out(costJsonPath, std::ios::binary | std::ios::trunc);
+                if (!(out << cost.toJson() << "\n")) {
+                    std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                                 costJsonPath.c_str());
+                    return 1;
+                }
+            }
+            if (costTable && !quiet) {
+                std::printf("%s\n", cost.table().c_str());
+            }
+        }
+        if (!metricsPath.empty() || !tracePath.empty()) {
+            telemetry.flush();
         }
 
         const std::string ansSha = io::sha256Hex(ansText);

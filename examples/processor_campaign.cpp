@@ -9,24 +9,50 @@
 // 95 % intervals and writes the sweep as JSON.
 //
 //   usage: example_processor_campaign [samples] [json-path]
+//            [--metrics FILE] [--trace FILE]
 //
 // Exits nonzero unless hardening the RAM (SEC-DED + scrubbing) strictly
 // reduces the RAM-target SDC cross-section versus the unprotected system —
 // the flow's whole point is measuring that improvement before silicon.
 
 #include "inject/sweep.hpp"
+#include "obs/telemetry.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
+#include <vector>
 
 using namespace gfi;
 
 int main(int argc, char** argv)
 {
+    std::vector<std::string> positional;
+    std::string metricsPath;
+    std::string tracePath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--metrics") {
+            metricsPath = value();
+        } else if (arg == "--trace") {
+            tracePath = value();
+        } else {
+            positional.push_back(arg);
+        }
+    }
     const std::size_t samples =
-        argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10)) : 160;
-    const std::string jsonPath = argc > 2 ? argv[2] : "cpu_sweep.json";
+        !positional.empty()
+            ? static_cast<std::size_t>(std::strtoul(positional[0].c_str(), nullptr, 10))
+            : 160;
+    const std::string jsonPath = positional.size() > 1 ? positional[1] : "cpu_sweep.json";
 
     std::printf("=== Processor-injection supervisor: hardening sweep ===\n\n");
     std::printf("TinyCpu system, 50 MHz, %zu seeded architectural SEUs per variant\n"
@@ -38,6 +64,12 @@ int main(int argc, char** argv)
     inject::SweepOptions options;
     options.samples = samples;
     options.seed = 0x5EED;
+    obs::Telemetry telemetry;
+    if (!metricsPath.empty() || !tracePath.empty()) {
+        telemetry.setMetricsPath(metricsPath);
+        telemetry.setTracePath(tracePath);
+        options.telemetry = &telemetry;
+    }
     const inject::SweepReport sweep = inject::runHardeningSweep(
         base,
         {duts::HardeningMode::None, duts::HardeningMode::Tmr, duts::HardeningMode::Dwc,
@@ -54,6 +86,9 @@ int main(int argc, char** argv)
     out << sweep.json() << "\n";
     out.close();
     std::printf("sweep written to %s\n", jsonPath.c_str());
+    if (options.telemetry != nullptr) {
+        telemetry.flush();
+    }
 
     // Self-check: the RAM-target SDC cross-section must strictly decrease
     // when the data memory is protected.

@@ -1,5 +1,7 @@
 #include "ams/bridge.hpp"
 
+#include "obs/flight_recorder.hpp"
+
 namespace gfi::ams {
 
 // ---------------------------------------------------------------------------
@@ -36,6 +38,10 @@ void AtoDBridge::fire(MixedSimulator& sim, double tCross, bool rising)
     ++sim.bridgeCounters().atodCrossings;
     auto& sched = sim.digital().scheduler();
     const SimTime tFs = fromSeconds(tCross);
+    if (auto* fr = sim.flightRecorder()) {
+        fr->record(obs::FlightRecorder::Kind::AtoD, tFs, tCross,
+                   sim.bridgeCounters().atodCrossings, 0, rising ? 1.0 : 0.0);
+    }
     // No digital events exist before tCross (the synchronizer guarantees it),
     // so advancing the digital clock here only moves time.
     sched.runUntil(tFs > sched.now() ? tFs : sched.now());
@@ -72,6 +78,11 @@ void DtoABridge::drive(MixedSimulator& sim)
         return;
     }
     ++sim.bridgeCounters().dtoaEvents;
+    if (auto* fr = sim.flightRecorder()) {
+        fr->record(obs::FlightRecorder::Kind::DtoA, sim.now(),
+                   sim.elaborated() ? sim.solver().time() : 0.0,
+                   sim.bridgeCounters().dtoaEvents, 0, target);
+    }
     if (!sim.elaborated()) {
         currentLevel_ = target;
         source_->setLevel(target);
@@ -132,6 +143,11 @@ void DigitalVoltageDriver::drive(MixedSimulator& sim)
         return;
     }
     ++sim.bridgeCounters().dtoaEvents;
+    if (auto* fr = sim.flightRecorder()) {
+        fr->record(obs::FlightRecorder::Kind::DtoA, sim.now(),
+                   sim.elaborated() ? sim.solver().time() : 0.0,
+                   sim.bridgeCounters().dtoaEvents, 0, target);
+    }
     currentLevel_ = target;
     source_->setLevel(target);
     if (sim.elaborated()) {
@@ -168,6 +184,11 @@ void DigitalCurrentDriver::drive(MixedSimulator& sim)
         return;
     }
     ++sim.bridgeCounters().dtoaEvents;
+    if (auto* fr = sim.flightRecorder()) {
+        fr->record(obs::FlightRecorder::Kind::DtoA, sim.now(),
+                   sim.elaborated() ? sim.solver().time() : 0.0,
+                   sim.bridgeCounters().dtoaEvents, 0, target);
+    }
     currentLevel_ = target;
     source_->setLevel(target);
     if (sim.elaborated()) {

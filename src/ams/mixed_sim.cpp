@@ -1,5 +1,7 @@
 #include "ams/mixed_sim.hpp"
 
+#include "obs/flight_recorder.hpp"
+
 #include <algorithm>
 
 namespace gfi::ams {
@@ -10,6 +12,15 @@ void MixedSimulator::setWatchdog(Watchdog* wd)
     digital_.scheduler().setWatchdog(wd);
     if (solver_) {
         solver_->setWatchdog(wd);
+    }
+}
+
+void MixedSimulator::setFlightRecorder(obs::FlightRecorder* fr)
+{
+    recorder_ = fr;
+    digital_.scheduler().setFlightRecorder(fr);
+    if (solver_) {
+        solver_->setFlightRecorder(fr);
     }
 }
 
@@ -25,6 +36,7 @@ void MixedSimulator::elaborate(analog::SolverOptions options)
     }
     solver_ = std::make_unique<analog::TransientSolver>(analog_, options);
     solver_->setWatchdog(watchdog_);
+    solver_->setFlightRecorder(recorder_);
     solver_->solveDc();
     for (auto& hook : elaborationHooks_) {
         hook(*solver_);
@@ -164,6 +176,10 @@ void MixedSimulator::restoreSnapshot(const snapshot::Snapshot& snap)
     if (!r.atEnd()) {
         throw snapshot::SnapshotFormatError("snapshot: " + std::to_string(r.remaining()) +
                                             " trailing bytes after restore");
+    }
+    if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightRecorder::Kind::Restore, snap.time, snap.analogTime,
+                          0, 0, 0.0);
     }
 }
 

@@ -117,6 +117,14 @@ public:
     /// its budgets; exhaustion unwinds run() with WatchdogTimeout.
     void setWatchdog(Watchdog* wd);
 
+    /// Attaches a flight recorder to both kernels and the AMS bridges (not
+    /// owned; nullptr detaches). Scheduler waves, solver step accepts and
+    /// rejects, bridge crossings and snapshot restores then record into its
+    /// bounded ring — always cheap, so a campaign can keep it armed for
+    /// every contained run and dump the window only when a run dies.
+    void setFlightRecorder(obs::FlightRecorder* fr);
+    [[nodiscard]] obs::FlightRecorder* flightRecorder() const noexcept { return recorder_; }
+
     /// Scales the solver's dtMax/dtInitial at elaboration time — the retry
     /// policy uses this to re-run a diverged fault with a tightened step.
     /// Must be set before elaborate(); 1.0 = nominal.
@@ -130,6 +138,7 @@ private:
     snapshot::SnapshotRegistry bridges_;
     std::vector<std::function<void(analog::TransientSolver&)>> elaborationHooks_;
     Watchdog* watchdog_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
     double stepScale_ = 1.0;
     BridgeCounters bridgeCounters_;
 };

@@ -1,5 +1,6 @@
 #include "analog/solver.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "sim/errors.hpp"
 
 #include <algorithm>
@@ -166,6 +167,10 @@ void TransientSolver::acceptStep(const std::vector<double>& x, double dt)
     if (stats_.minAcceptedDt == 0.0 || dt < stats_.minAcceptedDt) {
         stats_.minAcceptedDt = dt;
     }
+    if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightRecorder::Kind::SolverAccept, fromSeconds(time_),
+                          time_, stats_.acceptedSteps, 0, dt);
+    }
     for (const auto& probe : probes_) {
         probe(time_);
     }
@@ -290,6 +295,10 @@ double TransientSolver::advanceTo(double tStop)
         bool solved = trySolveStep(dt, xCand, false, leftOfBp);
         while (!solved && dt > options_.dtMin * 2.0) {
             ++stats_.rejectedSteps;
+            if (recorder_ != nullptr) {
+                recorder_->record(obs::FlightRecorder::Kind::SolverReject,
+                                  fromSeconds(time_), time_, stats_.rejectedSteps, 0, dt);
+            }
             dt *= 0.25;
             landsOnBreakpoint = false;
             solved = trySolveStep(dt, xCand, false);
@@ -317,6 +326,11 @@ double TransientSolver::advanceTo(double tStop)
             }
             if (err > 4.0 && dt > options_.dtMin * 2.0) {
                 ++stats_.rejectedSteps;
+                if (recorder_ != nullptr) {
+                    recorder_->record(obs::FlightRecorder::Kind::SolverReject,
+                                      fromSeconds(time_), time_, stats_.rejectedSteps, 0,
+                                      dt);
+                }
                 dtNext_ = std::max(dt * std::max(0.9 / std::sqrt(err), 0.1),
                                    options_.dtMin);
                 continue; // reject and retry smaller

@@ -22,6 +22,10 @@
 #include <memory>
 #include <set>
 
+namespace gfi::obs {
+class FlightRecorder;
+}
+
 namespace gfi::analog {
 
 /// Tuning knobs for the transient solver.
@@ -154,6 +158,10 @@ public:
     /// at the minimum step) unwind with DivergenceError.
     void setWatchdog(Watchdog* wd) noexcept { watchdog_ = wd; }
 
+    /// Attaches a flight recorder (not owned; nullptr detaches). Every step
+    /// accept/reject records one event — a branch and a ring write.
+    void setFlightRecorder(obs::FlightRecorder* fr) noexcept { recorder_ = fr; }
+
 private:
     /// One Newton solve of the step [time_, time_ + dt] from the committed
     /// state; returns false if Newton failed to converge or the matrix was
@@ -184,6 +192,7 @@ private:
     double dtNext_;
     bool dcDone_ = false;
     Watchdog* watchdog_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
     bool sawNonFinite_ = false; // last trySolveStep failure was non-finite
 
     // Predictor history for LTE estimation.

@@ -5,6 +5,7 @@
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "lint/lint.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/errors.hpp"
 #include "util/table.hpp"
@@ -13,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -41,6 +43,21 @@ RunResult expandCollapsed(const RunResult& rep, const fault::FaultSpec& member)
     r.diagnostics.error = rep.diagnostics.error;
     r.diagnostics.collapsedFrom = fault::describe(rep.fault);
     return r;
+}
+
+/// FNV-1a 64-bit of a fault description, as 16 hex digits — the stable,
+/// filesystem-safe run identity forensic artifacts are named by (fault
+/// descriptions contain '/', spaces and '@').
+std::string fnv1aHex(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+    return buf;
 }
 
 } // namespace
@@ -285,6 +302,15 @@ bool CampaignRunner::batchBackendEnabled() const
     return env != nullptr && *env != '\0' && *env != '0';
 }
 
+std::string CampaignRunner::forensicsDir() const
+{
+    if (forensicsSet_) {
+        return forensicsDir_; // explicit setting (possibly empty = off) wins
+    }
+    const char* env = std::getenv("GFI_FORENSICS");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
 void CampaignRunner::runGolden()
 {
     if (goldenRan_) {
@@ -435,12 +461,26 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
 
     Watchdog watchdog(watchdogConfig_.scaledFor(activeWorkers_));
     obs::Telemetry* const tel = activeTelemetry();
+    // Forensics: a bounded kernel-event ring rides along with the run; it is
+    // declared before the testbench so the simulator's recorder pointer never
+    // outlives it. Recording is a branch plus a fixed-slot write, so arming
+    // it for every run of a campaign is fine.
+    const std::string forensics = forensicsDir();
+    std::unique_ptr<obs::FlightRecorder> recorder;
+    if (!forensics.empty()) {
+        recorder = std::make_unique<obs::FlightRecorder>(
+            forensicsCapacity_ > 0 ? forensicsCapacity_
+                                   : obs::FlightRecorder::kDefaultCapacity);
+    }
     std::unique_ptr<fault::Testbench> tb;
     obs::ProbeSnapshot baseline;
     try {
         {
             obs::Span span(tel, "build", "run");
             tb = factory_();
+        }
+        if (recorder) {
+            tb->sim().setFlightRecorder(recorder.get());
         }
         if (attempt > 1 && retryPolicy_.stepTighten > 0.0 && retryPolicy_.stepTighten < 1.0) {
             tb->sim().setSolverStepScale(std::pow(retryPolicy_.stepTighten, attempt - 1));
@@ -484,6 +524,7 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
 
     if (tb) {
         tb->sim().setWatchdog(nullptr);
+        tb->sim().setFlightRecorder(nullptr);
         result.diagnostics.digitalWaves = tb->sim().digital().scheduler().deltaCycles();
         if (tb->sim().elaborated()) {
             const auto& stats = tb->sim().solver().stats();
@@ -501,6 +542,27 @@ RunResult CampaignRunner::attemptOne(const fault::FaultSpec& fault, int attempt)
         if (tb) {
             result.diagnostics.resimulatedTime =
                 std::max<SimTime>(tb->sim().now() - cp->time, 0);
+        }
+    }
+    // Abnormal terminal attempt with forensics armed: dump the last-N kernel
+    // window. Artifact names are derived from the fault identity and attempt
+    // number only, so reruns and different worker widths produce identical
+    // paths and (the events being simulated-time-only) identical bytes. A
+    // failed dump must not turn a classified data point into a crash.
+    if (recorder && isAbnormal(result.outcome)) {
+        const std::string stem =
+            forensics + "/run-" + fnv1aHex(fault::describe(fault)) + "-a" +
+            std::to_string(attempt);
+        try {
+            recorder->writeArtifacts(stem);
+            result.diagnostics.forensic = stem;
+            if (tel != nullptr && tel->trace() != nullptr) {
+                tel->trace()->instantEvent("forensic dump", "run",
+                                           "{\"stem\": \"" + jsonEscape(stem) + "\"}");
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "gfi: forensics: dump failed for %s: %s\n", stem.c_str(),
+                         e.what());
         }
     }
     return result;
@@ -737,6 +799,11 @@ CampaignReport CampaignRunner::run(
                 // campaign must restore cleanly into an event-driven one.
                 r.diagnostics.batchLane = 0;
             }
+            if (forensicsDir().empty()) {
+                // And for forensic provenance: with forensics off, restored
+                // reports must match a never-instrumented campaign's.
+                r.diagnostics.forensic.clear();
+            }
             restored.emplace(i, std::move(r));
         }
     }
@@ -826,6 +893,74 @@ CampaignReport CampaignRunner::run(
     // fault-list order — byte-identical observable output at any width.
     core::Executor exec(workers_);
     activeWorkers_ = exec.effectiveWorkers();
+
+    // Live progress stream (NDJSON). Counts are cumulative across the whole
+    // campaign — journal-restored runs included — so a resumed campaign
+    // reports restored + new, never from zero; throughput and ETA come from
+    // newly executed (simulated or word-batched) runs only. All emission
+    // happens on the serialized commit path plus the start/done bookends, so
+    // no extra synchronization is needed beyond the live-counter mutex.
+    struct ProgressCounters {
+        std::size_t restored = 0;  ///< committed from the journal
+        std::size_t batched = 0;   ///< committed from the word kernel
+        std::size_t collapsed = 0; ///< expanded from a collapse representative
+        std::size_t executed = 0;  ///< newly simulated or word-batched
+    };
+    ProgressCounters prog;
+    const auto progressStart = std::chrono::steady_clock::now();
+    auto lastBeat = progressStart;
+    const auto emitProgress = [&](const char* event, const std::string& extra = "") {
+        if (!progressSink_) {
+            return;
+        }
+        std::map<Outcome, int> hist;
+        std::size_t completed = 0;
+        {
+            const std::lock_guard<std::mutex> lock(liveMutex_);
+            hist = liveHistogram_;
+            completed = liveCompleted_;
+        }
+        std::string line = "{\"event\": \"" + std::string(event) + "\"";
+        line += ", \"completed\": " + std::to_string(completed);
+        line += ", \"total\": " + std::to_string(faults.size());
+        line += ", \"outcomes\": {";
+        bool first = true;
+        for (Outcome o : kAllOutcomes) {
+            const auto it = hist.find(o);
+            line += std::string(first ? "" : ", ") + "\"" + toString(o) +
+                    "\": " + std::to_string(it != hist.end() ? it->second : 0);
+            first = false;
+        }
+        line += "}";
+        line += ", \"restored\": " + std::to_string(prog.restored);
+        line += ", \"batched\": " + std::to_string(prog.batched);
+        line += ", \"collapsed\": " + std::to_string(prog.collapsed);
+        line += ", \"workers\": " + std::to_string(activeWorkers_);
+        // With timing recording off, elapsed is pinned to 0 and the derived
+        // rate/ETA fields are omitted, so the stream is byte-deterministic.
+        const double elapsed =
+            recordTiming_ ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                          progressStart)
+                                .count()
+                          : 0.0;
+        line += ", \"elapsed_s\": " + formatDouble(elapsed, 3);
+        if (elapsed > 0.0 && prog.executed > 0) {
+            const double rate = static_cast<double>(prog.executed) / elapsed;
+            line += ", \"runs_per_s\": " + formatDouble(rate, 3);
+            if (completed < faults.size()) {
+                line += ", \"eta_s\": " +
+                        formatDouble(static_cast<double>(faults.size() - completed) / rate, 3);
+            }
+        }
+        line += extra;
+        line += "}\n";
+        progressSink_(line);
+    };
+    emitProgress("start", ", \"restorable\": " + std::to_string(restored.size()) +
+                              ", \"collapsed_planned\": " +
+                              std::to_string(plan ? plan->collapsedRuns() : 0) +
+                              ", \"batched_planned\": " + std::to_string(batched.size()));
+
     try {
         exec.forEachOrdered(faults.size(), [&](std::size_t i) -> core::CommitFn {
             RunResult r;
@@ -854,8 +989,9 @@ CampaignReport CampaignRunner::run(
                 span.setArgs("{\"fault\": \"" + jsonEscape(fault::describe(faults[i])) +
                              "\", \"outcome\": \"" + toString(r.outcome) + "\"}");
             }
-            return [this, &report, &journal, &progress, &faults, plan = plan.get(), i,
-                    fromJournal, expand, r = std::move(r)]() mutable {
+            return [this, &report, &journal, &progress, &faults, &prog, &lastBeat,
+                    &emitProgress, plan = plan.get(), i, fromJournal, expand,
+                    r = std::move(r)]() mutable {
                 if (expand) {
                     r = expandCollapsed(report.runs[plan->repOf[i]], faults[i]);
                 }
@@ -872,9 +1008,28 @@ CampaignReport CampaignRunner::run(
                 // worker width; restored entries re-apply their journaled
                 // deltas, reproducing the interrupted campaign's telemetry.
                 recordRunMetrics(r);
+                if (fromJournal) {
+                    ++prog.restored;
+                } else if (r.diagnostics.batchLane > 0) {
+                    ++prog.batched;
+                    ++prog.executed;
+                } else if (!r.diagnostics.collapsedFrom.empty()) {
+                    ++prog.collapsed;
+                } else {
+                    ++prog.executed;
+                }
                 report.runs[i] = std::move(r);
                 if (progress) {
                     progress(i, report.runs[i]);
+                }
+                if (progressSink_) {
+                    const auto beatNow = std::chrono::steady_clock::now();
+                    if (progressCadence_ <= 0.0 ||
+                        std::chrono::duration<double>(beatNow - lastBeat).count() >=
+                            progressCadence_) {
+                        lastBeat = beatNow;
+                        emitProgress("heartbeat");
+                    }
                 }
             };
         });
@@ -882,6 +1037,7 @@ CampaignReport CampaignRunner::run(
         activeWorkers_ = 1;
         throw;
     }
+    emitProgress("done");
     const unsigned usedWorkers = activeWorkers_;
     activeWorkers_ = 1;
 

@@ -96,6 +96,10 @@ struct RunDiagnostics {
                                     ///< fork (0 when from scratch)
     int batchLane = 0;              ///< word-simulation lane (1..63) this verdict
                                     ///< came from; 0 = event-driven kernel
+    std::string forensic;           ///< artifact stem of the flight-recorder
+                                    ///< dump written for this run (abnormal
+                                    ///< outcomes with forensics enabled only;
+                                    ///< empty otherwise)
 
     /// The run's own kernel-counter consumption (final reading minus the
     /// post-restore baseline): how many events/steps/crossings THIS run cost,
@@ -362,6 +366,48 @@ public:
     void setTelemetry(obs::Telemetry& telemetry) noexcept { telemetry_ = &telemetry; }
     [[nodiscard]] obs::Telemetry* telemetry() const noexcept { return telemetry_; }
 
+    /// Enables flight-recorder forensics: every contained attempt runs with a
+    /// bounded kernel-event ring attached, and any attempt that ends
+    /// abnormally (SimError/Timeout/Diverged) dumps its last-N window into
+    /// @p dir as "<dir>/run-<fault-hash>-a<attempt>.jsonl" plus a
+    /// Perfetto-loadable "....trace.json"; diagnostics.forensic then names
+    /// the artifact stem and the journal line carries a "forensic" key.
+    /// Events hold simulated time and kernel counters only, so the artifacts
+    /// are byte-identical across reruns and worker widths. An explicit empty
+    /// @p dir disables; unset, the GFI_FORENSICS environment variable (a
+    /// directory path) decides. A failed dump warns on stderr and leaves the
+    /// run classified — forensics never turn a data point into a crash.
+    void setForensics(std::string dir)
+    {
+        forensicsDir_ = std::move(dir);
+        forensicsSet_ = true;
+    }
+    [[nodiscard]] std::string forensicsDir() const;
+
+    /// Ring capacity of the per-run flight recorder (the "last N" window).
+    void setForensicsCapacity(std::size_t events) noexcept
+    {
+        forensicsCapacity_ = events > 0 ? events : 1;
+    }
+    [[nodiscard]] std::size_t forensicsCapacity() const noexcept { return forensicsCapacity_; }
+
+    /// Attaches a live progress sink: run() then emits one NDJSON line per
+    /// event — a "start" line before the worker phase, "heartbeat" lines from
+    /// the ordered-commit path at most every @p cadenceSeconds (<= 0 = every
+    /// commit, deterministic for tests), and a final "done" line. Counts are
+    /// cumulative over the whole campaign including journal-restored runs, so
+    /// a resumed campaign reports restored + new, never from zero; the
+    /// throughput/ETA fields are computed from newly executed runs only, and
+    /// are omitted (with elapsed_s pinned to 0) when setRecordTiming(false)
+    /// keeps the stream byte-deterministic. The sink is called from inside
+    /// the ordered commit — keep it fast; an empty function detaches.
+    void setProgressSink(std::function<void(const std::string&)> sink,
+                         double cadenceSeconds = 1.0)
+    {
+        progressSink_ = std::move(sink);
+        progressCadence_ = cadenceSeconds;
+    }
+
     /// Re-classifies a finished faulty testbench against the golden traces
     /// (used by tolerance-sweep ablations without re-simulating).
     [[nodiscard]] RunResult classify(fault::Testbench& tb, const fault::FaultSpec& fault) const;
@@ -410,6 +456,11 @@ private:
     obs::Telemetry* telemetry_ = nullptr;   ///< attached sink (not owned)
     std::unique_ptr<obs::Telemetry> envTelemetry_; ///< GFI_TRACE/GFI_METRICS sink
     snapshot::CheckpointStore::Stats statsApplied_; ///< store stats already billed
+    std::string forensicsDir_;        ///< flight-recorder dump directory
+    bool forensicsSet_ = false;       ///< explicit setting beats GFI_FORENSICS
+    std::size_t forensicsCapacity_ = 0; ///< 0 = FlightRecorder default
+    std::function<void(const std::string&)> progressSink_; ///< NDJSON consumer
+    double progressCadence_ = 1.0;    ///< min seconds between heartbeats
 
     mutable std::mutex liveMutex_;           ///< guards the live counters
     std::map<Outcome, int> liveHistogram_;   ///< committed-run outcome counts

@@ -76,4 +76,20 @@ SimTime injectionTime(const FaultSpec& fault)
     return std::visit(TimeGetter{}, fault);
 }
 
+const char* kindOf(const FaultSpec& fault)
+{
+    struct Kinder {
+        const char* operator()(const std::monostate&) const { return "golden"; }
+        const char* operator()(const BitFlipFault&) const { return "bit-flip"; }
+        const char* operator()(const DoubleBitFlipFault&) const { return "double-bit-flip"; }
+        const char* operator()(const StateWriteFault&) const { return "state-write"; }
+        const char* operator()(const FsmTransitionFault&) const { return "fsm-transition"; }
+        const char* operator()(const DigitalPulseFault&) const { return "digital-pulse"; }
+        const char* operator()(const StuckAtFault&) const { return "stuck-at"; }
+        const char* operator()(const CurrentPulseFault&) const { return "current-pulse"; }
+        const char* operator()(const ParametricFault&) const { return "parametric"; }
+    };
+    return std::visit(Kinder{}, fault);
+}
+
 } // namespace gfi::fault

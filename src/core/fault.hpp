@@ -91,6 +91,10 @@ using FaultSpec = std::variant<std::monostate, BitFlipFault, DoubleBitFlipFault,
 /// The injection instant of a fault (0 for the golden run).
 [[nodiscard]] SimTime injectionTime(const FaultSpec& fault);
 
+/// Stable fault-class name of a spec ("bit-flip", "current-pulse", ...; the
+/// cost-attribution grouping key). One name per FaultSpec alternative.
+[[nodiscard]] const char* kindOf(const FaultSpec& fault);
+
 /// True for the golden (no-fault) spec.
 [[nodiscard]] inline bool isGolden(const FaultSpec& fault)
 {

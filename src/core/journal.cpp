@@ -174,6 +174,11 @@ std::string CampaignJournal::entryToJson(std::size_t index, const RunResult& r,
     if (r.diagnostics.batchLane > 0) {
         json += ", \"batch_lane\": " + std::to_string(r.diagnostics.batchLane);
     }
+    // Forensic provenance — only on abnormal runs that dumped a flight-
+    // recorder window, so ordinary lines remain byte-identical.
+    if (!r.diagnostics.forensic.empty()) {
+        json += ", \"forensic\": " + quoted(r.diagnostics.forensic);
+    }
     // Appended after every historical key so lines without probes remain
     // byte-identical to pre-observability journals.
     if (embedProbes && r.diagnostics.probes.valid) {
@@ -268,6 +273,7 @@ std::optional<JournalEntry> CampaignJournal::parseLine(const std::string& line)
     if (getInt(line, "batch_lane", ll)) {
         e.result.diagnostics.batchLane = static_cast<int>(ll);
     }
+    (void)getString(line, "forensic", e.result.diagnostics.forensic);
 
     // Optional probes object (lines written with a telemetry sink attached).
     // Keys are globally unique within a line, so the flat key scan works on

@@ -30,14 +30,21 @@ std::string jsonEscape(const std::string& s)
     return out;
 }
 
-void writeReportCsv(const CampaignReport& report, const std::string& path)
+void writeReportCsv(const CampaignReport& report, const std::string& path,
+                    const CsvOptions& options)
 {
     CsvWriter csv(path);
-    csv.writeRow({"fault", "target", "outcome", "first_output_error_fs",
-                  "total_output_error_fs", "max_analog_deviation_v",
-                  "analog_time_outside_tol_s", "erred_signals", "corrupted_state",
-                  "attempts", "wall_s", "checkpoint_fs", "resim_fs", "from_journal",
-                  "error", "collapsed_from", "batch_lane"});
+    std::vector<std::string> header{
+        "fault", "target", "outcome", "first_output_error_fs", "total_output_error_fs",
+        "max_analog_deviation_v", "analog_time_outside_tol_s", "erred_signals",
+        "corrupted_state", "attempts", "wall_s", "checkpoint_fs", "resim_fs",
+        "from_journal", "error", "collapsed_from", "batch_lane"};
+    if (options.costColumns) {
+        // Appended after every historical column so the default shape stays
+        // byte-identical and trailing-column consumers keep working.
+        header.insert(header.end(), {"digital_waves", "analog_steps", "forensic"});
+    }
+    csv.writeRow(header);
     for (const RunResult& r : report.runs) {
         std::string erred;
         for (const std::string& s : r.erredSignals) {
@@ -47,20 +54,27 @@ void writeReportCsv(const CampaignReport& report, const std::string& path)
         for (const std::string& s : r.corruptedState) {
             corrupted += (corrupted.empty() ? "" : ";") + s;
         }
-        csv.writeRow({fault::describe(r.fault), targetOf(r.fault), toString(r.outcome),
-                      std::to_string(r.firstOutputError),
-                      std::to_string(r.totalOutputErrorTime),
-                      formatDouble(r.maxAnalogDeviation, 9),
-                      formatDouble(r.analogTimeOutsideTol, 9), erred, corrupted,
-                      std::to_string(r.diagnostics.attempts),
-                      formatDouble(r.diagnostics.wallSeconds, 6),
-                      std::to_string(r.diagnostics.checkpointTime),
-                      std::to_string(r.diagnostics.resimulatedTime),
-                      r.diagnostics.fromJournal ? "1" : "0", r.diagnostics.error,
-                      r.diagnostics.collapsedFrom,
-                      r.diagnostics.batchLane > 0
-                          ? std::to_string(r.diagnostics.batchLane)
-                          : ""});
+        std::vector<std::string> row{fault::describe(r.fault), targetOf(r.fault),
+                                     toString(r.outcome),
+                                     std::to_string(r.firstOutputError),
+                                     std::to_string(r.totalOutputErrorTime),
+                                     formatDouble(r.maxAnalogDeviation, 9),
+                                     formatDouble(r.analogTimeOutsideTol, 9), erred,
+                                     corrupted, std::to_string(r.diagnostics.attempts),
+                                     formatDouble(r.diagnostics.wallSeconds, 6),
+                                     std::to_string(r.diagnostics.checkpointTime),
+                                     std::to_string(r.diagnostics.resimulatedTime),
+                                     r.diagnostics.fromJournal ? "1" : "0",
+                                     r.diagnostics.error, r.diagnostics.collapsedFrom,
+                                     r.diagnostics.batchLane > 0
+                                         ? std::to_string(r.diagnostics.batchLane)
+                                         : ""};
+        if (options.costColumns) {
+            row.push_back(std::to_string(r.diagnostics.digitalWaves));
+            row.push_back(std::to_string(r.diagnostics.analogSteps));
+            row.push_back(r.diagnostics.forensic);
+        }
+        csv.writeRow(row);
     }
 }
 
@@ -116,6 +130,12 @@ std::string reportToJson(const CampaignReport& report)
         // runs omit the key so pre-batch reports keep their exact shape.
         if (r.diagnostics.batchLane > 0) {
             json += ", \"batch_lane\": " + std::to_string(r.diagnostics.batchLane);
+        }
+        // Abnormal runs that dumped a flight-recorder window name the
+        // artifact stem; other runs omit the key, keeping the exact
+        // pre-forensics shape.
+        if (!r.diagnostics.forensic.empty()) {
+            json += ", \"forensic\": \"" + jsonEscape(r.diagnostics.forensic) + "\"";
         }
         json += "}";
         json += i + 1 < report.runs.size() ? ",\n" : "\n";

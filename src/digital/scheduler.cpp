@@ -1,6 +1,7 @@
 #include "digital/scheduler.hpp"
 
 #include "digital/signal.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/errors.hpp"
 
 namespace gfi::digital {
@@ -102,6 +103,10 @@ void Scheduler::runWave()
     }
     ++waveId_;
     ++deltasRun_;
+    if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightRecorder::Kind::Wave, now_, 0.0, deltasRun_,
+                          queue_.size(), 0.0);
+    }
     if (watchdog_ != nullptr) {
         watchdog_->chargeDigitalWave();
     }

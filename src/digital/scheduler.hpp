@@ -25,6 +25,10 @@
 #include <string>
 #include <vector>
 
+namespace gfi::obs {
+class FlightRecorder;
+}
+
 namespace gfi::digital {
 
 class Scheduler;
@@ -96,6 +100,11 @@ public:
     /// charges one digital-wave unit; budget exhaustion unwinds the kernel
     /// with WatchdogTimeout.
     void setWatchdog(Watchdog* wd) noexcept { watchdog_ = wd; }
+
+    /// Attaches a flight recorder (not owned; nullptr detaches). Every
+    /// retired wave records one event — a branch and a ring write, so the
+    /// recorder can stay armed for entire campaigns.
+    void setFlightRecorder(obs::FlightRecorder* fr) noexcept { recorder_ = fr; }
 
     /// Records the signal whose event was stamped most recently — the prime
     /// suspect when the delta-cycle limit trips (called by SignalBase).
@@ -195,6 +204,7 @@ private:
     std::uint64_t waveId_ = 0;
     std::uint64_t deltaLimit_ = kDefaultDeltaLimit;
     Watchdog* watchdog_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
     const std::string* lastEventSignal_ = nullptr;
     const std::string* lastProcessRun_ = nullptr;
     bool started_ = false;

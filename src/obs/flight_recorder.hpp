@@ -1,0 +1,115 @@
+#pragma once
+// Flight recorder: a bounded ring buffer of recent kernel events (scheduler
+// waves, analog solver step accepts/rejects, AMS bridge crossings, snapshot
+// restores) that a campaign can attach to every contained run. Recording is
+// always cheap — one branch plus a fixed-slot write, no allocation, no lock —
+// so the recorder can stay armed for whole campaigns; when a run ends
+// abnormally (SimError/Timeout/Diverged) the last-N window is dumped as a
+// JSONL forensic log plus a Chrome-trace JSON that Perfetto loads directly,
+// answering "what was the kernel doing right before this run died?".
+//
+// Determinism: events carry *simulated* time only (digital femtoseconds,
+// analog seconds) and kernel counters, never wall clock, so the forensic
+// artifacts of a deterministic run are byte-identical across reruns, worker
+// widths and machines.
+//
+// Thread model: one recorder instrument one simulator instance, which is
+// worker-local by construction (each campaign worker builds its own
+// testbench) — hence no synchronization in record().
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfi::obs {
+
+class FlightRecorder {
+public:
+    /// What happened. The payload fields a/b/value are kind-specific (see
+    /// the Event comments); unused ones are zero.
+    enum class Kind : std::uint8_t {
+        Wave,         ///< digital delta-cycle wave retired
+        SolverAccept, ///< analog integration step accepted
+        SolverReject, ///< analog integration step rejected (Newton/LTE)
+        AtoD,         ///< analog->digital threshold crossing fired
+        DtoA,         ///< digital->analog drive-level update
+        Restore,      ///< snapshot restored into the simulator
+    };
+
+    /// One recorded kernel event (POD; fixed slot in the ring).
+    struct Event {
+        Kind kind = Kind::Wave;
+        SimTime timeFs = 0;      ///< digital simulation time (fs)
+        double analogTime = 0.0; ///< analog simulation time (s); 0 if digital-only
+        std::uint64_t a = 0;     ///< Wave: cumulative waves; Solver*: cumulative
+                                 ///< accepted/rejected steps; AtoD/DtoA:
+                                 ///< cumulative crossings/updates
+        std::uint64_t b = 0;     ///< Wave: pending-queue depth after the wave
+        double value = 0.0;      ///< Solver*: step size dt (s); AtoD: 1 = rising
+                                 ///< edge; DtoA: driven level (V)
+    };
+
+    /// @param capacity  ring slots (the "last N" window); >= 1.
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    /// Records one event, overwriting the oldest once the ring is full.
+    void record(Kind kind, SimTime timeFs, double analogTime, std::uint64_t a,
+                std::uint64_t b, double value) noexcept
+    {
+        Event& e = ring_[head_];
+        e.kind = kind;
+        e.timeFs = timeFs;
+        e.analogTime = analogTime;
+        e.a = a;
+        e.b = b;
+        e.value = value;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++total_;
+    }
+
+    /// Ring capacity (the maximum window length).
+    [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+    /// Events currently held (min(total recorded, capacity)).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Events ever recorded, including overwritten ones.
+    [[nodiscard]] std::uint64_t totalRecorded() const noexcept { return total_; }
+
+    /// Drops every event (the ring keeps its capacity).
+    void clear() noexcept;
+
+    /// The retained window, oldest first.
+    [[nodiscard]] std::vector<Event> window() const;
+
+    /// The most recent event of @p kind still in the window, or nullptr.
+    [[nodiscard]] const Event* lastOfKind(Kind kind) const;
+
+    /// Short event-kind name ("wave", "solver-accept", ...).
+    [[nodiscard]] static const char* kindName(Kind kind);
+
+    /// The window as JSONL: one object per event, oldest first, with
+    /// kind-specific semantic keys plus a "seq" ordinal (position within the
+    /// dumped window). Every line is an event — no header line.
+    [[nodiscard]] std::string jsonl() const;
+
+    /// The window as Chrome Trace Event Format JSON (instant events on one
+    /// track per kernel domain, timestamps in simulated microseconds), ready
+    /// for Perfetto / chrome://tracing.
+    [[nodiscard]] std::string chromeTraceJson() const;
+
+    /// Writes "<stem>.jsonl" and "<stem>.trace.json", creating parent
+    /// directories as needed. Throws std::runtime_error on I/O failure.
+    void writeArtifacts(const std::string& stem) const;
+
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+private:
+    std::vector<Event> ring_;
+    std::size_t head_ = 0;     ///< next slot to write
+    std::uint64_t total_ = 0;  ///< events ever recorded
+};
+
+} // namespace gfi::obs

@@ -25,8 +25,23 @@ std::string escape(const std::string& s)
         case '\n':
             out += "\\n";
             break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
         default:
-            out += c;
+            // Remaining control characters are illegal raw inside JSON
+            // strings; span names are caller-controlled, so harden here.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
     return out;

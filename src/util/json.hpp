@@ -1,0 +1,99 @@
+#pragma once
+// Minimal JSON value model + recursive-descent parser.
+//
+// The repo emits plenty of JSON (reports, journals, traces, benchmarks) but
+// until benchdiff nothing needed to READ arbitrary JSON back. This is the
+// smallest standard-compliant reader that covers that: all JSON types,
+// standard escapes including \uXXXX (encoded as UTF-8), nesting-depth bound,
+// order-preserving objects (so round-tripped key order is inspectable).
+// Throws std::runtime_error with a byte offset on malformed input.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfi::util {
+
+class JsonValue;
+
+/// Object member list, document order. Duplicate keys are kept (lookup
+/// returns the first), matching how lenient parsers treat them.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+/// One parsed JSON value.
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    explicit JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+    explicit JsonValue(double d) : type_(Type::Number), num_(d) {}
+    explicit JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    explicit JsonValue(JsonArray a)
+        : type_(Type::Array), arr_(std::make_shared<JsonArray>(std::move(a)))
+    {
+    }
+    explicit JsonValue(JsonObject o)
+        : type_(Type::Object), obj_(std::make_shared<JsonObject>(std::move(o)))
+    {
+    }
+
+    [[nodiscard]] Type type() const noexcept { return type_; }
+    [[nodiscard]] bool isNull() const noexcept { return type_ == Type::Null; }
+    [[nodiscard]] bool isBool() const noexcept { return type_ == Type::Bool; }
+    [[nodiscard]] bool isNumber() const noexcept { return type_ == Type::Number; }
+    [[nodiscard]] bool isString() const noexcept { return type_ == Type::String; }
+    [[nodiscard]] bool isArray() const noexcept { return type_ == Type::Array; }
+    [[nodiscard]] bool isObject() const noexcept { return type_ == Type::Object; }
+
+    [[nodiscard]] bool asBool() const { return require(Type::Bool), bool_; }
+    [[nodiscard]] double asNumber() const { return require(Type::Number), num_; }
+    [[nodiscard]] const std::string& asString() const
+    {
+        return require(Type::String), str_;
+    }
+    [[nodiscard]] const JsonArray& asArray() const { return require(Type::Array), *arr_; }
+    [[nodiscard]] const JsonObject& asObject() const
+    {
+        return require(Type::Object), *obj_;
+    }
+
+    /// First member named @p key, or nullptr (also nullptr on non-objects).
+    [[nodiscard]] const JsonValue* find(const std::string& key) const
+    {
+        if (type_ != Type::Object) {
+            return nullptr;
+        }
+        for (const auto& [k, v] : *obj_) {
+            if (k == key) {
+                return &v;
+            }
+        }
+        return nullptr;
+    }
+
+private:
+    void require(Type t) const
+    {
+        if (type_ != t) {
+            throw std::runtime_error("JsonValue: wrong type access");
+        }
+    }
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::shared_ptr<JsonArray> arr_;  ///< shared: JsonValue stays copyable
+    std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed, nothing
+/// else after the value). Throws std::runtime_error on malformed input.
+[[nodiscard]] JsonValue parseJson(const std::string& text);
+
+} // namespace gfi::util

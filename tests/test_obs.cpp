@@ -6,18 +6,24 @@
 // widths and reproducible from a journal resume.
 
 #include "core/campaign.hpp"
+#include "core/cost.hpp"
 #include "core/journal.hpp"
 #include "core/report.hpp"
 #include "duts/digital_dut.hpp"
+#include "obs/bench_compare.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "snapshot/snapshot.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -119,12 +125,14 @@ struct ScopedUnsetEnv {
 };
 
 /// Campaign-level tests assert exact byte/count identity, so the ambient
-/// environment must not sneak a sink or a fork cadence into the runner.
+/// environment must not sneak a sink, a fork cadence or a forensics dump
+/// directory into the runner.
 void clearTelemetryEnv()
 {
     ::unsetenv("GFI_TRACE");
     ::unsetenv("GFI_METRICS");
     ::unsetenv("GFI_CHECKPOINT");
+    ::unsetenv("GFI_FORENSICS");
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +636,567 @@ TEST(ObsStore, CheckpointStoreStats)
     EXPECT_EQ(cleared.hits, 0u);
     EXPECT_EQ(cleared.misses, 0u);
     EXPECT_EQ(cleared.bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace writer hardening
+
+TEST(ObsTrace, EscapesControlCharacters)
+{
+    obs::Telemetry telemetry;
+    telemetry.enableTracing();
+    ASSERT_NE(telemetry.trace(), nullptr);
+    // Span names are caller-controlled; every JSON-hostile byte must come out
+    // escaped so the trace file always parses.
+    telemetry.trace()->instantEvent("tab\there \"quoted\" back\\slash\nnl\rcr \x01 bell",
+                                    "test");
+    const std::string json = telemetry.trace()->json();
+    EXPECT_NE(json.find("tab\\there"), std::string::npos) << json;
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("\\nnl"), std::string::npos);
+    EXPECT_NE(json.find("\\rcr"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+    for (char c : json) {
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+            << "raw control byte leaked into the trace JSON";
+    }
+    EXPECT_NO_THROW(util::parseJson(json)) << json;
+}
+
+TEST(ObsTrace, ConcurrentSpanEmission)
+{
+    obs::Telemetry telemetry;
+    telemetry.enableTracing();
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 400;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&telemetry, t] {
+            telemetry.trace()->nameCurrentTrack("worker " + std::to_string(t));
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                obs::Span span(&telemetry, "run " + std::to_string(i), "test");
+                span.setArgs("{\"thread\": " + std::to_string(t) + "}");
+                if (i % 50 == 0) {
+                    telemetry.trace()->instantEvent("mark", "test");
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads) {
+        th.join();
+    }
+
+    // Per thread: one metadata event, kSpansPerThread spans, 8 instants.
+    EXPECT_EQ(telemetry.trace()->eventCount(),
+              static_cast<std::size_t>(kThreads) * (1 + kSpansPerThread + 8));
+    const std::string json = telemetry.trace()->json();
+    EXPECT_TRUE(balancedJson(json));
+    const util::JsonValue doc = util::parseJson(json);
+    const util::JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->asArray().size(), telemetry.trace()->eventCount());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(ObsFlightRecorder, RingKeepsLastWindow)
+{
+    obs::FlightRecorder fr(4);
+    EXPECT_EQ(fr.capacity(), 4u);
+    EXPECT_EQ(fr.size(), 0u);
+    EXPECT_EQ(fr.lastOfKind(obs::FlightRecorder::Kind::Wave), nullptr);
+    EXPECT_TRUE(fr.jsonl().empty());
+
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        fr.record(obs::FlightRecorder::Kind::Wave, static_cast<SimTime>(i * 10), 0.0, i,
+                  i + 1, 0.0);
+    }
+    EXPECT_EQ(fr.size(), 4u);
+    EXPECT_EQ(fr.totalRecorded(), 10u);
+
+    const std::vector<obs::FlightRecorder::Event> window = fr.window();
+    ASSERT_EQ(window.size(), 4u);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        EXPECT_EQ(window[i].a, 6u + i) << "window must be the oldest-to-newest tail";
+    }
+    const obs::FlightRecorder::Event* last =
+        fr.lastOfKind(obs::FlightRecorder::Kind::Wave);
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->a, 9u);
+    EXPECT_EQ(fr.lastOfKind(obs::FlightRecorder::Kind::Restore), nullptr);
+
+    // Each JSONL line is one parseable object with the kind-specific payload.
+    std::istringstream lines(fr.jsonl());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        const util::JsonValue v = util::parseJson(line);
+        EXPECT_EQ(v.find("seq")->asNumber(), static_cast<double>(n));
+        EXPECT_EQ(v.find("kind")->asString(), "wave");
+        EXPECT_EQ(v.find("waves")->asNumber(), static_cast<double>(6 + n));
+        EXPECT_EQ(v.find("pending_events")->asNumber(), static_cast<double>(7 + n));
+        ++n;
+    }
+    EXPECT_EQ(n, 4u);
+
+    const util::JsonValue trace = util::parseJson(fr.chromeTraceJson());
+    const util::JsonValue* events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // 4 track-name metadata events plus the 4-event window.
+    EXPECT_EQ(events->asArray().size(), 8u);
+
+    fr.clear();
+    EXPECT_EQ(fr.size(), 0u);
+    EXPECT_EQ(fr.totalRecorded(), 0u);
+}
+
+TEST(ObsFlightRecorder, WriteArtifactsCreatesDirectories)
+{
+    const std::string root = ::testing::TempDir() + "gfi_fr_artifacts";
+    std::filesystem::remove_all(root);
+    const std::string stem = root + "/nested/run-test-a1";
+
+    obs::FlightRecorder fr;
+    fr.record(obs::FlightRecorder::Kind::SolverAccept, 0, 1.5e-6, 42, 0, 2.5e-9);
+    fr.record(obs::FlightRecorder::Kind::AtoD, 2 * kMicrosecond, 2e-6, 7, 0, 1.0);
+    fr.writeArtifacts(stem);
+
+    const std::string jsonl = slurp(stem + ".jsonl");
+    ASSERT_FALSE(jsonl.empty());
+    EXPECT_NE(jsonl.find("\"kind\": \"solver-accept\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"rising\": true"), std::string::npos);
+    const std::string trace = slurp(stem + ".trace.json");
+    EXPECT_NO_THROW(util::parseJson(trace)) << trace;
+
+    std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Forensic dumps from the campaign engine
+
+TEST(ObsForensics, TimeoutDumpMatchesStallSnapshot)
+{
+    clearTelemetryEnv();
+    auto faults = digitalDutFaults();
+    faults.resize(1);
+
+    auto runWithForensics = [&](const std::string& dir) {
+        std::filesystem::remove_all(dir);
+        campaign::CampaignRunner runner(dutFactory());
+        configureDutRunner(runner, 1);
+        WatchdogConfig watchdog;
+        watchdog.digitalWaves = 50; // seeded Timeout; golden is unaffected
+        runner.setWatchdogConfig(watchdog);
+        runner.setForensics(dir);
+        return runner.run(faults);
+    };
+
+    const std::string dir = ::testing::TempDir() + "gfi_forensics_a";
+    const campaign::CampaignReport report = runWithForensics(dir);
+    ASSERT_EQ(report.runs.size(), 1u);
+    const campaign::RunDiagnostics& d = report.runs[0].diagnostics;
+    EXPECT_EQ(report.runs[0].outcome, campaign::Outcome::Timeout);
+    ASSERT_FALSE(d.forensic.empty()) << "abnormal outcome must dump a forensic window";
+    EXPECT_EQ(d.forensic.rfind(dir + "/run-", 0), 0u) << d.forensic;
+
+    // The final recorded wave must agree with the stall snapshot's scheduler
+    // counters: the watchdog threw immediately after that record, so nothing
+    // ran in between.
+    const std::string jsonl = slurp(d.forensic + ".jsonl");
+    ASSERT_FALSE(jsonl.empty());
+    std::istringstream lines(jsonl);
+    std::string line;
+    std::string lastWave;
+    while (std::getline(lines, line)) {
+        if (util::parseJson(line).find("kind")->asString() == "wave") {
+            lastWave = line;
+        }
+    }
+    ASSERT_FALSE(lastWave.empty());
+    const util::JsonValue wave = util::parseJson(lastWave);
+    ASSERT_TRUE(d.probes.valid);
+    EXPECT_EQ(wave.find("waves")->asNumber(), static_cast<double>(d.probes.deltaCycles));
+    EXPECT_EQ(wave.find("pending_events")->asNumber(),
+              static_cast<double>(d.probes.pendingEvents));
+
+    // Perfetto-loadable companion artifact with a non-empty event list.
+    const util::JsonValue trace = util::parseJson(slurp(d.forensic + ".trace.json"));
+    const util::JsonValue* events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->asArray().size(), 4u);
+
+    // Determinism: the same campaign dumps byte-identical artifacts — events
+    // carry simulated time and kernel counters only, never the wall clock.
+    const std::string dir2 = ::testing::TempDir() + "gfi_forensics_b";
+    const campaign::CampaignReport again = runWithForensics(dir2);
+    ASSERT_FALSE(again.runs[0].diagnostics.forensic.empty());
+    EXPECT_EQ(slurp(again.runs[0].diagnostics.forensic + ".jsonl"), jsonl);
+    EXPECT_EQ(slurp(again.runs[0].diagnostics.forensic + ".trace.json"),
+              slurp(d.forensic + ".trace.json"));
+
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove_all(dir2);
+}
+
+TEST(ObsForensics, JournalCarriesForensicStem)
+{
+    campaign::RunResult r;
+    r.outcome = campaign::Outcome::Timeout;
+    r.diagnostics.forensic = "forensics/run-0123abcd-a1";
+    const std::string line = campaign::CampaignJournal::entryToJson(4, r);
+    EXPECT_NE(line.find("\"forensic\": \"forensics/run-0123abcd-a1\""),
+              std::string::npos)
+        << line;
+    const auto parsed = campaign::CampaignJournal::parseLine(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->result.diagnostics.forensic, r.diagnostics.forensic);
+
+    // No dump -> historical line format, byte for byte.
+    campaign::RunResult bare;
+    EXPECT_EQ(campaign::CampaignJournal::entryToJson(4, bare).find("forensic"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live progress streaming
+
+TEST(ObsProgress, DeterministicHeartbeatStream)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+
+    // The workers field reports the actual pool width, so normalize it
+    // before comparing streams across widths.
+    auto maskWorkers = [](std::string line) {
+        const std::string key = "\"workers\": ";
+        const std::size_t at = line.find(key);
+        if (at != std::string::npos) {
+            std::size_t end = at + key.size();
+            while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end]))) {
+                ++end;
+            }
+            line.replace(at + key.size(), end - (at + key.size()), "W");
+        }
+        return line;
+    };
+
+    auto runStream = [&](unsigned workers) {
+        std::vector<std::string> lines;
+        campaign::CampaignRunner runner(dutFactory());
+        configureDutRunner(runner, workers);
+        runner.setProgressSink([&lines](const std::string& l) { lines.push_back(l); },
+                               0.0); // <= 0: one heartbeat per commit
+        runner.run(faults);
+        return lines;
+    };
+
+    auto masked = [&](std::vector<std::string> lines) {
+        for (std::string& l : lines) {
+            l = maskWorkers(std::move(l));
+        }
+        return lines;
+    };
+
+    const std::vector<std::string> serial = runStream(1);
+    // One start line, one heartbeat per committed run, one done line.
+    ASSERT_EQ(serial.size(), faults.size() + 2);
+    EXPECT_NE(serial.front().find("\"event\": \"start\""), std::string::npos);
+    EXPECT_NE(serial.front().find("\"total\": " + std::to_string(faults.size())),
+              std::string::npos)
+        << serial.front();
+    EXPECT_NE(serial.back().find("\"event\": \"done\""), std::string::npos);
+    EXPECT_NE(serial.back().find("\"completed\": " + std::to_string(faults.size())),
+              std::string::npos);
+
+    std::size_t lastCompleted = 0;
+    for (const std::string& line : serial) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.back(), '\n');
+        const util::JsonValue v = util::parseJson(line);
+        const std::size_t completed =
+            static_cast<std::size_t>(v.find("completed")->asNumber());
+        EXPECT_GE(completed, lastCompleted) << "cumulative counts must be monotone";
+        lastCompleted = completed;
+        ASSERT_NE(v.find("outcomes"), nullptr);
+        // With timing recording off the stream is byte-deterministic: the
+        // elapsed clock is pinned and the rate/ETA fields are omitted.
+        EXPECT_EQ(v.find("elapsed_s")->asNumber(), 0.0);
+        EXPECT_EQ(v.find("runs_per_s"), nullptr);
+        EXPECT_EQ(v.find("eta_s"), nullptr);
+    }
+
+    // The stream commits in fault order, so it is identical at any width
+    // apart from the reported pool size.
+    EXPECT_EQ(masked(runStream(4)), masked(serial));
+    EXPECT_EQ(masked(runStream(8)), masked(serial));
+}
+
+TEST(ObsProgress, ResumeReportsCumulativeCounts)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+    const std::string path = ::testing::TempDir() + "gfi_obs_progress_resume.jsonl";
+    std::remove(path.c_str());
+
+    campaign::CampaignRunner first(dutFactory());
+    configureDutRunner(first, 2);
+    first.setJournalPath(path);
+    first.run(faults);
+
+    std::vector<std::string> lines;
+    campaign::CampaignRunner resumed(dutFactory());
+    configureDutRunner(resumed, 2);
+    resumed.setJournalPath(path);
+    resumed.setProgressSink([&lines](const std::string& l) { lines.push_back(l); }, 0.0);
+    resumed.run(faults);
+
+    // A fully-journaled campaign still reports every run: restored + new is
+    // cumulative, never from zero.
+    ASSERT_GE(lines.size(), 2u);
+    const util::JsonValue start = util::parseJson(lines.front());
+    EXPECT_EQ(start.find("restorable")->asNumber(), static_cast<double>(faults.size()));
+    const util::JsonValue done = util::parseJson(lines.back());
+    EXPECT_EQ(done.find("completed")->asNumber(), static_cast<double>(faults.size()));
+    EXPECT_EQ(done.find("restored")->asNumber(), static_cast<double>(faults.size()));
+
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Per-fault cost attribution
+
+TEST(ObsCost, AttributionIsJournaledDataOnly)
+{
+    clearTelemetryEnv();
+    const auto faults = digitalDutFaults();
+
+    auto costJsonAt = [&](unsigned workers) {
+        campaign::CampaignRunner runner(dutFactory());
+        configureDutRunner(runner, workers);
+        const campaign::CampaignReport report = runner.run(faults);
+        return campaign::buildCostReport(report).toJson();
+    };
+
+    const std::string serial = costJsonAt(1);
+    EXPECT_EQ(costJsonAt(8), serial)
+        << "cost attribution must not depend on worker width";
+    EXPECT_TRUE(balancedJson(serial)) << serial;
+
+    campaign::CampaignRunner runner(dutFactory());
+    configureDutRunner(runner, 2);
+    const campaign::CampaignReport report = runner.run(faults);
+    const campaign::CostReport cost = campaign::buildCostReport(report);
+    EXPECT_EQ(cost.total.runs, faults.size());
+    EXPECT_EQ(cost.total.attempts, faults.size()) << "no retries in this campaign";
+    EXPECT_GT(cost.total.digitalWaves, 0u);
+    ASSERT_EQ(cost.byClass.count("bit-flip"), 1u);
+    EXPECT_EQ(cost.byClass.at("bit-flip").runs, faults.size());
+
+    std::size_t outcomeRuns = 0;
+    for (const auto& [name, bucket] : cost.byOutcome) {
+        outcomeRuns += bucket.runs;
+    }
+    EXPECT_EQ(outcomeRuns, faults.size());
+
+    const std::string table = cost.table();
+    EXPECT_NE(table.find("bit-flip"), std::string::npos) << table;
+
+    // Resume path: a report rebuilt purely from the journal attributes the
+    // identical cost (restored flag aside, which the bucket counts).
+    const std::string path = ::testing::TempDir() + "gfi_obs_cost_resume.jsonl";
+    std::remove(path.c_str());
+    campaign::CampaignRunner journaled(dutFactory());
+    configureDutRunner(journaled, 2);
+    journaled.setJournalPath(path);
+    const campaign::CampaignReport fresh = journaled.run(faults);
+
+    campaign::CampaignRunner resumed(dutFactory());
+    configureDutRunner(resumed, 2);
+    resumed.setJournalPath(path);
+    const campaign::CampaignReport restored = resumed.run(faults);
+    const campaign::CostReport freshCost = campaign::buildCostReport(fresh);
+    const campaign::CostReport restoredCost = campaign::buildCostReport(restored);
+    EXPECT_EQ(restoredCost.total.runs, freshCost.total.runs);
+    EXPECT_EQ(restoredCost.total.digitalWaves, freshCost.total.digitalWaves);
+    EXPECT_EQ(restoredCost.total.restored, faults.size());
+    EXPECT_EQ(freshCost.total.restored, 0u);
+
+    std::remove(path.c_str());
+}
+
+TEST(ObsCost, CsvCostColumnsAreOptIn)
+{
+    clearTelemetryEnv();
+    auto faults = digitalDutFaults();
+    faults.resize(4);
+    campaign::CampaignRunner runner(dutFactory());
+    configureDutRunner(runner, 1);
+    const campaign::CampaignReport report = runner.run(faults);
+
+    const std::string plainPath = ::testing::TempDir() + "gfi_obs_plain.csv";
+    const std::string costPath = ::testing::TempDir() + "gfi_obs_cost.csv";
+    campaign::writeReportCsv(report, plainPath);
+    campaign::CsvOptions options;
+    options.costColumns = true;
+    campaign::writeReportCsv(report, costPath, options);
+
+    const std::string plain = slurp(plainPath);
+    const std::string withCost = slurp(costPath);
+    EXPECT_EQ(plain.find("digital_waves"), std::string::npos)
+        << "default CSV shape must stay byte-identical to the pre-cost format";
+    EXPECT_NE(withCost.find("digital_waves"), std::string::npos);
+    EXPECT_NE(withCost.find("analog_steps"), std::string::npos);
+    EXPECT_NE(withCost.find("forensic"), std::string::npos);
+    EXPECT_EQ(countOccurrences(plain, "\n"), countOccurrences(withCost, "\n"));
+
+    std::remove(plainPath.c_str());
+    std::remove(costPath.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(ObsJson, ParsesValuesStringsAndStructure)
+{
+    const util::JsonValue v = util::parseJson(
+        R"({"a": [1, 2.5, -3e2, true, null], "b": {"c": "x\"y\\zé"}, "a": 9})");
+    const util::JsonValue* a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->asArray().size(), 5u) << "duplicate keys: first match wins";
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(a->asArray()[2].asNumber(), -300.0);
+    EXPECT_TRUE(a->asArray()[3].asBool());
+    EXPECT_TRUE(a->asArray()[4].isNull());
+    EXPECT_EQ(v.find("b")->find("c")->asString(), "x\"y\\z\xc3\xa9");
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_EQ(v.asObject().size(), 3u) << "duplicates are kept in document order";
+
+    // Surrogate pair -> 4-byte UTF-8.
+    EXPECT_EQ(util::parseJson("\"\\ud83d\\ude00\"").asString(), "\xf0\x9f\x98\x80");
+    EXPECT_THROW(util::parseJson(R"("\ud83d")").asString(), std::runtime_error)
+        << "lone surrogate";
+}
+
+TEST(ObsJson, RejectsMalformedInput)
+{
+    const char* bad[] = {
+        "",          "{",          "[1,]",  "{\"a\": 1,}", "\"unterminated",
+        "1 2",       "{\"a\" 1}",  "nul",   "[1 2]",       "{1: 2}",
+    };
+    for (const char* text : bad) {
+        EXPECT_THROW(util::parseJson(text), std::runtime_error) << text;
+    }
+    // Raw control characters are illegal inside string literals.
+    EXPECT_THROW(util::parseJson(std::string("\"a\x01b\"")), std::runtime_error);
+    // Depth bomb: past the nesting bound the parser bails instead of
+    // recursing toward a stack overflow.
+    const std::string deep(100, '[');
+    EXPECT_THROW(util::parseJson(deep + std::string(100, ']')), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Bench regression comparison
+
+std::string benchDoc(const std::string& buildType, double speedup, double eventS,
+                     const std::string& sha = "abc1234")
+{
+    return "{\"meta\": {\"schema\": 1, \"tool\": \"perf_x\", \"git_sha\": \"" + sha +
+           "\", \"build_type\": \"" + buildType +
+           "\", \"workers\": 0, \"timestamp\": \"2026-01-01T00:00:00Z\"}, "
+           "\"benchmark\": \"perf_x\", \"runs\": 120, \"event_s\": " +
+           formatDouble(eventS, 6) + ", \"speedup\": " + formatDouble(speedup, 6) +
+           ", \"identical\": true}\n";
+}
+
+TEST(ObsBenchDiff, SelfCompareIsClean)
+{
+    const obs::BenchSet set =
+        obs::parseBenchSet(benchDoc("Release", 6.0, 2.0), "a.json");
+    ASSERT_TRUE(set.meta.present);
+    EXPECT_EQ(set.meta.tool, "perf_x");
+    EXPECT_EQ(set.meta.buildType, "Release");
+    ASSERT_EQ(set.samples.size(), 1u);
+    EXPECT_EQ(set.samples[0].name, "perf_x");
+    ASSERT_NE(set.samples[0].value("speedup"), nullptr);
+    EXPECT_DOUBLE_EQ(*set.samples[0].value("speedup"), 6.0);
+
+    const obs::BenchComparison cmp = obs::compareBenchSets(set, set, 0.20);
+    EXPECT_FALSE(cmp.refused());
+    EXPECT_EQ(cmp.regressions(), 0u);
+    for (const obs::BenchDelta& d : cmp.deltas) {
+        EXPECT_FALSE(d.regression) << d.metric;
+        EXPECT_FALSE(d.improvement) << d.metric;
+    }
+}
+
+TEST(ObsBenchDiff, FlagsRegressionsBeyondThreshold)
+{
+    const obs::BenchSet base =
+        obs::parseBenchSet(benchDoc("Release", 6.0, 2.0), "base.json");
+    // Speedup down 33 %, duration up 50 %: both beyond a 20 % threshold.
+    const obs::BenchSet worse =
+        obs::parseBenchSet(benchDoc("Release", 4.0, 3.0), "cur.json");
+    const obs::BenchComparison cmp = obs::compareBenchSets(base, worse, 0.20);
+    EXPECT_FALSE(cmp.refused());
+    EXPECT_EQ(cmp.regressions(), 2u) << cmp.table();
+    EXPECT_NE(cmp.table().find("REGRESSION"), std::string::npos);
+
+    // The same magnitudes in the good direction are improvements, not noise.
+    const obs::BenchSet better =
+        obs::parseBenchSet(benchDoc("Release", 9.0, 1.0), "cur.json");
+    const obs::BenchComparison up = obs::compareBenchSets(base, better, 0.20);
+    EXPECT_EQ(up.regressions(), 0u);
+    std::size_t improvements = 0;
+    for (const obs::BenchDelta& d : up.deltas) {
+        improvements += d.improvement ? 1 : 0;
+    }
+    EXPECT_EQ(improvements, 2u);
+
+    // Within-threshold drift is stable.
+    const obs::BenchSet close =
+        obs::parseBenchSet(benchDoc("Release", 5.5, 2.1), "cur.json");
+    EXPECT_EQ(obs::compareBenchSets(base, close, 0.20).regressions(), 0u);
+}
+
+TEST(ObsBenchDiff, RefusesMetaMismatchWarnsOnSha)
+{
+    const obs::BenchSet rel = obs::parseBenchSet(benchDoc("Release", 6.0, 2.0), "a");
+    const obs::BenchSet dbg = obs::parseBenchSet(benchDoc("Debug", 6.0, 2.0), "b");
+    const obs::BenchComparison refused = obs::compareBenchSets(rel, dbg, 0.20);
+    EXPECT_TRUE(refused.refused());
+    EXPECT_NE(refused.table().find("INCOMPATIBLE"), std::string::npos);
+
+    // Differing revisions are expected (that is the point of a diff): warn.
+    const obs::BenchSet newer =
+        obs::parseBenchSet(benchDoc("Release", 6.0, 2.0, "def5678"), "c");
+    const obs::BenchComparison shaDiff = obs::compareBenchSets(rel, newer, 0.20);
+    EXPECT_FALSE(shaDiff.refused());
+    EXPECT_FALSE(shaDiff.warnings.empty());
+
+    // Legacy artifact without a meta block: comparable, but flagged.
+    const obs::BenchSet bare = obs::parseBenchSet(
+        "{\"benchmark\": \"perf_x\", \"speedup\": 6.0}\n", "legacy");
+    EXPECT_FALSE(bare.meta.present);
+    const obs::BenchComparison legacy = obs::compareBenchSets(bare, rel, 0.20);
+    EXPECT_FALSE(legacy.refused());
+    EXPECT_FALSE(legacy.warnings.empty());
+}
+
+TEST(ObsBenchDiff, MetricDirectionInference)
+{
+    using obs::MetricDirection;
+    EXPECT_EQ(obs::metricDirection("speedup"), MetricDirection::HigherIsBetter);
+    EXPECT_EQ(obs::metricDirection("runs_per_s"), MetricDirection::HigherIsBetter);
+    EXPECT_EQ(obs::metricDirection("items_per_second"), MetricDirection::HigherIsBetter);
+    EXPECT_EQ(obs::metricDirection("event_s"), MetricDirection::LowerIsBetter);
+    EXPECT_EQ(obs::metricDirection("wall_ms"), MetricDirection::LowerIsBetter);
+    EXPECT_EQ(obs::metricDirection("runs"), MetricDirection::Ignore);
+    EXPECT_EQ(obs::metricDirection("identical"), MetricDirection::Ignore);
+    EXPECT_EQ(obs::metricDirection("iterations"), MetricDirection::Ignore);
 }
 
 } // namespace

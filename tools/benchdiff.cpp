@@ -1,0 +1,157 @@
+// benchdiff: compares two sets of BENCH_*.json artifacts and flags
+// performance regressions beyond a relative threshold.
+//
+//   benchdiff [--threshold F] [--soft] <baseline> <current>
+//
+// <baseline> and <current> are each either one BENCH_*.json file or a
+// directory; directories are matched by file name (every BENCH_*.json in the
+// baseline must exist in the current set). The shared metadata block stamped
+// by the bench emitters gates comparability: differing schema, tool, build
+// type or configured worker count refuses the comparison (exit 1) instead of
+// producing an apples-to-oranges verdict; differing git SHAs only note.
+//
+// Exit codes: 0 = no regression, 1 = usage/IO/incompatibility error,
+// 2 = at least one regression (0 with --soft, which reports but never gates).
+
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--threshold FRACTION] [--soft] <baseline> <current>\n"
+                 "  <baseline>/<current>: a BENCH_*.json file or a directory of them\n"
+                 "  --threshold F   relative regression threshold (default 0.20 = 20%%)\n"
+                 "  --soft          report regressions but always exit 0\n",
+                 argv0);
+    return 1;
+}
+
+std::string readFile(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot read " + path.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/// BENCH_*.json files of @p p: the file itself, or the matching directory
+/// entries sorted by name (deterministic report order).
+std::vector<fs::path> benchFiles(const fs::path& p)
+{
+    std::vector<fs::path> files;
+    if (fs::is_directory(p)) {
+        for (const auto& entry : fs::directory_iterator(p)) {
+            const std::string name = entry.path().filename().string();
+            if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+                name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+                files.push_back(entry.path());
+            }
+        }
+        std::sort(files.begin(), files.end());
+    } else {
+        files.push_back(p);
+    }
+    return files;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    double threshold = 0.20;
+    bool soft = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threshold") {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            threshold = std::strtod(argv[++i], nullptr);
+            if (!(threshold > 0.0)) {
+                std::fprintf(stderr, "benchdiff: bad threshold\n");
+                return 1;
+            }
+        } else if (arg == "--soft") {
+            soft = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        return usage(argv[0]);
+    }
+
+    try {
+        const fs::path basePath = positional[0];
+        const fs::path curPath = positional[1];
+        const std::vector<fs::path> baseFiles = benchFiles(basePath);
+        if (baseFiles.empty()) {
+            std::fprintf(stderr, "benchdiff: no BENCH_*.json under %s\n",
+                         basePath.string().c_str());
+            return 1;
+        }
+
+        std::size_t regressions = 0;
+        bool refused = false;
+        for (const fs::path& baseFile : baseFiles) {
+            fs::path curFile = curPath;
+            if (fs::is_directory(curPath)) {
+                curFile = curPath / baseFile.filename();
+            }
+            if (!fs::exists(curFile)) {
+                std::fprintf(stderr, "benchdiff: %s has no counterpart in %s\n",
+                             baseFile.filename().string().c_str(),
+                             curPath.string().c_str());
+                refused = true;
+                continue;
+            }
+            const gfi::obs::BenchSet baseline = gfi::obs::parseBenchSet(
+                readFile(baseFile), baseFile.filename().string());
+            const gfi::obs::BenchSet current =
+                gfi::obs::parseBenchSet(readFile(curFile), curFile.filename().string());
+            const gfi::obs::BenchComparison cmp =
+                gfi::obs::compareBenchSets(baseline, current, threshold);
+            std::printf("== %s vs %s\n%s", baseFile.filename().string().c_str(),
+                        curFile.filename().string().c_str(), cmp.table().c_str());
+            refused = refused || cmp.refused();
+            regressions += cmp.regressions();
+        }
+
+        if (refused) {
+            std::fprintf(stderr, "benchdiff: comparison refused (incompatible or "
+                                 "missing artifacts)\n");
+            return 1;
+        }
+        if (regressions > 0) {
+            std::printf("benchdiff: %zu metric%s regressed beyond %.0f%%%s\n", regressions,
+                        regressions == 1 ? "" : "s", threshold * 100.0,
+                        soft ? " (soft mode: not gating)" : "");
+            return soft ? 0 : 2;
+        }
+        std::printf("benchdiff: no regressions beyond %.0f%%\n", threshold * 100.0);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "benchdiff: %s\n", e.what());
+        return 1;
+    }
+}
